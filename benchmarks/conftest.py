@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures,
+prints it in the paper's layout, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference the exact output.
+The ``benchmark`` fixture times one representative unit of each
+experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """record(name, text): archive one regenerated artifact."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} (archived to {path}) ===")
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def xeon_setup():
+    """§VI Xeon server stack (HMAT-discovered attributes)."""
+    return repro.quick_setup("xeon-cascadelake-1lm")
+
+
+@pytest.fixture(scope="session")
+def knl_setup():
+    """§VI KNL server stack (benchmark-fed attributes)."""
+    return repro.quick_setup("knl-snc4-flat")
+
+
+XEON_PUS = tuple(range(40))
+KNL_PUS = tuple(range(64))
+
+
+@pytest.fixture(scope="session")
+def xeon_pus():
+    return XEON_PUS
+
+
+@pytest.fixture(scope="session")
+def knl_pus():
+    return KNL_PUS

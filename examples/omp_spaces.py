@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""OpenMP memory spaces over memory attributes (paper §IV / §VIII).
+
+Demonstrates the runtime integration the paper targets: the predefined
+OpenMP spaces resolve through attribute rankings, and allocator traits
+(fallback modes, interleaved partitioning) map onto the heterogeneous
+allocator.
+
+Run:  python examples/omp_spaces.py
+"""
+
+import repro
+from repro.omp import (
+    AllocatorTraits,
+    FallbackMode,
+    OmpRuntime,
+    PREDEFINED_SPACES,
+    space_targets,
+)
+from repro.units import GB, TB
+
+
+def main() -> None:
+    setup = repro.quick_setup("knl-snc4-flat")
+    rt = OmpRuntime(setup.allocator)
+
+    print("### What backs each OpenMP memory space on this KNL?\n")
+    for name, space in PREDEFINED_SPACES.items():
+        targets = space_targets(setup.memattrs, space, 0)
+        backing = ", ".join(t.label for t in targets[:2])
+        print(f"  {name:<26} (ranks by {space.attribute:<9}) -> {backing}")
+
+    print("\n### omp_alloc with traits\n")
+    hbw = rt.make_allocator("omp_high_bw_mem_space")
+    buf = rt.omp_alloc(2 * GB, hbw, 0)
+    print(f"  high-bw, 2GB:       {buf.describe()}")
+    rt.omp_free(buf)
+
+    buf = rt.omp_alloc(25 * GB, hbw, 0)
+    print(f"  high-bw, 25GB:      {buf.describe()}")
+    print("    (MCDRAM full -> default_mem_fb placed it anyway)")
+    rt.omp_free(buf)
+
+    null_fb = rt.make_allocator(
+        "omp_high_bw_mem_space", AllocatorTraits(fallback=FallbackMode.NULL_FB)
+    )
+    print(f"  high-bw, 10TB, null_fb: {rt.omp_alloc(10 * TB, null_fb, 0)}")
+
+    inter = rt.make_allocator(
+        "omp_high_bw_mem_space",
+        AllocatorTraits(partition_interleaved=True),
+    )
+    buf = rt.omp_alloc(6 * GB, inter, 0)
+    print(f"  high-bw, 6GB, interleaved partition: {buf.describe()}")
+    rt.omp_free(buf)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Per-buffer criteria on a mixed-sensitivity kernel (SpMV).
+
+One kernel, four buffers, three needs: the value/index streams want
+bandwidth, the gathered vector wants latency, and none of it should touch
+the capacity tier.  Whole-process binding (§V-A) has to pick one answer
+for all four; per-buffer criteria don't.
+
+Run:  python examples/spmv_criteria.py
+"""
+
+import repro
+from repro.apps import SpmvApp, SyntheticMatrix
+from repro.apps.graph500 import build_csr, kronecker_edges
+from repro.sensitivity import classify_kernel
+from repro.apps.spmv_app import spmv_phases
+
+PUS = tuple(range(16))
+
+
+def main() -> None:
+    setup = repro.quick_setup("fictitious-four-kind", benchmark=True)
+    app = SpmvApp(setup.engine, setup.allocator)
+
+    print("### Static analysis of the SpMV kernel (what a compiler would hint)")
+    small = build_csr(kronecker_edges(12, seed=1), num_vertices=1 << 12)
+    (phase,) = spmv_phases(small, threads=8)
+    for buffer, criterion in classify_kernel(phase).items():
+        print(f"  {buffer:<6} -> {criterion}")
+
+    print("\n### Pricing a paper-scale matrix (4M rows, 99M nonzeros) on the")
+    print("### fictitious HBM+DDR5+NVDIMM platform, 8 threads\n")
+    big = SyntheticMatrix(num_vertices=1 << 22, num_directed_edges=99_000_000)
+    policies = {
+        "per-buffer criteria": None,
+        "whole-process DRAM": {b: "Latency" for b in ("vals", "cols", "x", "y")},
+        "whole-process HBM": {b: "Bandwidth" for b in ("vals", "cols", "x", "y")},
+        "whole-process NVDIMM": {b: "Capacity" for b in ("vals", "cols", "x", "y")},
+    }
+    for label, criteria in policies.items():
+        result = app.run(
+            big, 0, threads=8, pus=PUS, iterations=5,
+            criteria=criteria, name_prefix=label.replace(" ", "_"),
+        )
+        where = {
+            name: setup.topology.numanode_by_os_index(
+                next(iter(fr))
+            ).attrs["kind"]
+            for name, fr in result.placements.items()
+        }
+        print(f"  {label:<22} {result.gflops:6.2f} GFLOP/s   {where}")
+
+    print(
+        "\nPer-buffer criteria put the streams on HBM and keep the gather\n"
+        "target off the scarce fast memory — matching the best whole-\n"
+        "process choice while consuming a third of its HBM."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Table III live: STREAM Triad through the heterogeneous allocator,
+sweeping the requested criterion and the array sizes.
+
+Shows the three behaviours the paper measures:
+* criterion choice decides the memory kind (Latency→DRAM, Bandwidth→HBM,
+  Capacity→NVDIMM);
+* the NVDIMM write-buffer cliff between 22 and 89 GiB on the Xeon;
+* the KNL capacity fallback at 17.9 GiB (MCDRAM full ⇒ DRAM speed).
+
+Run:  python examples/stream_triad_criteria.py
+"""
+
+import repro
+from repro.apps import StreamApp
+from repro.errors import CapacityError
+from repro.units import GiB
+
+
+def sweep(platform, criteria, sizes_gib, threads, pus):
+    print(f"\n=== {platform}: STREAM Triad (GB/s) ===")
+    header = f"{'total':>10} |" + "".join(f" {c:>12} |" for c in criteria)
+    print(header)
+    print("-" * len(header))
+    for gib in sizes_gib:
+        cells = []
+        for criterion in criteria:
+            setup = repro.quick_setup(platform)
+            app = StreamApp(setup.engine, setup.allocator)
+            try:
+                r = app.run(
+                    int(gib * GiB), criterion, 0, threads=threads, pus=pus
+                )
+                note = "*" if r.fallback_used else " "
+                cells.append(f"{r.triad_gbps:>11.2f}{note}")
+            except CapacityError:
+                cells.append(f"{'OOM':>12}")
+        print(f"{gib:>8.1f}Gi |" + " |".join(cells) + " |")
+    print("(* = capacity fallback to a slower target)")
+
+
+def main() -> None:
+    sweep(
+        "xeon-cascadelake-1lm",
+        ("Capacity", "Latency", "Bandwidth"),
+        (22.4, 89.4, 223.5),
+        threads=20,
+        pus=tuple(range(40)),
+    )
+    sweep(
+        "knl-snc4-flat",
+        ("Bandwidth", "Latency", "Capacity"),
+        (1.1, 3.4, 17.9),
+        threads=16,
+        pus=tuple(range(64)),
+    )
+
+
+if __name__ == "__main__":
+    main()

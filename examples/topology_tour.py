@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""A tour of every modeled platform: topologies (Figs. 1-3), NUMA
+distances, and where each allocation criterion lands.
+
+Run:  python examples/topology_tour.py [--full]
+"""
+
+import sys
+
+import repro
+from repro.hw import PLATFORM_REGISTRY
+from repro.topology import render_lstopo
+from repro.units import GB
+
+HIGHLIGHTS = (
+    "knl-snc4-hybrid50",      # Fig. 1
+    "xeon-cascadelake-1lm",   # Fig. 2 (use --full for the SNC2 variant)
+    "fictitious-four-kind",   # Fig. 3
+)
+
+
+def tour(platform: str) -> None:
+    print(f"\n{'=' * 70}\n{platform}\n{'=' * 70}")
+    setup = repro.quick_setup(platform)
+    print(render_lstopo(setup.topology))
+
+    print("\nNUMA distances (SLIT):")
+    print(setup.topology.slit.render())
+
+    print("\nWhere does each criterion send a 1 GB buffer from PU 0?")
+    for criterion in ("Bandwidth", "Latency", "Capacity", "Locality"):
+        try:
+            buf = setup.allocator.mem_alloc(1 * GB, criterion, 0)
+            print(f"  {criterion:<10} -> {buf.target.label} "
+                  f"({buf.target.attrs['kind']})")
+            setup.allocator.free(buf)
+        except Exception as exc:  # pragma: no cover - demo output only
+            print(f"  {criterion:<10} -> failed: {exc}")
+
+
+def main() -> None:
+    platforms = (
+        sorted(PLATFORM_REGISTRY) if "--full" in sys.argv else HIGHLIGHTS
+    )
+    for platform in platforms:
+        tour(platform)
+
+
+if __name__ == "__main__":
+    main()

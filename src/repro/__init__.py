@@ -1,0 +1,124 @@
+"""repro — reproduction of *Using Performance Attributes for Managing
+Heterogeneous Memory in HPC Applications* (Goglin & Rubio Proaño,
+PDSEC/IPDPS 2022).
+
+The package layers, bottom to top:
+
+* :mod:`repro.hw` — declarative platform models (KNL, Xeon+NVDIMM, ...).
+* :mod:`repro.firmware` — synthetic ACPI SRAT/SLIT/HMAT + virtual sysfs.
+* :mod:`repro.kernel` — Linux-like NUMA page allocator, policies, migration.
+* :mod:`repro.topology` — hwloc-like object tree, bitmaps, lstopo rendering.
+* :mod:`repro.core` — **the paper's memory-attributes API** (hwloc memattrs).
+* :mod:`repro.sim` — analytic memory-performance simulator.
+* :mod:`repro.bench` — STREAM / lat_mem_rd / multichase feeding attributes.
+* :mod:`repro.alloc` — **the heterogeneous allocator** ``mem_alloc(..., attr)``.
+* :mod:`repro.profiler` — VTune-style Memory Access analysis.
+* :mod:`repro.sensitivity` — benchmarking / profiling / static methods.
+* :mod:`repro.apps` — Graph500, STREAM and pointer-chase workloads.
+* :mod:`repro.omp` — OpenMP memory spaces and allocators on top.
+
+Quickstart::
+
+    from repro import quick_setup
+    setup = quick_setup("knl-snc4-flat")
+    buf = setup.allocator.mem_alloc(1 << 30, "Bandwidth", initiator=0)
+    print(buf.describe())          # lands on the local MCDRAM
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import (
+    alloc,
+    apps,
+    baselines,
+    bench,
+    core,
+    errors,
+    firmware,
+    hw,
+    kernel,
+    omp,
+    profiler,
+    sensitivity,
+    sim,
+    topology,
+    units,
+)
+from .alloc import HeterogeneousAllocator
+from .bench import characterize_machine, feed_attributes
+from .core import MemAttrs, native_discovery
+from .hw import MachineSpec, get_platform
+from .kernel import KernelMemoryManager
+from .sim import SimEngine
+from .topology import Topology, build_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "alloc",
+    "apps",
+    "baselines",
+    "bench",
+    "core",
+    "errors",
+    "firmware",
+    "hw",
+    "kernel",
+    "omp",
+    "profiler",
+    "sensitivity",
+    "sim",
+    "topology",
+    "units",
+    "ReproSetup",
+    "quick_setup",
+    "__version__",
+]
+
+
+@dataclass
+class ReproSetup:
+    """Everything wired together for one machine."""
+
+    machine: MachineSpec
+    topology: Topology
+    engine: SimEngine
+    memattrs: MemAttrs
+    kernel: KernelMemoryManager
+    allocator: HeterogeneousAllocator
+
+
+def quick_setup(
+    platform: str = "xeon-cascadelake-1lm",
+    *,
+    benchmark: bool | None = None,
+    **platform_kwargs,
+) -> ReproSetup:
+    """Build the full stack for a preset platform.
+
+    Attributes come from native HMAT discovery when the platform firmware
+    provides one, else from the benchmark sweep; pass ``benchmark=True``
+    to force benchmarking (it also measures remote accesses).
+    """
+    machine = get_platform(platform, **platform_kwargs)
+    topo = build_topology(machine)
+    engine = SimEngine(machine, topo)
+    if benchmark is None:
+        benchmark = not machine.has_hmat
+    if benchmark:
+        memattrs = MemAttrs(topo)
+        feed_attributes(memattrs, characterize_machine(engine))
+    else:
+        memattrs = native_discovery(topo)
+    km = KernelMemoryManager(machine)
+    allocator = HeterogeneousAllocator(memattrs, km)
+    return ReproSetup(
+        machine=machine,
+        topology=topo,
+        engine=engine,
+        memattrs=memattrs,
+        kernel=km,
+        allocator=allocator,
+    )

@@ -1,0 +1,35 @@
+"""The heterogeneous memory allocator (paper §IV-B).
+
+``mem_alloc(..., attribute)`` allocates on the **best local memory
+target** for the requested criterion — Bandwidth, Latency, Capacity, or
+any registered attribute — with two fallback dimensions:
+
+* **target fallback** — if the best target is full, walk down the
+  attribute's ranking (whole-buffer, like hwloc's allocator; optional
+  partial/hybrid splits reproduce the §VII discussion);
+* **attribute fallback** — if the platform carries no values for the
+  requested attribute, fall back to a similar one (ReadBandwidth →
+  Bandwidth, ...).
+
+The key portability property (paper §VI-A): code requests *what matters
+to it* (``"Latency"``), never a memory kind (``"HBM"``), so the same call
+lands on DRAM on the Xeon and on DRAM on KNL — or on HBM where that is
+genuinely the right answer.
+"""
+
+from .allocator import Buffer, HeterogeneousAllocator
+from .fallback import DEFAULT_ATTRIBUTE_FALLBACK, attribute_fallback_chain
+from .policy import AllocationRequest, PlacementPlanner, PlanReport
+from .phases import MigrationDecision, PhaseManager
+
+__all__ = [
+    "Buffer",
+    "HeterogeneousAllocator",
+    "DEFAULT_ATTRIBUTE_FALLBACK",
+    "attribute_fallback_chain",
+    "AllocationRequest",
+    "PlacementPlanner",
+    "PlanReport",
+    "MigrationDecision",
+    "PhaseManager",
+]

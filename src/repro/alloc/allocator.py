@@ -1,0 +1,267 @@
+"""``mem_alloc(..., attribute)`` — the experimental allocator of §IV-B.
+
+:class:`HeterogeneousAllocator` combines a :class:`~repro.core.api.MemAttrs`
+(to *rank* targets) with a :class:`~repro.kernel.pagealloc.KernelMemoryManager`
+(to actually *place* pages), giving applications the single-call interface
+the paper proposes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.api import MemAttrs, TargetValue
+from ..core.ranking import rank_targets
+from ..errors import AllocationError, CapacityError, SpecError
+from ..kernel.migration import MigrationReport
+from ..kernel.pagealloc import KernelMemoryManager, PageAllocation
+from ..kernel.policy import bind_policy
+from ..sim.access import Placement
+from ..topology.objects import TopoObject
+from .fallback import attribute_fallback_chain
+
+__all__ = ["Buffer", "HeterogeneousAllocator"]
+
+_buffer_ids = itertools.count(1)
+
+
+@dataclass
+class Buffer:
+    """A buffer placed by the heterogeneous allocator."""
+
+    name: str
+    size: int
+    requested_attribute: str
+    used_attribute: str
+    allocation: PageAllocation
+    target: TopoObject | None          # primary target (None if fully split)
+    fallback_rank: int                 # 0 = got the best target
+    initiator: tuple[int, ...]
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return self.allocation.nodes
+
+    @property
+    def is_split(self) -> bool:
+        return self.allocation.is_split
+
+    def placement_fractions(self) -> dict[int, float]:
+        return {n: self.allocation.fraction_on(n) for n in self.allocation.nodes}
+
+    def describe(self) -> str:
+        where = ", ".join(
+            f"node{n}:{f:.0%}" for n, f in sorted(self.placement_fractions().items())
+        )
+        note = "" if self.fallback_rank == 0 else f" (fallback #{self.fallback_rank})"
+        return (
+            f"{self.name}[{self.size}B] attr={self.requested_attribute}"
+            f"->{self.used_attribute} on {where}{note}"
+        )
+
+
+class HeterogeneousAllocator:
+    """The paper's ``mem_alloc`` built on attributes + the kernel."""
+
+    def __init__(
+        self,
+        memattrs: MemAttrs,
+        kernel: KernelMemoryManager,
+        *,
+        attribute_fallback: dict[str, tuple[str, ...]] | None = None,
+        tie_tolerance: float = 0.10,
+        tie_attr: str | None = "Capacity",
+    ) -> None:
+        if memattrs.topology.machine_spec is not kernel.machine:
+            raise SpecError("memattrs and kernel manager describe different machines")
+        self.memattrs = memattrs
+        self.kernel = kernel
+        self._attribute_fallback = attribute_fallback
+        self.tie_tolerance = tie_tolerance
+        self.tie_attr = tie_attr
+        self.buffers: dict[str, Buffer] = {}
+
+    # ------------------------------------------------------------------
+    def rank_for(
+        self, attribute: str, initiator, *, scope: str = "local"
+    ) -> tuple[str, tuple[TargetValue, ...]]:
+        """Resolve the attribute (with fallback) and rank targets.
+
+        ``scope="local"`` considers the initiator's local targets (the
+        paper's default flow); ``scope="machine"`` ranks every node —
+        the §VIII question "is it better to allocate in the local NVDIMM
+        or in another DRAM?", answerable once benchmarking measured the
+        remote pairs.  Returns ``(used_attribute_name, ranked_targets)``.
+        """
+        if scope not in ("local", "machine"):
+            raise AllocationError(f"unknown scope {scope!r}")
+        if scope == "local":
+            # Memoryless-initiator fallback: a CPU whose package has no
+            # memory at all (CPU-only NUMA nodes exist) allocates from the
+            # whole machine, like the kernel's zonelist would.
+            local = self.memattrs.get_local_numanode_objs(initiator)
+            targets = local if local else self.memattrs.topology.numanodes()
+        else:
+            targets = self.memattrs.topology.numanodes()
+        chain = attribute_fallback_chain(
+            self.memattrs, attribute, overrides=self._attribute_fallback
+        )
+        for attr in chain:
+            if not self.memattrs.has_values(attr):
+                continue
+            ranked = rank_targets(
+                self.memattrs,
+                attr,
+                initiator,
+                targets=targets,
+                tie_attr=self.tie_attr if self.tie_attr != attr.name else None,
+                tie_tolerance=self.tie_tolerance,
+            )
+            if ranked:
+                return attr.name, ranked
+        raise AllocationError(
+            f"no attribute in the fallback chain of {attribute!r} has values "
+            "for any local target"
+        )
+
+    # ------------------------------------------------------------------
+    def mem_alloc(
+        self,
+        size: int,
+        attribute: str,
+        initiator,
+        *,
+        name: str | None = None,
+        allow_partial: bool = False,
+        allow_fallback: bool = True,
+        scope: str = "local",
+    ) -> Buffer:
+        """Allocate ``size`` bytes on the best local target for ``attribute``.
+
+        The default reproduces hwloc's allocator: walk the target ranking
+        on capacity exhaustion, placing the **whole buffer** on the first
+        target that fits.  ``allow_partial=True`` switches to the *hybrid
+        allocation* alternative of §VII: fill the best target first and
+        spill the remainder down the ranking — more fast-memory use, at
+        the price of the irregular performance the paper warns about.
+        ``allow_fallback=False`` insists on the best-ranked target
+        (strict binding): the request fails when it is full, like the
+        whole-process-binding runs of Tables II/III.
+        """
+        if size <= 0:
+            raise AllocationError("allocation size must be positive")
+        name = name or f"buf{next(_buffer_ids)}"
+        if name in self.buffers:
+            raise AllocationError(f"buffer name {name!r} already in use")
+        initiator_pus = self._initiator_pus(initiator)
+        used_attr, ranked = self.rank_for(attribute, initiator, scope=scope)
+        if not allow_fallback:
+            ranked = ranked[:1]
+
+        if allow_partial:
+            # Greedy spill down the ranking ("at least partially", §VII).
+            nodeset = tuple(tv.target.os_index for tv in ranked)
+            total_free = sum(self.kernel.free_bytes(n) for n in nodeset)
+            if total_free >= size:
+                allocation = self.kernel.allocate_ordered(size, nodeset)
+                best_node = ranked[0].target.os_index
+                buffer = Buffer(
+                    name=name,
+                    size=size,
+                    requested_attribute=attribute,
+                    used_attribute=used_attr,
+                    allocation=allocation,
+                    target=(
+                        ranked[0].target
+                        if allocation.fraction_on(best_node) > 0
+                        else None
+                    ),
+                    fallback_rank=0 if allocation.fraction_on(best_node) >= 0.999 else 1,
+                    initiator=initiator_pus,
+                )
+                self.buffers[name] = buffer
+                return buffer
+        else:
+            for rank, tv in enumerate(ranked):
+                node = tv.target.os_index
+                if self.kernel.free_bytes(node) >= size:
+                    allocation = self.kernel.allocate(
+                        size, bind_policy(node), initiator_pu=initiator_pus[0]
+                    )
+                    buffer = Buffer(
+                        name=name,
+                        size=size,
+                        requested_attribute=attribute,
+                        used_attribute=used_attr,
+                        allocation=allocation,
+                        target=tv.target,
+                        fallback_rank=rank,
+                        initiator=initiator_pus,
+                    )
+                    self.buffers[name] = buffer
+                    return buffer
+
+        raise CapacityError(
+            f"cannot place {size} bytes for attribute {attribute!r}: "
+            + "; ".join(
+                f"{tv.target.label} free={self.kernel.free_bytes(tv.target.os_index)}"
+                for tv in ranked
+            )
+        )
+
+    def free(self, buffer: Buffer | str) -> None:
+        buffer = self._resolve_buffer(buffer)
+        self.kernel.free(buffer.allocation)
+        del self.buffers[buffer.name]
+
+    def migrate(self, buffer: Buffer | str, attribute: str) -> MigrationReport:
+        """Move a buffer to the (possibly new) best target for ``attribute``.
+
+        Used at phase changes (§VII): expensive, so callers should check
+        :attr:`MigrationReport.estimated_seconds` against the expected
+        gain.
+        """
+        buffer = self._resolve_buffer(buffer)
+        used_attr, ranked = self.rank_for(attribute, buffer.initiator)
+        for tv in ranked:
+            node = tv.target.os_index
+            already = buffer.allocation.fraction_on(node)
+            needed = buffer.size * (1 - already)
+            if self.kernel.free_bytes(node) >= needed:
+                report = self.kernel.migrate(buffer.allocation, node)
+                buffer.target = tv.target
+                buffer.used_attribute = used_attr
+                buffer.requested_attribute = attribute
+                return report
+        raise CapacityError(
+            f"no target can absorb {buffer.name} for attribute {attribute!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def placement(self) -> Placement:
+        """The live buffers as a simulator placement."""
+        return Placement(
+            {
+                name: buf.placement_fractions()
+                for name, buf in self.buffers.items()
+            }
+        )
+
+    def _resolve_buffer(self, buffer: Buffer | str) -> Buffer:
+        if isinstance(buffer, Buffer):
+            key = buffer.name
+        else:
+            key = buffer
+        try:
+            return self.buffers[key]
+        except KeyError:
+            raise AllocationError(f"unknown buffer {key!r}") from None
+
+    def _initiator_pus(self, initiator) -> tuple[int, ...]:
+        from ..topology.traversal import as_cpuset
+
+        cpuset = as_cpuset(self.memattrs.topology, initiator)
+        if cpuset.is_empty():
+            raise AllocationError("initiator has no PUs")
+        return tuple(cpuset)

@@ -1,0 +1,145 @@
+"""Phase-aware migration decisions (§VII).
+
+"[Migration] is quite expensive in operating systems.  Hence, it should
+likely be avoided unless the application behavior changes significantly
+between phases."  :class:`PhaseManager` turns that sentence into a
+procedure: before a phase starts, price the phase under the current
+placement and under the placement a migration would produce, and migrate
+only when the predicted saving exceeds the kernel's migration cost (times
+a safety factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from ..kernel.migration import estimate_migration
+from ..sim.access import KernelPhase, Placement
+from ..sim.engine import SimEngine
+from .allocator import Buffer, HeterogeneousAllocator
+
+__all__ = ["MigrationDecision", "PhaseManager"]
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """The outcome of one migrate-or-not evaluation."""
+
+    buffer: str
+    target_attribute: str
+    migrate: bool
+    current_phase_seconds: float
+    migrated_phase_seconds: float
+    migration_cost_seconds: float
+
+    @property
+    def predicted_saving(self) -> float:
+        return self.current_phase_seconds - (
+            self.migrated_phase_seconds + self.migration_cost_seconds
+        )
+
+    def describe(self) -> str:
+        verdict = "MIGRATE" if self.migrate else "STAY"
+        return (
+            f"{verdict} {self.buffer} -> best[{self.target_attribute}]: "
+            f"phase {self.current_phase_seconds:.3f}s vs "
+            f"{self.migrated_phase_seconds:.3f}s + "
+            f"{self.migration_cost_seconds:.3f}s migration"
+        )
+
+
+class PhaseManager:
+    """Decides and applies phase-boundary migrations."""
+
+    def __init__(
+        self,
+        allocator: HeterogeneousAllocator,
+        engine: SimEngine,
+        *,
+        safety_factor: float = 1.2,
+    ) -> None:
+        if safety_factor < 1.0:
+            raise AllocationError("safety_factor must be >= 1")
+        self.allocator = allocator
+        self.engine = engine
+        self.safety_factor = safety_factor
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        buffer: Buffer | str,
+        attribute: str,
+        next_phases: tuple[KernelPhase, ...],
+        *,
+        pus: tuple[int, ...],
+    ) -> MigrationDecision:
+        """Would migrating ``buffer`` to the best ``attribute`` target pay
+        off over ``next_phases``?"""
+        buffer = self.allocator._resolve_buffer(buffer)
+        placement_now = self.allocator.placement()
+        current = self.engine.price_run(next_phases, placement_now, pus=pus)
+
+        _, ranked = self.allocator.rank_for(attribute, buffer.initiator)
+        dest = None
+        for tv in ranked:
+            node = tv.target.os_index
+            already = buffer.allocation.fraction_on(node)
+            if already >= 0.999:
+                break  # already there: nothing to gain
+            needed = buffer.size * (1 - already)
+            if self.allocator.kernel.free_bytes(node) >= needed:
+                dest = node
+                break
+        if dest is None:
+            return MigrationDecision(
+                buffer=buffer.name,
+                target_attribute=attribute,
+                migrate=False,
+                current_phase_seconds=current.seconds,
+                migrated_phase_seconds=current.seconds,
+                migration_cost_seconds=0.0,
+            )
+
+        hypothetical = Placement(dict(placement_now.fractions))
+        hypothetical.set(buffer.name, {dest: 1.0})
+        migrated = self.engine.price_run(next_phases, hypothetical, pus=pus)
+
+        moved = {
+            node: pages
+            for node, pages in buffer.allocation.pages_by_node.items()
+            if node != dest
+        }
+        cost = estimate_migration(
+            self.engine.machine,
+            moved,
+            dest,
+            page_size=buffer.allocation.page_size,
+        ).estimated_seconds
+
+        worthwhile = (
+            current.seconds
+            > (migrated.seconds + cost) * self.safety_factor
+        )
+        return MigrationDecision(
+            buffer=buffer.name,
+            target_attribute=attribute,
+            migrate=worthwhile,
+            current_phase_seconds=current.seconds,
+            migrated_phase_seconds=migrated.seconds,
+            migration_cost_seconds=cost,
+        )
+
+    def apply(
+        self,
+        buffer: Buffer | str,
+        attribute: str,
+        next_phases: tuple[KernelPhase, ...],
+        *,
+        pus: tuple[int, ...],
+    ) -> MigrationDecision:
+        """Evaluate and, when worthwhile, actually migrate."""
+        decision = self.evaluate(buffer, attribute, next_phases, pus=pus)
+        if decision.migrate:
+            self.allocator.migrate(buffer, attribute)
+        return decision

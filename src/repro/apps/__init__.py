@@ -1,0 +1,30 @@
+"""Workload applications used in the paper's evaluation (§VI).
+
+* :mod:`repro.apps.graph500` — a real Graph500: Kronecker generator, CSR
+  construction, frontier BFS with validation, and a driver that prices the
+  traversal's memory traffic on the simulator to produce TEPS (Table II).
+* :mod:`repro.apps.stream_app` — STREAM Triad as an *application* that
+  allocates its arrays through the heterogeneous allocator (Table III).
+* :mod:`repro.apps.pointer_chase_app` — a minimal latency-bound kernel
+  used by examples and sensitivity tests.
+* :mod:`repro.apps.spmv_app` — sparse matrix-vector multiply, the
+  mixed-sensitivity kernel exercising per-buffer criteria.
+"""
+
+from . import graph500
+from .stream_app import StreamApp, StreamAppResult
+from .pointer_chase_app import PointerChaseApp, PointerChaseResult
+from .spmv_app import SpmvApp, SpmvResult, SyntheticMatrix, spmv_phases, spmv_buffer_sizes
+
+__all__ = [
+    "graph500",
+    "StreamApp",
+    "StreamAppResult",
+    "PointerChaseApp",
+    "PointerChaseResult",
+    "SpmvApp",
+    "SpmvResult",
+    "SyntheticMatrix",
+    "spmv_phases",
+    "spmv_buffer_sizes",
+]

@@ -1,0 +1,35 @@
+"""Graph500 (BFS, Kronecker graphs) — the paper's latency-bound use case.
+
+The pipeline mirrors the reference code: :mod:`generator` produces the
+Kronecker edge list (scale ``s`` ⇒ ``2^s`` vertices, edgefactor 16),
+:mod:`csr` builds the compressed adjacency, :mod:`bfs` runs and validates
+breadth-first searches, and :mod:`driver` measures performance — real
+traversal counts are collected at the executed scale, converted into
+simulator phases, and priced against a buffer placement to yield TEPS
+(harmonic mean over search keys, as the benchmark mandates).
+
+For the paper's nominal sizes (scale 23-27, up to 34 GB) running the real
+traversal in RAM is not feasible here, so :class:`driver.TrafficModel` can
+also be *extrapolated analytically* from Kronecker statistics validated
+against small-scale real runs (see DESIGN.md substitutions).
+"""
+
+from .generator import kronecker_edges, graph_size_bytes
+from .csr import CSRGraph, build_csr
+from .bfs import bfs, bfs_hybrid, validate_bfs, BFSResult
+from .driver import Graph500Config, Graph500Driver, TrafficModel, TEPSResult
+
+__all__ = [
+    "kronecker_edges",
+    "graph_size_bytes",
+    "CSRGraph",
+    "build_csr",
+    "bfs",
+    "bfs_hybrid",
+    "validate_bfs",
+    "BFSResult",
+    "Graph500Config",
+    "Graph500Driver",
+    "TrafficModel",
+    "TEPSResult",
+]

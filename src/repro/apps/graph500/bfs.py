@@ -1,0 +1,277 @@
+"""Frontier BFS with Graph500-style validation and traversal statistics.
+
+The traversal is level-synchronous and fully vectorized: each level
+gathers the adjacency of the frontier, filters unvisited targets, and
+assigns parents.  Alongside the parent tree, :func:`bfs` records the
+traffic statistics the simulator needs — edges scanned, frontier sizes
+per level, and vertex-lookup counts — so real runs at small scale anchor
+the analytic traffic model used at the paper's nominal scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...errors import ValidationError
+from .csr import CSRGraph
+
+__all__ = ["BFSResult", "bfs", "bfs_hybrid", "validate_bfs"]
+
+
+@dataclass
+class BFSResult:
+    """Parent tree + traversal statistics of one BFS."""
+
+    root: int
+    parent: np.ndarray            # int64; -1 = unreached
+    levels: np.ndarray            # int64; -1 = unreached
+    edges_scanned: int            # adjacency entries examined
+    vertices_visited: int         # vertices placed in the tree
+    frontier_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.frontier_sizes)
+
+    @property
+    def traversed_edges(self) -> int:
+        """Edges counted for TEPS: undirected edges within the reached
+        component (Graph500 counts each input edge once)."""
+        return self.edges_scanned // 2
+
+
+def bfs(graph: CSRGraph, root: int) -> BFSResult:
+    """Level-synchronous BFS from ``root``."""
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValidationError(f"root {root} out of range [0, {n})")
+    parent = np.full(n, -1, dtype=np.int64)
+    levels = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    levels[root] = 0
+
+    frontier = np.array([root], dtype=np.int64)
+    frontier_sizes: list[int] = []
+    edges_scanned = 0
+    level = 0
+    offsets, targets = graph.offsets, graph.targets
+
+    while frontier.size:
+        frontier_sizes.append(int(frontier.size))
+        # Gather the concatenated adjacency of the frontier.
+        starts = offsets[frontier]
+        ends = offsets[frontier + 1]
+        degs = ends - starts
+        total = int(degs.sum())
+        edges_scanned += total
+        if total == 0:
+            break
+        # Expand [start, end) ranges without a Python loop.
+        idx = np.repeat(starts, degs) + _ranges(degs)
+        neighbors = targets[idx]
+        sources = np.repeat(frontier, degs)
+
+        unvisited = parent[neighbors] == -1
+        cand_v = neighbors[unvisited]
+        cand_p = sources[unvisited]
+        if cand_v.size:
+            # First writer wins, deterministically: keep the first
+            # occurrence of each vertex in candidate order.
+            uniq, first = np.unique(cand_v, return_index=True)
+            parent[uniq] = cand_p[first]
+            levels[uniq] = level + 1
+            frontier = uniq
+        else:
+            frontier = cand_v
+        level += 1
+
+    return BFSResult(
+        root=root,
+        parent=parent,
+        levels=levels,
+        edges_scanned=edges_scanned,
+        vertices_visited=int((parent != -1).sum()),
+        frontier_sizes=frontier_sizes,
+    )
+
+
+def _ranges(lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[0..l)`` for each l in ``lengths``, vectorized."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ids = np.repeat(np.arange(lengths.size), lengths)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.arange(total, dtype=np.int64) - starts[ids]
+
+
+def validate_bfs(graph: CSRGraph, result: BFSResult) -> None:
+    """Graph500-style validation; raises :class:`ValidationError` on any
+    violated invariant.
+
+    Checks: the root is its own parent; every reached vertex has a reached
+    parent whose level is exactly one less; every parent edge exists in
+    the graph; every graph edge spans at most one level.
+    """
+    parent, levels = result.parent, result.levels
+    root = result.root
+    if parent[root] != root or levels[root] != 0:
+        raise ValidationError("root is not its own parent at level 0")
+
+    reached = np.flatnonzero(parent != -1)
+    if (levels[reached] < 0).any():
+        raise ValidationError("reached vertex without a level")
+
+    non_root = reached[reached != root]
+    p = parent[non_root]
+    if (parent[p] == -1).any():
+        raise ValidationError("parent of a reached vertex is unreached")
+    if not np.array_equal(levels[non_root], levels[p] + 1):
+        raise ValidationError("tree edge does not decrease level by one")
+
+    # Parent edges must exist: check membership in each adjacency list.
+    offs, tgts = graph.offsets, graph.targets
+    for v in non_root[: min(non_root.size, 4096)]:  # sample-bounded
+        if parent[v] not in tgts[offs[v]:offs[v + 1]]:
+            raise ValidationError(f"tree edge ({parent[v]}, {v}) not in graph")
+
+    # Every edge of the reached component spans <= 1 level.
+    src = np.repeat(
+        np.arange(graph.num_vertices), np.diff(graph.offsets)
+    )
+    both = (levels[src] >= 0) & (levels[tgts] >= 0)
+    if (np.abs(levels[src][both] - levels[tgts][both]) > 1).any():
+        raise ValidationError("graph edge spans more than one BFS level")
+    # And no edge may connect reached to unreached (component property).
+    mixed = (levels[src] >= 0) != (levels[tgts] >= 0)
+    if mixed.any():
+        raise ValidationError("edge crosses the reached-component boundary")
+
+
+# ----------------------------------------------------------------------
+# Direction-optimizing BFS (Beamer et al., used by the Graph500 reference)
+# ----------------------------------------------------------------------
+def _bottom_up_step(
+    graph: CSRGraph,
+    parent: np.ndarray,
+    levels: np.ndarray,
+    in_frontier: np.ndarray,
+    level: int,
+) -> tuple[np.ndarray, int]:
+    """One bottom-up level: every unvisited vertex scans its adjacency for
+    a parent in the current frontier.
+
+    Returns (new frontier vertices, edges scanned).  The scan count is
+    the full adjacency of the unvisited set — an upper bound; real
+    implementations early-exit, which only strengthens the bottom-up
+    advantage this models.
+    """
+    offsets, targets = graph.offsets, graph.targets
+    degrees = np.diff(offsets)
+    unvisited = np.flatnonzero((parent == -1) & (degrees > 0))
+    if unvisited.size == 0:
+        return unvisited, 0
+    starts = offsets[unvisited]
+    degs = degrees[unvisited]
+    idx = np.repeat(starts, degs) + _ranges(degs)
+    neighbor_in_frontier = in_frontier[targets[idx]]
+    edges_scanned = int(idx.size)
+
+    seg_starts = np.concatenate(([0], np.cumsum(degs)[:-1]))
+    found = np.logical_or.reduceat(neighbor_in_frontier, seg_starts)
+    if not found.any():
+        return np.zeros(0, dtype=np.int64), edges_scanned
+    # First matching position within each segment: positions where the
+    # mask is set, reduced to the minimum per segment.
+    big = idx.size + 1
+    positions = np.where(
+        neighbor_in_frontier, np.arange(idx.size, dtype=np.int64), big
+    )
+    first = np.minimum.reduceat(positions, seg_starts)
+    winners = unvisited[found]
+    parent_edges = idx[first[found]]
+    parent[winners] = targets[parent_edges]
+    levels[winners] = level + 1
+    return winners, edges_scanned
+
+
+def bfs_hybrid(
+    graph: CSRGraph,
+    root: int,
+    *,
+    alpha: float = 14.0,
+    beta: float = 24.0,
+) -> BFSResult:
+    """Direction-optimizing BFS (top-down / bottom-up switching).
+
+    Uses Beamer's heuristics: switch to bottom-up when the frontier's
+    outgoing edges exceed ``1/alpha`` of the unexplored edges; switch
+    back when the frontier shrinks below ``n/beta`` vertices.  Produces
+    the same level assignment as :func:`bfs` (parents may differ — any
+    valid BFS tree is acceptable, as Graph500 validation reflects).
+    """
+    n = graph.num_vertices
+    if not 0 <= root < n:
+        raise ValidationError(f"root {root} out of range [0, {n})")
+    offsets, targets = graph.offsets, graph.targets
+    degrees = np.diff(offsets)
+
+    parent = np.full(n, -1, dtype=np.int64)
+    levels = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    levels[root] = 0
+
+    frontier = np.array([root], dtype=np.int64)
+    frontier_sizes: list[int] = []
+    edges_scanned = 0
+    unexplored_edges = int(degrees.sum())
+    level = 0
+    bottom_up = False
+
+    while frontier.size:
+        frontier_sizes.append(int(frontier.size))
+        frontier_edges = int(degrees[frontier].sum())
+        if not bottom_up and frontier_edges * alpha > unexplored_edges:
+            bottom_up = True
+        elif bottom_up and frontier.size * beta < n:
+            bottom_up = False
+
+        if bottom_up:
+            in_frontier = np.zeros(n, dtype=bool)
+            in_frontier[frontier] = True
+            frontier, scanned = _bottom_up_step(
+                graph, parent, levels, in_frontier, level
+            )
+            edges_scanned += scanned
+        else:
+            starts = offsets[frontier]
+            degs = degrees[frontier]
+            total = int(degs.sum())
+            edges_scanned += total
+            unexplored_edges -= total
+            if total == 0:
+                break
+            idx = np.repeat(starts, degs) + _ranges(degs)
+            neighbors = targets[idx]
+            sources = np.repeat(frontier, degs)
+            mask = parent[neighbors] == -1
+            cand_v, cand_p = neighbors[mask], sources[mask]
+            if cand_v.size:
+                uniq, first = np.unique(cand_v, return_index=True)
+                parent[uniq] = cand_p[first]
+                levels[uniq] = level + 1
+                frontier = uniq
+            else:
+                frontier = cand_v
+        level += 1
+
+    return BFSResult(
+        root=root,
+        parent=parent,
+        levels=levels,
+        edges_scanned=edges_scanned,
+        vertices_visited=int((parent != -1).sum()),
+        frontier_sizes=frontier_sizes,
+    )

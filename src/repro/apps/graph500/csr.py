@@ -1,0 +1,82 @@
+"""CSR construction from the Kronecker edge list.
+
+The benchmark's "construction" kernel: symmetrize (BFS runs on the
+undirected graph), drop self-loops, deduplicate, and pack into offsets +
+targets arrays.  All numpy, no Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...errors import ValidationError
+
+__all__ = ["CSRGraph", "build_csr"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """Compressed sparse row adjacency of an undirected graph."""
+
+    num_vertices: int
+    offsets: np.ndarray      # int64, shape (num_vertices + 1,)
+    targets: np.ndarray      # int64, shape (num_edges_directed,)
+    num_input_edges: int     # edges in the generator output (Graph500's m)
+
+    @property
+    def num_directed_edges(self) -> int:
+        return int(self.targets.size)
+
+    @property
+    def num_undirected_edges(self) -> int:
+        return self.num_directed_edges // 2
+
+    def degree(self, v: int | np.ndarray = None):
+        """Degree of one vertex or the full degree array."""
+        degs = np.diff(self.offsets)
+        return degs if v is None else degs[v]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.targets[self.offsets[v]:self.offsets[v + 1]]
+
+    def memory_bytes(self) -> dict[str, int]:
+        """Sizes of the traversal-relevant buffers (for placement)."""
+        return {
+            "csr_offsets": int(self.offsets.nbytes),
+            "csr_targets": int(self.targets.nbytes),
+        }
+
+
+def build_csr(edges: np.ndarray, num_vertices: int | None = None) -> CSRGraph:
+    """Build the undirected CSR from a ``(2, m)`` edge array."""
+    if edges.ndim != 2 or edges.shape[0] != 2:
+        raise ValidationError(f"edges must be (2, m), got {edges.shape}")
+    src, dst = edges[0], edges[1]
+    if src.size == 0:
+        raise ValidationError("empty edge list")
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+
+    keep = src != dst                       # drop self-loops
+    src, dst = src[keep], dst[keep]
+    # Symmetrize then deduplicate directed pairs.
+    all_src = np.concatenate([src, dst])
+    all_dst = np.concatenate([dst, src])
+    key = all_src * num_vertices + all_dst
+    unique_key = np.unique(key)
+    u_src = unique_key // num_vertices
+    u_dst = unique_key % num_vertices
+
+    order = np.argsort(u_src, kind="stable")
+    u_src, u_dst = u_src[order], u_dst[order]
+    counts = np.bincount(u_src, minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return CSRGraph(
+        num_vertices=num_vertices,
+        offsets=offsets,
+        targets=u_dst.astype(np.int64),
+        num_input_edges=int(edges.shape[1]),
+    )

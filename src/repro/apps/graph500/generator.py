@@ -1,0 +1,78 @@
+"""Kronecker (R-MAT) edge generator, Graph500 reference parameters.
+
+Generates ``edgefactor * 2^scale`` edges over ``2^scale`` vertices with
+the benchmark's initiator matrix (A, B, C) = (0.57, 0.19, 0.19), then
+applies the required random vertex permutation so that degree does not
+correlate with vertex index.  Fully vectorized: one ``(scale, nedges)``
+batch of random draws decides one bit of source/destination per level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ValidationError
+
+__all__ = ["kronecker_edges", "graph_size_bytes", "EDGEFACTOR", "INITIATOR"]
+
+EDGEFACTOR = 16
+INITIATOR = (0.57, 0.19, 0.19)  # A, B, C ; D = 1 - A - B - C
+
+
+def kronecker_edges(
+    scale: int,
+    *,
+    edgefactor: int = EDGEFACTOR,
+    seed: int = 1,
+    permute: bool = True,
+) -> np.ndarray:
+    """Return a ``(2, nedges)`` int64 array of directed edge endpoints.
+
+    Self-loops and duplicates are kept, as in the reference generator —
+    deduplication happens during CSR construction.
+    """
+    if scale < 1:
+        raise ValidationError("scale must be >= 1")
+    if edgefactor < 1:
+        raise ValidationError("edgefactor must be >= 1")
+    n = 1 << scale
+    m = edgefactor * n
+    a, b, c = INITIATOR
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for level in range(scale):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        src_bit = r1 > ab
+        dst_bit = np.where(
+            src_bit,
+            r2 > c_norm,            # in the lower-right half: C vs D
+            r2 > a / ab,            # in the upper half: A vs B
+        )
+        src |= src_bit.astype(np.int64) << level
+        dst |= dst_bit.astype(np.int64) << level
+
+    if permute:
+        perm = rng.permutation(n)
+        src = perm[src]
+        dst = perm[dst]
+        # Shuffle edge order too (the reference generator does).
+        order = rng.permutation(m)
+        src, dst = src[order], dst[order]
+    return np.stack([src, dst])
+
+
+def graph_size_bytes(scale: int, *, edgefactor: int = EDGEFACTOR) -> int:
+    """Nominal Graph500 problem size: the edge list in the reference
+    layout (two 8-byte endpoints per edge).
+
+    Reproduces the paper's Table II sizes: scale 23 ⇒ 2.15 GB, ...,
+    scale 27 ⇒ 34.36 GB.
+    """
+    if scale < 1:
+        raise ValidationError("scale must be >= 1")
+    return edgefactor * (1 << scale) * 2 * 8

@@ -1,0 +1,89 @@
+"""A minimal latency-bound application: pointer chasing over a big table.
+
+Used by the examples and the sensitivity tests as the archetypal
+"graph-like / indirection-heavy" workload (paper §III-B2: "Pointer
+Chasing-type applications benefit much more from low latency than from
+high bandwidth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..alloc.allocator import HeterogeneousAllocator
+from ..errors import AllocationError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
+from ..sim.engine import SimEngine
+
+__all__ = ["PointerChaseResult", "PointerChaseApp"]
+
+
+@dataclass(frozen=True)
+class PointerChaseResult:
+    """Outcome of one chase run."""
+
+    criterion: str
+    table_bytes: int
+    accesses: int
+    seconds: float
+    target_label: str
+
+    @property
+    def ns_per_access(self) -> float:
+        return self.seconds / self.accesses * 1e9
+
+    def describe(self) -> str:
+        return (
+            f"PointerChase[{self.criterion}] -> {self.target_label}: "
+            f"{self.ns_per_access:.1f} ns/access"
+        )
+
+
+class PointerChaseApp:
+    """Allocate the chase table via ``mem_alloc`` and run the chase."""
+
+    def __init__(self, engine: SimEngine, allocator: HeterogeneousAllocator) -> None:
+        self.engine = engine
+        self.allocator = allocator
+
+    def run(
+        self,
+        table_bytes: int,
+        criterion: str,
+        initiator,
+        *,
+        threads: int = 1,
+        pus: tuple[int, ...] | None = None,
+        accesses: int = 1 << 20,
+        name: str = "chase_table",
+    ) -> PointerChaseResult:
+        if table_bytes <= 0 or accesses <= 0:
+            raise AllocationError("table_bytes and accesses must be positive")
+        buf = self.allocator.mem_alloc(table_bytes, criterion, initiator, name=name)
+        try:
+            phase = KernelPhase(
+                name="chase",
+                threads=threads,
+                accesses=(
+                    BufferAccess(
+                        buffer=name,
+                        pattern=PatternKind.POINTER_CHASE,
+                        bytes_read=accesses * 8,
+                        working_set=table_bytes,
+                        granularity=8,
+                    ),
+                ),
+            )
+            placement = Placement({name: buf.placement_fractions()})
+            timing = self.engine.price_phase(
+                phase, placement, pus=pus or tuple(range(threads))
+            )
+            return PointerChaseResult(
+                criterion=criterion,
+                table_bytes=table_bytes,
+                accesses=accesses,
+                seconds=timing.seconds,
+                target_label=buf.target.label if buf.target else "split",
+            )
+        finally:
+            self.allocator.free(buf)

@@ -1,0 +1,206 @@
+"""Sparse matrix-vector multiply: the classic *mixed-sensitivity* kernel.
+
+SpMV (the heart of HPCG/miniFE-class applications) touches four buffers
+with different needs in the same inner loop::
+
+    y[i] = Σ_j vals[k] * x[cols[k]]
+
+* ``vals``/``cols`` stream at full bandwidth (they dominate the bytes);
+* ``x`` is **gathered** — random accesses whose cost is latency;
+* ``y`` streams out.
+
+This makes SpMV the perfect stress test for per-buffer criteria: binding
+the whole process to one kind (the §V-A method) cannot be optimal when
+buffers disagree about what they need.  The matrix is a real Kronecker
+CSR (reused from the Graph500 pipeline), so the nonzero structure and the
+gather's hub locality are genuine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..alloc.allocator import HeterogeneousAllocator
+from ..errors import AllocationError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
+from ..sim.engine import SimEngine
+from .graph500.csr import CSRGraph
+
+__all__ = [
+    "SpmvResult",
+    "SpmvApp",
+    "SyntheticMatrix",
+    "spmv_phases",
+    "spmv_buffer_sizes",
+    "SPMV_BUFFERS",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticMatrix:
+    """Stats-only stand-in for a CSR matrix.
+
+    The SpMV traffic model only needs the dimension and nonzero count, so
+    paper-scale problems can be priced without materializing gigabytes of
+    index arrays (the same real-vs-analytic split the Graph500 driver
+    uses).
+    """
+
+    num_vertices: int
+    num_directed_edges: int
+
+    def __post_init__(self) -> None:
+        if self.num_vertices < 1 or self.num_directed_edges < 1:
+            raise AllocationError("matrix must have rows and nonzeros")
+
+SPMV_BUFFERS = ("vals", "cols", "x", "y")
+
+#: Default per-buffer criteria — what the sensitivity analysis derives.
+DEFAULT_CRITERIA = {
+    "vals": "Bandwidth",
+    "cols": "Bandwidth",
+    "x": "Latency",
+    "y": "Bandwidth",
+}
+
+
+def spmv_buffer_sizes(matrix: CSRGraph | SyntheticMatrix) -> dict[str, int]:
+    nnz = matrix.num_directed_edges
+    n = matrix.num_vertices
+    return {
+        "vals": nnz * 8,
+        "cols": nnz * 8,
+        "x": n * 8,
+        "y": n * 8,
+    }
+
+
+def spmv_phases(
+    matrix: CSRGraph | SyntheticMatrix,
+    *,
+    threads: int,
+    iterations: int = 1,
+    gather_hot_fraction: float = 0.6,
+) -> tuple[KernelPhase, ...]:
+    """The SpMV sweep(s) as simulator phases.
+
+    ``gather_hot_fraction`` models the power-law column reuse of Kronecker
+    matrices (hub columns of ``x`` stay cached).
+    """
+    if iterations < 1:
+        raise AllocationError("iterations must be >= 1")
+    nnz = matrix.num_directed_edges
+    sizes = spmv_buffer_sizes(matrix)
+    accesses = (
+        BufferAccess(
+            buffer="vals",
+            pattern=PatternKind.STREAM,
+            bytes_read=nnz * 8 * iterations,
+            working_set=sizes["vals"],
+        ),
+        BufferAccess(
+            buffer="cols",
+            pattern=PatternKind.STREAM,
+            bytes_read=nnz * 8 * iterations,
+            working_set=sizes["cols"],
+        ),
+        BufferAccess(
+            buffer="x",
+            pattern=PatternKind.RANDOM,
+            bytes_read=nnz * 8 * iterations,
+            working_set=sizes["x"],
+            granularity=8,
+            hot_fraction=gather_hot_fraction,
+        ),
+        BufferAccess(
+            buffer="y",
+            pattern=PatternKind.STREAM,
+            bytes_written=matrix.num_vertices * 8 * iterations,
+            working_set=sizes["y"],
+        ),
+    )
+    return (
+        KernelPhase(
+            name="spmv",
+            threads=threads,
+            accesses=accesses,
+            cpu_ops=2.0 * nnz * iterations,   # one FMA per nonzero
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class SpmvResult:
+    """One SpMV run."""
+
+    criteria: dict[str, str]
+    seconds: float
+    nnz: int
+    iterations: int
+    placements: dict[str, dict[int, float]]
+
+    @property
+    def gflops(self) -> float:
+        return 2.0 * self.nnz * self.iterations / self.seconds / 1e9
+
+    def describe(self) -> str:
+        crit = ",".join(f"{b}:{c}" for b, c in sorted(self.criteria.items()))
+        return f"SpMV[{crit}] {self.gflops:.2f} GFLOP/s"
+
+
+class SpmvApp:
+    """Allocate the four buffers by per-buffer criteria and run."""
+
+    def __init__(self, engine: SimEngine, allocator: HeterogeneousAllocator) -> None:
+        self.engine = engine
+        self.allocator = allocator
+
+    def run(
+        self,
+        matrix: CSRGraph | SyntheticMatrix,
+        initiator,
+        *,
+        threads: int,
+        pus: tuple[int, ...],
+        criteria: dict[str, str] | None = None,
+        iterations: int = 10,
+        name_prefix: str = "spmv",
+    ) -> SpmvResult:
+        criteria = dict(DEFAULT_CRITERIA if criteria is None else criteria)
+        unknown = set(criteria) - set(SPMV_BUFFERS)
+        if unknown:
+            raise AllocationError(f"unknown SpMV buffers: {sorted(unknown)}")
+        sizes = spmv_buffer_sizes(matrix)
+        buffers = {}
+        try:
+            for buf_name in SPMV_BUFFERS:
+                buffers[buf_name] = self.allocator.mem_alloc(
+                    sizes[buf_name],
+                    criteria.get(buf_name, "Locality"),
+                    initiator,
+                    name=f"{name_prefix}_{buf_name}",
+                )
+            placement = Placement(
+                {
+                    a.buffer: buffers[a.buffer].placement_fractions()
+                    for a in spmv_phases(matrix, threads=threads)[0].accesses
+                }
+            )
+            timing = self.engine.price_run(
+                spmv_phases(matrix, threads=threads, iterations=iterations),
+                placement,
+                pus=pus,
+            )
+            return SpmvResult(
+                criteria=criteria,
+                seconds=timing.seconds,
+                nnz=matrix.num_directed_edges,
+                iterations=iterations,
+                placements={
+                    name: buf.placement_fractions()
+                    for name, buf in buffers.items()
+                },
+            )
+        finally:
+            for buf in buffers.values():
+                self.allocator.free(buf)

@@ -1,0 +1,33 @@
+"""Baseline allocation interfaces from the paper's related work (§II-D).
+
+The paper positions its attribute API against existing interfaces; we
+implement the two it discusses in depth so the comparison benchmarks run
+against real code, not straw men:
+
+* :mod:`memkind` — a memkind-style API [3]: named *kinds*
+  (``MEMKIND_DEFAULT``, ``MEMKIND_HBW``, ``MEMKIND_PMEM``...) hardwired
+  to memory technologies.  Portable code cannot be written against it:
+  ``MEMKIND_HBW`` simply has no target on a Xeon+NVDIMM box, and the
+  paper's critique — "it does not take NUMA locality into account" — is
+  reproduced faithfully (kinds bind by kind, not by distance).
+* :mod:`autohbw` — AutoHBW-style interception [3]/[4]: unmodified
+  ``malloc`` calls are redirected to fast memory based on a *size window*
+  configured per run, "a convenience solution that still requires to
+  identify sensitive buffers and their size for a specific run".  The
+  interceptor also supports the paper's improvement: per-call-site
+  sensitivity hints feeding the attribute allocator (§IV-B's
+  "intercepting and recognizing allocation calls to add sensitivity
+  hints").
+"""
+
+from .memkind import Memkind, MemkindError, MemkindKind
+from .autohbw import AutoHBW, InterceptingAllocator, SizeWindow
+
+__all__ = [
+    "Memkind",
+    "MemkindError",
+    "MemkindKind",
+    "AutoHBW",
+    "InterceptingAllocator",
+    "SizeWindow",
+]

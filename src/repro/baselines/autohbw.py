@@ -1,0 +1,156 @@
+"""AutoHBW-style allocation interception, plus the paper's improvement.
+
+AutoHBW [3] redirects unmodified ``malloc`` calls to high-bandwidth
+memory when the request size falls inside a configured window — "a
+convenience solution that still requires to identify sensitive buffers
+and their size for a specific run" (§II-D).  :class:`AutoHBW` reproduces
+that policy over the kernel layer.
+
+:class:`InterceptingAllocator` is the §IV-B upgrade: interception stays
+(no application changes), but instead of a size window, recognized
+allocation *sites* carry sensitivity hints that feed the attribute-based
+heterogeneous allocator — combining auto-hbwmalloc's productivity with
+the attributes' portability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..alloc.allocator import Buffer, HeterogeneousAllocator
+from ..errors import ReproError
+from ..hw.techs import MemoryKind
+from ..kernel.pagealloc import KernelMemoryManager, PageAllocation
+
+__all__ = ["SizeWindow", "AutoHBW", "InterceptingAllocator"]
+
+_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SizeWindow:
+    """AutoHBW's per-run tuning knob: redirect sizes in [low, high)."""
+
+    low: int
+    high: int | None = None    # None = unbounded
+
+    def __post_init__(self) -> None:
+        if self.low < 0:
+            raise ReproError("window low bound must be non-negative")
+        if self.high is not None and self.high <= self.low:
+            raise ReproError("window high bound must exceed low bound")
+
+    def matches(self, size: int) -> bool:
+        return size >= self.low and (self.high is None or size < self.high)
+
+
+@dataclass
+class InterceptedBuffer:
+    """One intercepted malloc."""
+
+    name: str
+    size: int
+    redirected: bool
+    allocation: PageAllocation
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return self.allocation.nodes
+
+
+class AutoHBW:
+    """Size-window interception onto HBM (the AutoHBW baseline)."""
+
+    def __init__(
+        self,
+        kernel: KernelMemoryManager,
+        window: SizeWindow,
+    ) -> None:
+        self.kernel = kernel
+        self.window = window
+        self.buffers: dict[str, InterceptedBuffer] = {}
+        self._hbm_nodes = tuple(
+            sorted(
+                n.os_index
+                for n in kernel.machine.numa_nodes()
+                if n.kind is MemoryKind.HBM
+            )
+        )
+
+    @property
+    def usable(self) -> bool:
+        return bool(self._hbm_nodes)
+
+    def malloc(
+        self, size: int, *, initiator_pu: int = 0, name: str | None = None
+    ) -> InterceptedBuffer:
+        """An unmodified ``malloc``: redirected iff the size matches."""
+        if size <= 0:
+            raise ReproError("allocation size must be positive")
+        name = name or f"autohbw{next(_ids)}"
+        if name in self.buffers:
+            raise ReproError(f"buffer name {name!r} already in use")
+        redirect = self.usable and self.window.matches(size)
+        if redirect:
+            # HBM first, spilling to everything else when full (AutoHBW
+            # uses the preferred policy underneath).
+            others = tuple(
+                n for n in self.kernel.node_ids() if n not in self._hbm_nodes
+            )
+            allocation = self.kernel.allocate_ordered(
+                size, self._hbm_nodes + others
+            )
+        else:
+            from ..kernel.policy import default_policy
+            allocation = self.kernel.allocate(
+                size, default_policy(), initiator_pu=initiator_pu
+            )
+        buffer = InterceptedBuffer(
+            name=name, size=size, redirected=redirect, allocation=allocation
+        )
+        self.buffers[name] = buffer
+        return buffer
+
+    def free(self, buffer: InterceptedBuffer | str) -> None:
+        key = buffer if isinstance(buffer, str) else buffer.name
+        try:
+            buf = self.buffers.pop(key)
+        except KeyError:
+            raise ReproError(f"unknown buffer {key!r}") from None
+        self.kernel.free(buf.allocation)
+
+
+class InterceptingAllocator:
+    """Site-hint interception over the attribute allocator (§IV-B).
+
+    The application still calls plain ``malloc(size)`` — tagged only by
+    its call site, which a real interceptor gets from the return address.
+    Sites registered with a sensitivity hint are served by
+    ``mem_alloc(size, hint)``; unknown sites get the default policy.
+    """
+
+    def __init__(self, hetero: HeterogeneousAllocator, initiator) -> None:
+        self.hetero = hetero
+        self.initiator = initiator
+        self._hints: dict[str, str] = {}
+
+    def add_hint(self, site: str, attribute: str) -> None:
+        """Teach the interceptor one allocation site's sensitivity."""
+        if not site:
+            raise ReproError("site must be non-empty")
+        # Validate the attribute eagerly so typos fail at registration.
+        self.hetero.memattrs.get_by_name(attribute)
+        self._hints[site] = attribute
+
+    def hints(self) -> dict[str, str]:
+        return dict(self._hints)
+
+    def malloc(self, size: int, site: str, *, name: str | None = None) -> Buffer:
+        attribute = self._hints.get(site, "Locality")
+        return self.hetero.mem_alloc(
+            size, attribute, self.initiator, name=name
+        )
+
+    def free(self, buffer: Buffer | str) -> None:
+        self.hetero.free(buffer)

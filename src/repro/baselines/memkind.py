@@ -1,0 +1,151 @@
+"""A memkind-style allocator: named kinds hardwired to technologies.
+
+Models the interface of Cantalupo et al.'s memkind [3] as the paper
+characterizes it: "this API was designed for KNL.  It hardwires the
+difference between HBM and conventional memory instead of providing
+explicit performance-related criteria ... Moreover, it does not take NUMA
+locality into account, which means slow local memory cannot be compared
+with fast remote memory."
+
+Accordingly:
+
+* ``hbw_malloc`` / kind ``MEMKIND_HBW`` looks for **HBM nodes and nothing
+  else** — on a machine without HBM it raises, no matter how fast the
+  DRAM is (the portability failure the paper's §VI-A contrasts against);
+* kind selection ignores locality: the lowest-OS-index node of the kind
+  is used even if a closer one exists (unless it is full).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from ..errors import CapacityError, ReproError
+from ..hw.techs import MemoryKind
+from ..kernel.pagealloc import KernelMemoryManager, PageAllocation
+from ..kernel.policy import bind_policy
+
+__all__ = ["MemkindError", "MemkindKind", "Memkind"]
+
+_ids = itertools.count(1)
+
+
+class MemkindError(ReproError):
+    """A kind has no backing on this machine (memkind's ENOTSUP)."""
+
+
+class MemkindKind(enum.Enum):
+    """The subset of memkind's static kinds our platforms can back."""
+
+    MEMKIND_DEFAULT = "default"
+    MEMKIND_HBW = "hbw"
+    MEMKIND_HBW_PREFERRED = "hbw_preferred"
+    MEMKIND_DAX_KMEM = "pmem"          # NVDIMM exposed as kmem
+    MEMKIND_REGULAR = "regular"
+
+    @property
+    def hardwired_memory_kind(self) -> MemoryKind | None:
+        return {
+            MemkindKind.MEMKIND_DEFAULT: None,
+            MemkindKind.MEMKIND_REGULAR: MemoryKind.DRAM,
+            MemkindKind.MEMKIND_HBW: MemoryKind.HBM,
+            MemkindKind.MEMKIND_HBW_PREFERRED: MemoryKind.HBM,
+            MemkindKind.MEMKIND_DAX_KMEM: MemoryKind.NVDIMM,
+        }[self]
+
+    @property
+    def falls_back(self) -> bool:
+        """Only the *_PREFERRED kinds fall back to default memory."""
+        return self in (MemkindKind.MEMKIND_HBW_PREFERRED,)
+
+
+@dataclass
+class MemkindBuffer:
+    """A buffer placed by the memkind baseline."""
+
+    name: str
+    size: int
+    kind: MemkindKind
+    allocation: PageAllocation
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return self.allocation.nodes
+
+
+class Memkind:
+    """The baseline allocator."""
+
+    def __init__(self, kernel: KernelMemoryManager) -> None:
+        self.kernel = kernel
+        self.buffers: dict[str, MemkindBuffer] = {}
+
+    def _nodes_of_kind(self, kind: MemoryKind | None) -> tuple[int, ...]:
+        nodes = self.kernel.machine.numa_nodes()
+        if kind is None:
+            return tuple(sorted(n.os_index for n in nodes))
+        return tuple(
+            sorted(n.os_index for n in nodes if n.kind is kind)
+        )
+
+    def malloc(
+        self,
+        kind: MemkindKind,
+        size: int,
+        *,
+        initiator_pu: int = 0,
+        name: str | None = None,
+    ) -> MemkindBuffer:
+        """``memkind_malloc(kind, size)``.
+
+        Raises :class:`MemkindError` when the kind has no backing nodes on
+        this machine — the hardwiring failure mode.
+        """
+        if size <= 0:
+            raise ReproError("allocation size must be positive")
+        name = name or f"memkind{next(_ids)}"
+        if name in self.buffers:
+            raise ReproError(f"buffer name {name!r} already in use")
+
+        hardwired = kind.hardwired_memory_kind
+        if hardwired is None:
+            alloc = self.kernel.allocate(
+                size, bind_policy(*self._nodes_of_kind(None), strict=True),
+                initiator_pu=initiator_pu,
+            )
+        else:
+            candidates = self._nodes_of_kind(hardwired)
+            if not candidates:
+                raise MemkindError(
+                    f"{kind.name}: no {hardwired.value} memory on "
+                    f"{self.kernel.machine.name} (memkind hardwires the "
+                    "technology; there is nothing to fall back to)"
+                )
+            try:
+                # Locality-blind: lowest OS index first, by design.
+                alloc = self.kernel.allocate_ordered(size, candidates)
+            except CapacityError:
+                if not kind.falls_back:
+                    raise
+                others = tuple(
+                    n for n in self._nodes_of_kind(None) if n not in candidates
+                )
+                alloc = self.kernel.allocate_ordered(size, candidates + others)
+        buffer = MemkindBuffer(name=name, size=size, kind=kind, allocation=alloc)
+        self.buffers[name] = buffer
+        return buffer
+
+    def free(self, buffer: MemkindBuffer | str) -> None:
+        key = buffer if isinstance(buffer, str) else buffer.name
+        try:
+            buf = self.buffers.pop(key)
+        except KeyError:
+            raise ReproError(f"unknown buffer {key!r}") from None
+        self.kernel.free(buf.allocation)
+
+    def kind_available(self, kind: MemkindKind) -> bool:
+        """``memkind_check_available``."""
+        hardwired = kind.hardwired_memory_kind
+        return hardwired is None or bool(self._nodes_of_kind(hardwired))

@@ -1,0 +1,27 @@
+"""Benchmark substrate (paper §IV-A2).
+
+When the platform exposes no HMAT (KNL) or only local-access performance
+(current Linux), attribute values must be measured.  This package models
+the benchmarks the paper names — STREAM for bandwidth under different
+access patterns, lmbench ``lat_mem_rd`` for unloaded latency, Google
+multichase for loaded latency and bandwidth — *running on the simulator*,
+and a runner that sweeps every (initiator, target) pair and feeds the
+results into the :class:`~repro.core.api.MemAttrs` store.
+"""
+
+from .stream import StreamResult, run_stream
+from .lat import LatencyPoint, run_lat_mem_rd
+from .multichase import MultichaseResult, run_multichase
+from .runner import BenchmarkReport, characterize_machine, feed_attributes
+
+__all__ = [
+    "StreamResult",
+    "run_stream",
+    "LatencyPoint",
+    "run_lat_mem_rd",
+    "MultichaseResult",
+    "run_multichase",
+    "BenchmarkReport",
+    "characterize_machine",
+    "feed_attributes",
+]

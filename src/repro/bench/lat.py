@@ -1,0 +1,73 @@
+"""lmbench-style ``lat_mem_rd`` on the simulator.
+
+A single thread chases a pointer cycle through a working set of a given
+size; the time per dependent load is the memory latency once the working
+set escapes the CPU caches.  Sweeping the size yields the classic latency
+staircase (L1 → L2 → LLC → memory), and the plateau value is what gets
+fed into the Latency attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchmarkError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
+from ..sim.engine import SimEngine
+
+__all__ = ["LatencyPoint", "run_lat_mem_rd", "plateau_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One sweep point: working-set size → seconds per dependent load."""
+
+    working_set: int
+    latency: float
+
+
+def run_lat_mem_rd(
+    engine: SimEngine,
+    node: int,
+    *,
+    pu: int,
+    sizes: tuple[int, ...] = (),
+    accesses_per_point: int = 1 << 16,
+) -> tuple[LatencyPoint, ...]:
+    """Sweep working-set sizes; one pointer-chasing thread on ``pu``."""
+    if not sizes:
+        sizes = tuple(1 << s for s in range(14, 33, 2))  # 16KB .. 4GB
+    points = []
+    for ws in sizes:
+        if ws <= 0:
+            raise BenchmarkError("working-set size must be positive")
+        phase = KernelPhase(
+            name=f"lat_mem_rd_{ws}",
+            threads=1,
+            accesses=(
+                BufferAccess(
+                    buffer="chain",
+                    pattern=PatternKind.POINTER_CHASE,
+                    bytes_read=accesses_per_point * 8,
+                    working_set=ws,
+                    granularity=8,
+                ),
+            ),
+        )
+        placement = Placement.single(chain=node)
+        timing = engine.price_phase(phase, placement, pus=(pu,))
+        points.append(
+            LatencyPoint(working_set=ws, latency=timing.seconds / accesses_per_point)
+        )
+    return tuple(points)
+
+
+def plateau_latency(points: tuple[LatencyPoint, ...]) -> float:
+    """The memory-latency plateau: the largest-working-set measurement.
+
+    (On the simulator the curve is monotone; on hardware one would average
+    the last few points.)
+    """
+    if not points:
+        raise BenchmarkError("no latency points")
+    return max(points, key=lambda p: p.working_set).latency

@@ -1,0 +1,109 @@
+"""Google-multichase-style loaded measurements on the simulator.
+
+``multichase`` measures latency under concurrency (many parallel chases)
+and directional bandwidth; the paper lists it as a source for *both*
+attributes.  We model its two relevant modes:
+
+* **chase** — ``threads`` independent pointer chases: per-load time under
+  load (the figure used for the Latency attribute, since loaded latency
+  is what applications experience).
+* **memcpy-like bandwidth** — pure read and pure write sweeps, giving
+  ReadBandwidth / WriteBandwidth separately (paper §IV-A2: "separate
+  values for reads and writes can be obtained and fed to hwloc").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchmarkError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
+from ..sim.engine import SimEngine
+
+__all__ = ["MultichaseResult", "run_multichase"]
+
+
+@dataclass(frozen=True)
+class MultichaseResult:
+    """Loaded latency and directional bandwidths for one (initiator, target)."""
+
+    node: int
+    threads: int
+    working_set: int
+    loaded_latency: float     # seconds per dependent load
+    read_bandwidth: float     # bytes/s
+    write_bandwidth: float    # bytes/s
+
+
+def run_multichase(
+    engine: SimEngine,
+    node: int,
+    *,
+    threads: int,
+    pus: tuple[int, ...],
+    working_set: int = 1 << 30,
+    accesses: int = 1 << 16,
+) -> MultichaseResult:
+    """Run the chase and bandwidth modes against one target node."""
+    if threads < 1:
+        raise BenchmarkError("multichase needs >= 1 thread")
+    if working_set <= 0:
+        raise BenchmarkError("working_set must be positive")
+
+    chase = KernelPhase(
+        name="multichase_chase",
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="chain",
+                pattern=PatternKind.POINTER_CHASE,
+                bytes_read=accesses * 8 * threads,
+                working_set=working_set,
+                granularity=8,
+            ),
+        ),
+    )
+    placement = Placement.single(chain=node)
+    chase_t = engine.price_phase(chase, placement, pus=pus)
+    # Each thread runs `accesses` dependent loads concurrently with the
+    # others; per-load time is wall time / accesses-per-thread.
+    loaded_latency = chase_t.seconds / accesses
+
+    sweep_bytes = working_set
+    read_phase = KernelPhase(
+        name="multichase_read",
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="src",
+                pattern=PatternKind.STREAM,
+                bytes_read=sweep_bytes,
+                working_set=working_set,
+                granularity=8,
+            ),
+        ),
+    )
+    write_phase = KernelPhase(
+        name="multichase_write",
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="dst",
+                pattern=PatternKind.STREAM,
+                bytes_written=sweep_bytes,
+                working_set=working_set,
+                granularity=8,
+            ),
+        ),
+    )
+    read_t = engine.price_phase(read_phase, Placement.single(src=node), pus=pus)
+    write_t = engine.price_phase(write_phase, Placement.single(dst=node), pus=pus)
+
+    return MultichaseResult(
+        node=node,
+        threads=threads,
+        working_set=working_set,
+        loaded_latency=loaded_latency,
+        read_bandwidth=sweep_bytes / read_t.seconds,
+        write_bandwidth=sweep_bytes / write_t.seconds,
+    )

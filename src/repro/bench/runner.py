@@ -1,0 +1,145 @@
+"""Benchmark sweep + attribute feeding.
+
+:func:`characterize_machine` runs STREAM and multichase from every
+initiator scope (each Group, or Package when there are no groups) to every
+NUMA node — including **remote** pairs the HMAT never covers — and
+:func:`feed_attributes` records the measurements in a
+:class:`~repro.core.api.MemAttrs`.  Together they implement the "External
+Sources: Benchmarks" column of the paper's Table I and the final sentence
+of §VIII's KNL discussion: *"hwloc is still able to expose them thanks to
+benchmarking."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.api import MemAttrs
+from ..core.attrs import (
+    BANDWIDTH,
+    LATENCY,
+    READ_BANDWIDTH,
+    READ_LATENCY,
+    WRITE_BANDWIDTH,
+    WRITE_LATENCY,
+)
+from ..errors import BenchmarkError
+from ..sim.engine import SimEngine
+from ..topology.build import Topology
+from ..topology.objects import ObjType, TopoObject
+from .lat import plateau_latency, run_lat_mem_rd
+from .multichase import MultichaseResult, run_multichase
+
+__all__ = ["MeasurementKey", "BenchmarkReport", "characterize_machine", "feed_attributes"]
+
+
+@dataclass(frozen=True)
+class MeasurementKey:
+    """(initiator scope, target node) identification for one measurement."""
+
+    initiator_label: str
+    initiator_pus: tuple[int, ...]
+    target_node: int
+
+
+@dataclass
+class BenchmarkReport:
+    """All measurements of one characterization sweep."""
+
+    measurements: dict[MeasurementKey, MultichaseResult] = field(default_factory=dict)
+
+    def pairs(self) -> tuple[MeasurementKey, ...]:
+        return tuple(self.measurements)
+
+    def for_target(self, node: int) -> dict[MeasurementKey, MultichaseResult]:
+        return {
+            k: v for k, v in self.measurements.items() if k.target_node == node
+        }
+
+
+def initiator_scopes(topology: Topology) -> tuple[TopoObject, ...]:
+    """The natural initiator scopes: Groups when present, else Packages."""
+    groups = topology.objs(ObjType.GROUP)
+    if groups:
+        return groups
+    packages = topology.objs(ObjType.PACKAGE)
+    if packages:
+        return packages
+    return (topology.root,)
+
+
+def characterize_machine(
+    engine: SimEngine,
+    *,
+    working_set: int = 1 << 30,
+    max_threads_per_scope: int | None = None,
+) -> BenchmarkReport:
+    """Measure every (initiator scope, target node) pair."""
+    topology = engine.topology
+    report = BenchmarkReport()
+    for scope in initiator_scopes(topology):
+        pus = tuple(scope.cpuset)
+        if not pus:
+            raise BenchmarkError(f"{scope.label} has no PUs to run benchmarks on")
+        threads = len(pus) // 2 or 1  # one thread per core-ish (SMT pairs)
+        if max_threads_per_scope is not None:
+            threads = min(threads, max_threads_per_scope)
+        for node in topology.numanodes():
+            ws = min(working_set, max(1 << 20, node.attrs["capacity"] // 4))
+            result = run_multichase(
+                engine,
+                node.os_index,
+                threads=threads,
+                pus=pus,
+                working_set=ws,
+            )
+            # Latency comes from a single-threaded lmbench-style chase (the
+            # paper's tool for latency): a many-threaded chase saturates the
+            # node's random-access bandwidth and measures queueing instead
+            # of the latency applications with modest MLP experience.
+            lat_points = run_lat_mem_rd(
+                engine, node.os_index, pu=pus[0], sizes=(ws,)
+            )
+            result = MultichaseResult(
+                node=result.node,
+                threads=result.threads,
+                working_set=result.working_set,
+                loaded_latency=plateau_latency(lat_points),
+                read_bandwidth=result.read_bandwidth,
+                write_bandwidth=result.write_bandwidth,
+            )
+            key = MeasurementKey(
+                initiator_label=scope.label,
+                initiator_pus=pus,
+                target_node=node.os_index,
+            )
+            report.measurements[key] = result
+    return report
+
+
+def feed_attributes(memattrs: MemAttrs, report: BenchmarkReport) -> int:
+    """Record a benchmark report in the attribute store.
+
+    Latency measurements feed Latency/ReadLatency/WriteLatency (the chase
+    is read-dependent, so both directions get the loaded figure — the
+    paper notes R/W split latencies are rarely distinguishable anyway);
+    bandwidth sweeps feed the three bandwidth attributes.  Returns the
+    number of values recorded.
+    """
+    topology = memattrs.topology
+    recorded = 0
+    for key, result in report.measurements.items():
+        target = topology.numanode_by_os_index(key.target_node)
+        initiator = key.initiator_pus
+        values = [
+            (READ_BANDWIDTH, result.read_bandwidth),
+            (WRITE_BANDWIDTH, result.write_bandwidth),
+            (BANDWIDTH, min(result.read_bandwidth, result.write_bandwidth)),
+            (LATENCY, result.loaded_latency),
+            (READ_LATENCY, result.loaded_latency),
+            (WRITE_LATENCY, result.loaded_latency),
+        ]
+        for attr, value in values:
+            memattrs.set_value(attr, target, initiator, value)
+            recorded += 1
+    return recorded

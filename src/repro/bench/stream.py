@@ -1,0 +1,118 @@
+"""STREAM (McCalpin) on the simulator.
+
+The four kernels with their canonical byte counts per iteration:
+
+=======  ====================  =====  ======
+kernel   statement             reads  writes
+=======  ====================  =====  ======
+copy     ``c[i] = a[i]``         1      1
+scale    ``b[i] = s*c[i]``       1      1
+add      ``c[i] = a[i]+b[i]``    2      1
+triad    ``a[i] = b[i]+s*c[i]``  2      1
+=======  ====================  =====  ======
+
+Reported numbers are *useful* bytes moved per second, the STREAM
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import BenchmarkError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
+from ..sim.engine import SimEngine
+
+__all__ = ["StreamResult", "run_stream", "KERNELS"]
+
+#: kernel -> (arrays read, arrays written)
+KERNELS: dict[str, tuple[int, int]] = {
+    "copy": (1, 1),
+    "scale": (1, 1),
+    "add": (2, 1),
+    "triad": (2, 1),
+}
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Throughput of the four kernels, bytes/second."""
+
+    node: int
+    threads: int
+    array_bytes: int
+    copy: float
+    scale: float
+    add: float
+    triad: float
+
+    def best(self) -> float:
+        return max(self.copy, self.scale, self.add, self.triad)
+
+    def kernel(self, name: str) -> float:
+        try:
+            return getattr(self, name)
+        except AttributeError:
+            raise BenchmarkError(f"unknown STREAM kernel {name!r}") from None
+
+
+def _kernel_phase(
+    name: str, array_bytes: int, threads: int
+) -> tuple[KernelPhase, tuple[str, ...]]:
+    reads, writes = KERNELS[name]
+    accesses = []
+    names = []
+    for i in range(reads):
+        buf = f"{name}_r{i}"
+        names.append(buf)
+        accesses.append(
+            BufferAccess(
+                buffer=buf,
+                pattern=PatternKind.STREAM,
+                bytes_read=array_bytes,
+                working_set=array_bytes,
+                granularity=8,
+            )
+        )
+    for i in range(writes):
+        buf = f"{name}_w{i}"
+        names.append(buf)
+        accesses.append(
+            BufferAccess(
+                buffer=buf,
+                pattern=PatternKind.STREAM,
+                bytes_written=array_bytes,
+                working_set=array_bytes,
+                granularity=8,
+            )
+        )
+    return (
+        KernelPhase(name=f"stream_{name}", accesses=tuple(accesses), threads=threads),
+        tuple(names),
+    )
+
+
+def run_stream(
+    engine: SimEngine,
+    node: int,
+    *,
+    threads: int,
+    pus: tuple[int, ...],
+    array_bytes: int = 512 * 2**20,
+) -> StreamResult:
+    """Run all four kernels with every array on ``node``."""
+    if array_bytes <= 0:
+        raise BenchmarkError("array_bytes must be positive")
+    results: dict[str, float] = {}
+    for kernel, (reads, writes) in KERNELS.items():
+        phase, buffers = _kernel_phase(kernel, array_bytes, threads)
+        placement = Placement({buf: {node: 1.0} for buf in buffers})
+        timing = engine.price_phase(phase, placement, pus=pus)
+        useful = (reads + writes) * array_bytes
+        results[kernel] = useful / timing.seconds
+    return StreamResult(
+        node=node,
+        threads=threads,
+        array_bytes=array_bytes,
+        **results,
+    )

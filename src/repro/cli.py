@@ -1,0 +1,94 @@
+"""``repro-lstopo`` — the lstopo-like command-line tool.
+
+Renders any preset platform's topology (Figs. 1-3), its memory attributes
+(``--memattrs``, Fig. 5), NUMA distances (``--distances``) and the virtual
+sysfs tree (``--sysfs``).  Attributes come from native HMAT discovery when
+the platform has one, otherwise from the benchmark sweep — announced in
+the output, since that distinction is the point of §IV-A.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import characterize_machine, feed_attributes
+from .core import MemAttrs, discover_from_sysfs, render_memattrs
+from .firmware import build_sysfs
+from .hw import PLATFORM_REGISTRY, get_platform
+from .sim import SimEngine
+from .topology import build_topology, render_lstopo
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lstopo",
+        description="Show the topology and memory attributes of a modeled platform",
+    )
+    parser.add_argument(
+        "--platform",
+        default="xeon-cascadelake-1lm",
+        choices=sorted(PLATFORM_REGISTRY),
+        help="preset platform to display",
+    )
+    parser.add_argument(
+        "--snc",
+        type=int,
+        default=None,
+        help="SubNUMA clusters per package (platforms that support it)",
+    )
+    parser.add_argument(
+        "--memattrs",
+        action="store_true",
+        help="also print memory attributes (Fig. 5 format)",
+    )
+    parser.add_argument(
+        "--benchmark",
+        action="store_true",
+        help="characterize with benchmarks even when an HMAT exists",
+    )
+    parser.add_argument(
+        "--distances", action="store_true", help="print the SLIT distance matrix"
+    )
+    parser.add_argument(
+        "--sysfs", action="store_true", help="dump the virtual sysfs tree"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    kwargs = {}
+    if args.snc is not None:
+        kwargs["snc"] = args.snc
+    machine = get_platform(args.platform, **kwargs)
+    topology = build_topology(machine)
+
+    print(render_lstopo(topology))
+
+    if args.distances:
+        print("\nNUMA distances (SLIT):")
+        print(topology.slit.render())
+
+    if args.sysfs:
+        print("\nVirtual sysfs:")
+        print(build_sysfs(machine).render_tree())
+
+    if args.memattrs:
+        memattrs = MemAttrs(topology)
+        if machine.has_hmat and not args.benchmark:
+            recorded = discover_from_sysfs(memattrs, build_sysfs(machine))
+            source = f"ACPI HMAT via sysfs ({recorded} values, local accesses only)"
+        else:
+            engine = SimEngine(machine, topology)
+            recorded = feed_attributes(memattrs, characterize_machine(engine))
+            source = f"benchmarks ({recorded} values, including remote accesses)"
+        print(f"\nMemory attributes — source: {source}")
+        print(render_memattrs(memattrs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Attribute definitions and flags.
+
+Mirrors hwloc's ``hwloc_memattr_id_e`` and ``hwloc_memattr_flag_e``:
+
+* ``HIGHER_FIRST`` / ``LOWER_FIRST`` say which direction is *better* —
+  bandwidth and capacity rank higher-first, latency ranks lower-first
+  (the paper's Eq. 1-3 orderings fall out of these flags).
+* ``NEED_INITIATOR`` marks attributes whose value depends on who performs
+  the access (bandwidth/latency do; capacity does not).
+
+Builtin attribute IDs match hwloc's numbering so that Fig. 5's
+"Memory attribute #2 name 'Bandwidth'" renders identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import AttributeFlagError
+
+__all__ = [
+    "MemAttrFlag",
+    "MemAttribute",
+    "CAPACITY",
+    "LOCALITY",
+    "BANDWIDTH",
+    "LATENCY",
+    "READ_BANDWIDTH",
+    "WRITE_BANDWIDTH",
+    "READ_LATENCY",
+    "WRITE_LATENCY",
+    "BUILTIN_ATTRIBUTES",
+]
+
+
+class MemAttrFlag(enum.Flag):
+    HIGHER_FIRST = enum.auto()
+    LOWER_FIRST = enum.auto()
+    NEED_INITIATOR = enum.auto()
+
+
+@dataclass(frozen=True)
+class MemAttribute:
+    """One registered memory attribute."""
+
+    id: int
+    name: str
+    flags: MemAttrFlag
+    unit: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise AttributeFlagError("attribute name must be non-empty")
+        higher = bool(self.flags & MemAttrFlag.HIGHER_FIRST)
+        lower = bool(self.flags & MemAttrFlag.LOWER_FIRST)
+        if higher == lower:
+            raise AttributeFlagError(
+                f"attribute {self.name!r} must set exactly one of "
+                "HIGHER_FIRST / LOWER_FIRST"
+            )
+
+    @property
+    def higher_is_better(self) -> bool:
+        return bool(self.flags & MemAttrFlag.HIGHER_FIRST)
+
+    @property
+    def needs_initiator(self) -> bool:
+        return bool(self.flags & MemAttrFlag.NEED_INITIATOR)
+
+    def better(self, a: float, b: float) -> bool:
+        """True when value ``a`` ranks strictly better than ``b``."""
+        return a > b if self.higher_is_better else a < b
+
+
+# Builtin attributes with hwloc's IDs.
+CAPACITY = MemAttribute(
+    id=0,
+    name="Capacity",
+    flags=MemAttrFlag.HIGHER_FIRST,
+    unit="bytes",
+    description="Total size of the target node",
+)
+LOCALITY = MemAttribute(
+    id=1,
+    name="Locality",
+    flags=MemAttrFlag.LOWER_FIRST,
+    unit="PUs",
+    description="Number of PUs sharing the target (smaller = more local)",
+)
+BANDWIDTH = MemAttribute(
+    id=2,
+    name="Bandwidth",
+    flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="MB/s",
+    description="Access bandwidth from the initiator (min of read/write)",
+)
+LATENCY = MemAttribute(
+    id=3,
+    name="Latency",
+    flags=MemAttrFlag.LOWER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="ns",
+    description="Access latency from the initiator (max of read/write)",
+)
+READ_BANDWIDTH = MemAttribute(
+    id=4,
+    name="ReadBandwidth",
+    flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="MB/s",
+)
+WRITE_BANDWIDTH = MemAttribute(
+    id=5,
+    name="WriteBandwidth",
+    flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="MB/s",
+)
+READ_LATENCY = MemAttribute(
+    id=6,
+    name="ReadLatency",
+    flags=MemAttrFlag.LOWER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="ns",
+)
+WRITE_LATENCY = MemAttribute(
+    id=7,
+    name="WriteLatency",
+    flags=MemAttrFlag.LOWER_FIRST | MemAttrFlag.NEED_INITIATOR,
+    unit="ns",
+)
+
+BUILTIN_ATTRIBUTES: tuple[MemAttribute, ...] = (
+    CAPACITY,
+    LOCALITY,
+    BANDWIDTH,
+    LATENCY,
+    READ_BANDWIDTH,
+    WRITE_BANDWIDTH,
+    READ_LATENCY,
+    WRITE_LATENCY,
+)

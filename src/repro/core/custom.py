@@ -1,0 +1,112 @@
+"""User-defined (custom) attributes — last row of the paper's Table I.
+
+The API "lets users create attributes for metrics characterizing memories
+under specific circumstances" (§IV).  :func:`register_derived_attribute`
+registers a new attribute and fills it by combining existing per-(target,
+initiator) values; :func:`stream_triad_attribute` is the paper's worked
+example: a STREAM-Triad score built from Read and Write bandwidth in the
+kernel's 2-reads-per-write ratio (footnote 16).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import NoValueError
+from ..topology.bitmap import Bitmap
+from .api import MemAttrs
+from .attrs import (
+    MemAttrFlag,
+    MemAttribute,
+    READ_BANDWIDTH,
+    WRITE_BANDWIDTH,
+)
+
+__all__ = ["register_derived_attribute", "stream_triad_attribute"]
+
+
+def register_derived_attribute(
+    memattrs: MemAttrs,
+    name: str,
+    source_attrs: Sequence[MemAttribute | str],
+    combine: Callable[[Sequence[float]], float],
+    *,
+    flags: MemAttrFlag,
+    unit: str = "",
+    description: str = "",
+) -> MemAttribute:
+    """Register ``name`` and value it as ``combine([v1, v2, ...])``.
+
+    The combination runs for every (target, initiator) pair for which
+    *all* source attributes have values — pairs with missing inputs are
+    skipped (a target without Write bandwidth simply gets no Triad score).
+    Returns the new attribute.
+    """
+    sources = [memattrs.get_by_name(a if isinstance(a, str) else a.name)
+               for a in source_attrs]
+    if not sources:
+        raise NoValueError("derived attribute needs at least one source")
+    attr = memattrs.register(
+        name, flags, unit=unit, description=description
+    )
+
+    needs_initiator = bool(flags & MemAttrFlag.NEED_INITIATOR)
+    for target in memattrs.topology.numanodes():
+        for initiator in _candidate_initiators(memattrs, target, sources):
+            try:
+                values = [
+                    memattrs.get_value(
+                        s, target, initiator if s.needs_initiator else None
+                    )
+                    for s in sources
+                ]
+            except NoValueError:
+                continue
+            memattrs.set_value(
+                attr,
+                target,
+                initiator if needs_initiator else None,
+                combine(values),
+            )
+            if not needs_initiator:
+                break
+    return attr
+
+
+def _candidate_initiators(
+    memattrs: MemAttrs, target, sources
+) -> tuple[Bitmap | None, ...]:
+    """Initiator cpusets for which any initiator-aware source has a value
+    on this target; ``(None,)`` when no source needs an initiator."""
+    needs = [s for s in sources if s.needs_initiator]
+    if not needs:
+        return (None,)
+    keys: set[Bitmap] = set()
+    for s in needs:
+        per_initiator = memattrs._store.get_map(s.id, target.os_index)
+        keys.update(k for k in per_initiator if k is not None)
+    # No initiator has values for any initiator-aware source: no candidates
+    # (the derived attribute simply records nothing for this target).
+    return tuple(sorted(keys, key=lambda b: (b.weight(), b.first())))
+
+
+def stream_triad_attribute(memattrs: MemAttrs, name: str = "StreamTriad") -> MemAttribute:
+    """The paper's example custom metric (§IV and footnote 16).
+
+    Triad (``a[i] = b[i] + s*c[i]``) moves 2 reads per 1 write, so the
+    sustainable rate from per-direction bandwidths BRead and BWrite is the
+    weighted harmonic combination ``3 / (2/BRead + 1/BWrite)``.
+    """
+    def combine(values) -> float:
+        read_bw, write_bw = values
+        return 3.0 / (2.0 / read_bw + 1.0 / write_bw)
+
+    return register_derived_attribute(
+        memattrs,
+        name,
+        [READ_BANDWIDTH, WRITE_BANDWIDTH],
+        combine,
+        flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR,
+        unit="MB/s",
+        description="STREAM Triad sustainable rate (2 reads : 1 write)",
+    )

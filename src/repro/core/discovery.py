@@ -1,0 +1,111 @@
+"""Native attribute discovery from platform firmware (paper §IV-A1).
+
+:func:`discover_from_sysfs` parses the Linux-5.2-style
+``/sys/devices/system/node/nodeN/access0/initiators`` files that the
+virtual sysfs (:mod:`repro.firmware.sysfs`) renders from the synthetic
+HMAT, and records Bandwidth/Latency (+ R/W variants) values in a
+:class:`~repro.core.api.MemAttrs` store.
+
+Like the real kernel interface, sysfs only carries **local** access
+performance, so after native discovery an initiator cannot compare its
+local DRAM with another package's HBM — the gap the benchmark feeding path
+(:mod:`repro.bench.runner`) fills.
+"""
+
+from __future__ import annotations
+
+from ..errors import FirmwareError
+from ..firmware.sysfs import VirtualSysfs, build_sysfs, parse_ranges
+from ..topology.bitmap import Bitmap
+from ..topology.build import Topology
+from .api import MemAttrs
+from .attrs import (
+    BANDWIDTH,
+    LATENCY,
+    READ_BANDWIDTH,
+    READ_LATENCY,
+    WRITE_BANDWIDTH,
+    WRITE_LATENCY,
+)
+
+__all__ = ["discover_from_sysfs", "native_discovery"]
+
+_NODE_ROOT = "/sys/devices/system/node"
+_MB = 10 ** 6
+_NS = 1e-9
+
+
+def discover_from_sysfs(memattrs: MemAttrs, sysfs: VirtualSysfs) -> int:
+    """Parse HMAT-derived sysfs attributes into the value store.
+
+    Returns the number of (target, attribute) data points recorded; 0 on
+    platforms without HMAT (e.g. KNL) where the ``access0`` directories
+    are absent — callers then fall back to benchmarking.
+    """
+    topology = memattrs.topology
+    recorded = 0
+    for node in topology.numanodes():
+        base = f"{_NODE_ROOT}/node{node.os_index}/access0/initiators"
+        if not sysfs.exists(base):
+            continue
+        initiator_nodes = [
+            int(name[len("node"):])
+            for name in sysfs.listdir(base)
+            if name.startswith("node")
+        ]
+        if not initiator_nodes:
+            continue
+        # The initiator cpuset is the union of the CPU lists of the listed
+        # initiator nodes (hwloc builds its initiator the same way).
+        cpuset = Bitmap()
+        for ini in initiator_nodes:
+            cpulist = sysfs.read(f"{_NODE_ROOT}/node{ini}/cpulist").strip()
+            cpuset = cpuset | Bitmap(parse_ranges(cpulist))
+        if cpuset.is_empty():
+            raise FirmwareError(
+                f"node{node.os_index}: initiator nodes {initiator_nodes} "
+                "have no CPUs"
+            )
+
+        def read_field(name: str) -> float | None:
+            path = f"{base}/{name}"
+            if not sysfs.exists(path):
+                return None
+            return float(sysfs.read(path).strip())
+
+        rbw = read_field("read_bandwidth")
+        wbw = read_field("write_bandwidth")
+        rlat = read_field("read_latency")
+        wlat = read_field("write_latency")
+
+        if rbw is not None:
+            memattrs.set_value(READ_BANDWIDTH, node, cpuset, rbw * _MB)
+            recorded += 1
+        if wbw is not None:
+            memattrs.set_value(WRITE_BANDWIDTH, node, cpuset, wbw * _MB)
+            recorded += 1
+        if rbw is not None and wbw is not None:
+            memattrs.set_value(BANDWIDTH, node, cpuset, min(rbw, wbw) * _MB)
+            recorded += 1
+        if rlat is not None:
+            memattrs.set_value(READ_LATENCY, node, cpuset, rlat * _NS)
+            recorded += 1
+        if wlat is not None:
+            memattrs.set_value(WRITE_LATENCY, node, cpuset, wlat * _NS)
+            recorded += 1
+        if rlat is not None and wlat is not None:
+            memattrs.set_value(LATENCY, node, cpuset, max(rlat, wlat) * _NS)
+            recorded += 1
+    return recorded
+
+
+def native_discovery(topology: Topology) -> MemAttrs:
+    """Build a :class:`MemAttrs` and run the full native path:
+    Capacity/Locality from the topology, Bandwidth/Latency from the
+    machine's firmware when it has an HMAT."""
+    memattrs = MemAttrs(topology)
+    machine = topology.machine_spec
+    if machine.has_hmat:
+        sysfs = build_sysfs(machine)
+        discover_from_sysfs(memattrs, sysfs)
+    return memattrs

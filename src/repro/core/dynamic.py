@@ -1,0 +1,178 @@
+"""Dynamic and under-investigation attributes (§III-B3, §VIII, Table I).
+
+* :func:`refresh_available_capacity` — "If several applications are
+  running on the same machine, their dynamic behavior could impose to
+  consider the **available** capacity rather than the total capacity"
+  (§III-B3).  The attribute reads the kernel's live free-page counters;
+  call it again whenever placement decisions are about to be made.
+* :func:`register_power_attribute` / :func:`register_endurance_attribute`
+  — the "Persistence, Endurance, Power: under investigation" row of
+  Table I, fed from the technology models.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownAttributeError
+from ..kernel.pagealloc import KernelMemoryManager
+from .api import MemAttrs
+from .attrs import MemAttrFlag, MemAttribute
+
+__all__ = [
+    "refresh_available_capacity",
+    "register_power_attribute",
+    "register_endurance_attribute",
+    "register_persistence_attribute",
+    "register_memside_cache_attribute",
+    "register_coherency_attribute",
+    "register_availability_attribute",
+]
+
+
+def refresh_available_capacity(
+    memattrs: MemAttrs, kernel: KernelMemoryManager, *, name: str = "AvailableCapacity"
+) -> MemAttribute:
+    """Register (first call) and refresh the free-bytes-per-node attribute.
+
+    Returns the attribute so callers can pass it straight to
+    ``mem_alloc``/``rank_targets``.
+    """
+    try:
+        attr = memattrs.get_by_name(name)
+    except UnknownAttributeError:
+        attr = memattrs.register(
+            name,
+            MemAttrFlag.HIGHER_FIRST,
+            unit="bytes",
+            description="Currently-free capacity of the target node",
+        )
+    for node in memattrs.topology.numanodes():
+        memattrs.set_value(attr, node, None, float(kernel.free_bytes(node.os_index)))
+    return attr
+
+
+def register_power_attribute(
+    memattrs: MemAttrs, *, name: str = "Power"
+) -> MemAttribute:
+    """Access energy per byte (lower is better); targets whose technology
+    publishes no figure simply carry no value."""
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.LOWER_FIRST,
+        unit="pJ/B",
+        description="Access energy per byte",
+    )
+    for node in memattrs.topology.numanodes():
+        tech = memattrs.topology.node_instance(node).tech
+        if tech.power_pj_per_byte is not None:
+            memattrs.set_value(attr, node, None, tech.power_pj_per_byte)
+    return attr
+
+
+def register_endurance_attribute(
+    memattrs: MemAttrs, *, name: str = "Endurance"
+) -> MemAttribute:
+    """Device write endurance (higher is better); volatile technologies
+    are treated as unlimited and get a large sentinel value."""
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.HIGHER_FIRST,
+        unit="writes",
+        description="Write endurance of the target's cells",
+    )
+    unlimited = 1e18
+    for node in memattrs.topology.numanodes():
+        tech = memattrs.topology.node_instance(node).tech
+        value = tech.endurance_writes if tech.endurance_writes else unlimited
+        memattrs.set_value(attr, node, None, value)
+    return attr
+
+
+def register_memside_cache_attribute(
+    memattrs: MemAttrs, *, name: str = "MemsideCacheSize"
+) -> MemAttribute:
+    """Memory-side cache size in front of each target (§VIII).
+
+    The paper's closing discussion: attribute values do not include
+    memory-side caches, so "application-observed performance [may] be
+    different from our attribute values" — exposing the cache size lets
+    runtimes anticipate that.  Targets without a cache carry 0.
+    """
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.HIGHER_FIRST,
+        unit="bytes",
+        description="Size of the memory-side cache in front of the target",
+    )
+    for node in memattrs.topology.numanodes():
+        cache = memattrs.topology.node_instance(node).spec.memside_cache
+        memattrs.set_value(attr, node, None, float(cache.size if cache else 0))
+    return attr
+
+
+def register_persistence_attribute(
+    memattrs: MemAttrs, *, name: str = "Persistence"
+) -> MemAttribute:
+    """1.0 for persistent targets, 0.0 otherwise (higher first: ranking
+    by Persistence finds the NVDIMMs)."""
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.HIGHER_FIRST,
+        unit="bool",
+        description="Whether the target retains data across power loss",
+    )
+    for node in memattrs.topology.numanodes():
+        tech = memattrs.topology.node_instance(node).tech
+        memattrs.set_value(attr, node, None, 1.0 if tech.persistent else 0.0)
+    return attr
+
+
+def register_coherency_attribute(
+    memattrs: MemAttrs, *, name: str = "Coherency"
+) -> MemAttribute:
+    """Cache-coherency of peripheral-exposed memory (§VIII's closing
+    question: "additional attributes for describing different
+    constraints, for example in terms of coherency or availability").
+
+    1.0 = fully coherent with host caches (DRAM/HBM/NVDIMM/CXL.mem);
+    0.0 = device memory whose coherence needs explicit management (GPU
+    memory over NVLink, network-attached memory).
+    """
+    from ..hw.techs import MemoryKind
+
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.HIGHER_FIRST,
+        unit="bool",
+        description="Whether host caches stay coherent with the target",
+    )
+    non_coherent = {MemoryKind.GPU, MemoryKind.NAM}
+    for node in memattrs.topology.numanodes():
+        kind = memattrs.topology.node_instance(node).kind
+        memattrs.set_value(
+            attr, node, None, 0.0 if kind in non_coherent else 1.0
+        )
+    return attr
+
+
+def register_availability_attribute(
+    memattrs: MemAttrs, *, name: str = "Availability"
+) -> MemAttribute:
+    """Availability of disaggregated memory (§II-C / §VIII).
+
+    Node-local memory is always reachable (1.0); network-attached memory
+    depends on the fabric and the remote pool (modeled at 0.99, i.e.
+    lower-ranked whenever a local alternative exists).
+    """
+    from ..hw.spec import AttachLevel
+
+    attr = memattrs.register(
+        name,
+        MemAttrFlag.HIGHER_FIRST,
+        unit="fraction",
+        description="Probability the target is reachable when needed",
+    )
+    for node in memattrs.topology.numanodes():
+        inst = memattrs.topology.node_instance(node)
+        remote_fabric = inst.attach_level == AttachLevel.MACHINE
+        memattrs.set_value(attr, node, None, 0.99 if remote_fabric else 1.0)
+    return attr

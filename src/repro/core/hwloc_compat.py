@@ -1,0 +1,78 @@
+"""hwloc-named function aliases (the paper's Fig. 4 spelling).
+
+For readers coming from the paper or from C hwloc, these free functions
+mirror ``hwloc/memattrs.h`` one-to-one over a :class:`MemAttrs`:
+
+=============================================  ==============================
+paper / hwloc                                   here
+=============================================  ==============================
+``hwloc_get_local_numanode_objs(t, i, …)``      :func:`hwloc_get_local_numanode_objs`
+``hwloc_memattr_get_best_target(t, a, i, …)``   :func:`hwloc_memattr_get_best_target`
+``hwloc_memattr_get_best_initiator(t, a, n)``   :func:`hwloc_memattr_get_best_initiator`
+``hwloc_memattr_get_value(t, a, n, i, …)``      :func:`hwloc_memattr_get_value`
+``hwloc_memattr_set_value``                     :func:`hwloc_memattr_set_value`
+``hwloc_memattr_register``                      :func:`hwloc_memattr_register`
+=============================================  ==============================
+
+C-style out-parameters become return values; error codes become the
+library's exceptions.
+"""
+
+from __future__ import annotations
+
+from ..topology.objects import TopoObject
+from .api import MemAttrs
+from .attrs import MemAttrFlag, MemAttribute
+
+__all__ = [
+    "hwloc_get_local_numanode_objs",
+    "hwloc_memattr_get_best_target",
+    "hwloc_memattr_get_best_initiator",
+    "hwloc_memattr_get_value",
+    "hwloc_memattr_set_value",
+    "hwloc_memattr_register",
+]
+
+
+def hwloc_get_local_numanode_objs(
+    memattrs: MemAttrs, initiator, flags=None
+) -> tuple[TopoObject, ...]:
+    """Fig. 4, first call: the targets local to an initiator."""
+    return memattrs.get_local_numanode_objs(initiator, flags)
+
+
+def hwloc_memattr_get_best_target(
+    memattrs: MemAttrs, attribute, initiator
+) -> tuple[TopoObject, float]:
+    """Fig. 4, second call: returns ``(best_target, target_value)``."""
+    tv = memattrs.get_best_target(attribute, initiator)
+    return tv.target, tv.value
+
+
+def hwloc_memattr_get_best_initiator(
+    memattrs: MemAttrs, attribute, target: TopoObject
+):
+    """Returns ``(best_initiator_cpuset, value)`` for a target."""
+    tv = memattrs.get_best_initiator(attribute, target)
+    return tv.initiator, tv.value
+
+
+def hwloc_memattr_get_value(
+    memattrs: MemAttrs, attribute, target: TopoObject, initiator=None
+) -> float:
+    """Fig. 4, third call: one attribute value."""
+    return memattrs.get_value(attribute, target, initiator)
+
+
+def hwloc_memattr_set_value(
+    memattrs: MemAttrs, attribute, target: TopoObject, initiator, value: float
+) -> None:
+    """Feed one externally-measured value (Table I's external sources)."""
+    memattrs.set_value(attribute, target, initiator, value)
+
+
+def hwloc_memattr_register(
+    memattrs: MemAttrs, name: str, flags: MemAttrFlag
+) -> MemAttribute:
+    """Register a custom attribute and return its handle."""
+    return memattrs.register(name, flags)

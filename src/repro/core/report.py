@@ -1,0 +1,91 @@
+"""``lstopo --memattrs`` rendering (paper Fig. 5).
+
+Produces the exact textual shape of the paper's Fig. 5: one section per
+attribute, one line per (target, initiator) value, with hwloc's display
+units — Capacity in bytes, bandwidths in MB/s, latencies in integral
+nanoseconds — and initiators named by the smallest topology object whose
+cpuset matches (``... from Group0 L#0``).
+"""
+
+from __future__ import annotations
+
+from ..topology.bitmap import Bitmap
+from ..topology.build import Topology
+from ..topology.objects import ObjType
+from ..units import bytes_to_mbps_field, ns_field
+from .api import MemAttrs
+from .attrs import MemAttribute
+
+__all__ = ["render_memattrs", "initiator_label"]
+
+_NORMAL_SCOPES = (
+    ObjType.PU,
+    ObjType.CORE,
+    ObjType.GROUP,
+    ObjType.PACKAGE,
+    ObjType.MACHINE,
+)
+
+
+def initiator_label(topology: Topology, cpuset: Bitmap) -> str:
+    """Name an initiator cpuset by the smallest matching normal object."""
+    for scope in _NORMAL_SCOPES:
+        for obj in topology.objs(scope):
+            if obj.cpuset == cpuset:
+                if obj.type is ObjType.GROUP:
+                    return f"{obj.subtype or 'Group'} L#{obj.logical_index}"
+                return f"{obj.type.value} L#{obj.logical_index}"
+    # Fall back to the smallest object covering the cpuset.
+    for scope in _NORMAL_SCOPES:
+        for obj in topology.objs(scope):
+            if obj.cpuset.includes(cpuset):
+                return f"{obj.type.value} L#{obj.logical_index}"
+    return f"cpuset {cpuset.to_list_syntax()}"
+
+
+def _format_value(attr: MemAttribute, value: float) -> str:
+    if attr.unit == "MB/s":
+        return str(bytes_to_mbps_field(value))
+    if attr.unit == "ns":
+        return str(ns_field(value))
+    if attr.unit == "bytes":
+        return str(int(value))
+    if attr.unit == "PUs":
+        return str(int(value))
+    return f"{value:g}"
+
+
+def render_memattrs(
+    memattrs: MemAttrs,
+    *,
+    only: tuple[str, ...] | None = None,
+    skip_empty: bool = True,
+) -> str:
+    """Render every attribute's values, Fig. 5 style."""
+    topology = memattrs.topology
+    lines: list[str] = []
+    for attr in memattrs.attributes():
+        if only is not None and attr.name not in only:
+            continue
+        section: list[str] = [f"Memory attribute #{attr.id} name '{attr.name}'"]
+        for node in sorted(topology.numanodes(), key=lambda n: n.logical_index):
+            per_initiator = memattrs._store.get_map(attr.id, node.os_index)
+            if not attr.needs_initiator:
+                if None in per_initiator:
+                    section.append(
+                        f"  NUMANode L#{node.logical_index} = "
+                        f"{_format_value(attr, per_initiator[None])}"
+                    )
+                continue
+            for cpuset in sorted(
+                (k for k in per_initiator if k is not None),
+                key=lambda b: (b.first(), b.weight()),
+            ):
+                label = initiator_label(topology, cpuset)
+                section.append(
+                    f"  NUMANode L#{node.logical_index} = "
+                    f"{_format_value(attr, per_initiator[cpuset])} from {label}"
+                )
+        if len(section) > 1 or not skip_empty:
+            lines.extend(section)
+    return "\n".join(lines)

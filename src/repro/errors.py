@@ -1,0 +1,117 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the common failure modes (bad platform specification,
+out-of-memory on a NUMA node, unknown attribute, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SpecError",
+    "TopologyError",
+    "UnknownObjectError",
+    "AttributeError_",
+    "UnknownAttributeError",
+    "AttributeFlagError",
+    "NoValueError",
+    "NoTargetError",
+    "AllocationError",
+    "CapacityError",
+    "PolicyError",
+    "MigrationError",
+    "FirmwareError",
+    "SimulationError",
+    "BenchmarkError",
+    "ProfilerError",
+    "ValidationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SpecError(ReproError):
+    """A declarative hardware specification is inconsistent."""
+
+
+class TopologyError(ReproError):
+    """The topology tree is malformed or a query cannot be satisfied."""
+
+
+class UnknownObjectError(TopologyError):
+    """A topology object lookup (by type/index) found nothing."""
+
+
+class AttributeError_(ReproError):
+    """Base class for memory-attribute errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class UnknownAttributeError(AttributeError_):
+    """The requested memory attribute is not registered."""
+
+
+class AttributeFlagError(AttributeError_):
+    """An operation is incompatible with the attribute's flags.
+
+    For example querying a value with an initiator for an attribute that was
+    registered without ``NEED_INITIATOR``, or registering a duplicate name.
+    """
+
+
+class NoValueError(AttributeError_):
+    """No value is recorded for the requested (target, initiator) pair.
+
+    Mirrors hwloc returning ``-1``/``EINVAL`` from
+    ``hwloc_memattr_get_value`` when the platform did not expose the datum.
+    """
+
+
+class NoTargetError(AttributeError_):
+    """``get_best_target`` found no target with a value for the attribute."""
+
+
+class AllocationError(ReproError):
+    """The heterogeneous allocator could not satisfy a request."""
+
+
+class CapacityError(AllocationError):
+    """Not enough free capacity on the requested target(s)."""
+
+
+class PolicyError(ReproError):
+    """A NUMA memory policy is invalid or unsupported.
+
+    Includes the Linux restriction discussed in the paper's §VII: the
+    *preferred* node must have a lower index than its fallback nodes.
+    """
+
+
+class MigrationError(ReproError):
+    """A page/buffer migration failed."""
+
+
+class FirmwareError(ReproError):
+    """Synthetic ACPI table generation or parsing failed."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator was asked to price an impossible phase."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark run could not be configured or executed."""
+
+
+class ProfilerError(ReproError):
+    """Profile collection or report generation failed."""
+
+
+class ValidationError(ReproError):
+    """An application-level validation (e.g. BFS tree check) failed."""

@@ -1,0 +1,37 @@
+"""Synthetic platform firmware.
+
+Real platforms describe their memory subsystem to the OS through ACPI
+tables: SRAT (which CPUs and memory ranges belong to which proximity
+domain), SLIT (relative NUMA distances) and — since ACPI 6.2 — HMAT
+(latency/bandwidth between initiator and target proximity domains, plus
+memory-side cache descriptions).  Linux ≥ 5.2 digests the HMAT into sysfs
+attributes that hwloc then reads (paper §IV-A1).
+
+This package synthesizes all three tables from a
+:class:`~repro.hw.spec.MachineSpec` and renders the Linux-style virtual
+sysfs tree, so that the discovery code in :mod:`repro.core.discovery` can
+consume the same *shape* of information as real hwloc — including the
+real-world limitation that current firmware only publishes performance for
+**local** accesses.
+"""
+
+from .srat import Srat, SratCpuAffinity, SratMemoryAffinity, build_srat
+from .slit import Slit, build_slit
+from .hmat import Hmat, HmatEntry, HmatCacheEntry, DataType, build_hmat
+from .sysfs import VirtualSysfs, build_sysfs
+
+__all__ = [
+    "Srat",
+    "SratCpuAffinity",
+    "SratMemoryAffinity",
+    "build_srat",
+    "Slit",
+    "build_slit",
+    "Hmat",
+    "HmatEntry",
+    "HmatCacheEntry",
+    "DataType",
+    "build_hmat",
+    "VirtualSysfs",
+    "build_sysfs",
+]

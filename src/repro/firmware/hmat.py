@@ -1,0 +1,181 @@
+"""HMAT — Heterogeneous Memory Attribute Table (synthetic).
+
+Introduced in ACPI 6.2, the HMAT carries *System Locality Latency and
+Bandwidth Information* structures: for (initiator proximity domain, target
+proximity domain) pairs, theoretical access/read/write latency and
+bandwidth.  It may also describe memory-side caches.
+
+Per the paper (§IV-A1), current platforms and Linux only expose performance
+for **local** accesses; :func:`build_hmat` honours
+:attr:`MachineSpec.hmat_local_only` to reproduce that limitation, which is
+what forces the benchmark-feeding path of §IV-A2 to exist at all.  Machines
+with ``has_hmat=False`` (e.g. KNL, which predates ACPI 6.2) raise at build
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FirmwareError
+from ..hw.spec import MachineSpec
+from .srat import Srat, build_srat
+
+__all__ = ["DataType", "HmatEntry", "HmatCacheEntry", "Hmat", "build_hmat"]
+
+
+class DataType(enum.Enum):
+    """HMAT data types (ACPI 6.2 table 5-146, reduced to what we model)."""
+
+    ACCESS_LATENCY = "access_latency"
+    READ_LATENCY = "read_latency"
+    WRITE_LATENCY = "write_latency"
+    ACCESS_BANDWIDTH = "access_bandwidth"
+    READ_BANDWIDTH = "read_bandwidth"
+    WRITE_BANDWIDTH = "write_bandwidth"
+
+    @property
+    def is_latency(self) -> bool:
+        return self in (
+            DataType.ACCESS_LATENCY,
+            DataType.READ_LATENCY,
+            DataType.WRITE_LATENCY,
+        )
+
+
+@dataclass(frozen=True)
+class HmatEntry:
+    """One (initiator, target, data-type) performance datum.
+
+    Values are canonical: seconds for latencies, bytes/second for
+    bandwidths (the binary ACPI encoding in picoseconds / MB/s is a
+    rendering concern, handled by the sysfs layer).
+    """
+
+    initiator_pd: int
+    target_pd: int
+    data_type: DataType
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise FirmwareError(
+                f"HMAT value must be positive: {self.data_type} = {self.value}"
+            )
+
+
+@dataclass(frozen=True)
+class HmatCacheEntry:
+    """A memory-side cache description for one target domain."""
+
+    target_pd: int
+    cache_size: int
+    associativity: int
+    line_size: int = 64
+    label: str = "MemSideCache"
+
+
+@dataclass(frozen=True)
+class Hmat:
+    """A parsed/synthetic HMAT."""
+
+    entries: tuple[HmatEntry, ...]
+    caches: tuple[HmatCacheEntry, ...] = ()
+
+    def lookup(
+        self, initiator_pd: int, target_pd: int, data_type: DataType
+    ) -> float | None:
+        """Return the value for a pair, or ``None`` if the table omits it.
+
+        ``None`` is the honest firmware answer — remote pairs are typically
+        missing on real machines, and callers (the discovery layer) must
+        cope, e.g. by falling back to benchmarking.
+        """
+        for entry in self.entries:
+            if (
+                entry.initiator_pd == initiator_pd
+                and entry.target_pd == target_pd
+                and entry.data_type is data_type
+            ):
+                return entry.value
+        return None
+
+    def initiators_of(self, target_pd: int) -> tuple[int, ...]:
+        """Initiator domains with any datum for the given target."""
+        return tuple(
+            sorted({e.initiator_pd for e in self.entries if e.target_pd == target_pd})
+        )
+
+    def targets(self) -> tuple[int, ...]:
+        return tuple(sorted({e.target_pd for e in self.entries}))
+
+    def cache_of(self, target_pd: int) -> HmatCacheEntry | None:
+        for cache in self.caches:
+            if cache.target_pd == target_pd:
+                return cache
+        return None
+
+
+def build_hmat(machine: MachineSpec, srat: Srat | None = None) -> Hmat:
+    """Synthesize the HMAT for a machine.
+
+    One entry set per (initiator domain, target node) pair, where initiator
+    domains are the SRAT proximity domains that contain CPUs.  When
+    ``machine.hmat_local_only`` is set (the realistic default) only pairs
+    whose CPUs are *local* to the target are emitted.
+    """
+    if not machine.has_hmat:
+        raise FirmwareError(
+            f"{machine.name}: platform firmware predates ACPI 6.2 and "
+            "publishes no HMAT; use benchmarking to characterize memory"
+        )
+    srat = srat or build_srat(machine)
+    nodes = sorted(machine.numa_nodes(), key=lambda n: n.os_index)
+
+    # initiator domain -> a representative PU in that domain
+    initiator_pus: dict[int, int] = {}
+    for entry in srat.cpus:
+        initiator_pus.setdefault(entry.proximity_domain, entry.pu)
+
+    entries: list[HmatEntry] = []
+    for target in nodes:
+        for domain, pu in sorted(initiator_pus.items()):
+            cls = machine.locality_class(pu, target)
+            if machine.hmat_local_only and cls != "local":
+                continue
+            lat, rbw, wbw = machine.access_performance(pu, target, loaded=False)
+            tech = target.tech
+            # Preserve any read/write asymmetry of the technology while
+            # applying the interconnect-adjusted figures.
+            rlat = lat * (tech.hmat_read_latency / tech.hmat_latency)
+            wlat = lat * (tech.hmat_write_latency / tech.hmat_latency)
+            pairs = [
+                (DataType.ACCESS_LATENCY, max(rlat, wlat)),
+                (DataType.READ_LATENCY, rlat),
+                (DataType.WRITE_LATENCY, wlat),
+                (DataType.ACCESS_BANDWIDTH, min(rbw, wbw)),
+                (DataType.READ_BANDWIDTH, rbw),
+                (DataType.WRITE_BANDWIDTH, wbw),
+            ]
+            entries.extend(
+                HmatEntry(
+                    initiator_pd=domain,
+                    target_pd=target.os_index,
+                    data_type=dt,
+                    value=value,
+                )
+                for dt, value in pairs
+            )
+
+    caches = tuple(
+        HmatCacheEntry(
+            target_pd=node.os_index,
+            cache_size=node.spec.memside_cache.size,
+            associativity=node.spec.memside_cache.associativity,
+            label=node.spec.memside_cache.label,
+        )
+        for node in nodes
+        if node.spec.memside_cache is not None
+    )
+    return Hmat(entries=tuple(entries), caches=caches)

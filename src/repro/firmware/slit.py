@@ -1,0 +1,81 @@
+"""SLIT — System Locality Information Table (synthetic).
+
+The SLIT publishes a matrix of *relative* distances between proximity
+domains; 10 means local, and larger numbers scale roughly with access
+cost.  Operating systems use it for zonelist ordering when no HMAT is
+available; hwloc exposes it as the ``distances`` API.
+
+We derive distances from the theoretical access latencies of the machine
+model: ``distance(i, j) = round(10 * latency(i→j) / latency(i→i_local))``,
+clamped to the SLIT convention of [10, 254].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FirmwareError
+from ..hw.spec import MachineSpec
+
+__all__ = ["Slit", "build_slit"]
+
+
+@dataclass(frozen=True)
+class Slit:
+    """Distance matrix between proximity domains (OS node indices)."""
+
+    matrix: tuple[tuple[int, ...], ...]
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.matrix)
+
+    def distance(self, from_domain: int, to_domain: int) -> int:
+        n = self.num_domains
+        if not (0 <= from_domain < n and 0 <= to_domain < n):
+            raise FirmwareError(
+                f"SLIT domain out of range: ({from_domain}, {to_domain}) of {n}"
+            )
+        return self.matrix[from_domain][to_domain]
+
+    def render(self) -> str:
+        """numactl-style distance table."""
+        n = self.num_domains
+        header = "node " + " ".join(f"{j:4d}" for j in range(n))
+        rows = [header]
+        for i in range(n):
+            rows.append(f"{i:4d} " + " ".join(f"{v:4d}" for v in self.matrix[i]))
+        return "\n".join(rows)
+
+
+def build_slit(machine: MachineSpec) -> Slit:
+    """Synthesize the SLIT from theoretical access latencies.
+
+    The distance from domain *i* to domain *j* is measured from a CPU local
+    to node *i* (CPU-less domains borrow the nearest CPUs — SLIT rows for
+    memory-only domains are how Linux reports e.g. KNL MCDRAM distances).
+    """
+    nodes = sorted(machine.numa_nodes(), key=lambda n: n.os_index)
+    n = len(nodes)
+
+    def representative_pu(node) -> int:
+        if node.local_pu_indices:
+            return node.local_pu_indices[0]
+        return 0
+
+    matrix: list[tuple[int, ...]] = []
+    for src in nodes:
+        pu = representative_pu(src)
+        # Reference latency: the fastest any node is reachable from this PU.
+        lats = [
+            machine.access_performance(pu, dst, loaded=False)[0] for dst in nodes
+        ]
+        ref = min(lats)
+        row = []
+        for dst, lat in zip(nodes, lats):
+            if dst.os_index == src.os_index:
+                row.append(10)
+            else:
+                row.append(max(10, min(254, round(10 * lat / ref))))
+        matrix.append(tuple(row))
+    return Slit(matrix=tuple(matrix))

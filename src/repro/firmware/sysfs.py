@@ -1,0 +1,184 @@
+"""A Linux-like virtual sysfs view of the NUMA topology.
+
+Linux ≥ 5.2 digests the ACPI HMAT into
+``/sys/devices/system/node/nodeN/access0/initiators/*`` attributes (the
+paper's authors contributed that exposure, §IV-A1).  hwloc reads *these
+files*, not the raw ACPI tables.  To keep our discovery path equally
+honest, :func:`build_sysfs` renders the synthetic SRAT/SLIT/HMAT into an
+in-memory file tree with the same paths, units and quirks:
+
+* ``access0/initiators`` lists the best-performing (local) initiator nodes
+  and the performance *those* initiators see — remote performance is absent.
+* latencies are integral **nanoseconds**, bandwidths integral **MB/s**
+  (decimal), exactly the units of the paper's Fig. 5.
+* memory-side caches appear under ``memory_side_cache/indexN/``.
+
+The discovery layer (:mod:`repro.core.discovery`) then *parses* this tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import FirmwareError
+from ..hw.spec import MachineSpec
+from ..units import KiB, bytes_to_mbps_field, ns_field
+from .hmat import DataType, Hmat, build_hmat
+from .slit import Slit, build_slit
+from .srat import Srat, build_srat
+
+__all__ = ["VirtualSysfs", "build_sysfs"]
+
+_NODE_ROOT = "/sys/devices/system/node"
+
+
+def _ranges(ints) -> str:
+    """Render a sorted int list Linux-style: ``0-3,8,10-11``."""
+    vals = sorted(set(ints))
+    if not vals:
+        return ""
+    spans: list[str] = []
+    start = prev = vals[0]
+    for v in vals[1:]:
+        if v == prev + 1:
+            prev = v
+            continue
+        spans.append(f"{start}-{prev}" if start != prev else f"{start}")
+        start = prev = v
+    spans.append(f"{start}-{prev}" if start != prev else f"{start}")
+    return ",".join(spans)
+
+
+def parse_ranges(text: str) -> tuple[int, ...]:
+    """Parse a Linux range list back into a tuple of ints."""
+    text = text.strip()
+    if not text:
+        return ()
+    out: list[int] = []
+    for span in text.split(","):
+        if "-" in span:
+            lo, hi = span.split("-")
+            out.extend(range(int(lo), int(hi) + 1))
+        else:
+            out.append(int(span))
+    return tuple(out)
+
+
+@dataclass
+class VirtualSysfs:
+    """An immutable-ish in-memory file tree addressed by absolute paths."""
+
+    files: dict[str, str] = field(default_factory=dict)
+
+    def read(self, path: str) -> str:
+        try:
+            return self.files[path]
+        except KeyError:
+            raise FirmwareError(f"sysfs: no such file: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        if path in self.files:
+            return True
+        prefix = path.rstrip("/") + "/"
+        return any(p.startswith(prefix) for p in self.files)
+
+    def listdir(self, path: str) -> tuple[str, ...]:
+        prefix = path.rstrip("/") + "/"
+        names = {
+            p[len(prefix):].split("/", 1)[0]
+            for p in self.files
+            if p.startswith(prefix)
+        }
+        if not names and path not in self.files:
+            raise FirmwareError(f"sysfs: no such directory: {path}")
+        return tuple(sorted(names))
+
+    def render_tree(self, root: str = _NODE_ROOT) -> str:
+        """Debug dump of the subtree at ``root``."""
+        lines = []
+        prefix = root.rstrip("/") + "/"
+        for path in sorted(self.files):
+            if path.startswith(prefix) or path == root:
+                lines.append(f"{path}: {self.files[path].strip()!r}")
+        return "\n".join(lines)
+
+
+def build_sysfs(
+    machine: MachineSpec,
+    *,
+    srat: Srat | None = None,
+    slit: Slit | None = None,
+    hmat: Hmat | None = None,
+) -> VirtualSysfs:
+    """Render the virtual sysfs for a machine.
+
+    The HMAT-derived ``access0`` attributes are omitted entirely when the
+    platform has no HMAT (``machine.has_hmat`` is false) — as on KNL, where
+    hwloc must fall back to benchmarks or human knowledge.
+    """
+    srat = srat or build_srat(machine)
+    slit = slit or build_slit(machine)
+    if hmat is None and machine.has_hmat:
+        hmat = build_hmat(machine, srat)
+
+    nodes = sorted(machine.numa_nodes(), key=lambda n: n.os_index)
+    fs: dict[str, str] = {}
+    all_ids = [n.os_index for n in nodes]
+    fs[f"{_NODE_ROOT}/online"] = _ranges(all_ids) + "\n"
+    fs[f"{_NODE_ROOT}/possible"] = _ranges(all_ids) + "\n"
+    has_cpu = [n.os_index for n in nodes if srat.pus_of_domain(n.os_index)]
+    fs[f"{_NODE_ROOT}/has_cpu"] = _ranges(has_cpu) + "\n"
+    fs[f"{_NODE_ROOT}/has_memory"] = _ranges(all_ids) + "\n"
+
+    for node in nodes:
+        base = f"{_NODE_ROOT}/node{node.os_index}"
+        pus = srat.pus_of_domain(node.os_index)
+        fs[f"{base}/cpulist"] = _ranges(pus) + "\n"
+        kb = node.capacity // KiB
+        fs[f"{base}/meminfo"] = (
+            f"Node {node.os_index} MemTotal:       {kb} kB\n"
+            f"Node {node.os_index} MemFree:        {kb} kB\n"
+        )
+        row = slit.matrix[node.os_index]
+        fs[f"{base}/distance"] = " ".join(str(v) for v in row) + "\n"
+        # Driver hint used only for human-readable identification (§III-A:
+        # "only meant for debugging"); discovery must not rank by it.
+        fs[f"{base}/kind_hint"] = node.kind.value + "\n"
+        if node.spec.subtype:
+            fs[f"{base}/subtype"] = node.spec.subtype + "\n"
+
+        if hmat is not None:
+            initiators = hmat.initiators_of(node.os_index)
+            if initiators:
+                acc = f"{base}/access0/initiators"
+                for dom in initiators:
+                    # Linux materializes symlinks named nodeM; an empty file
+                    # marks membership in our virtual tree.
+                    fs[f"{acc}/node{dom}"] = ""
+                first = initiators[0]
+
+                def val(dt: DataType, first=first, node=node) -> float | None:
+                    return hmat.lookup(first, node.os_index, dt)
+
+                rl, wl = val(DataType.READ_LATENCY), val(DataType.WRITE_LATENCY)
+                rb, wb = val(DataType.READ_BANDWIDTH), val(DataType.WRITE_BANDWIDTH)
+                if rl is not None:
+                    fs[f"{acc}/read_latency"] = f"{ns_field(rl)}\n"
+                if wl is not None:
+                    fs[f"{acc}/write_latency"] = f"{ns_field(wl)}\n"
+                if rb is not None:
+                    fs[f"{acc}/read_bandwidth"] = f"{bytes_to_mbps_field(rb)}\n"
+                if wb is not None:
+                    fs[f"{acc}/write_bandwidth"] = f"{bytes_to_mbps_field(wb)}\n"
+
+            cache = hmat.cache_of(node.os_index)
+            if cache is not None:
+                cbase = f"{base}/memory_side_cache/index1"
+                fs[f"{cbase}/size"] = f"{cache.cache_size}\n"
+                fs[f"{cbase}/line_size"] = f"{cache.line_size}\n"
+                fs[f"{cbase}/indexing"] = (
+                    "0\n" if cache.associativity == 1 else "2\n"
+                )  # 0=direct-mapped, 2=complex (Linux encoding)
+                fs[f"{cbase}/write_policy"] = "0\n"  # write-back
+
+    return VirtualSysfs(files=fs)

@@ -1,0 +1,75 @@
+"""Hardware platform models.
+
+This package declares *what a machine looks like* — packages, SubNUMA
+clusters, cores, and the heterogeneous memory nodes attached at each level —
+together with the performance characteristics of each memory technology.
+
+Everything downstream (firmware tables, the topology tree, the performance
+simulator) is derived from these declarative specifications, so a new
+platform is a single function in :mod:`repro.hw.platforms`.
+"""
+
+from .techs import MemoryKind, MemoryTechnology, TECH_PRESETS, tech
+from .spec import (
+    MemsideCacheSpec,
+    MemoryNodeSpec,
+    CacheSpec,
+    GroupSpec,
+    PackageSpec,
+    InterconnectSpec,
+    MachineSpec,
+)
+from . import platforms
+from .serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+from .platforms import (
+    knl_snc4_flat,
+    knl_snc4_hybrid50,
+    knl_snc4_cache,
+    knl_quadrant_flat,
+    xeon_cascadelake_1lm,
+    xeon_cascadelake_2lm,
+    fictitious_four_kind,
+    fugaku_like,
+    power9_v100,
+    uniform_dram,
+    xeon_max,
+    PLATFORM_REGISTRY,
+    get_platform,
+)
+
+__all__ = [
+    "MemoryKind",
+    "MemoryTechnology",
+    "TECH_PRESETS",
+    "tech",
+    "MemsideCacheSpec",
+    "MemoryNodeSpec",
+    "CacheSpec",
+    "GroupSpec",
+    "PackageSpec",
+    "InterconnectSpec",
+    "MachineSpec",
+    "platforms",
+    "knl_snc4_flat",
+    "knl_snc4_hybrid50",
+    "knl_snc4_cache",
+    "knl_quadrant_flat",
+    "xeon_cascadelake_1lm",
+    "xeon_cascadelake_2lm",
+    "fictitious_four_kind",
+    "fugaku_like",
+    "power9_v100",
+    "uniform_dram",
+    "xeon_max",
+    "PLATFORM_REGISTRY",
+    "get_platform",
+    "machine_to_dict",
+    "machine_from_dict",
+    "save_machine",
+    "load_machine",
+]

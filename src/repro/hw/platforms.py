@@ -1,0 +1,575 @@
+"""Preset platform models.
+
+Each function returns a fresh :class:`~repro.hw.spec.MachineSpec` for one of
+the machines the paper depicts or evaluates on:
+
+* :func:`knl_snc4_hybrid50` — Fig. 1: Xeon Phi in SNC4/Hybrid50 mode.
+* :func:`xeon_cascadelake_1lm` — Fig. 2 (``snc=2``) and the §VI test server
+  (``snc=1``, footnote 18): dual Xeon 6230 with Optane NVDIMMs in
+  1-Level-Memory.
+* :func:`knl_snc4_flat` — the §VI KNL server (footnote 19): 7230 in SNC-4
+  Flat, memory-side cache disabled.
+* :func:`fictitious_four_kind` — Fig. 3: per-SNC HBM, per-package DRAM and
+  NVDIMM, machine-wide network-attached memory.
+* plus the surrounding landscape of §II (KNL cache/quadrant modes, Xeon
+  2-Level-Memory, Fugaku-like HBM-only, POWER9+V100) and a homogeneous
+  control platform.
+"""
+
+from __future__ import annotations
+
+from ..errors import SpecError
+from ..units import GB, MiB, parse_size
+from .spec import (
+    CacheSpec,
+    GroupSpec,
+    InterconnectSpec,
+    MachineSpec,
+    MemoryNodeSpec,
+    MemsideCacheSpec,
+    PackageSpec,
+)
+from .techs import tech
+
+__all__ = [
+    "knl_snc4_flat",
+    "knl_snc4_hybrid50",
+    "knl_snc4_cache",
+    "knl_quadrant_flat",
+    "xeon_cascadelake_1lm",
+    "xeon_cascadelake_2lm",
+    "fictitious_four_kind",
+    "fugaku_like",
+    "power9_v100",
+    "uniform_dram",
+    "PLATFORM_REGISTRY",
+    "get_platform",
+]
+
+
+def _knl_caches() -> tuple[CacheSpec, ...]:
+    # KNL: 32KB L1 per core, 1MB L2 per tile (modelled per-core 512KB share);
+    # no L3 — the memory-side MCDRAM cache plays that role in cache mode.
+    return (
+        CacheSpec(level=1, size=32 * 1024),
+        CacheSpec(level=2, size=512 * 1024),
+    )
+
+
+def _xeon_caches() -> tuple[CacheSpec, ...]:
+    # Cascade Lake 6230: 32KB L1, 1MB L2 per core, 27.5MB shared LLC.
+    return (
+        CacheSpec(level=1, size=32 * 1024),
+        CacheSpec(level=2, size=1024 * 1024),
+        CacheSpec(level=3, size=parse_size("27.5MB"), shared=True),
+    )
+
+
+def _mcdram_as_cache(size: int) -> MemsideCacheSpec:
+    t = tech("mcdram-knl-snc")
+    return MemsideCacheSpec(
+        size=size,
+        hit_latency=t.loaded_latency,
+        hit_bandwidth=t.peak_read_bandwidth,
+        associativity=1,
+        label="MemSideCache(MCDRAM)",
+    )
+
+
+def knl_snc4_flat(
+    *,
+    cores_per_cluster: int = 16,
+    dram_per_cluster: int | str = 24 * GB,
+    mcdram_per_cluster: int | str = 4 * GB,
+) -> MachineSpec:
+    """Xeon Phi 7230, SNC-4 **Flat**: the §VI KNL server (footnote 19).
+
+    Four SubNUMA clusters, each with a DDR4 node and a 4 GB MCDRAM node;
+    the memory-side cache is disabled so the entire MCDRAM is a separate
+    NUMA node per cluster.
+    """
+    dram = parse_size(dram_per_cluster)
+    mcdram = parse_size(mcdram_per_cluster)
+    groups = tuple(
+        GroupSpec(
+            cores=cores_per_cluster,
+            pus_per_core=4,
+            name=f"Group0 L#{i}",
+            memories=(
+                MemoryNodeSpec(tech=tech("ddr4-knl-snc"), capacity=dram),
+                MemoryNodeSpec(
+                    tech=tech("mcdram-knl-snc"), capacity=mcdram, subtype="MCDRAM"
+                ),
+            ),
+            caches=_knl_caches(),
+        )
+        for i in range(4)
+    )
+    return MachineSpec(
+        name="knl-snc4-flat",
+        packages=(PackageSpec(groups=groups),),
+        interconnect=InterconnectSpec(
+            cross_group_latency_add=15e-9,
+            cross_group_bandwidth_factor=0.8,
+        ),
+        core_ops_per_second=0.16e9,  # 1.3 GHz in-order-ish cores, scalar irregular code
+        has_hmat=False,   # KNL predates ACPI HMAT: benchmarking required
+    )
+
+
+def knl_snc4_hybrid50(
+    *,
+    cores_per_cluster: int = 18,
+    dram_per_cluster: int | str = 12 * GB,
+    mcdram_flat_per_cluster: int | str = 2 * GB,
+    mcdram_cache_per_cluster: int | str = 2 * GB,
+) -> MachineSpec:
+    """Xeon Phi in SNC4/**Hybrid50** mode — the Fig. 1 machine.
+
+    Each cluster: 18 cores, 12 GB DRAM behind a 2 GB MCDRAM memory-side
+    cache, plus 2 GB of MCDRAM exposed flat.
+    """
+    dram = parse_size(dram_per_cluster)
+    flat = parse_size(mcdram_flat_per_cluster)
+    cache = parse_size(mcdram_cache_per_cluster)
+    groups = tuple(
+        GroupSpec(
+            cores=cores_per_cluster,
+            pus_per_core=4,
+            name=f"Group0 L#{i}",
+            memories=(
+                MemoryNodeSpec(
+                    tech=tech("ddr4-knl-snc"),
+                    capacity=dram,
+                    memside_cache=_mcdram_as_cache(cache),
+                ),
+                MemoryNodeSpec(
+                    tech=tech("mcdram-knl-snc"), capacity=flat, subtype="MCDRAM"
+                ),
+            ),
+            caches=_knl_caches(),
+        )
+        for i in range(4)
+    )
+    return MachineSpec(
+        name="knl-snc4-hybrid50",
+        packages=(PackageSpec(groups=groups),),
+        interconnect=InterconnectSpec(
+            cross_group_latency_add=15e-9,
+            cross_group_bandwidth_factor=0.8,
+        ),
+        core_ops_per_second=0.16e9,
+        has_hmat=False,
+    )
+
+
+def knl_snc4_cache(
+    *,
+    cores_per_cluster: int = 16,
+    dram_per_cluster: int | str = 24 * GB,
+    mcdram_cache_per_cluster: int | str = 4 * GB,
+) -> MachineSpec:
+    """Xeon Phi SNC-4 **Cache** mode: MCDRAM entirely a memory-side cache."""
+    dram = parse_size(dram_per_cluster)
+    cache = parse_size(mcdram_cache_per_cluster)
+    groups = tuple(
+        GroupSpec(
+            cores=cores_per_cluster,
+            pus_per_core=4,
+            name=f"Group0 L#{i}",
+            memories=(
+                MemoryNodeSpec(
+                    tech=tech("ddr4-knl-snc"),
+                    capacity=dram,
+                    memside_cache=_mcdram_as_cache(cache),
+                ),
+            ),
+            caches=_knl_caches(),
+        )
+        for i in range(4)
+    )
+    return MachineSpec(
+        name="knl-snc4-cache",
+        packages=(PackageSpec(groups=groups),),
+        has_hmat=False,
+    )
+
+
+def knl_quadrant_flat(
+    *,
+    cores: int = 64,
+    dram: int | str = 96 * GB,
+    mcdram: int | str = 16 * GB,
+) -> MachineSpec:
+    """Xeon Phi Quadrant/Flat: one package, one DRAM + one MCDRAM node.
+
+    Machine-wide MCDRAM bandwidth is ~4× the per-SNC figure.
+    """
+    mc = tech("mcdram-knl-snc")
+    dd = tech("ddr4-knl-snc")
+    mc_full = mc.scaled(
+        name="mcdram-knl",
+        hmat_read_bandwidth=mc.hmat_read_bandwidth * 4,
+        hmat_write_bandwidth=mc.hmat_write_bandwidth * 4,
+        peak_read_bandwidth=mc.peak_read_bandwidth * 4,
+        peak_write_bandwidth=mc.peak_write_bandwidth * 4,
+    )
+    dd_full = dd.scaled(
+        name="ddr4-knl",
+        hmat_read_bandwidth=dd.hmat_read_bandwidth * 3,
+        hmat_write_bandwidth=dd.hmat_write_bandwidth * 3,
+        peak_read_bandwidth=dd.peak_read_bandwidth * 3,
+        peak_write_bandwidth=dd.peak_write_bandwidth * 3,
+    )
+    pkg = PackageSpec(
+        cores=cores,
+        pus_per_core=4,
+        memories=(
+            MemoryNodeSpec(tech=dd_full, capacity=parse_size(dram)),
+            MemoryNodeSpec(tech=mc_full, capacity=parse_size(mcdram), subtype="MCDRAM"),
+        ),
+        caches=_knl_caches(),
+    )
+    return MachineSpec(name="knl-quadrant-flat", packages=(pkg,), has_hmat=False)
+
+
+def xeon_cascadelake_1lm(
+    *,
+    snc: int = 1,
+    cores_per_package: int = 20,
+    dram_per_package: int | str = 192 * GB,
+    nvdimm_per_package: int | str = 768 * GB,
+    packages: int = 2,
+) -> MachineSpec:
+    """Dual Xeon 6230 with Optane NVDIMMs in **1-Level-Memory**.
+
+    ``snc=2`` reproduces Fig. 2 (four 96 GB DRAM nodes + two NVDIMM nodes);
+    ``snc=1`` reproduces the §VI test configuration (footnote 18: SNC
+    disabled, one 192 GB DRAM node and one 768 GB NVDIMM node per package).
+    """
+    if snc not in (1, 2):
+        raise SpecError("snc must be 1 or 2")
+    if cores_per_package % snc:
+        raise SpecError("cores_per_package must divide evenly among SNCs")
+    dram = parse_size(dram_per_package)
+    nvd = parse_size(nvdimm_per_package)
+    ddr = tech("ddr4-xeon")
+    if snc == 2:
+        # Each SNC owns half the DRAM channels: half capacity and bandwidth.
+        ddr_snc = ddr.scaled(
+            name="ddr4-xeon-snc",
+            hmat_read_bandwidth=ddr.hmat_read_bandwidth,
+            hmat_write_bandwidth=ddr.hmat_write_bandwidth,
+            peak_read_bandwidth=ddr.peak_read_bandwidth / 2,
+            peak_write_bandwidth=ddr.peak_write_bandwidth / 2,
+        )
+        groups = tuple(
+            GroupSpec(
+                cores=cores_per_package // 2,
+                pus_per_core=2,
+                name=f"Group0 L#{g}",
+                memories=(MemoryNodeSpec(tech=ddr_snc, capacity=dram // 2),),
+                caches=_xeon_caches(),
+            )
+            for g in range(2)
+        )
+        pkg_proto = lambda: PackageSpec(  # noqa: E731 - tiny local factory
+            groups=groups,
+            memories=(MemoryNodeSpec(tech=tech("optane-nvdimm"), capacity=nvd),),
+        )
+    else:
+        pkg_proto = lambda: PackageSpec(  # noqa: E731
+            cores=cores_per_package,
+            pus_per_core=2,
+            memories=(
+                MemoryNodeSpec(tech=ddr, capacity=dram),
+                MemoryNodeSpec(tech=tech("optane-nvdimm"), capacity=nvd),
+            ),
+            caches=_xeon_caches(),
+        )
+    return MachineSpec(
+        name=f"xeon-cascadelake-1lm-snc{snc}",
+        packages=tuple(pkg_proto() for _ in range(packages)),
+        core_ops_per_second=2.5e9,
+    )
+
+
+def xeon_cascadelake_2lm(
+    *,
+    cores_per_package: int = 20,
+    dram_cache_per_package: int | str = 192 * GB,
+    nvdimm_per_package: int | str = 768 * GB,
+    packages: int = 2,
+) -> MachineSpec:
+    """Xeon with NVDIMMs in **2-Level-Memory**: DRAM is a memory-side cache."""
+    ddr = tech("ddr4-xeon")
+    cache = MemsideCacheSpec(
+        size=parse_size(dram_cache_per_package),
+        hit_latency=ddr.loaded_latency,
+        hit_bandwidth=ddr.peak_read_bandwidth,
+        associativity=1,
+        label="MemSideCache(DRAM)",
+    )
+    pkgs = tuple(
+        PackageSpec(
+            cores=cores_per_package,
+            pus_per_core=2,
+            memories=(
+                MemoryNodeSpec(
+                    tech=tech("optane-nvdimm"),
+                    capacity=parse_size(nvdimm_per_package),
+                    memside_cache=cache,
+                ),
+            ),
+            caches=_xeon_caches(),
+        )
+        for _ in range(packages)
+    )
+    return MachineSpec(name="xeon-cascadelake-2lm", packages=pkgs)
+
+
+def fictitious_four_kind(
+    *,
+    packages: int = 2,
+    groups_per_package: int = 2,
+    cores_per_group: int = 4,
+    hbm_per_group: int | str = 16 * GB,
+    dram_per_package: int | str = 128 * GB,
+    nvdimm_per_package: int | str = 512 * GB,
+    nam_capacity: int | str = 1024 * GB,
+) -> MachineSpec:
+    """The Fig. 3 fictitious platform with four simultaneous memory kinds.
+
+    Per SubNUMA cluster: an HBM node.  Per package: a DRAM node and an
+    NVDIMM node.  Machine-wide: a network-attached memory node.
+
+    The NVDIMM here publishes honest (loaded-flavoured) HMAT latencies —
+    unlike the Optane firmware of Fig. 5, whose theoretical 77 ns would
+    rank it *ahead* of DDR5 (the paper's footnote 6: "Some NVDIMM
+    technologies are not slower than DRAM").  A four-kind machine where
+    each criterion picks a different kind makes the better demonstrator.
+    """
+    nvdimm = tech(
+        "optane-nvdimm",
+        hmat_read_latency=340e-9,
+        hmat_write_latency=400e-9,
+    )
+    groups = tuple(
+        GroupSpec(
+            cores=cores_per_group,
+            pus_per_core=2,
+            name=f"Group0 L#{g}",
+            memories=(
+                MemoryNodeSpec(
+                    tech=tech("hbm2"), capacity=parse_size(hbm_per_group), subtype="HBM"
+                ),
+            ),
+            caches=_xeon_caches(),
+        )
+        for g in range(groups_per_package)
+    )
+    pkgs = tuple(
+        PackageSpec(
+            groups=groups,
+            memories=(
+                MemoryNodeSpec(tech=tech("ddr5"), capacity=parse_size(dram_per_package)),
+                MemoryNodeSpec(
+                    tech=nvdimm,
+                    capacity=parse_size(nvdimm_per_package),
+                ),
+            ),
+        )
+        for _ in range(packages)
+    )
+    return MachineSpec(
+        name="fictitious-four-kind",
+        packages=pkgs,
+        machine_memories=(
+            MemoryNodeSpec(
+                tech=tech("nam"), capacity=parse_size(nam_capacity), subtype="NAM"
+            ),
+        ),
+    )
+
+
+def fugaku_like(
+    *,
+    cmgs: int = 4,
+    cores_per_cmg: int = 12,
+    hbm_per_cmg: int | str = 8 * GB,
+) -> MachineSpec:
+    """A64FX-like node: HBM2-only memory, one node per core memory group.
+
+    §II-C: Fugaku combines HBM with nothing else, so there is no
+    performance/productivity trade-off — a useful control platform where
+    every attribute ranking is trivial.
+    """
+    groups = tuple(
+        GroupSpec(
+            cores=cores_per_cmg,
+            pus_per_core=1,
+            name=f"CMG L#{i}",
+            memories=(
+                MemoryNodeSpec(
+                    tech=tech("hbm2"), capacity=parse_size(hbm_per_cmg), subtype="HBM"
+                ),
+            ),
+            caches=(
+                CacheSpec(level=1, size=64 * 1024),
+                CacheSpec(level=2, size=8 * MiB, shared=True),
+            ),
+        )
+        for i in range(cmgs)
+    )
+    return MachineSpec(name="fugaku-like", packages=(PackageSpec(groups=groups),))
+
+
+def power9_v100(
+    *,
+    packages: int = 2,
+    cores_per_package: int = 16,
+    dram_per_package: int | str = 256 * GB,
+    gpu_mem_per_package: int | str = 16 * GB,
+) -> MachineSpec:
+    """POWER9-style node exposing V100 GPU memory as host NUMA nodes (§II-C)."""
+    pkgs = tuple(
+        PackageSpec(
+            cores=cores_per_package,
+            pus_per_core=4,
+            memories=(
+                MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=parse_size(dram_per_package)),
+                MemoryNodeSpec(
+                    tech=tech("gpu-hbm2"),
+                    capacity=parse_size(gpu_mem_per_package),
+                    subtype="GPUMemory",
+                ),
+            ),
+            caches=_xeon_caches(),
+        )
+        for _ in range(packages)
+    )
+    return MachineSpec(name="power9-v100", packages=pkgs)
+
+
+def uniform_dram(
+    *,
+    packages: int = 2,
+    cores_per_package: int = 8,
+    dram_per_package: int | str = 64 * GB,
+) -> MachineSpec:
+    """Homogeneous NUMA control platform (§IV: the API also ranks plain
+    NUMA platforms, where latency/bandwidth encode near vs far)."""
+    pkgs = tuple(
+        PackageSpec(
+            cores=cores_per_package,
+            pus_per_core=2,
+            memories=(
+                MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=parse_size(dram_per_package)),
+            ),
+            caches=_xeon_caches(),
+        )
+        for _ in range(packages)
+    )
+    return MachineSpec(name="uniform-dram", packages=pkgs)
+
+
+PLATFORM_REGISTRY = {
+    "knl-snc4-flat": knl_snc4_flat,
+    "knl-snc4-hybrid50": knl_snc4_hybrid50,
+    "knl-snc4-cache": knl_snc4_cache,
+    "knl-quadrant-flat": knl_quadrant_flat,
+    "xeon-cascadelake-1lm": xeon_cascadelake_1lm,
+    "xeon-cascadelake-2lm": xeon_cascadelake_2lm,
+    "fictitious-four-kind": fictitious_four_kind,
+    "fugaku-like": fugaku_like,
+    "power9-v100": power9_v100,
+    "uniform-dram": uniform_dram,
+}
+
+
+def get_platform(name: str, **kwargs) -> MachineSpec:
+    """Instantiate a preset platform by registry name."""
+    try:
+        factory = PLATFORM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PLATFORM_REGISTRY))
+        raise SpecError(f"unknown platform {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def xeon_max(
+    *,
+    mode: str = "flat",
+    quadrants: int = 4,
+    cores_per_quadrant: int = 14,
+    hbm_per_quadrant: int | str = 16 * GB,
+    ddr5_per_quadrant: int | str = 64 * GB,
+    packages: int = 1,
+) -> MachineSpec:
+    """Intel Xeon Max (Sapphire Rapids + HBM) — the HBM+DDR Xeon the
+    paper's §II-C anticipated ("HBM capacity may be too low to avoid a
+    combination with another kind of slower but larger memory").
+
+    Modes mirror the product's BIOS options, which are KNL's reborn:
+
+    * ``flat``   — HBM and DDR5 as separate NUMA nodes per quadrant;
+    * ``cache``  — HBM as a memory-side cache in front of the DDR5;
+    * ``hbm-only`` — no DDR5 populated: HBM is the only memory.
+    """
+    if mode not in ("flat", "cache", "hbm-only"):
+        raise SpecError(f"unknown Xeon Max mode {mode!r}")
+    hbm = parse_size(hbm_per_quadrant)
+    ddr = parse_size(ddr5_per_quadrant)
+    hbm_tech = tech("hbm2e-spr-quadrant")
+    ddr_tech = tech("ddr5-spr-quadrant")
+    caches = (
+        CacheSpec(level=1, size=48 * 1024),
+        CacheSpec(level=2, size=2 * 1024 * 1024),
+        CacheSpec(level=3, size=parse_size("28MB"), shared=True),
+    )
+
+    def quadrant_memories() -> tuple[MemoryNodeSpec, ...]:
+        if mode == "hbm-only":
+            return (
+                MemoryNodeSpec(tech=hbm_tech, capacity=hbm, subtype="HBM"),
+            )
+        if mode == "cache":
+            cache = MemsideCacheSpec(
+                size=hbm,
+                hit_latency=hbm_tech.loaded_latency,
+                hit_bandwidth=hbm_tech.peak_read_bandwidth,
+                associativity=1,
+                label="MemSideCache(HBM)",
+            )
+            return (
+                MemoryNodeSpec(tech=ddr_tech, capacity=ddr, memside_cache=cache),
+            )
+        return (
+            MemoryNodeSpec(tech=ddr_tech, capacity=ddr),
+            MemoryNodeSpec(tech=hbm_tech, capacity=hbm, subtype="HBM"),
+        )
+
+    pkgs = tuple(
+        PackageSpec(
+            groups=tuple(
+                GroupSpec(
+                    cores=cores_per_quadrant,
+                    pus_per_core=2,
+                    name=f"Quadrant L#{q}",
+                    memories=quadrant_memories(),
+                    caches=caches,
+                )
+                for q in range(quadrants)
+            )
+        )
+        for _ in range(packages)
+    )
+    return MachineSpec(
+        name=f"xeon-max-{mode}",
+        packages=pkgs,
+        core_ops_per_second=2.2e9,
+    )
+
+
+PLATFORM_REGISTRY["xeon-max"] = xeon_max
+__all__.append("xeon_max")

@@ -1,0 +1,206 @@
+"""Machine-spec serialization: declarative platforms as JSON documents.
+
+Real deployments describe their machines once and ship the description
+(hwloc does this with XML).  Here a :class:`~repro.hw.spec.MachineSpec`
+round-trips through a plain JSON-compatible dict, so users can keep
+platform files next to their experiments and load them with
+:func:`machine_from_dict` / :func:`load_machine`::
+
+    spec = load_machine("myplatform.json")
+    setup = repro.quick_setup_from(spec)          # or build manually
+
+Technologies can either reference a preset by name (``"tech":
+"ddr4-xeon"``) or inline every field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from ..errors import SpecError
+from .spec import (
+    CacheSpec,
+    GroupSpec,
+    InterconnectSpec,
+    MachineSpec,
+    MemoryNodeSpec,
+    MemsideCacheSpec,
+    PackageSpec,
+)
+from .techs import TECH_PRESETS, MemoryKind, MemoryTechnology
+
+__all__ = [
+    "machine_to_dict",
+    "machine_from_dict",
+    "save_machine",
+    "load_machine",
+]
+
+
+# ----------------------------------------------------------------------
+# to dict
+# ----------------------------------------------------------------------
+def _tech_to_dict(tech: MemoryTechnology) -> dict | str:
+    preset = TECH_PRESETS.get(tech.name)
+    if preset is not None and preset == tech:
+        return tech.name
+    out = dataclasses.asdict(tech)
+    out["kind"] = tech.kind.value
+    return out
+
+
+def _memside_to_dict(cache: MemsideCacheSpec | None) -> dict | None:
+    return None if cache is None else dataclasses.asdict(cache)
+
+
+def _memory_to_dict(mem: MemoryNodeSpec) -> dict:
+    return {
+        "tech": _tech_to_dict(mem.tech),
+        "capacity": mem.capacity,
+        "memside_cache": _memside_to_dict(mem.memside_cache),
+        "subtype": mem.subtype,
+    }
+
+
+def _cache_to_dict(cache: CacheSpec) -> dict:
+    return dataclasses.asdict(cache)
+
+
+def _group_to_dict(group: GroupSpec) -> dict:
+    return {
+        "cores": group.cores,
+        "pus_per_core": group.pus_per_core,
+        "memories": [_memory_to_dict(m) for m in group.memories],
+        "caches": [_cache_to_dict(c) for c in group.caches],
+        "name": group.name,
+    }
+
+
+def _package_to_dict(pkg: PackageSpec) -> dict:
+    return {
+        "groups": [_group_to_dict(g) for g in pkg.groups],
+        "cores": pkg.cores,
+        "pus_per_core": pkg.pus_per_core,
+        "memories": [_memory_to_dict(m) for m in pkg.memories],
+        "caches": [_cache_to_dict(c) for c in pkg.caches],
+    }
+
+
+def machine_to_dict(machine: MachineSpec) -> dict:
+    """Serialize a machine spec to a JSON-compatible dict."""
+    return {
+        "name": machine.name,
+        "packages": [_package_to_dict(p) for p in machine.packages],
+        "machine_memories": [
+            _memory_to_dict(m) for m in machine.machine_memories
+        ],
+        "interconnect": dataclasses.asdict(machine.interconnect),
+        "core_ops_per_second": machine.core_ops_per_second,
+        "has_hmat": machine.has_hmat,
+        "hmat_local_only": machine.hmat_local_only,
+    }
+
+
+# ----------------------------------------------------------------------
+# from dict
+# ----------------------------------------------------------------------
+def _tech_from(obj) -> MemoryTechnology:
+    if isinstance(obj, str):
+        try:
+            return TECH_PRESETS[obj]
+        except KeyError:
+            raise SpecError(f"unknown technology preset {obj!r}") from None
+    if not isinstance(obj, dict):
+        raise SpecError(f"bad technology description: {obj!r}")
+    data = dict(obj)
+    try:
+        data["kind"] = MemoryKind(data["kind"])
+    except (KeyError, ValueError):
+        raise SpecError(f"technology needs a valid 'kind': {obj!r}") from None
+    try:
+        return MemoryTechnology(**data)
+    except TypeError as exc:
+        raise SpecError(f"bad technology fields: {exc}") from None
+
+
+def _memside_from(obj) -> MemsideCacheSpec | None:
+    if obj is None:
+        return None
+    return MemsideCacheSpec(**obj)
+
+
+def _memory_from(obj: dict) -> MemoryNodeSpec:
+    return MemoryNodeSpec(
+        tech=_tech_from(obj["tech"]),
+        capacity=int(obj["capacity"]),
+        memside_cache=_memside_from(obj.get("memside_cache")),
+        subtype=obj.get("subtype", ""),
+    )
+
+
+def _cache_from(obj: dict) -> CacheSpec:
+    return CacheSpec(**obj)
+
+
+def _group_from(obj: dict) -> GroupSpec:
+    return GroupSpec(
+        cores=int(obj["cores"]),
+        pus_per_core=int(obj.get("pus_per_core", 1)),
+        memories=tuple(_memory_from(m) for m in obj.get("memories", [])),
+        caches=tuple(_cache_from(c) for c in obj.get("caches", [])),
+        name=obj.get("name", "Group0"),
+    )
+
+
+def _package_from(obj: dict) -> PackageSpec:
+    return PackageSpec(
+        groups=tuple(_group_from(g) for g in obj.get("groups", [])),
+        cores=int(obj.get("cores", 0)),
+        pus_per_core=int(obj.get("pus_per_core", 1)),
+        memories=tuple(_memory_from(m) for m in obj.get("memories", [])),
+        caches=tuple(_cache_from(c) for c in obj.get("caches", [])),
+    )
+
+
+def machine_from_dict(data: dict) -> MachineSpec:
+    """Rebuild a machine spec from :func:`machine_to_dict` output."""
+    if not isinstance(data, dict):
+        raise SpecError("machine description must be a dict")
+    try:
+        packages = tuple(_package_from(p) for p in data["packages"])
+    except KeyError:
+        raise SpecError("machine description needs 'packages'") from None
+    interconnect = (
+        InterconnectSpec(**data["interconnect"])
+        if "interconnect" in data
+        else InterconnectSpec()
+    )
+    return MachineSpec(
+        name=data.get("name", "unnamed"),
+        packages=packages,
+        machine_memories=tuple(
+            _memory_from(m) for m in data.get("machine_memories", [])
+        ),
+        interconnect=interconnect,
+        core_ops_per_second=float(data.get("core_ops_per_second", 2.0e9)),
+        has_hmat=bool(data.get("has_hmat", True)),
+        hmat_local_only=bool(data.get("hmat_local_only", True)),
+    )
+
+
+def save_machine(machine: MachineSpec, path: str | pathlib.Path) -> None:
+    """Write a machine description to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(machine_to_dict(machine), indent=2) + "\n"
+    )
+
+
+def load_machine(path: str | pathlib.Path) -> MachineSpec:
+    """Load a machine description from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SpecError(f"cannot load machine file {path}: {exc}") from None
+    return machine_from_dict(data)

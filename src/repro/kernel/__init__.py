@@ -1,0 +1,38 @@
+"""Operating-system memory-management substrate.
+
+A small model of the Linux NUMA memory manager: per-node page accounting,
+allocation policies (default/bind/preferred/interleave — including the
+preferred-policy index restriction the paper discusses in §VII, footnote
+21), zonelist-ordered fallback, and page migration with a cost model.
+
+The heterogeneous allocator (:mod:`repro.alloc`) sits on top of this layer
+exactly like hwloc's allocator sits on top of ``mbind``/``move_pages``.
+"""
+
+from .nodes import NodeState
+from .policy import (
+    MemPolicy,
+    PolicyKind,
+    default_policy,
+    bind_policy,
+    preferred_policy,
+    interleave_policy,
+)
+from .pagealloc import KernelMemoryManager, PageAllocation
+from .migration import MigrationReport
+from .autotier import AutoTierDaemon, TierConfig
+
+__all__ = [
+    "NodeState",
+    "MemPolicy",
+    "PolicyKind",
+    "default_policy",
+    "bind_policy",
+    "preferred_policy",
+    "interleave_policy",
+    "KernelMemoryManager",
+    "PageAllocation",
+    "MigrationReport",
+    "AutoTierDaemon",
+    "TierConfig",
+]

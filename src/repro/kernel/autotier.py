@@ -1,0 +1,175 @@
+"""Reactive page auto-tiering (Linux TPP / AutoNUMA-demotion style).
+
+The paper's approach is *declarative*: the application states each
+buffer's needs up front.  The competing school is *reactive*: the kernel
+watches access frequencies and migrates hot pages to the fast tier and
+cold pages down, with no application changes — the software sibling of
+KNL's hardware Cache mode, carrying the same trade-off (§II-A:
+productivity vs tuned performance; plus convergence lag and migration
+churn).
+
+:class:`AutoTierDaemon` implements the reactive loop over our kernel:
+callers feed per-buffer access volumes each interval (`observe`), and
+`step()` promotes the hottest buffers into the fast tier / demotes the
+coldest out, within a migration budget.  The ablation benchmark compares
+its convergence against the attribute allocator's immediate placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from .migration import MigrationReport
+from .pagealloc import KernelMemoryManager, PageAllocation
+
+__all__ = ["TierConfig", "AutoTierDaemon"]
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Which nodes form the fast tier, and the daemon's knobs."""
+
+    fast_nodes: tuple[int, ...]
+    slow_nodes: tuple[int, ...]
+    #: hotness (bytes accessed per byte of buffer per interval) above which
+    #: a buffer is a promotion candidate.
+    promotion_threshold: float = 1.0
+    #: hotness below which a resident buffer is a demotion candidate.
+    demotion_threshold: float = 0.1
+    #: max bytes migrated per step (migration bandwidth budget).
+    migration_budget_bytes: int = 4 << 30
+    #: exponential decay applied to hotness each step (history smoothing).
+    decay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.fast_nodes or not self.slow_nodes:
+            raise ReproError("both tiers need at least one node")
+        if set(self.fast_nodes) & set(self.slow_nodes):
+            raise ReproError("a node cannot be in both tiers")
+        if not 0 <= self.decay <= 1:
+            raise ReproError("decay must be in [0, 1]")
+        if self.promotion_threshold <= self.demotion_threshold:
+            raise ReproError("promotion threshold must exceed demotion threshold")
+
+
+@dataclass
+class _Tracked:
+    allocation: PageAllocation
+    hotness: float = 0.0
+    bytes_this_interval: float = 0.0
+
+
+@dataclass
+class StepReport:
+    """What one daemon step did."""
+
+    promoted: list[str] = field(default_factory=list)
+    demoted: list[str] = field(default_factory=list)
+    migrations: list[MigrationReport] = field(default_factory=list)
+    bytes_moved: int = 0
+
+    @property
+    def migration_seconds(self) -> float:
+        return sum(m.estimated_seconds for m in self.migrations)
+
+
+class AutoTierDaemon:
+    """The reactive tiering loop."""
+
+    def __init__(self, kernel: KernelMemoryManager, config: TierConfig) -> None:
+        unknown = (set(config.fast_nodes) | set(config.slow_nodes)) - set(
+            kernel.node_ids()
+        )
+        if unknown:
+            raise ReproError(f"tier config references unknown nodes {sorted(unknown)}")
+        self.kernel = kernel
+        self.config = config
+        self._tracked: dict[str, _Tracked] = {}
+
+    # ------------------------------------------------------------------
+    def track(self, name: str, allocation: PageAllocation) -> None:
+        """Register a buffer for tier management."""
+        if name in self._tracked:
+            raise ReproError(f"buffer {name!r} already tracked")
+        self._tracked[name] = _Tracked(allocation=allocation)
+
+    def untrack(self, name: str) -> None:
+        self._tracked.pop(name, None)
+
+    def observe(self, accesses_bytes: dict[str, float]) -> None:
+        """Feed one interval's access volumes (bytes touched per buffer).
+
+        Stands in for the page-fault/PMU sampling a real kernel uses.
+        """
+        for name, nbytes in accesses_bytes.items():
+            if name not in self._tracked:
+                raise ReproError(f"unknown buffer {name!r}")
+            if nbytes < 0:
+                raise ReproError("access volume must be non-negative")
+            self._tracked[name].bytes_this_interval += nbytes
+
+    # ------------------------------------------------------------------
+    def _fraction_fast(self, alloc: PageAllocation) -> float:
+        return sum(alloc.fraction_on(n) for n in self.config.fast_nodes)
+
+    def hotness(self, name: str) -> float:
+        return self._tracked[name].hotness
+
+    def step(self) -> StepReport:
+        """Close one interval: update hotness, demote cold, promote hot."""
+        cfg = self.config
+        report = StepReport()
+        for t in self._tracked.values():
+            density = t.bytes_this_interval / max(t.allocation.size_bytes, 1)
+            t.hotness = cfg.decay * t.hotness + (1 - cfg.decay) * density
+            t.bytes_this_interval = 0.0
+
+        budget = cfg.migration_budget_bytes
+
+        # Demote cold residents first: frees fast-tier room.
+        for name, t in sorted(self._tracked.items(), key=lambda kv: kv[1].hotness):
+            if t.hotness >= cfg.demotion_threshold:
+                break
+            if self._fraction_fast(t.allocation) == 0.0 or budget <= 0:
+                continue
+            dest = max(cfg.slow_nodes, key=self.kernel.free_bytes)
+            pages = min(
+                t.allocation.total_pages, budget // self.kernel.page_size
+            )
+            if pages == 0:
+                continue
+            migration = self.kernel.migrate(t.allocation, dest, pages=pages)
+            if migration.moved_pages:
+                report.demoted.append(name)
+                report.migrations.append(migration)
+                report.bytes_moved += migration.bytes_moved
+                budget -= migration.bytes_moved
+
+        # Promote the hottest candidates while room and budget remain.
+        for name, t in sorted(
+            self._tracked.items(), key=lambda kv: -kv[1].hotness
+        ):
+            if t.hotness < cfg.promotion_threshold or budget <= 0:
+                break
+            if self._fraction_fast(t.allocation) >= 0.999:
+                continue
+            dest = max(cfg.fast_nodes, key=self.kernel.free_bytes)
+            needed = t.allocation.total_pages - t.allocation.pages_by_node.get(
+                dest, 0
+            )
+            pages = min(
+                needed,
+                budget // self.kernel.page_size,
+                self.kernel.free_bytes(dest) // self.kernel.page_size,
+            )
+            if pages == 0:
+                continue
+            migration = self.kernel.migrate(t.allocation, dest, pages=pages)
+            if migration.moved_pages:
+                report.promoted.append(name)
+                report.migrations.append(migration)
+                report.bytes_moved += migration.bytes_moved
+                budget -= migration.bytes_moved
+
+        return report

@@ -1,0 +1,79 @@
+"""Per-NUMA-node page accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CapacityError, SpecError
+from ..hw.spec import NodeInstance
+
+__all__ = ["NodeState"]
+
+
+@dataclass
+class NodeState:
+    """Mutable allocation state of one NUMA node.
+
+    Tracks pages, not bytes: all kernel-level bookkeeping is in units of
+    ``page_size`` like the real thing, which makes partial allocations and
+    interleaving exact.
+    """
+
+    instance: NodeInstance
+    page_size: int
+    total_pages: int
+    free_pages: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise SpecError("page_size must be positive")
+        if self.total_pages <= 0:
+            raise SpecError("node must have at least one page")
+        if self.free_pages < 0:
+            self.free_pages = self.total_pages
+
+    @classmethod
+    def from_instance(cls, instance: NodeInstance, page_size: int) -> "NodeState":
+        return cls(
+            instance=instance,
+            page_size=page_size,
+            total_pages=instance.capacity // page_size,
+        )
+
+    @property
+    def os_index(self) -> int:
+        return self.instance.os_index
+
+    @property
+    def used_pages(self) -> int:
+        return self.total_pages - self.free_pages
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_pages * self.page_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+    def reserve(self, pages: int) -> None:
+        """Take pages from the free pool; raises :class:`CapacityError`."""
+        if pages < 0:
+            raise SpecError("cannot reserve a negative page count")
+        if pages > self.free_pages:
+            raise CapacityError(
+                f"node {self.os_index}: requested {pages} pages, "
+                f"only {self.free_pages} free"
+            )
+        self.free_pages -= pages
+
+    def release(self, pages: int) -> None:
+        """Return pages to the free pool."""
+        if pages < 0:
+            raise SpecError("cannot release a negative page count")
+        if self.free_pages + pages > self.total_pages:
+            raise SpecError(
+                f"node {self.os_index}: releasing {pages} pages would exceed "
+                f"capacity ({self.free_pages}/{self.total_pages} free)"
+            )
+        self.free_pages += pages

@@ -1,0 +1,348 @@
+"""Page-granularity NUMA allocator (the ``mbind`` layer).
+
+:class:`KernelMemoryManager` owns the :class:`~repro.kernel.nodes.NodeState`
+table for one machine and services policy-driven allocations, returning
+:class:`PageAllocation` records that say exactly how many pages landed on
+each node — which is what makes *partial/hybrid allocations* (paper §VII)
+observable to the simulator and the profiler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import CapacityError, PolicyError, SpecError
+from ..firmware.slit import Slit, build_slit
+from ..firmware.srat import Srat, build_srat
+from ..hw.spec import MachineSpec
+from .migration import MigrationReport, estimate_migration
+from .nodes import NodeState
+from .policy import MemPolicy, PolicyKind, bind_policy
+
+__all__ = ["PageAllocation", "KernelMemoryManager"]
+
+_alloc_ids = itertools.count(1)
+
+
+@dataclass
+class PageAllocation:
+    """One serviced allocation: how many pages ended up on which node."""
+
+    allocation_id: int
+    size_bytes: int
+    page_size: int
+    pages_by_node: dict[int, int]
+    policy: MemPolicy
+    freed: bool = False
+
+    @property
+    def total_pages(self) -> int:
+        return sum(self.pages_by_node.values())
+
+    @property
+    def nodes(self) -> tuple[int, ...]:
+        return tuple(sorted(self.pages_by_node))
+
+    @property
+    def is_split(self) -> bool:
+        """True when the buffer straddles several nodes (hybrid allocation)."""
+        return len(self.pages_by_node) > 1
+
+    def fraction_on(self, node: int) -> float:
+        """Fraction of the buffer's pages living on ``node``."""
+        total = self.total_pages
+        return self.pages_by_node.get(node, 0) / total if total else 0.0
+
+    def describe(self) -> str:
+        placement = ", ".join(
+            f"node{n}:{p}p" for n, p in sorted(self.pages_by_node.items())
+        )
+        return (
+            f"alloc#{self.allocation_id} {self.size_bytes}B "
+            f"[{placement}] policy={self.policy.describe()}"
+        )
+
+
+class KernelMemoryManager:
+    """The machine's page allocator.
+
+    Parameters
+    ----------
+    machine:
+        The platform whose NUMA nodes to manage.
+    page_size:
+        Accounting granularity; 4 KiB by default.
+    os_reserved_fraction:
+        Fraction of each node the OS keeps for itself (page tables, page
+        cache, ...), so that "allocate 192 GB on a 192 GB node" fails just
+        like on a real machine.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        *,
+        page_size: int = 4096,
+        os_reserved_fraction: float = 0.03,
+        srat: Srat | None = None,
+        slit: Slit | None = None,
+    ) -> None:
+        if page_size <= 0:
+            raise SpecError("page_size must be positive")
+        if not 0 <= os_reserved_fraction < 1:
+            raise SpecError("os_reserved_fraction must be in [0, 1)")
+        self.machine = machine
+        self.page_size = page_size
+        self.srat = srat or build_srat(machine)
+        self.slit = slit or build_slit(machine)
+        self.nodes: dict[int, NodeState] = {}
+        for inst in machine.numa_nodes():
+            state = NodeState.from_instance(inst, page_size)
+            reserved = int(state.total_pages * os_reserved_fraction)
+            state.free_pages -= reserved
+            self.nodes[inst.os_index] = state
+        self._live: dict[int, PageAllocation] = {}
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def node_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.nodes))
+
+    def free_bytes(self, node: int) -> int:
+        return self._node(node).free_bytes
+
+    def local_node_of_pu(self, pu: int) -> int:
+        """The node "default" allocations target for a given CPU."""
+        return self.srat.domain_of_pu(pu)
+
+    def zonelist(self, from_node: int) -> tuple[int, ...]:
+        """Fallback order from a node: self first, then by SLIT distance."""
+        if from_node not in self.nodes:
+            raise PolicyError(f"unknown node {from_node}")
+        others = sorted(
+            (n for n in self.nodes if n != from_node),
+            key=lambda n: (self.slit.distance(from_node, n), n),
+        )
+        return (from_node, *others)
+
+    def _node(self, node: int) -> NodeState:
+        try:
+            return self.nodes[node]
+        except KeyError:
+            raise PolicyError(f"unknown node {node}") from None
+
+    def _pages_for(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise SpecError("allocation size must be positive")
+        return -(-size_bytes // self.page_size)
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+    def allocate(
+        self, size_bytes: int, policy: MemPolicy, *, initiator_pu: int = 0
+    ) -> PageAllocation:
+        """Service one allocation under a policy.
+
+        Raises :class:`CapacityError` when the policy's reachable nodes
+        cannot hold the request.  Partial placements (first node fills up,
+        remainder spills to the next) are recorded per node.
+        """
+        pages = self._pages_for(size_bytes)
+        order = self._candidate_order(policy, initiator_pu)
+
+        placed: dict[int, int] = {}
+        if policy.kind is PolicyKind.INTERLEAVE:
+            placed = self._interleave(pages, policy.nodes)
+        else:
+            remaining = pages
+            for node in order:
+                if remaining == 0:
+                    break
+                take = min(remaining, self._node(node).free_pages)
+                if take > 0:
+                    placed[node] = placed.get(node, 0) + take
+                    remaining -= take
+            if remaining > 0:
+                raise CapacityError(
+                    f"cannot place {pages} pages under {policy.describe()}: "
+                    f"{remaining} pages do not fit "
+                    f"(candidates: {', '.join(map(str, order))})"
+                )
+
+        for node, count in placed.items():
+            self._node(node).reserve(count)
+        alloc = PageAllocation(
+            allocation_id=next(_alloc_ids),
+            size_bytes=size_bytes,
+            page_size=self.page_size,
+            pages_by_node=placed,
+            policy=policy,
+        )
+        self._live[alloc.allocation_id] = alloc
+        return alloc
+
+    def allocate_ordered(
+        self, size_bytes: int, nodes_in_order: tuple[int, ...]
+    ) -> PageAllocation:
+        """Place pages greedily following an explicit node order.
+
+        Unlike BIND (whose fallback follows the zonelist), the caller's
+        order is authoritative — this is the primitive the heterogeneous
+        allocator's ranked spill uses.
+        """
+        if not nodes_in_order:
+            raise PolicyError("allocate_ordered needs at least one node")
+        unknown = set(nodes_in_order) - set(self.nodes)
+        if unknown:
+            raise PolicyError(f"unknown nodes {sorted(unknown)}")
+        pages = self._pages_for(size_bytes)
+        placed: dict[int, int] = {}
+        remaining = pages
+        for node in nodes_in_order:
+            if remaining == 0:
+                break
+            take = min(remaining, self._node(node).free_pages)
+            if take > 0:
+                placed[node] = placed.get(node, 0) + take
+                remaining -= take
+        if remaining > 0:
+            raise CapacityError(
+                f"ordered placement over {list(nodes_in_order)} cannot hold "
+                f"{pages} pages ({remaining} left over)"
+            )
+        for node, count in placed.items():
+            self._node(node).reserve(count)
+        alloc = PageAllocation(
+            allocation_id=next(_alloc_ids),
+            size_bytes=size_bytes,
+            page_size=self.page_size,
+            pages_by_node=placed,
+            policy=bind_policy(*nodes_in_order),
+        )
+        self._live[alloc.allocation_id] = alloc
+        return alloc
+
+    def _candidate_order(self, policy: MemPolicy, initiator_pu: int) -> tuple[int, ...]:
+        if policy.kind is PolicyKind.DEFAULT:
+            return self.zonelist(self.local_node_of_pu(initiator_pu))
+        if policy.kind is PolicyKind.BIND:
+            allowed = set(policy.nodes)
+            unknown = allowed - set(self.nodes)
+            if unknown:
+                raise PolicyError(f"bind nodeset contains unknown nodes {sorted(unknown)}")
+            local = self.local_node_of_pu(initiator_pu)
+            start = local if local in allowed else min(allowed)
+            return tuple(n for n in self.zonelist(start) if n in allowed)
+        if policy.kind is PolicyKind.PREFERRED:
+            preferred = policy.nodes[0]
+            if preferred not in self.nodes:
+                raise PolicyError(f"preferred node {preferred} unknown")
+            # Linux restriction (paper §VII fn.21): fallback only to nodes
+            # with a HIGHER index than the preferred node.
+            fallbacks = [
+                n for n in self.zonelist(preferred)[1:] if n > preferred
+            ]
+            return (preferred, *fallbacks)
+        if policy.kind is PolicyKind.INTERLEAVE:
+            unknown = set(policy.nodes) - set(self.nodes)
+            if unknown:
+                raise PolicyError(
+                    f"interleave nodeset contains unknown nodes {sorted(unknown)}"
+                )
+            return tuple(policy.nodes)
+        raise PolicyError(f"unhandled policy kind {policy.kind}")
+
+    def _interleave(self, pages: int, nodes: tuple[int, ...]) -> dict[int, int]:
+        """Round-robin placement honouring per-node free space."""
+        placed = {n: 0 for n in nodes}
+        free = {n: self._node(n).free_pages for n in nodes}
+        live = [n for n in nodes if free[n] > 0]
+        remaining = pages
+        while remaining > 0 and live:
+            share = max(1, remaining // len(live))
+            progress = False
+            for n in list(live):
+                take = min(share, free[n] - placed[n], remaining)
+                if take > 0:
+                    placed[n] += take
+                    remaining -= take
+                    progress = True
+                if placed[n] >= free[n]:
+                    live.remove(n)
+                if remaining == 0:
+                    break
+            if not progress:
+                break
+        if remaining > 0:
+            raise CapacityError(
+                f"interleave over nodes {list(nodes)} cannot hold {pages} pages"
+            )
+        return {n: c for n, c in placed.items() if c > 0}
+
+    # ------------------------------------------------------------------
+    # free / migrate
+    # ------------------------------------------------------------------
+    def free(self, alloc: PageAllocation) -> None:
+        """Release every page of an allocation."""
+        if alloc.freed:
+            raise SpecError(f"double free of {alloc.describe()}")
+        if alloc.allocation_id not in self._live:
+            raise SpecError(f"allocation #{alloc.allocation_id} not owned by this manager")
+        for node, count in alloc.pages_by_node.items():
+            self._node(node).release(count)
+        alloc.freed = True
+        del self._live[alloc.allocation_id]
+
+    def migrate(
+        self, alloc: PageAllocation, to_node: int, *, pages: int | None = None
+    ) -> MigrationReport:
+        """Move pages of an allocation to another node (``move_pages``).
+
+        Moves up to ``pages`` pages (default: all of them), constrained by
+        free space on the destination.  Returns a report with the moved
+        count and estimated cost.
+        """
+        if alloc.freed:
+            raise SpecError("cannot migrate a freed allocation")
+        dest = self._node(to_node)
+        want = alloc.total_pages if pages is None else pages
+        if want < 0:
+            raise SpecError("cannot migrate a negative page count")
+
+        moved: dict[int, int] = {}
+        remaining = min(want, alloc.total_pages - alloc.pages_by_node.get(to_node, 0))
+        for node in sorted(alloc.pages_by_node):
+            if node == to_node or remaining == 0:
+                continue
+            here = alloc.pages_by_node[node]
+            take = min(here, remaining, dest.free_pages - sum(moved.values()))
+            if take > 0:
+                moved[node] = take
+                remaining -= take
+
+        report = estimate_migration(
+            self.machine, moved, to_node, page_size=self.page_size,
+            requested_pages=want,
+        )
+        for node, count in moved.items():
+            self._node(node).release(count)
+            dest.reserve(count)
+            left = alloc.pages_by_node[node] - count
+            if left:
+                alloc.pages_by_node[node] = left
+            else:
+                del alloc.pages_by_node[node]
+            alloc.pages_by_node[to_node] = alloc.pages_by_node.get(to_node, 0) + count
+        return report
+
+    def live_allocations(self) -> tuple[PageAllocation, ...]:
+        return tuple(self._live.values())
+
+    def utilization(self) -> dict[int, float]:
+        """Fraction used per node (for capacity-pressure reports)."""
+        return {
+            n: state.used_pages / state.total_pages for n, state in self.nodes.items()
+        }

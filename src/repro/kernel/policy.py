@@ -1,0 +1,92 @@
+"""NUMA memory policies.
+
+Models the four Linux policies the paper's allocator builds on:
+
+* **default** — allocate on the node local to the calling CPU, falling
+  back by zonelist (distance) order when full.
+* **bind** — allocate strictly within a nodeset; fail when exhausted.
+* **preferred** — try one node, then fall back.  We reproduce the Linux
+  restriction the paper highlights (§VII footnote 21): fallback only ever
+  proceeds to nodes with a **higher OS index** than the preferred node,
+  which is exactly why "prefer MCDRAM, fall back to DRAM" is impossible on
+  KNL with the stock kernel policy and why the user-space heterogeneous
+  allocator is needed.
+* **interleave** — round-robin pages across a nodeset.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import PolicyError
+
+__all__ = [
+    "PolicyKind",
+    "MemPolicy",
+    "default_policy",
+    "bind_policy",
+    "preferred_policy",
+    "interleave_policy",
+]
+
+
+class PolicyKind(enum.Enum):
+    DEFAULT = "default"
+    BIND = "bind"
+    PREFERRED = "preferred"
+    INTERLEAVE = "interleave"
+
+
+@dataclass(frozen=True)
+class MemPolicy:
+    """An immutable policy descriptor.
+
+    ``nodes`` is the policy nodeset: the single preferred node for
+    PREFERRED, the allowed set for BIND/INTERLEAVE, empty for DEFAULT.
+    ``strict`` mirrors ``MPOL_BIND`` semantics (no fallback outside the
+    set).
+    """
+
+    kind: PolicyKind
+    nodes: tuple[int, ...] = ()
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is PolicyKind.DEFAULT and self.nodes:
+            raise PolicyError("default policy takes no nodeset")
+        if self.kind is PolicyKind.PREFERRED and len(self.nodes) != 1:
+            raise PolicyError("preferred policy takes exactly one node")
+        if self.kind in (PolicyKind.BIND, PolicyKind.INTERLEAVE) and not self.nodes:
+            raise PolicyError(f"{self.kind.value} policy requires a nodeset")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise PolicyError("policy nodeset contains duplicates")
+        if any(n < 0 for n in self.nodes):
+            raise PolicyError("policy nodeset contains negative indices")
+
+    def describe(self) -> str:
+        if self.kind is PolicyKind.DEFAULT:
+            return "default"
+        nodes = ",".join(str(n) for n in self.nodes)
+        extra = " strict" if self.strict else ""
+        return f"{self.kind.value}({nodes}){extra}"
+
+
+def default_policy() -> MemPolicy:
+    """Allocate local-first (what plain ``malloc`` gets)."""
+    return MemPolicy(kind=PolicyKind.DEFAULT)
+
+
+def bind_policy(*nodes: int, strict: bool = True) -> MemPolicy:
+    """Restrict allocation to ``nodes`` (``MPOL_BIND``)."""
+    return MemPolicy(kind=PolicyKind.BIND, nodes=tuple(nodes), strict=strict)
+
+
+def preferred_policy(node: int) -> MemPolicy:
+    """Prefer ``node``, falling back per the Linux index restriction."""
+    return MemPolicy(kind=PolicyKind.PREFERRED, nodes=(node,))
+
+
+def interleave_policy(*nodes: int) -> MemPolicy:
+    """Round-robin pages across ``nodes`` (``MPOL_INTERLEAVE``)."""
+    return MemPolicy(kind=PolicyKind.INTERLEAVE, nodes=tuple(nodes))

@@ -1,0 +1,35 @@
+"""OpenMP 5.x memory spaces and allocators over memory attributes.
+
+The paper notes its attributes "directly provide support for implementing
+the corresponding OpenMP 5.0 allocators and memory spaces such as
+``omp_high_bw_mem_space``" (§IV) and that the authors "are working with
+some OpenMP developers to leverage our work into runtimes" (§VIII).  This
+package is that integration: each predefined memory space maps to an
+attribute criterion, and OpenMP allocators with traits (fallback,
+partition) delegate to the heterogeneous allocator.
+"""
+
+from .spaces import (
+    MemorySpace,
+    OMP_DEFAULT_MEM_SPACE,
+    OMP_LARGE_CAP_MEM_SPACE,
+    OMP_HIGH_BW_MEM_SPACE,
+    OMP_LOW_LAT_MEM_SPACE,
+    PREDEFINED_SPACES,
+    space_targets,
+)
+from .allocators import AllocatorTraits, FallbackMode, OmpAllocator, OmpRuntime
+
+__all__ = [
+    "MemorySpace",
+    "OMP_DEFAULT_MEM_SPACE",
+    "OMP_LARGE_CAP_MEM_SPACE",
+    "OMP_HIGH_BW_MEM_SPACE",
+    "OMP_LOW_LAT_MEM_SPACE",
+    "PREDEFINED_SPACES",
+    "space_targets",
+    "AllocatorTraits",
+    "FallbackMode",
+    "OmpAllocator",
+    "OmpRuntime",
+]

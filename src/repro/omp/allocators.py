@@ -1,0 +1,113 @@
+"""OpenMP allocators with traits, delegating to the heterogeneous allocator.
+
+Implements the subset of the OpenMP allocator-trait model the paper's
+integration needs:
+
+* ``fallback = default_mem_fb`` — on failure, retry in the default space
+  (the spec's default);
+* ``fallback = abort_fb`` — failure raises;
+* ``fallback = null_fb`` — failure returns ``None`` (the spec returns a
+  null pointer);
+* ``partition = interleaved`` — spread across the space's targets
+  (mapped to a partial/hybrid allocation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..alloc.allocator import Buffer, HeterogeneousAllocator
+from ..errors import AllocationError, CapacityError
+from .spaces import MemorySpace, OMP_DEFAULT_MEM_SPACE, PREDEFINED_SPACES
+
+__all__ = ["FallbackMode", "AllocatorTraits", "OmpAllocator", "OmpRuntime"]
+
+
+class FallbackMode(enum.Enum):
+    DEFAULT_MEM_FB = "default_mem_fb"
+    ABORT_FB = "abort_fb"
+    NULL_FB = "null_fb"
+
+
+@dataclass(frozen=True)
+class AllocatorTraits:
+    """The traits we model (OpenMP 5.x table 2.9)."""
+
+    fallback: FallbackMode = FallbackMode.DEFAULT_MEM_FB
+    partition_interleaved: bool = False
+    alignment: int = 64
+
+    def __post_init__(self) -> None:
+        if self.alignment < 1 or self.alignment & (self.alignment - 1):
+            raise AllocationError("alignment must be a positive power of two")
+
+
+@dataclass(frozen=True)
+class OmpAllocator:
+    """An allocator handle: a space plus traits."""
+
+    space: MemorySpace
+    traits: AllocatorTraits = AllocatorTraits()
+
+
+class OmpRuntime:
+    """The runtime side: ``omp_alloc`` / ``omp_free`` over attributes."""
+
+    def __init__(self, allocator: HeterogeneousAllocator) -> None:
+        self.hetero = allocator
+
+    def make_allocator(
+        self,
+        space: MemorySpace | str,
+        traits: AllocatorTraits | None = None,
+    ) -> OmpAllocator:
+        if isinstance(space, str):
+            if space not in PREDEFINED_SPACES:
+                raise AllocationError(f"unknown memory space {space!r}")
+            space = PREDEFINED_SPACES[space]
+        return OmpAllocator(space=space, traits=traits or AllocatorTraits())
+
+    def omp_alloc(
+        self,
+        size: int,
+        allocator: OmpAllocator,
+        initiator,
+        *,
+        name: str | None = None,
+    ) -> Buffer | None:
+        """Allocate per the allocator's space and traits.
+
+        Returns ``None`` under ``null_fb`` when the space (and, for
+        ``default_mem_fb``, the default space too) cannot hold the
+        request — mirroring ``omp_alloc`` returning a null pointer.
+        """
+        aligned = -(-size // allocator.traits.alignment) * allocator.traits.alignment
+        try:
+            return self.hetero.mem_alloc(
+                aligned,
+                allocator.space.attribute,
+                initiator,
+                name=name,
+                allow_partial=allocator.traits.partition_interleaved,
+            )
+        except CapacityError:
+            mode = allocator.traits.fallback
+            if mode is FallbackMode.ABORT_FB:
+                raise
+            if mode is FallbackMode.NULL_FB:
+                return None
+            # default_mem_fb: retry in the default space.
+            try:
+                return self.hetero.mem_alloc(
+                    aligned,
+                    OMP_DEFAULT_MEM_SPACE.attribute,
+                    initiator,
+                    name=name,
+                    allow_partial=True,
+                )
+            except CapacityError:
+                return None
+
+    def omp_free(self, buffer: Buffer) -> None:
+        self.hetero.free(buffer)

@@ -1,0 +1,83 @@
+"""OpenMP predefined memory spaces mapped to attribute criteria.
+
+OpenMP 5.x defines abstract memory spaces; the runtime decides what
+storage backs each.  With memory attributes the mapping is one line per
+space — precisely the portability argument of the paper: the *space*
+names an application need, the *attribute ranking* finds the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import MemAttrs
+from ..errors import ReproError
+from ..topology.objects import TopoObject
+
+__all__ = [
+    "MemorySpace",
+    "OMP_DEFAULT_MEM_SPACE",
+    "OMP_LARGE_CAP_MEM_SPACE",
+    "OMP_HIGH_BW_MEM_SPACE",
+    "OMP_LOW_LAT_MEM_SPACE",
+    "PREDEFINED_SPACES",
+    "space_targets",
+]
+
+
+@dataclass(frozen=True)
+class MemorySpace:
+    """One OpenMP memory space."""
+
+    name: str
+    attribute: str         # criterion passed to the heterogeneous allocator
+    description: str = ""
+
+
+OMP_DEFAULT_MEM_SPACE = MemorySpace(
+    name="omp_default_mem_space",
+    attribute="Locality",
+    description="System default storage: the most local node",
+)
+OMP_LARGE_CAP_MEM_SPACE = MemorySpace(
+    name="omp_large_cap_mem_space",
+    attribute="Capacity",
+    description="Storage with large capacity (NVDIMM-backed where present)",
+)
+OMP_HIGH_BW_MEM_SPACE = MemorySpace(
+    name="omp_high_bw_mem_space",
+    attribute="Bandwidth",
+    description="Storage with high bandwidth (HBM/MCDRAM where present)",
+)
+OMP_LOW_LAT_MEM_SPACE = MemorySpace(
+    name="omp_low_lat_mem_space",
+    attribute="Latency",
+    description="Storage with low latency",
+)
+
+PREDEFINED_SPACES: dict[str, MemorySpace] = {
+    s.name: s
+    for s in (
+        OMP_DEFAULT_MEM_SPACE,
+        OMP_LARGE_CAP_MEM_SPACE,
+        OMP_HIGH_BW_MEM_SPACE,
+        OMP_LOW_LAT_MEM_SPACE,
+    )
+}
+
+
+def space_targets(
+    memattrs: MemAttrs, space: MemorySpace | str, initiator
+) -> tuple[TopoObject, ...]:
+    """The targets backing a space for an initiator, best first."""
+    if isinstance(space, str):
+        try:
+            space = PREDEFINED_SPACES[space]
+        except KeyError:
+            raise ReproError(f"unknown memory space {space!r}") from None
+    ranked = memattrs.rank_targets(
+        space.attribute,
+        memattrs.get_local_numanode_objs(initiator),
+        initiator if memattrs.get_by_name(space.attribute).needs_initiator else None,
+    )
+    return tuple(tv.target for tv in ranked)

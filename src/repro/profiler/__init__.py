@@ -1,0 +1,34 @@
+"""VTune-style Memory Access analysis (paper §VI-B, Table IV, Fig. 7).
+
+Consumes the simulator's :class:`~repro.sim.engine.RunTiming` records and
+derives the observables the paper reads off the Intel VTune Profiler:
+
+* **summary metrics** (:mod:`memaccess`) — DRAM Bound / PMem Bound in % of
+  clockticks, DRAM/PMem *Bandwidth* Bound in % of elapsed time, with the
+  indicator flags VTune raises;
+* **per-object analysis** (:mod:`objects`) — buffers ranked by LLC miss
+  count, with traffic, stall share and allocation-site attribution;
+* **text reports** (:mod:`report`) mirroring the layout of Table IV and
+  Fig. 7.
+"""
+
+from .counters import KIND_LABELS, kind_label
+from .memaccess import MemoryAccessSummary, analyze_run
+from .objects import MemoryObject, object_analysis
+from .report import (
+    render_bandwidth_timeline,
+    render_object_report,
+    render_summary_table,
+)
+
+__all__ = [
+    "KIND_LABELS",
+    "kind_label",
+    "MemoryAccessSummary",
+    "analyze_run",
+    "MemoryObject",
+    "object_analysis",
+    "render_summary_table",
+    "render_object_report",
+    "render_bandwidth_timeline",
+]

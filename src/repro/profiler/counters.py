@@ -1,0 +1,59 @@
+"""Counter plumbing shared by the profiler views.
+
+Maps NUMA nodes to the memory-kind labels VTune uses ("DRAM", "PMem", ...)
+and converts the simulator's per-node time attributions into per-kind
+aggregates.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProfilerError
+from ..hw.spec import MachineSpec
+from ..hw.techs import MemoryKind
+from ..sim.engine import RunTiming
+
+__all__ = ["KIND_LABELS", "kind_label", "per_kind_times", "node_kinds"]
+
+#: VTune vocabulary for each technology family.
+KIND_LABELS: dict[MemoryKind, str] = {
+    MemoryKind.DRAM: "DRAM",
+    MemoryKind.NVDIMM: "PMem",
+    MemoryKind.HBM: "HBM",
+    MemoryKind.GPU: "GPU",
+    MemoryKind.NAM: "NAM",
+}
+
+
+def kind_label(kind: MemoryKind) -> str:
+    try:
+        return KIND_LABELS[kind]
+    except KeyError:  # pragma: no cover - enum is closed
+        raise ProfilerError(f"no label for memory kind {kind}") from None
+
+
+def node_kinds(machine: MachineSpec) -> dict[int, str]:
+    """OS node index → kind label."""
+    return {n.os_index: kind_label(n.kind) for n in machine.numa_nodes()}
+
+
+def per_kind_times(
+    machine: MachineSpec, run: RunTiming
+) -> dict[str, dict[str, float]]:
+    """Aggregate each phase's per-node times by memory kind.
+
+    Returns ``{kind: {"stall_seconds": ..., "bw_seconds": ...,
+    "bytes": ...}}`` summed across phases.
+    """
+    kinds = node_kinds(machine)
+    out: dict[str, dict[str, float]] = {}
+    for node, traffic in run.merged_node_traffic().items():
+        label = kinds.get(node)
+        if label is None:
+            raise ProfilerError(f"run references unknown node {node}")
+        agg = out.setdefault(
+            label, {"stall_seconds": 0.0, "bw_seconds": 0.0, "bytes": 0.0}
+        )
+        agg["stall_seconds"] += traffic.stall_seconds
+        agg["bw_seconds"] += traffic.bw_seconds
+        agg["bytes"] += traffic.total_bytes
+    return out

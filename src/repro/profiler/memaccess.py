@@ -1,0 +1,116 @@
+"""The Memory Access summary (paper Table IV).
+
+For each memory kind present on the machine:
+
+* ``<kind> Bound`` (% of clockticks) — how much of the execution the CPU
+  spent stalled on that kind of memory (latency chains plus the queueing
+  of its own traffic);
+* ``<kind> Bandwidth Bound`` (% of elapsed time) — how long that kind's
+  links ran above a high-utilization threshold.
+
+VTune raises an *indicator flag* when a metric crosses its threshold;
+:attr:`MemoryAccessSummary.flags` reproduces that, and is what the
+profiling-based sensitivity method (§V-B) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProfilerError
+from ..hw.spec import MachineSpec
+from ..sim.engine import RunTiming
+from .counters import node_kinds
+
+__all__ = ["MemoryAccessSummary", "analyze_run", "BOUND_FLAG_THRESHOLD",
+           "BW_UTILIZATION_THRESHOLD", "BW_FLAG_THRESHOLD"]
+
+#: A kind is flagged "bound" when its stall share exceeds this.
+BOUND_FLAG_THRESHOLD = 0.20
+#: A node counts as bandwidth-saturated while utilization exceeds this.
+BW_UTILIZATION_THRESHOLD = 0.60
+#: A kind is flagged "bandwidth bound" when its saturated share exceeds this.
+BW_FLAG_THRESHOLD = 0.20
+
+
+@dataclass
+class MemoryAccessSummary:
+    """Table-IV-style metrics for one run."""
+
+    elapsed_seconds: float
+    bound_pct: dict[str, float] = field(default_factory=dict)        # of clockticks
+    bw_bound_pct: dict[str, float] = field(default_factory=dict)     # of elapsed
+    flags: dict[str, bool] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Fetch e.g. ``"DRAM Bound"`` or ``"PMem Bandwidth Bound"``."""
+        if name.endswith(" Bandwidth Bound"):
+            kind = name[: -len(" Bandwidth Bound")]
+            table = self.bw_bound_pct
+        elif name.endswith(" Bound"):
+            kind = name[: -len(" Bound")]
+            table = self.bound_pct
+        else:
+            raise ProfilerError(f"unknown metric {name!r}")
+        return table.get(kind, 0.0)
+
+    @property
+    def latency_sensitive(self) -> bool:
+        """The VTune reading of §VI-B: bound flags without bandwidth flags."""
+        any_bound = any(
+            self.flags.get(f"{kind} Bound", False) for kind in self.bound_pct
+        )
+        any_bw = any(
+            self.flags.get(f"{kind} Bandwidth Bound", False)
+            for kind in self.bw_bound_pct
+        )
+        return any_bound and not any_bw
+
+    @property
+    def bandwidth_sensitive(self) -> bool:
+        return any(
+            self.flags.get(f"{kind} Bandwidth Bound", False)
+            for kind in self.bw_bound_pct
+        )
+
+
+def analyze_run(machine: MachineSpec, run: RunTiming) -> MemoryAccessSummary:
+    """Derive the summary from a priced run."""
+    if not run.phases:
+        raise ProfilerError("cannot analyze an empty run")
+    elapsed = run.seconds
+    kinds = node_kinds(machine)
+    all_kinds = sorted(set(kinds.values()))
+    peak_bw = {
+        n.os_index: max(n.tech.peak_read_bandwidth, n.tech.peak_write_bandwidth)
+        for n in machine.numa_nodes()
+    }
+
+    stall: dict[str, float] = {k: 0.0 for k in all_kinds}
+    bw_saturated: dict[str, float] = {k: 0.0 for k in all_kinds}
+
+    for phase in run.phases:
+        for node, traffic in phase.node_traffic.items():
+            kind = kinds[node]
+            # Latency stalls always count; when the phase is bandwidth-
+            # bound, the node's own queueing time counts as stall too
+            # (VTune's Bound metrics overlap the same way).
+            stall[kind] += traffic.stall_seconds
+            if phase.bound == "bandwidth":
+                stall[kind] += min(traffic.bw_seconds, phase.seconds)
+            # VTune's Bandwidth Bound compares observed GB/s against the
+            # link peak — a latency-bound app moving few bytes stays below
+            # the threshold even when its (derated) random path is busy.
+            utilization = traffic.total_bytes / (phase.seconds * peak_bw[node])
+            if utilization >= BW_UTILIZATION_THRESHOLD:
+                bw_saturated[kind] += phase.seconds
+
+    summary = MemoryAccessSummary(elapsed_seconds=elapsed)
+    for kind in all_kinds:
+        bound = min(stall[kind] / elapsed, 0.99)
+        bw = min(bw_saturated[kind] / elapsed, 1.0)
+        summary.bound_pct[kind] = bound * 100.0
+        summary.bw_bound_pct[kind] = bw * 100.0
+        summary.flags[f"{kind} Bound"] = bound >= BOUND_FLAG_THRESHOLD
+        summary.flags[f"{kind} Bandwidth Bound"] = bw >= BW_FLAG_THRESHOLD
+    return summary

@@ -1,0 +1,98 @@
+"""Text rendering of the profiler views (Table IV / Fig. 7 layouts)."""
+
+from __future__ import annotations
+
+from ..units import format_size
+from .memaccess import MemoryAccessSummary
+from .objects import MemoryObject
+
+__all__ = ["render_summary_table", "render_object_report", "render_bandwidth_timeline"]
+
+
+def render_summary_table(
+    rows: dict[str, MemoryAccessSummary],
+    *,
+    kinds: tuple[str, ...] = ("DRAM", "PMem"),
+) -> str:
+    """Render several runs as a Table-IV-style grid.
+
+    ``rows`` maps a row label ("Graph500 / DRAM") to its summary.  A
+    VTune-style flag marker ``*`` follows each metric whose indicator
+    fired.
+    """
+    headers = ["Application / Target"]
+    for kind in kinds:
+        headers.append(f"{kind} Bound %clk")
+    for kind in kinds:
+        headers.append(f"{kind} BW Bound %t")
+    lines = ["  ".join(f"{h:>22}" for h in headers)]
+    for label, summary in rows.items():
+        cells = [f"{label:>22}"]
+        for kind in kinds:
+            val = summary.bound_pct.get(kind, 0.0)
+            flag = "*" if summary.flags.get(f"{kind} Bound") else " "
+            cells.append(f"{val:>21.1f}{flag}")
+        for kind in kinds:
+            val = summary.bw_bound_pct.get(kind, 0.0)
+            flag = "*" if summary.flags.get(f"{kind} Bandwidth Bound") else " "
+            cells.append(f"{val:>21.1f}{flag}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_object_report(objects: tuple[MemoryObject, ...], *, top: int = 10) -> str:
+    """Fig.-7-style list: buffers by LLC miss count with attribution."""
+    lines = [
+        f"{'Memory Object':>16}  {'LLC Misses':>12}  {'Traffic':>10}  "
+        f"{'Stall %':>8}  {'Pattern':>14}  Placement / Site"
+    ]
+    for obj in objects[:top]:
+        placement = ",".join(
+            f"node{n}:{f:.0%}" for n, f in sorted(obj.nodes.items())
+        )
+        site = f"  [{obj.alloc_site}]" if obj.alloc_site else ""
+        lines.append(
+            f"{obj.name:>16}  {obj.llc_miss_count:>12.3g}  "
+            f"{format_size(obj.traffic_bytes):>10}  "
+            f"{obj.stall_share * 100:>7.1f}%  {obj.pattern.value:>14}  "
+            f"{placement}{site}"
+        )
+    return "\n".join(lines)
+
+
+def render_bandwidth_timeline(
+    machine, run, *, width: int = 40
+) -> str:
+    """Fig. 7's bandwidth-over-time trace, as text.
+
+    One row per phase: elapsed time, per-kind achieved bandwidth, and a
+    bar proportional to the total (read+write, like the turquoise/blue
+    stacks of the VTune screenshots).
+    """
+    from .counters import node_kinds
+
+    kinds = node_kinds(machine)
+    all_kinds = sorted(set(kinds.values()))
+    rows = [
+        f"{'phase':>14} {'time':>9}  "
+        + "".join(f"{k + ' GB/s':>12}" for k in all_kinds)
+        + "  bandwidth"
+    ]
+    peak = 0.0
+    per_phase = []
+    for phase in run.phases:
+        by_kind = {k: 0.0 for k in all_kinds}
+        for node, traffic in phase.node_traffic.items():
+            by_kind[kinds[node]] += traffic.total_bytes
+        gbps = {k: v / phase.seconds / 1e9 for k, v in by_kind.items()}
+        total = sum(gbps.values())
+        peak = max(peak, total)
+        per_phase.append((phase, gbps, total))
+    for phase, gbps, total in per_phase:
+        bar = "#" * max(1, int(width * total / peak)) if peak else ""
+        rows.append(
+            f"{phase.name:>14} {phase.seconds * 1e3:>7.2f}ms  "
+            + "".join(f"{gbps[k]:>12.2f}" for k in all_kinds)
+            + f"  {bar}"
+        )
+    return "\n".join(rows)

@@ -1,0 +1,109 @@
+"""Benchmarking-based sensitivity (paper §V-A + the §VI-A decision rule).
+
+"The simplest strategy ... is to bind the entire process to each kind of
+memory consecutively and compare the overall performance of each run."
+
+:func:`whole_process_binding_sweep` does the binding sweep (the caller
+provides an app runner: placement-node → performance metric);
+:func:`infer_criterion` turns the outcomes into an allocation criterion by
+correlating them with the attribute rankings — including the paper's KNL
+conclusion: when the best and worst kinds are within ``gain_threshold``,
+requesting fast memory buys nothing and the criterion degrades to
+Capacity (don't burn HBM for a 1% win).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.api import MemAttrs
+from ..errors import NoValueError, ReproError
+from ..topology.objects import TopoObject
+
+__all__ = ["BindingOutcome", "whole_process_binding_sweep", "infer_criterion"]
+
+
+@dataclass(frozen=True)
+class BindingOutcome:
+    """One whole-process-binding run."""
+
+    node: int
+    label: str
+    metric: float          # higher is better (TEPS, GB/s, 1/time, ...)
+
+
+def whole_process_binding_sweep(
+    run_app: Callable[[int], float],
+    targets: Sequence[TopoObject],
+) -> tuple[BindingOutcome, ...]:
+    """Run the application once per candidate target node."""
+    if not targets:
+        raise ReproError("binding sweep needs at least one target")
+    outcomes = []
+    for target in targets:
+        metric = run_app(target.os_index)
+        if metric <= 0:
+            raise ReproError(
+                f"app metric must be positive, got {metric} on {target.label}"
+            )
+        outcomes.append(
+            BindingOutcome(node=target.os_index, label=target.label, metric=metric)
+        )
+    return tuple(outcomes)
+
+
+def infer_criterion(
+    memattrs: MemAttrs,
+    outcomes: Sequence[BindingOutcome],
+    initiator,
+    *,
+    candidates: tuple[str, ...] = ("Bandwidth", "Latency"),
+    gain_threshold: float = 1.10,
+) -> str:
+    """Infer the allocation criterion from a binding sweep.
+
+    1. If the best outcome beats the worst by less than ``gain_threshold``,
+       the application is insensitive on this machine → ``"Capacity"``.
+    2. Otherwise pick the candidate attribute whose target ranking best
+       matches the observed performance ranking (exact rank agreement
+       counted pairwise — Kendall-style concordance).
+    """
+    if len(outcomes) < 2:
+        raise ReproError("need at least two binding outcomes to compare")
+    best = max(o.metric for o in outcomes)
+    worst = min(o.metric for o in outcomes)
+    if best / worst < gain_threshold:
+        return "Capacity"
+
+    topology = memattrs.topology
+    scores: dict[str, float] = {}
+    for name in candidates:
+        attr = memattrs.get_by_name(name)
+        concordant = discordant = 0
+        for i, a in enumerate(outcomes):
+            for b in outcomes[i + 1:]:
+                try:
+                    va = memattrs.get_value(
+                        attr, topology.numanode_by_os_index(a.node), initiator
+                    )
+                    vb = memattrs.get_value(
+                        attr, topology.numanode_by_os_index(b.node), initiator
+                    )
+                except NoValueError:
+                    continue
+                if va == vb or a.metric == b.metric:
+                    continue
+                attr_prefers_a = attr.better(va, vb)
+                app_prefers_a = a.metric > b.metric
+                if attr_prefers_a == app_prefers_a:
+                    concordant += 1
+                else:
+                    discordant += 1
+        total = concordant + discordant
+        scores[name] = concordant / total if total else 0.0
+
+    best_name = max(scores, key=lambda k: scores[k])
+    if scores[best_name] == 0.0:
+        return "Capacity"
+    return best_name

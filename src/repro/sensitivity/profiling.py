@@ -1,0 +1,100 @@
+"""Profiling-based sensitivity (paper §V-B / §VI-B).
+
+Reads the VTune-style analysis and classifies each buffer: buffers with
+high LLC miss counts and dependent/random patterns in a latency-flagged
+run want ``Latency``; streaming buffers carrying the traffic of a
+bandwidth-flagged run want ``Bandwidth``; everything else is unimportant
+and can go to the capacity tier.  The output plugs straight into the
+allocator as prioritized requests — the workflow of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProfilerError
+from ..hw.spec import MachineSpec
+from ..profiler.memaccess import analyze_run
+from ..profiler.objects import object_analysis
+from ..sim.access import PatternKind
+from ..sim.engine import RunTiming
+from ..alloc.policy import AllocationRequest
+
+__all__ = ["classify_buffers", "recommend_requests"]
+
+#: Buffers below this share of total misses are "not performance critical".
+MISS_SHARE_THRESHOLD = 0.05
+#: Buffers below this share of total traffic don't justify fast memory.
+TRAFFIC_SHARE_THRESHOLD = 0.05
+
+
+def classify_buffers(
+    machine: MachineSpec,
+    run: RunTiming,
+    *,
+    alloc_sites: dict[str, str] | None = None,
+) -> dict[str, str]:
+    """Per-buffer criterion from one profiled run."""
+    summary = analyze_run(machine, run)
+    objects = object_analysis(run, alloc_sites=alloc_sites)
+    if not objects:
+        raise ProfilerError("run touched no buffers")
+
+    total_misses = sum(o.llc_miss_count for o in objects) or 1.0
+    total_traffic = sum(o.traffic_bytes for o in objects) or 1.0
+
+    out: dict[str, str] = {}
+    for obj in objects:
+        miss_share = obj.llc_miss_count / total_misses
+        traffic_share = obj.traffic_bytes / total_traffic
+        latency_pattern = obj.pattern in (
+            PatternKind.RANDOM,
+            PatternKind.POINTER_CHASE,
+        )
+        if latency_pattern and miss_share >= MISS_SHARE_THRESHOLD and (
+            summary.latency_sensitive or not summary.bandwidth_sensitive
+        ):
+            out[obj.name] = "Latency"
+        elif (
+            not latency_pattern
+            and traffic_share >= TRAFFIC_SHARE_THRESHOLD
+            and summary.bandwidth_sensitive
+        ):
+            out[obj.name] = "Bandwidth"
+        elif latency_pattern and miss_share >= MISS_SHARE_THRESHOLD:
+            out[obj.name] = "Latency"
+        else:
+            out[obj.name] = "Capacity"
+    return out
+
+
+def recommend_requests(
+    machine: MachineSpec,
+    run: RunTiming,
+    buffer_sizes: dict[str, int],
+    *,
+    alloc_sites: dict[str, str] | None = None,
+) -> tuple[AllocationRequest, ...]:
+    """Turn a profile into prioritized allocation requests (§VII).
+
+    Priorities follow stall share (scaled to integers), so the planner
+    places the most performance-critical buffers first.
+    """
+    criteria = classify_buffers(machine, run, alloc_sites=alloc_sites)
+    objects = {o.name: o for o in object_analysis(run, alloc_sites=alloc_sites)}
+    requests = []
+    for name, criterion in criteria.items():
+        if name not in buffer_sizes:
+            raise ProfilerError(f"no size known for buffer {name!r}")
+        stall = objects[name].stall_share
+        traffic = objects[name].traffic_bytes
+        priority = int(round(stall * 100)) if criterion == "Latency" else (
+            int(round(min(traffic / 1e9, 50))) if criterion == "Bandwidth" else 0
+        )
+        requests.append(
+            AllocationRequest(
+                name=name,
+                size=buffer_sizes[name],
+                attribute=criterion,
+                priority=priority,
+            )
+        )
+    return tuple(sorted(requests, key=lambda r: -r.priority))

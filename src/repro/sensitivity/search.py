@@ -1,0 +1,97 @@
+"""Exhaustive per-buffer placement search (paper §V-A's combinatorial case).
+
+"In the general case, one should rather compare the performance of all
+possible placements of every buffer ... N buffers lead to 2^N possible
+placements", pruned "by identifying buffers that are obviously not
+performance critical".
+
+:func:`exhaustive_search` enumerates placements of the critical buffers
+over candidate nodes (non-critical buffers stay on the default node),
+prunes capacity-infeasible assignments, prices each with the simulator,
+and returns the candidates sorted best-first.  It is the oracle that the
+attribute-guided allocator is benchmarked against in the ablations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..sim.access import KernelPhase, Placement
+from ..sim.engine import SimEngine
+
+__all__ = ["PlacementCandidate", "exhaustive_search"]
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One evaluated placement."""
+
+    assignment: tuple[tuple[str, int], ...]   # (buffer, node) pairs
+    seconds: float
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.assignment)
+
+
+def exhaustive_search(
+    engine: SimEngine,
+    phases: tuple[KernelPhase, ...],
+    buffer_sizes: dict[str, int],
+    candidate_nodes: tuple[int, ...],
+    *,
+    default_node: int,
+    critical_buffers: tuple[str, ...] | None = None,
+    node_capacity: dict[int, int] | None = None,
+    pus: tuple[int, ...] | None = None,
+    max_candidates: int = 4096,
+) -> tuple[PlacementCandidate, ...]:
+    """Price every feasible placement of the critical buffers.
+
+    ``critical_buffers`` defaults to all buffers (full 2^N); pass the
+    pruned set to reproduce the paper's mitigation.  ``node_capacity``
+    bounds the total bytes placed per node (defaults to unlimited).
+    """
+    if not phases:
+        raise ReproError("need at least one phase to search over")
+    all_buffers = sorted(
+        {a.buffer for phase in phases for a in phase.accesses}
+    )
+    missing = [b for b in all_buffers if b not in buffer_sizes]
+    if missing:
+        raise ReproError(f"no sizes for buffers: {missing}")
+    critical = list(critical_buffers if critical_buffers is not None else all_buffers)
+    unknown = set(critical) - set(all_buffers)
+    if unknown:
+        raise ReproError(f"critical buffers not in phases: {sorted(unknown)}")
+    if len(candidate_nodes) ** len(critical) > max_candidates:
+        raise ReproError(
+            f"search space {len(candidate_nodes)}^{len(critical)} exceeds "
+            f"max_candidates={max_candidates}; prune critical_buffers"
+        )
+
+    results: list[PlacementCandidate] = []
+    for combo in itertools.product(candidate_nodes, repeat=len(critical)):
+        if node_capacity is not None:
+            used: dict[int, int] = {}
+            for buf, node in zip(critical, combo):
+                used[node] = used.get(node, 0) + buffer_sizes[buf]
+            if any(used[n] > node_capacity.get(n, 0) for n in used):
+                continue
+        placement = Placement(
+            {b: {default_node: 1.0} for b in all_buffers}
+        )
+        for buf, node in zip(critical, combo):
+            placement.set(buf, {node: 1.0})
+        timing = engine.price_run(phases, placement, pus=pus)
+        results.append(
+            PlacementCandidate(
+                assignment=tuple(zip(critical, combo)),
+                seconds=timing.seconds,
+            )
+        )
+    if not results:
+        raise ReproError("no feasible placement found")
+    results.sort(key=lambda c: c.seconds)
+    return tuple(results)

@@ -1,0 +1,75 @@
+"""Static-analysis-flavoured sensitivity (paper §V-C).
+
+The paper surveys compiler approaches that detect "streamed/linear
+accesses to contiguous buffers ... marked as bandwidth sensitive" and
+indirection-heavy kernels as latency sensitive, then concludes compilers
+"are not ready to provide such hints yet".  We implement the hint
+generator the paper envisions: classify what a kernel *does* to each
+buffer — from its access descriptor or a short synthetic trace — and emit
+the attribute annotation a compiler would insert before each allocation.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind
+from ..sim.trace import classify_trace, synth_trace
+
+__all__ = ["attribute_for_pattern", "classify_access", "classify_kernel"]
+
+
+def attribute_for_pattern(pattern: PatternKind) -> str:
+    """The allocation criterion a given access pattern wants."""
+    return {
+        PatternKind.STREAM: "Bandwidth",
+        PatternKind.STRIDED: "Bandwidth",
+        PatternKind.RANDOM: "Latency",
+        PatternKind.POINTER_CHASE: "Latency",
+    }[pattern]
+
+
+def classify_access(
+    access: BufferAccess,
+    *,
+    use_trace: bool = False,
+    trace_length: int = 4096,
+    seed: int = 0,
+) -> str:
+    """Criterion for one buffer access.
+
+    With ``use_trace=True`` the classification goes through a synthetic
+    address trace and the trace classifier — the path a binary-analysis
+    tool would take — instead of trusting the declared pattern.
+    """
+    if use_trace:
+        trace = synth_trace(access, n=trace_length, seed=seed)
+        pattern = classify_trace(trace, line_size=access.line_size)
+    else:
+        pattern = access.pattern
+    return attribute_for_pattern(pattern)
+
+
+def classify_kernel(
+    phase: KernelPhase,
+    *,
+    traffic_threshold: float = 0.05,
+    use_trace: bool = False,
+) -> dict[str, str]:
+    """Per-buffer criteria for one kernel.
+
+    Buffers moving less than ``traffic_threshold`` of the kernel's bytes
+    are below the noise floor and get ``Capacity`` (§VII: small buffers
+    can matter, but *a static analyzer without profile data* cannot tell
+    — this is exactly the limitation the paper assigns to the method).
+    """
+    total = sum(a.bytes_read + a.bytes_written for a in phase.accesses)
+    if total <= 0:
+        raise ReproError(f"kernel {phase.name!r} moves no bytes")
+    out: dict[str, str] = {}
+    for access in phase.accesses:
+        share = (access.bytes_read + access.bytes_written) / total
+        if share < traffic_threshold:
+            out[access.buffer] = "Capacity"
+        else:
+            out[access.buffer] = classify_access(access, use_trace=use_trace)
+    return out

@@ -1,0 +1,298 @@
+"""The phase-pricing engine.
+
+:class:`SimEngine` turns (phase, placement) pairs into time, using the
+roofline-style model described in the package docstring.  Everything the
+profiler later needs — per-node traffic and stall attribution, per-buffer
+miss counts and latency shares — is preserved in the returned
+:class:`PhaseTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..hw.spec import MachineSpec, NodeInstance
+from ..topology.build import Topology, build_topology
+from .access import KernelPhase, PatternKind, Placement
+from .caches import CacheModel, cache_filter
+from .memside import memside_filter
+
+__all__ = ["NodeTraffic", "BufferTiming", "PhaseTiming", "RunTiming", "SimEngine"]
+
+
+@dataclass
+class NodeTraffic:
+    """Per-node traffic and time attribution within one phase."""
+
+    node: int
+    stream_read_bytes: float = 0.0
+    stream_write_bytes: float = 0.0
+    random_bytes: float = 0.0
+    bw_seconds: float = 0.0       # time this node's traffic needs alone
+    stall_seconds: float = 0.0    # latency-chain time paid on this node
+
+    @property
+    def total_bytes(self) -> float:
+        return self.stream_read_bytes + self.stream_write_bytes + self.random_bytes
+
+
+@dataclass
+class BufferTiming:
+    """Per-buffer outcome within one phase."""
+
+    buffer: str
+    pattern: PatternKind
+    miss_count: float = 0.0
+    latency_seconds: float = 0.0
+    traffic_bytes: float = 0.0
+    nodes: dict[int, float] = field(default_factory=dict)  # node -> fraction
+    llc_hit_fraction: float = 0.0
+
+
+@dataclass
+class PhaseTiming:
+    """Outcome of pricing one phase."""
+
+    name: str
+    threads: int
+    seconds: float
+    cpu_seconds: float
+    latency_seconds: float       # summed serialized-latency component
+    bandwidth_seconds: float     # max per-node bandwidth component
+    node_traffic: dict[int, NodeTraffic]
+    buffer_timings: dict[str, BufferTiming]
+
+    @property
+    def bound(self) -> str:
+        """What limits this phase: 'bandwidth', 'latency' or 'cpu'."""
+        serial = self.latency_seconds + self.cpu_seconds
+        if self.bandwidth_seconds >= serial:
+            return "bandwidth"
+        return "latency" if self.latency_seconds >= self.cpu_seconds else "cpu"
+
+
+@dataclass
+class RunTiming:
+    """A sequence of priced phases."""
+
+    phases: list[PhaseTiming] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    def merged_node_traffic(self) -> dict[int, NodeTraffic]:
+        merged: dict[int, NodeTraffic] = {}
+        for phase in self.phases:
+            for node, t in phase.node_traffic.items():
+                m = merged.setdefault(node, NodeTraffic(node=node))
+                m.stream_read_bytes += t.stream_read_bytes
+                m.stream_write_bytes += t.stream_write_bytes
+                m.random_bytes += t.random_bytes
+                m.bw_seconds += t.bw_seconds
+                m.stall_seconds += t.stall_seconds
+        return merged
+
+
+class SimEngine:
+    """Prices phases against one machine."""
+
+    def __init__(self, machine: MachineSpec, topology: Topology | None = None) -> None:
+        self.machine = machine
+        self.topology = topology or build_topology(machine)
+        self._nodes: dict[int, NodeInstance] = {
+            n.os_index: n for n in machine.numa_nodes()
+        }
+
+    # ------------------------------------------------------------------
+    def price_phase(
+        self,
+        phase: KernelPhase,
+        placement: Placement,
+        *,
+        pus: tuple[int, ...] | None = None,
+    ) -> PhaseTiming:
+        """Price one phase.
+
+        ``pus`` are the processors executing the phase (used for locality
+        and cache capacity); defaults to the first ``phase.threads`` PUs.
+        """
+        if pus is None:
+            pus = tuple(range(phase.threads))
+        if len(pus) < 1:
+            raise SimulationError("phase needs at least one PU")
+        threads = phase.threads
+        cache_model = CacheModel.for_threads(self.topology, pus)
+
+        total_ws = float(sum(a.working_set for a in phase.accesses))
+        node_traffic: dict[int, NodeTraffic] = {}
+        buffer_timings: dict[str, BufferTiming] = {}
+
+        # Working set landing on each node (for write-buffer / TLB terms).
+        node_ws: dict[int, float] = {}
+        node_write_ws: dict[int, float] = {}
+        for access in phase.accesses:
+            for node, frac in placement.of(access.buffer).items():
+                node_ws[node] = node_ws.get(node, 0.0) + access.working_set * frac
+                if access.bytes_written > 0:
+                    node_write_ws[node] = (
+                        node_write_ws.get(node, 0.0) + access.working_set * frac
+                    )
+
+        for access in phase.accesses:
+            share = access.working_set / total_ws if total_ws else 1.0
+            filtered = cache_filter(cache_model, access, share)
+            bt = BufferTiming(
+                buffer=access.buffer,
+                pattern=access.pattern,
+                miss_count=filtered.miss_count,
+                traffic_bytes=filtered.memory_read_bytes + filtered.memory_write_bytes,
+                llc_hit_fraction=filtered.hit_fraction,
+            )
+            for node, frac in placement.of(access.buffer).items():
+                bt.nodes[node] = frac
+                nt = node_traffic.setdefault(node, NodeTraffic(node=node))
+                if access.pattern.is_latency_bound:
+                    nt.random_bytes += bt.traffic_bytes * frac
+                    lat = self._node_latency(
+                        node, pus, node_ws.get(node, 0.0), threads
+                    )
+                    inst = self._nodes[node]
+                    mlp = threads * min(access.pattern.cpu_mlp, inst.tech.max_mlp)
+                    lat_time = filtered.miss_count * frac * lat / mlp
+                    bt.latency_seconds += lat_time
+                    nt.stall_seconds += lat_time
+                else:
+                    nt.stream_read_bytes += filtered.memory_read_bytes * frac
+                    nt.stream_write_bytes += filtered.memory_write_bytes * frac
+            buffer_timings[access.buffer] = bt
+
+        # Per-node bandwidth time.
+        for node, nt in node_traffic.items():
+            lat, rbw, wbw = self._node_bandwidths(
+                node, pus, node_ws.get(node, 0.0), node_write_ws.get(node, 0.0),
+                threads,
+            )
+            inst = self._nodes[node]
+            random_bw = min(rbw, wbw) * inst.tech.random_bandwidth_fraction
+            nt.bw_seconds = (
+                nt.stream_read_bytes / rbw
+                + nt.stream_write_bytes / wbw
+                + nt.random_bytes / random_bw
+            )
+
+        cpu_seconds = (
+            phase.cpu_ops / (threads * self.machine.core_ops_per_second)
+            if phase.cpu_ops
+            else 0.0
+        )
+        latency_seconds = sum(bt.latency_seconds for bt in buffer_timings.values())
+        bandwidth_seconds = max(
+            (nt.bw_seconds for nt in node_traffic.values()), default=0.0
+        )
+        seconds = max(bandwidth_seconds, latency_seconds + cpu_seconds)
+        if seconds <= 0:
+            raise SimulationError(f"phase {phase.name!r} priced to zero time")
+
+        return PhaseTiming(
+            name=phase.name,
+            threads=threads,
+            seconds=seconds,
+            cpu_seconds=cpu_seconds,
+            latency_seconds=latency_seconds,
+            bandwidth_seconds=bandwidth_seconds,
+            node_traffic=node_traffic,
+            buffer_timings=buffer_timings,
+        )
+
+    def price_run(
+        self,
+        phases,
+        placement: Placement,
+        *,
+        pus: tuple[int, ...] | None = None,
+    ) -> RunTiming:
+        """Price a sequence of phases under one placement."""
+        run = RunTiming()
+        for phase in phases:
+            run.phases.append(self.price_phase(phase, placement, pus=pus))
+        return run
+
+    # ------------------------------------------------------------------
+    # node performance resolution
+    # ------------------------------------------------------------------
+    def _instance(self, node: int) -> NodeInstance:
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise SimulationError(f"unknown NUMA node {node}") from None
+
+    def _blended_performance(
+        self, inst: NodeInstance, pus: tuple[int, ...]
+    ) -> tuple[float, float, float]:
+        """Locality-weighted performance when the executing PUs straddle
+        locality domains (e.g. an interleaved app spanning two packages):
+        latency averages arithmetically, bandwidths harmonically, weighted
+        by the PU distribution over locality classes."""
+        classes: dict[str, int] = {}
+        for pu in pus:
+            cls = self.machine.locality_class(pu, inst)
+            classes[cls] = classes.get(cls, 0) + 1
+        total = len(pus)
+        if len(classes) == 1:
+            return self.machine.access_performance(pus[0], inst, loaded=True)
+        lat = inv_r = inv_w = 0.0
+        for cls, count in classes.items():
+            rep = next(
+                pu for pu in pus if self.machine.locality_class(pu, inst) == cls
+            )
+            c_lat, c_rbw, c_wbw = self.machine.access_performance(
+                rep, inst, loaded=True
+            )
+            weight = count / total
+            lat += weight * c_lat
+            inv_r += weight / c_rbw
+            inv_w += weight / c_wbw
+        return lat, 1.0 / inv_r, 1.0 / inv_w
+
+    def _node_latency(
+        self, node: int, pus: tuple[int, ...], working_set: float, threads: int
+    ) -> float:
+        inst = self._instance(node)
+        base_lat, base_rbw, base_wbw = self._blended_performance(inst, pus)
+        lat = inst.tech.effective_latency(int(working_set)) * (
+            base_lat / inst.tech.loaded_latency
+        )
+        effect = memside_filter(
+            inst,
+            int(working_set),
+            base_latency=lat,
+            base_read_bw=base_rbw,
+            base_write_bw=base_wbw,
+        )
+        return effect.latency
+
+    def _node_bandwidths(
+        self,
+        node: int,
+        pus: tuple[int, ...],
+        working_set: float,
+        write_working_set: float,
+        threads: int,
+    ) -> tuple[float, float, float]:
+        inst = self._instance(node)
+        base_lat, base_rbw, base_wbw = self._blended_performance(inst, pus)
+        # Write-buffer collapse (NVDIMM) applies to the locality-adjusted
+        # write bandwidth proportionally.
+        eff_w = inst.tech.effective_write_bandwidth(int(write_working_set))
+        base_wbw = base_wbw * (eff_w / inst.tech.peak_write_bandwidth)
+        effect = memside_filter(
+            inst,
+            int(working_set),
+            base_latency=base_lat,
+            base_read_bw=base_rbw,
+            base_write_bw=base_wbw,
+        )
+        scale = min(1.0, threads / inst.tech.saturation_threads)
+        return effect.latency, effect.read_bandwidth * scale, effect.write_bandwidth * scale

@@ -1,0 +1,55 @@
+"""hwloc-like hardware topology.
+
+Models the part of hwloc the paper builds on: a tree of objects based on
+inclusion and physical locality, with **memory objects attached to the CPU
+hierarchy** (hwloc ≥ 2.0, paper §III) so that a NUMA node hangs off the
+Package / Group / Machine whose cores are local to it.
+
+The package provides:
+
+* :mod:`repro.topology.bitmap` — cpusets/nodesets (``hwloc_bitmap``).
+* :mod:`repro.topology.objects` — object types and the object struct.
+* :mod:`repro.topology.build` — discovery: build the tree from a
+  :class:`~repro.hw.spec.MachineSpec` (+ its virtual sysfs).
+* :mod:`repro.topology.traversal` — queries, including
+  :func:`get_local_numanode_objs` from the paper's Fig. 4.
+* :mod:`repro.topology.render` — ``lstopo``-style ASCII art (Figs. 1-3).
+"""
+
+from .bitmap import Bitmap
+from .objects import ObjType, TopoObject
+from .build import Topology, build_topology
+from .traversal import (
+    LocalNumanodeFlags,
+    get_local_numanode_objs,
+    objs_by_type,
+    find_covering_object,
+)
+from .render import render_lstopo
+from .distances import (
+    DistancesDB,
+    DistancesMatrix,
+    matrices_from_benchmarks,
+    matrix_from_slit,
+)
+from .xmlio import XmlTopologySummary, export_xml, parse_xml
+
+__all__ = [
+    "Bitmap",
+    "ObjType",
+    "TopoObject",
+    "Topology",
+    "build_topology",
+    "LocalNumanodeFlags",
+    "get_local_numanode_objs",
+    "objs_by_type",
+    "find_covering_object",
+    "render_lstopo",
+    "DistancesDB",
+    "DistancesMatrix",
+    "matrix_from_slit",
+    "matrices_from_benchmarks",
+    "export_xml",
+    "parse_xml",
+    "XmlTopologySummary",
+]

@@ -1,0 +1,162 @@
+"""hwloc-style distances matrices.
+
+Beyond the single SLIT view, hwloc's distances API exposes multiple
+matrices between sets of objects, each tagged with what the values
+*mean* (latency or bandwidth) and where they *came from* (OS/firmware,
+benchmarks, or the user).  The paper's companion work (M&MMs [11])
+navigates memory spaces through exactly these matrices; here they give a
+whole-matrix complement to the per-pair attribute queries.
+
+:func:`matrix_from_slit` lifts the firmware SLIT;
+:func:`matrices_from_benchmarks` converts a benchmark characterization
+sweep into full initiator×target latency and bandwidth matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+from .build import Topology
+
+__all__ = [
+    "DistancesMatrix",
+    "DistancesDB",
+    "matrix_from_slit",
+    "matrices_from_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class DistancesMatrix:
+    """One matrix: row labels × target NUMA nodes → values."""
+
+    name: str
+    means: str                       # 'latency' | 'bandwidth' | 'relative'
+    source: str                      # 'os' | 'benchmark' | 'user'
+    row_labels: tuple[str, ...]
+    target_nodes: tuple[int, ...]    # OS indices
+    values: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.means not in ("latency", "bandwidth", "relative"):
+            raise TopologyError(f"bad means {self.means!r}")
+        if self.source not in ("os", "benchmark", "user"):
+            raise TopologyError(f"bad source {self.source!r}")
+        if len(self.values) != len(self.row_labels):
+            raise TopologyError("row count mismatch")
+        if any(len(row) != len(self.target_nodes) for row in self.values):
+            raise TopologyError("column count mismatch")
+
+    def value(self, row_label: str, target_node: int) -> float:
+        try:
+            i = self.row_labels.index(row_label)
+        except ValueError:
+            raise TopologyError(f"no row {row_label!r}") from None
+        try:
+            j = self.target_nodes.index(target_node)
+        except ValueError:
+            raise TopologyError(f"no target node {target_node}") from None
+        return self.values[i][j]
+
+    def render(self) -> str:
+        width = max(10, max(len(l) for l in self.row_labels) + 1)
+        header = " " * width + "".join(
+            f"{f'node{n}':>12}" for n in self.target_nodes
+        )
+        lines = [f"# {self.name} ({self.means}, from {self.source})", header]
+        for label, row in zip(self.row_labels, self.values):
+            lines.append(
+                f"{label:<{width}}" + "".join(f"{v:>12.4g}" for v in row)
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class DistancesDB:
+    """All matrices known for one topology (``hwloc_distances_get``)."""
+
+    topology: Topology
+    matrices: list[DistancesMatrix] = field(default_factory=list)
+
+    def add(self, matrix: DistancesMatrix) -> None:
+        unknown = set(matrix.target_nodes) - {
+            n.os_index for n in self.topology.numanodes()
+        }
+        if unknown:
+            raise TopologyError(f"matrix references unknown nodes {sorted(unknown)}")
+        self.matrices.append(matrix)
+
+    def get(
+        self, *, means: str | None = None, source: str | None = None
+    ) -> tuple[DistancesMatrix, ...]:
+        return tuple(
+            m
+            for m in self.matrices
+            if (means is None or m.means == means)
+            and (source is None or m.source == source)
+        )
+
+
+def matrix_from_slit(topology: Topology) -> DistancesMatrix:
+    """The OS-provided SLIT as a relative node×node matrix."""
+    nodes = tuple(
+        n.os_index for n in sorted(topology.numanodes(), key=lambda n: n.os_index)
+    )
+    values = tuple(
+        tuple(float(topology.slit.distance(i, j)) for j in nodes) for i in nodes
+    )
+    return DistancesMatrix(
+        name="NUMA:SLIT",
+        means="relative",
+        source="os",
+        row_labels=tuple(f"node{n}" for n in nodes),
+        target_nodes=nodes,
+        values=values,
+    )
+
+
+def matrices_from_benchmarks(
+    topology: Topology, report
+) -> tuple[DistancesMatrix, DistancesMatrix]:
+    """Full latency and bandwidth matrices from a
+    :class:`~repro.bench.runner.BenchmarkReport` sweep."""
+    scopes: list[tuple[str, tuple[int, ...]]] = []
+    for key in report.pairs():
+        entry = (key.initiator_label, key.initiator_pus)
+        if entry not in scopes:
+            scopes.append(entry)
+    nodes = tuple(
+        n.os_index for n in sorted(topology.numanodes(), key=lambda n: n.os_index)
+    )
+
+    def build(means: str, extract) -> DistancesMatrix:
+        rows = []
+        for label, pus in scopes:
+            row = []
+            for node in nodes:
+                match = [
+                    extract(v)
+                    for k, v in report.measurements.items()
+                    if k.initiator_pus == pus and k.target_node == node
+                ]
+                if not match:
+                    raise TopologyError(
+                        f"benchmark report misses pair ({label}, node{node})"
+                    )
+                row.append(match[0])
+            rows.append(tuple(row))
+        return DistancesMatrix(
+            name=f"NUMA:benchmarked:{means}",
+            means=means,
+            source="benchmark",
+            row_labels=tuple(label for label, _ in scopes),
+            target_nodes=nodes,
+            values=tuple(rows),
+        )
+
+    latency = build("latency", lambda v: v.loaded_latency)
+    bandwidth = build(
+        "bandwidth", lambda v: min(v.read_bandwidth, v.write_bandwidth)
+    )
+    return latency, bandwidth

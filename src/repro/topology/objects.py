@@ -1,0 +1,115 @@
+"""Topology object types and the object structure.
+
+Follows the hwloc 2.x object model: *normal* children (Package, Group,
+Core, PU, caches) form the main tree; **memory children** (NUMANode,
+memory-side cache) are attached to the normal object whose cpuset matches
+their locality (paper §III and [10]).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..errors import TopologyError
+from .bitmap import Bitmap
+
+__all__ = ["ObjType", "TopoObject"]
+
+
+class ObjType(enum.Enum):
+    """Object types, ordered roughly from outermost to innermost."""
+
+    MACHINE = "Machine"
+    PACKAGE = "Package"
+    GROUP = "Group"
+    NUMANODE = "NUMANode"
+    MEMCACHE = "MemCache"       # memory-side cache
+    L3 = "L3"
+    L2 = "L2"
+    L1 = "L1"
+    CORE = "Core"
+    PU = "PU"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (ObjType.NUMANODE, ObjType.MEMCACHE)
+
+    @property
+    def is_normal(self) -> bool:
+        return not self.is_memory
+
+
+@dataclass(eq=False)
+class TopoObject:
+    """One object in the topology tree.
+
+    ``cpuset`` is the set of PUs physically below / local to this object;
+    ``nodeset`` the set of NUMA node OS indices local to it.  For memory
+    objects, ``cpuset`` is the locality they are attached at (e.g. a KNL
+    MCDRAM node carries its SubNUMA cluster's cpuset).
+    """
+
+    type: ObjType
+    logical_index: int
+    os_index: int = -1
+    name: str = ""
+    subtype: str = ""
+    cpuset: Bitmap = field(default_factory=Bitmap)
+    nodeset: Bitmap = field(default_factory=Bitmap)
+    parent: Optional["TopoObject"] = None
+    children: list["TopoObject"] = field(default_factory=list)
+    memory_children: list["TopoObject"] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
+    depth: int = 0
+
+    # ------------------------------------------------------------------
+    def add_child(self, child: "TopoObject") -> "TopoObject":
+        if not child.type.is_normal:
+            raise TopologyError(
+                f"{child.type.value} is a memory object; use add_memory_child"
+            )
+        child.parent = self
+        child.depth = self.depth + 1
+        self.children.append(child)
+        return child
+
+    def add_memory_child(self, child: "TopoObject") -> "TopoObject":
+        if child.type.is_normal:
+            raise TopologyError(
+                f"{child.type.value} is a normal object; use add_child"
+            )
+        child.parent = self
+        child.depth = self.depth + 1
+        self.memory_children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    def iter_subtree(self, *, memory: bool = True) -> Iterator["TopoObject"]:
+        """Depth-first iteration; memory children before normal children
+        (the hwloc display convention)."""
+        yield self
+        if memory:
+            for m in self.memory_children:
+                yield from m.iter_subtree(memory=memory)
+        for c in self.children:
+            yield from c.iter_subtree(memory=memory)
+
+    def ancestors(self) -> Iterator["TopoObject"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def label(self) -> str:
+        """hwloc-style display label, e.g. ``NUMANode L#2 (P#4)``."""
+        base = self.subtype or self.type.value
+        text = f"{base} L#{self.logical_index}"
+        if self.os_index >= 0:
+            text += f" (P#{self.os_index})"
+        return text
+
+    def __repr__(self) -> str:
+        return f"<{self.label} cpuset={self.cpuset.to_list_syntax()!r}>"

@@ -1,0 +1,116 @@
+"""``lstopo``-style ASCII rendering of a topology (paper Figs. 1-3).
+
+The real lstopo draws boxes; we render an indented tree that carries the
+same information: the containment hierarchy, memory nodes at their attach
+points (with memory-side caches in front when present), capacities, and
+core/PU counts.  Runs of identical cores are compressed to one line, like
+lstopo's ``--no-collapse`` inverse, to keep 64-core machines readable.
+"""
+
+from __future__ import annotations
+
+from ..units import format_size
+from .build import Topology
+from .objects import ObjType, TopoObject
+
+__all__ = ["render_lstopo"]
+
+_INDENT = "  "
+
+
+def _mem_label(node: TopoObject) -> str:
+    cap = format_size(node.attrs.get("capacity", 0))
+    subtype = node.subtype or node.attrs.get("kind", "")
+    extra = f" {subtype}" if subtype and subtype != "DRAM" else ""
+    return f"NUMANode L#{node.logical_index} (P#{node.os_index} {cap}{extra})"
+
+
+def _cache_label(obj: TopoObject) -> str:
+    size = format_size(obj.attrs.get("size", 0))
+    if obj.type is ObjType.MEMCACHE:
+        name = obj.name or "MemSideCache"
+        return f"{name} ({size})"
+    return f"{obj.type.value} ({size})"
+
+
+def _render_memory_children(obj: TopoObject, out: list[str], depth: int) -> None:
+    for child in obj.memory_children:
+        if child.type is ObjType.MEMCACHE:
+            out.append(_INDENT * depth + _cache_label(child))
+            _render_memory_children(child, out, depth + 1)
+        else:
+            out.append(_INDENT * depth + _mem_label(child))
+
+
+def _core_signature(core: TopoObject) -> tuple:
+    """Cores with the same child structure collapse to one line."""
+    pus = sum(1 for c in core.children if c.type is ObjType.PU)
+    caches = tuple(
+        (c.type.value, c.attrs.get("size", 0))
+        for c in core.children
+        if c.type in (ObjType.L1, ObjType.L2, ObjType.L3)
+    )
+    return (pus, caches)
+
+
+def _render_cores(cores: list[TopoObject], out: list[str], depth: int) -> None:
+    if not cores:
+        return
+    run_start = 0
+    sig = _core_signature(cores[0])
+    for i in range(1, len(cores) + 1):
+        if i == len(cores) or _core_signature(cores[i]) != sig:
+            first, last = cores[run_start], cores[i - 1]
+            npus, caches = sig
+            cache_text = "".join(
+                f" + {name}({format_size(size)})" for name, size in caches
+            )
+            pu_text = f" + {npus}×PU" if npus != 1 else " + PU"
+            if first is last:
+                head = f"Core L#{first.logical_index}"
+                pu_first = min(first.cpuset)
+                pu_range = f" (P#{pu_first}" + (
+                    f"-{max(first.cpuset)})" if npus > 1 else ")"
+                )
+            else:
+                head = f"{i - run_start} × Core L#{first.logical_index}-L#{last.logical_index}"
+                pu_range = f" (PU P#{min(first.cpuset)}-P#{max(last.cpuset)})"
+            out.append(_INDENT * depth + head + cache_text + pu_text + pu_range)
+            if i < len(cores):
+                run_start = i
+                sig = _core_signature(cores[i])
+
+
+def _render_normal(obj: TopoObject, out: list[str], depth: int) -> None:
+    if obj.type is ObjType.MACHINE:
+        title = f"Machine ({format_size(sum(n.attrs['capacity'] for n in obj.iter_subtree() if n.type is ObjType.NUMANODE))} total)"
+        if obj.name:
+            title += f' "{obj.name}"'
+        out.append(title)
+    elif obj.type is ObjType.PACKAGE:
+        out.append(_INDENT * depth + f"Package L#{obj.logical_index}")
+    elif obj.type is ObjType.GROUP:
+        name = obj.name or f"Group L#{obj.logical_index}"
+        out.append(_INDENT * depth + name)
+    elif obj.type in (ObjType.L1, ObjType.L2, ObjType.L3):
+        out.append(_INDENT * depth + _cache_label(obj))
+        return
+    elif obj.type is ObjType.CORE:
+        return  # cores are rendered in collapsed runs by the parent
+    elif obj.type is ObjType.PU:
+        return
+
+    child_depth = depth + (0 if obj.type is ObjType.MACHINE else 1)
+    _render_memory_children(obj, out, child_depth)
+    cores = [c for c in obj.children if c.type is ObjType.CORE]
+    non_cores = [c for c in obj.children if c.type is not ObjType.CORE]
+    for child in non_cores:
+        _render_normal(child, out, child_depth)
+    _render_cores(cores, out, child_depth)
+
+
+def render_lstopo(topology: Topology) -> str:
+    """Render the whole topology as indented text."""
+    out: list[str] = []
+    _render_normal(topology.root, out, 0)
+    return "\n".join(out)

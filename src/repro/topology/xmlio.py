@@ -1,0 +1,142 @@
+"""hwloc-style XML topology export.
+
+hwloc can export a discovered topology to XML so that tools (and remote
+analyses) can reload it without access to the machine.  We export the
+same information our tree carries — objects, cpusets/nodesets, memory
+attach points, capacities — plus, optionally, the memory-attribute values
+(hwloc 2.3's XML includes a ``memattrs`` section for exactly this).
+
+Import reconstructs a read-only :class:`XmlTopologySummary`, not a full
+:class:`Topology` (the live tree needs the machine model behind it); the
+summary is what remote tooling needs for inspection and diffing.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+
+from ..errors import TopologyError
+from .build import Topology
+from .objects import ObjType, TopoObject
+
+__all__ = ["export_xml", "parse_xml", "XmlTopologySummary"]
+
+
+def _obj_to_element(obj: TopoObject) -> ET.Element:
+    el = ET.Element("object")
+    el.set("type", obj.type.value)
+    el.set("logical_index", str(obj.logical_index))
+    if obj.os_index >= 0:
+        el.set("os_index", str(obj.os_index))
+    if obj.name:
+        el.set("name", obj.name)
+    if obj.subtype:
+        el.set("subtype", obj.subtype)
+    el.set("cpuset", obj.cpuset.to_list_syntax())
+    if not obj.nodeset.is_empty():
+        el.set("nodeset", obj.nodeset.to_list_syntax())
+    for key in ("capacity", "size", "kind", "tech", "line_size"):
+        if key in obj.attrs:
+            el.set(key, str(obj.attrs[key]))
+    for child in obj.memory_children:
+        sub = _obj_to_element(child)
+        sub.set("attach", "memory")
+        el.append(sub)
+    for child in obj.children:
+        el.append(_obj_to_element(child))
+    return el
+
+
+def export_xml(topology: Topology, memattrs=None) -> str:
+    """Export a topology (and optionally its attribute values) as XML."""
+    root = ET.Element("topology")
+    root.set("machine", topology.machine_spec.name)
+    root.append(_obj_to_element(topology.root))
+
+    if memattrs is not None:
+        attrs_el = ET.SubElement(root, "memattrs")
+        for attr in memattrs.attributes():
+            attr_el = ET.SubElement(attrs_el, "memattr")
+            attr_el.set("id", str(attr.id))
+            attr_el.set("name", attr.name)
+            attr_el.set(
+                "direction", "higher" if attr.higher_is_better else "lower"
+            )
+            if attr.unit:
+                attr_el.set("unit", attr.unit)
+            for node in topology.numanodes():
+                per_initiator = memattrs._store.get_map(attr.id, node.os_index)
+                for initiator, value in per_initiator.items():
+                    v_el = ET.SubElement(attr_el, "value")
+                    v_el.set("target", str(node.os_index))
+                    if initiator is not None:
+                        v_el.set("initiator", initiator.to_list_syntax())
+                    v_el.set("value", repr(float(value)))
+
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+@dataclass
+class XmlTopologySummary:
+    """What an XML import yields: counts, nodes, and attribute values."""
+
+    machine: str
+    object_counts: dict[str, int] = field(default_factory=dict)
+    numa_nodes: dict[int, dict] = field(default_factory=dict)
+    attribute_values: dict[str, list[tuple[int, str | None, float]]] = field(
+        default_factory=dict
+    )
+
+    def count(self, type_name: str) -> int:
+        return self.object_counts.get(type_name, 0)
+
+
+def parse_xml(text: str) -> XmlTopologySummary:
+    """Parse an :func:`export_xml` document back into a summary."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise TopologyError(f"bad topology XML: {exc}") from None
+    if root.tag != "topology":
+        raise TopologyError(f"not a topology document (root <{root.tag}>)")
+
+    summary = XmlTopologySummary(machine=root.get("machine", ""))
+
+    def walk(el: ET.Element) -> None:
+        if el.tag == "object":
+            type_name = el.get("type", "?")
+            summary.object_counts[type_name] = (
+                summary.object_counts.get(type_name, 0) + 1
+            )
+            if type_name == ObjType.NUMANODE.value:
+                os_index = int(el.get("os_index", "-1"))
+                summary.numa_nodes[os_index] = {
+                    "capacity": int(el.get("capacity", "0")),
+                    "kind": el.get("kind", ""),
+                    "cpuset": el.get("cpuset", ""),
+                    "logical_index": int(el.get("logical_index", "-1")),
+                }
+        for child in el:
+            walk(child)
+
+    for child in root:
+        if child.tag == "object":
+            walk(child)
+        elif child.tag == "memattrs":
+            for attr_el in child:
+                name = attr_el.get("name", "?")
+                values = []
+                for v_el in attr_el:
+                    values.append(
+                        (
+                            int(v_el.get("target", "-1")),
+                            v_el.get("initiator"),
+                            float(v_el.get("value", "nan")),
+                        )
+                    )
+                summary.attribute_values[name] = values
+    if not summary.object_counts:
+        raise TopologyError("topology XML contains no objects")
+    return summary

@@ -1,0 +1,189 @@
+"""Unit helpers: bytes, time, bandwidth.
+
+The library stores quantities in canonical units — **bytes**, **seconds**
+and **bytes/second** — and converts at the edges.  The helpers here parse
+human strings (``"96GB"``, ``"26ns"``, ``"131072MB/s"``) and format
+canonical values back for reports, matching the conventions of the paper's
+Fig. 5 (capacity in bytes, bandwidth in MB/s, latency in nanoseconds).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import SpecError
+
+__all__ = [
+    "KB", "MB", "GB", "TB",
+    "KiB", "MiB", "GiB", "TiB",
+    "NS", "US", "MS",
+    "parse_size", "parse_time", "parse_bandwidth",
+    "format_size", "format_time", "format_bandwidth",
+    "bytes_to_mbps_field", "ns_field",
+]
+
+# Decimal (SI) byte multipliers.
+KB = 10 ** 3
+MB = 10 ** 6
+GB = 10 ** 9
+TB = 10 ** 12
+
+# Binary (IEC) byte multipliers.
+KiB = 2 ** 10
+MiB = 2 ** 20
+GiB = 2 ** 30
+TiB = 2 ** 40
+
+# Time multipliers (canonical unit: seconds).
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "kb": KB, "mb": MB, "gb": GB, "tb": TB,
+    "kib": KiB, "mib": MiB, "gib": GiB, "tib": TiB,
+    "k": KB, "m": MB, "g": GB, "t": TB,
+}
+
+_TIME_SUFFIXES = {
+    "s": 1.0,
+    "ms": MS,
+    "us": US,
+    "ns": NS,
+}
+
+_NUM_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)\s*([a-zA-Z/]*)\s*$")
+
+
+def parse_size(value: int | float | str) -> int:
+    """Parse a byte quantity into an integer number of bytes.
+
+    Accepts plain numbers (already bytes) or strings with SI/IEC suffixes:
+    ``parse_size("96GB") == 96_000_000_000``,
+    ``parse_size("4GiB") == 4 * 2**30``.
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise SpecError(f"negative size: {value!r}")
+        return int(value)
+    m = _NUM_RE.match(value)
+    if not m:
+        raise SpecError(f"cannot parse size: {value!r}")
+    num, suffix = float(m.group(1)), m.group(2).lower()
+    if suffix not in _SIZE_SUFFIXES:
+        raise SpecError(f"unknown size suffix {suffix!r} in {value!r}")
+    return int(round(num * _SIZE_SUFFIXES[suffix]))
+
+
+def parse_time(value: int | float | str) -> float:
+    """Parse a duration into seconds. ``parse_time("26ns") == 26e-9``."""
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise SpecError(f"negative time: {value!r}")
+        return float(value)
+    m = _NUM_RE.match(value)
+    if not m:
+        raise SpecError(f"cannot parse time: {value!r}")
+    num, suffix = float(m.group(1)), m.group(2).lower()
+    if suffix not in _TIME_SUFFIXES:
+        raise SpecError(f"unknown time suffix {suffix!r} in {value!r}")
+    return num * _TIME_SUFFIXES[suffix]
+
+
+def parse_bandwidth(value: int | float | str) -> float:
+    """Parse a bandwidth into bytes/second.
+
+    Strings take the form ``"<number><size-unit>/s"``:
+    ``parse_bandwidth("128GB/s") == 128e9``.
+    Plain numbers are taken as bytes/second.
+    """
+    if isinstance(value, (int, float)):
+        if value < 0:
+            raise SpecError(f"negative bandwidth: {value!r}")
+        return float(value)
+    m = _NUM_RE.match(value)
+    if not m:
+        raise SpecError(f"cannot parse bandwidth: {value!r}")
+    num, suffix = float(m.group(1)), m.group(2).lower()
+    if not suffix.endswith("/s"):
+        raise SpecError(f"bandwidth must end in '/s': {value!r}")
+    size_suffix = suffix[:-2]
+    if size_suffix not in _SIZE_SUFFIXES:
+        raise SpecError(f"unknown bandwidth suffix {suffix!r} in {value!r}")
+    return num * _SIZE_SUFFIXES[size_suffix]
+
+
+def format_size(nbytes: int | float, *, binary: bool = False, precision: int = 2) -> str:
+    """Format a byte count with the largest sensible suffix.
+
+    ``binary=True`` uses IEC units (GiB), otherwise SI units (GB) as in the
+    paper's figures.
+    """
+    nbytes = float(nbytes)
+    if nbytes < 0:
+        raise SpecError(f"negative size: {nbytes!r}")
+    units = (
+        [("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)]
+        if binary
+        else [("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)]
+    )
+    for name, mult in units:
+        if nbytes >= mult:
+            q = nbytes / mult
+            text = f"{q:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{name}"
+    if nbytes == int(nbytes):
+        return f"{int(nbytes)}B"
+    text = f"{nbytes:.{precision}f}".rstrip("0").rstrip(".")
+    return f"{text}B"
+
+
+def format_time(seconds: float, *, precision: int = 2) -> str:
+    """Format a duration with ns/us/ms/s auto-scaling."""
+    if seconds < 0:
+        raise SpecError(f"negative time: {seconds!r}")
+    for name, mult in [("s", 1.0), ("ms", MS), ("us", US), ("ns", NS)]:
+        if seconds >= mult:
+            q = seconds / mult
+            text = f"{q:.{precision}f}".rstrip("0").rstrip(".")
+            return f"{text}{name}"
+    return "0s" if seconds == 0 else f"{seconds / NS:.3g}ns"
+
+
+def format_bandwidth(bps: float, *, precision: int = 2) -> str:
+    """Format bytes/second, e.g. ``format_bandwidth(128e9) == "128GB/s"``."""
+    return format_size(bps, precision=precision) + "/s"
+
+
+def bytes_to_mbps_field(bps: float) -> int:
+    """Bandwidth in MB/s as an integer, the unit of ``lstopo --memattrs``.
+
+    The paper's Fig. 5 reports ``131072`` for 128 GiB/s-class DRAM: hwloc
+    rounds to integral MB/s (decimal MB).
+    """
+    return int(round(bps / MB))
+
+
+def ns_field(seconds: float) -> int:
+    """Latency in integral nanoseconds, the unit of ``lstopo --memattrs``."""
+    return int(round(seconds / NS))
+
+
+def harmonic_mean(values) -> float:
+    """Harmonic mean, the aggregation Graph500 mandates for TEPS.
+
+    Raises :class:`SpecError` on empty input or non-positive entries, which
+    would make the harmonic mean meaningless.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        raise SpecError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise SpecError("harmonic mean requires positive values")
+    return len(vals) / math.fsum(1.0 / v for v in vals)
+
+
+__all__.append("harmonic_mean")

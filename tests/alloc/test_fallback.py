@@ -1,0 +1,54 @@
+"""Attribute fallback-chain tests (§IV-B)."""
+
+import pytest
+
+from repro.alloc import attribute_fallback_chain
+from repro.errors import UnknownAttributeError
+
+
+class TestChains:
+    def test_read_bandwidth_chain(self, xeon_attrs):
+        chain = attribute_fallback_chain(xeon_attrs, "ReadBandwidth")
+        names = [a.name for a in chain]
+        assert names[0] == "ReadBandwidth"
+        assert "Bandwidth" in names
+        assert names[-1] == "Capacity"
+
+    def test_latency_chain_ends_in_capacity(self, xeon_attrs):
+        chain = attribute_fallback_chain(xeon_attrs, "Latency")
+        assert chain[-1].name == "Capacity"
+
+    def test_capacity_has_no_fallback(self, xeon_attrs):
+        chain = attribute_fallback_chain(xeon_attrs, "Capacity")
+        assert [a.name for a in chain] == ["Capacity"]
+
+    def test_no_duplicates(self, xeon_attrs):
+        for name in ("Bandwidth", "Latency", "ReadLatency", "WriteBandwidth"):
+            chain = attribute_fallback_chain(xeon_attrs, name)
+            assert len(chain) == len({a.id for a in chain})
+
+    def test_custom_attribute_defaults_to_capacity(self, xeon_attrs):
+        from repro.core import MemAttrFlag
+        xeon_attrs.register("Endurance", MemAttrFlag.HIGHER_FIRST)
+        chain = attribute_fallback_chain(xeon_attrs, "Endurance")
+        assert [a.name for a in chain] == ["Endurance", "Capacity"]
+
+    def test_overrides(self, xeon_attrs):
+        chain = attribute_fallback_chain(
+            xeon_attrs,
+            "Bandwidth",
+            overrides={"Bandwidth": ("Latency",)},
+        )
+        assert [a.name for a in chain] == ["Bandwidth", "Latency"]
+
+    def test_unknown_attribute_raises(self, xeon_attrs):
+        with pytest.raises(UnknownAttributeError):
+            attribute_fallback_chain(xeon_attrs, "Nope")
+
+    def test_unknown_fallback_entries_skipped(self, xeon_attrs):
+        chain = attribute_fallback_chain(
+            xeon_attrs,
+            "Bandwidth",
+            overrides={"Bandwidth": ("NotRegistered", "Capacity")},
+        )
+        assert [a.name for a in chain] == ["Bandwidth", "Capacity"]

@@ -1,0 +1,103 @@
+"""Phase-manager tests: the §VII migrate-or-not decision procedure."""
+
+import pytest
+
+from repro.alloc import PhaseManager
+from repro.errors import AllocationError
+from repro.sim import BufferAccess, KernelPhase, PatternKind
+from repro.units import GB
+
+KNL_PUS = tuple(range(64))
+
+
+def hot_phase(buffer: str, sweeps: int) -> KernelPhase:
+    nbytes = 3 * GB
+    return KernelPhase(
+        name=f"hot_{buffer}",
+        threads=16,
+        accesses=(
+            BufferAccess(
+                buffer=buffer,
+                pattern=PatternKind.STREAM,
+                bytes_read=nbytes * sweeps,
+                working_set=nbytes,
+            ),
+        ),
+    )
+
+
+@pytest.fixture()
+def manager(knl_allocator, knl_engine):
+    return PhaseManager(knl_allocator, knl_engine)
+
+
+class TestEvaluate:
+    def test_short_phase_stays(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(3 * GB, "Capacity", 0, name="x")
+        decision = manager.evaluate(
+            buf, "Bandwidth", (hot_phase("x", 2),), pus=KNL_PUS
+        )
+        assert not decision.migrate
+        assert decision.migration_cost_seconds > 0
+        knl_allocator.free(buf)
+
+    def test_long_phase_migrates(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(3 * GB, "Capacity", 0, name="x")
+        decision = manager.evaluate(
+            buf, "Bandwidth", (hot_phase("x", 200),), pus=KNL_PUS
+        )
+        assert decision.migrate
+        assert decision.predicted_saving > 0
+        knl_allocator.free(buf)
+
+    def test_already_on_best_target_stays(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(3 * GB, "Bandwidth", 0, name="x")
+        decision = manager.evaluate(
+            buf, "Bandwidth", (hot_phase("x", 200),), pus=KNL_PUS
+        )
+        assert not decision.migrate
+        assert decision.migration_cost_seconds == 0.0
+        knl_allocator.free(buf)
+
+    def test_describe(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(1 * GB, "Capacity", 0, name="x")
+        decision = manager.evaluate(
+            buf, "Bandwidth", (hot_phase("x", 2),), pus=KNL_PUS
+        )
+        assert "STAY x" in decision.describe() or "MIGRATE x" in decision.describe()
+        knl_allocator.free(buf)
+
+
+class TestApply:
+    def test_apply_moves_when_worthwhile(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(3 * GB, "Capacity", 0, name="x")
+        before_kind = buf.target.attrs["kind"]
+        decision = manager.apply(
+            buf, "Bandwidth", (hot_phase("x", 200),), pus=KNL_PUS
+        )
+        assert decision.migrate
+        assert before_kind == "DRAM"
+        assert buf.target.attrs["kind"] == "HBM"
+        knl_allocator.free(buf)
+
+    def test_apply_leaves_when_not(self, manager, knl_allocator):
+        buf = knl_allocator.mem_alloc(3 * GB, "Capacity", 0, name="x")
+        decision = manager.apply(
+            buf, "Bandwidth", (hot_phase("x", 1),), pus=KNL_PUS
+        )
+        assert not decision.migrate
+        assert buf.target.attrs["kind"] == "DRAM"
+        knl_allocator.free(buf)
+
+    def test_safety_factor_raises_the_bar(self, knl_allocator, knl_engine):
+        strict = PhaseManager(knl_allocator, knl_engine, safety_factor=50.0)
+        buf = knl_allocator.mem_alloc(3 * GB, "Capacity", 0, name="x")
+        decision = strict.evaluate(
+            buf, "Bandwidth", (hot_phase("x", 200),), pus=KNL_PUS
+        )
+        assert not decision.migrate
+        knl_allocator.free(buf)
+
+    def test_bad_safety_factor(self, knl_allocator, knl_engine):
+        with pytest.raises(AllocationError):
+            PhaseManager(knl_allocator, knl_engine, safety_factor=0.5)

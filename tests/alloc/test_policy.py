@@ -1,0 +1,85 @@
+"""Placement-planner tests: FCFS vs priorities (§VII)."""
+
+import pytest
+
+from repro.alloc import AllocationRequest, PlacementPlanner
+from repro.errors import AllocationError
+from repro.units import GB
+
+
+def reqs():
+    return [
+        AllocationRequest("cold", 3 * GB, "Bandwidth", priority=0),
+        AllocationRequest("hot", 3 * GB, "Bandwidth", priority=10),
+    ]
+
+
+class TestPriorityVsFcfs:
+    def test_fcfs_gives_mcdram_to_first_comer(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        report = planner.plan(reqs(), 0, fcfs=True)
+        assert report.got_best_target["cold"]
+        assert not report.got_best_target["hot"]
+
+    def test_priority_gives_mcdram_to_hot_buffer(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        report = planner.plan(reqs(), 0)
+        assert report.got_best_target["hot"]
+        assert not report.got_best_target["cold"]
+
+    def test_equal_priorities_keep_submission_order(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        rs = [
+            AllocationRequest("first", 3 * GB, "Bandwidth", priority=5),
+            AllocationRequest("second", 3 * GB, "Bandwidth", priority=5),
+        ]
+        report = planner.plan(rs, 0)
+        assert report.got_best_target["first"]
+
+    def test_all_placed_flag(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        report = planner.plan(reqs(), 0)
+        assert report.all_placed
+
+    def test_failure_recorded_not_raised(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        rs = [AllocationRequest("huge", 1000 * GB, "Bandwidth")]
+        report = planner.plan(rs, 0)
+        assert not report.all_placed
+        assert "huge" in report.failed
+
+    def test_duplicate_names_rejected(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        rs = [
+            AllocationRequest("x", GB, "Latency"),
+            AllocationRequest("x", GB, "Latency"),
+        ]
+        with pytest.raises(AllocationError):
+            planner.plan(rs, 0)
+
+    def test_describe_mentions_outcomes(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        report = planner.plan(reqs(), 0)
+        text = report.describe()
+        assert "hot" in text and "cold" in text
+
+
+class TestHeadroom:
+    def test_headroom_reports_free_bytes(self, knl_allocator):
+        planner = PlacementPlanner(knl_allocator)
+        before = planner.headroom(0, "Bandwidth")
+        hbm_node = next(iter(before))
+        buf = knl_allocator.mem_alloc(2 * GB, "Bandwidth", 0)
+        after = planner.headroom(0, "Bandwidth")
+        assert after[hbm_node] == before[hbm_node] - buf.allocation.total_pages * 4096
+        knl_allocator.free(buf)
+
+
+class TestRequestValidation:
+    def test_bad_size(self):
+        with pytest.raises(AllocationError):
+            AllocationRequest("x", 0, "Latency")
+
+    def test_empty_name(self):
+        with pytest.raises(AllocationError):
+            AllocationRequest("", GB, "Latency")

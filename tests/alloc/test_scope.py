@@ -1,0 +1,107 @@
+"""Machine-scope allocation tests — the §VIII open question.
+
+"If the application is irregular and the local DRAM is full, is it
+better to allocate in the local NVDIMM or in another DRAM?"  With
+benchmark-fed remote values, the machine-scope ranking can answer.
+"""
+
+import pytest
+
+import repro
+from repro.errors import AllocationError
+from repro.kernel import bind_policy
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def xeon_benchmarked():
+    """Xeon stack with benchmark-fed attributes (remote pairs measured)."""
+    return repro.quick_setup("xeon-cascadelake-1lm", benchmark=True)
+
+
+class TestScope:
+    def test_local_scope_stays_local(self, xeon_benchmarked):
+        setup = xeon_benchmarked
+        buf = setup.allocator.mem_alloc(1 * GB, "Latency", 0, scope="local")
+        assert buf.target.cpuset.isset(0)
+        setup.allocator.free(buf)
+
+    def test_machine_scope_ranks_remote_dram_above_local_nvdimm(
+        self, xeon_benchmarked
+    ):
+        """The §VIII answer on this machine: remote DRAM (285ns + 60ns hop)
+        beats local Optane (860ns)."""
+        setup = xeon_benchmarked
+        _, ranked = setup.allocator.rank_for("Latency", 0, scope="machine")
+        order = [
+            (tv.target.os_index, tv.target.attrs["kind"]) for tv in ranked
+        ]
+        kinds = [k for _, k in order]
+        assert kinds[0] == "DRAM" and kinds[1] == "DRAM"
+        assert kinds.index("NVDIMM") > kinds.index("DRAM")
+
+    def test_machine_scope_fallback_crosses_packages(self, xeon_benchmarked):
+        """Local DRAM full: machine scope spills to the *other package's*
+        DRAM rather than the local NVDIMM."""
+        setup = xeon_benchmarked
+        hog = setup.kernel.allocate(180 * GB, bind_policy(0))
+        buf = setup.allocator.mem_alloc(
+            20 * GB, "Latency", 0, scope="machine"
+        )
+        assert buf.target.os_index == 1  # package-1 DRAM
+        setup.allocator.free(buf)
+        setup.kernel.free(hog)
+
+    def test_local_scope_falls_back_to_local_nvdimm(self, xeon_benchmarked):
+        setup = xeon_benchmarked
+        hog = setup.kernel.allocate(180 * GB, bind_policy(0))
+        buf = setup.allocator.mem_alloc(20 * GB, "Latency", 0, scope="local")
+        assert buf.target.os_index == 2  # local NVDIMM: only local option
+        setup.allocator.free(buf)
+        setup.kernel.free(hog)
+
+    def test_unknown_scope_rejected(self, xeon_benchmarked):
+        with pytest.raises(AllocationError):
+            xeon_benchmarked.allocator.mem_alloc(
+                1 * GB, "Latency", 0, scope="galaxy"
+            )
+
+    def test_hmat_only_attrs_cannot_rank_remote(self):
+        """Without benchmarking, machine scope silently degrades: HMAT
+        carries no remote values, so remote nodes are unranked and the
+        local ranking wins anyway."""
+        setup = repro.quick_setup("xeon-cascadelake-1lm", benchmark=False)
+        _, ranked = setup.allocator.rank_for("Latency", 0, scope="machine")
+        nodes = {tv.target.os_index for tv in ranked}
+        assert nodes == {0, 2}  # only pairs the HMAT covered
+
+
+class TestMemorylessInitiator:
+    def test_allocator_falls_back_to_machine_for_memoryless_package(self):
+        """A CPU-only package (no local NUMA node) allocates from the
+        whole machine, like the kernel zonelist."""
+        from repro.alloc import HeterogeneousAllocator
+        from repro.core import MemAttrs
+        from repro.hw import MachineSpec, MemoryNodeSpec, PackageSpec, tech
+        from repro.kernel import KernelMemoryManager
+        from repro.topology import build_topology
+
+        machine = MachineSpec(
+            name="cpu-only-pkg",
+            packages=(
+                PackageSpec(cores=2),   # memoryless
+                PackageSpec(
+                    cores=2,
+                    memories=(
+                        MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=8 * GB),
+                    ),
+                ),
+            ),
+        )
+        topo = build_topology(machine)
+        allocator = HeterogeneousAllocator(
+            MemAttrs(topo), KernelMemoryManager(machine)
+        )
+        buf = allocator.mem_alloc(1 * GB, "Capacity", 0)  # PU 0 is memoryless
+        assert buf.target.os_index == 0
+        allocator.free(buf)

@@ -1,0 +1,102 @@
+"""Stateful property test: random alloc/free/migrate sequences preserve
+the allocator's invariants (no leaks, no overcommit, registry coherent)."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+import repro
+from repro.errors import AllocationError, CapacityError
+from repro.units import MiB
+
+ATTRIBUTES = ("Bandwidth", "Latency", "Capacity", "Locality")
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    buffers = Bundle("buffers")
+
+    @initialize()
+    def setup(self):
+        self.env = repro.quick_setup("knl-snc4-flat")
+        self.allocator = self.env.allocator
+        self.kernel = self.env.kernel
+        self.baseline_free = {
+            n: self.kernel.free_bytes(n) for n in self.kernel.node_ids()
+        }
+        self.counter = 0
+
+    @rule(
+        target=buffers,
+        size_mib=st.integers(min_value=1, max_value=2048),
+        attribute=st.sampled_from(ATTRIBUTES),
+        partial=st.booleans(),
+    )
+    def alloc(self, size_mib, attribute, partial):
+        self.counter += 1
+        name = f"b{self.counter}"
+        try:
+            return self.allocator.mem_alloc(
+                size_mib * MiB,
+                attribute,
+                0,
+                name=name,
+                allow_partial=partial,
+            )
+        except CapacityError:
+            return None
+
+    @rule(buffer=buffers)
+    def free(self, buffer):
+        if buffer is None or buffer.name not in self.allocator.buffers:
+            return
+        self.allocator.free(buffer)
+
+    @rule(buffer=buffers, attribute=st.sampled_from(ATTRIBUTES))
+    def migrate(self, buffer, attribute):
+        if buffer is None or buffer.name not in self.allocator.buffers:
+            return
+        try:
+            self.allocator.migrate(buffer, attribute)
+        except CapacityError:
+            pass
+
+    @invariant()
+    def pages_conserved(self):
+        if not hasattr(self, "kernel"):
+            return
+        for node in self.kernel.node_ids():
+            live = sum(
+                buf.allocation.pages_by_node.get(node, 0)
+                for buf in self.allocator.buffers.values()
+            )
+            used = self.baseline_free[node] - self.kernel.free_bytes(node)
+            assert used == live * self.kernel.page_size
+
+    @invariant()
+    def no_overcommit(self):
+        if not hasattr(self, "kernel"):
+            return
+        for node, state in self.kernel.nodes.items():
+            assert 0 <= state.free_pages <= state.total_pages
+
+    @invariant()
+    def placements_complete(self):
+        if not hasattr(self, "allocator"):
+            return
+        for buf in self.allocator.buffers.values():
+            fractions = buf.placement_fractions()
+            assert sum(fractions.values()) == pytest.approx(1.0)
+            assert all(f > 0 for f in fractions.values())
+
+
+AllocatorMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=20, deadline=None
+)
+TestAllocatorStateMachine = AllocatorMachine.TestCase

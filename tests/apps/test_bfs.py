@@ -1,0 +1,144 @@
+"""BFS correctness tests, including property-based validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graph500 import bfs, build_csr, kronecker_edges, validate_bfs
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(kronecker_edges(11, seed=4), num_vertices=1 << 11)
+
+
+class TestBFSCorrectness:
+    def test_root_level_zero(self, graph):
+        r = bfs(graph, 0) if graph.degree(0) else bfs(graph, int(np.argmax(graph.degree())))
+        assert r.levels[r.root] == 0
+        assert r.parent[r.root] == r.root
+
+    def test_validates(self, graph):
+        root = int(np.argmax(graph.degree()))
+        r = bfs(graph, root)
+        validate_bfs(graph, r)
+
+    def test_levels_match_reference_bfs(self, graph):
+        """Cross-check levels against a simple queue-based BFS."""
+        from collections import deque
+        root = int(np.argmax(graph.degree()))
+        r = bfs(graph, root)
+        ref = {root: 0}
+        q = deque([root])
+        while q:
+            u = q.popleft()
+            for v in graph.neighbors(u):
+                v = int(v)
+                if v not in ref:
+                    ref[v] = ref[u] + 1
+                    q.append(v)
+        got = {int(v): int(l) for v, l in enumerate(r.levels) if l >= 0}
+        assert got == ref
+
+    def test_edges_scanned_counts_component(self, graph):
+        root = int(np.argmax(graph.degree()))
+        r = bfs(graph, root)
+        reached = np.flatnonzero(r.parent != -1)
+        expected = int(graph.degree()[reached].sum())
+        assert r.edges_scanned == expected
+
+    def test_frontier_sizes_sum_to_reached(self, graph):
+        root = int(np.argmax(graph.degree()))
+        r = bfs(graph, root)
+        assert sum(r.frontier_sizes) == r.vertices_visited
+
+    def test_isolated_root_trivial_tree(self):
+        edges = np.array([[0, 1], [1, 0]])
+        g = build_csr(edges, num_vertices=5)
+        r = bfs(g, 4)
+        assert r.vertices_visited == 1
+        assert r.edges_scanned == 0
+
+    def test_path_graph_levels(self):
+        edges = np.array([[0, 1, 2, 3], [1, 2, 3, 4]])
+        g = build_csr(edges, num_vertices=5)
+        r = bfs(g, 0)
+        assert r.levels.tolist() == [0, 1, 2, 3, 4]
+        validate_bfs(g, r)
+
+    def test_bad_root_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            bfs(graph, -1)
+        with pytest.raises(ValidationError):
+            bfs(graph, graph.num_vertices)
+
+
+class TestValidationCatchesCorruption:
+    def _valid_result(self, graph):
+        root = int(np.argmax(graph.degree()))
+        return bfs(graph, root)
+
+    def test_detects_bad_root(self, graph):
+        r = self._valid_result(graph)
+        r.parent[r.root] = -1
+        with pytest.raises(ValidationError):
+            validate_bfs(graph, r)
+
+    def test_detects_level_skip(self, graph):
+        r = self._valid_result(graph)
+        victim = int(np.flatnonzero((r.levels > 0))[0])
+        r.levels[victim] += 5
+        with pytest.raises(ValidationError):
+            validate_bfs(graph, r)
+
+    def test_detects_fake_tree_edge(self, graph):
+        r = self._valid_result(graph)
+        # Point a vertex's parent at a non-neighbor with the right level.
+        lvl1 = np.flatnonzero(r.levels == 2)
+        for v in lvl1:
+            non_neighbors = np.setdiff1d(
+                np.flatnonzero(r.levels == 1), graph.neighbors(int(v))
+            )
+            if non_neighbors.size:
+                r.parent[int(v)] = int(non_neighbors[0])
+                break
+        else:
+            pytest.skip("no corruptible vertex in this graph")
+        with pytest.raises(ValidationError):
+            validate_bfs(graph, r)
+
+    def test_detects_dropped_vertex(self, graph):
+        r = self._valid_result(graph)
+        victim = int(np.flatnonzero(r.levels > 0)[-1])
+        r.parent[victim] = -1
+        r.levels[victim] = -1
+        with pytest.raises(ValidationError):
+            validate_bfs(graph, r)
+
+
+class TestPropertyBased:
+    @settings(max_examples=15, deadline=None)
+    @given(scale=st.integers(min_value=4, max_value=9), seed=st.integers(0, 100))
+    def test_any_bfs_tree_validates(self, scale, seed):
+        g = build_csr(kronecker_edges(scale, seed=seed), num_vertices=1 << scale)
+        degrees = g.degree()
+        candidates = np.flatnonzero(degrees > 0)
+        if candidates.size == 0:
+            return
+        root = int(candidates[seed % candidates.size])
+        r = bfs(g, root)
+        validate_bfs(g, r)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 50))
+    def test_visits_exactly_one_component(self, seed):
+        g = build_csr(kronecker_edges(8, seed=seed), num_vertices=256)
+        candidates = np.flatnonzero(g.degree() > 0)
+        if candidates.size == 0:
+            return
+        r = bfs(g, int(candidates[0]))
+        reached = r.parent != -1
+        # Every edge stays within the reached set or the unreached set.
+        src = np.repeat(np.arange(g.num_vertices), g.degree())
+        assert np.all(reached[src] == reached[g.targets])

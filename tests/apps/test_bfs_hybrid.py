@@ -1,0 +1,78 @@
+"""Direction-optimizing BFS tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graph500 import (
+    bfs,
+    bfs_hybrid,
+    build_csr,
+    kronecker_edges,
+    validate_bfs,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_csr(kronecker_edges(12, seed=7), num_vertices=1 << 12)
+
+
+@pytest.fixture(scope="module")
+def root(graph):
+    return int(np.argmax(graph.degree()))
+
+
+class TestCorrectness:
+    def test_validates(self, graph, root):
+        validate_bfs(graph, bfs_hybrid(graph, root))
+
+    def test_levels_match_top_down(self, graph, root):
+        td = bfs(graph, root)
+        hy = bfs_hybrid(graph, root)
+        assert np.array_equal(td.levels, hy.levels)
+        assert td.vertices_visited == hy.vertices_visited
+
+    def test_bad_root_rejected(self, graph):
+        with pytest.raises(ValidationError):
+            bfs_hybrid(graph, -1)
+
+    def test_path_graph_same_levels(self):
+        """Tiny graphs confuse Beamer's heuristic (it may switch bottom-up
+        and scan more), but the levels must still be correct."""
+        edges = np.array([[i for i in range(9)], [i + 1 for i in range(9)]])
+        g = build_csr(edges, num_vertices=10)
+        td, hy = bfs(g, 0), bfs_hybrid(g, 0)
+        assert np.array_equal(td.levels, hy.levels)
+        validate_bfs(g, hy)
+
+
+class TestDirectionOptimization:
+    def test_scans_fewer_edges_on_kronecker(self, graph, root):
+        """The point of bottom-up: dense mid-traversal frontiers scan far
+        fewer edges."""
+        td = bfs(graph, root)
+        hy = bfs_hybrid(graph, root)
+        assert hy.edges_scanned < td.edges_scanned * 0.5
+
+    def test_alpha_controls_switching(self, graph, root):
+        """α → 0 means "switch to bottom-up only when the frontier's edges
+        exceed α× the unexplored edges" never fires: pure top-down."""
+        never_switch = bfs_hybrid(graph, root, alpha=1e-12)
+        td = bfs(graph, root)
+        assert never_switch.edges_scanned == td.edges_scanned
+        eager = bfs_hybrid(graph, root, alpha=1e6)
+        assert np.array_equal(eager.levels, td.levels)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 40), scale=st.integers(6, 10))
+    def test_property_same_levels_any_graph(self, seed, scale):
+        g = build_csr(kronecker_edges(scale, seed=seed), num_vertices=1 << scale)
+        candidates = np.flatnonzero(g.degree() > 0)
+        if candidates.size == 0:
+            return
+        r = int(candidates[seed % candidates.size])
+        td, hy = bfs(g, r), bfs_hybrid(g, r)
+        assert np.array_equal(td.levels, hy.levels)
+        validate_bfs(g, hy)

@@ -1,0 +1,85 @@
+"""CSR construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graph500 import build_csr, kronecker_edges
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return build_csr(kronecker_edges(10, seed=3), num_vertices=1 << 10)
+
+
+class TestConstruction:
+    def test_offsets_monotone(self, small_graph):
+        assert np.all(np.diff(small_graph.offsets) >= 0)
+        assert small_graph.offsets[0] == 0
+        assert small_graph.offsets[-1] == small_graph.num_directed_edges
+
+    def test_symmetric(self, small_graph):
+        """(u,v) in CSR ⇒ (v,u) in CSR."""
+        g = small_graph
+        for u in range(0, g.num_vertices, 97):
+            for v in g.neighbors(u):
+                assert u in g.neighbors(int(v))
+
+    def test_no_self_loops(self, small_graph):
+        g = small_graph
+        src = np.repeat(np.arange(g.num_vertices), g.degree())
+        assert not np.any(src == g.targets)
+
+    def test_no_duplicate_edges(self, small_graph):
+        g = small_graph
+        src = np.repeat(np.arange(g.num_vertices), g.degree())
+        keys = src * g.num_vertices + g.targets
+        assert len(np.unique(keys)) == len(keys)
+
+    def test_degrees_sum_to_edges(self, small_graph):
+        assert small_graph.degree().sum() == small_graph.num_directed_edges
+
+    def test_undirected_count(self, small_graph):
+        assert (
+            small_graph.num_undirected_edges * 2
+            == small_graph.num_directed_edges
+        )
+
+    def test_input_edges_recorded(self, small_graph):
+        assert small_graph.num_input_edges == 16 * 1024
+
+
+class TestEdgeCases:
+    def test_explicit_edge_list(self):
+        edges = np.array([[0, 1, 1, 2], [1, 0, 2, 0]])
+        g = build_csr(edges, num_vertices=3)
+        assert sorted(g.neighbors(1).tolist()) == [0, 2]
+        assert sorted(g.neighbors(0).tolist()) == [1, 2]
+
+    def test_self_loops_dropped(self):
+        edges = np.array([[0, 1], [0, 2]])  # (0,0) is a self-loop
+        g = build_csr(edges, num_vertices=3)
+        assert g.neighbors(0).size == 0 or 0 not in g.neighbors(0)
+
+    def test_duplicates_merged(self):
+        edges = np.array([[0, 0, 0], [1, 1, 1]])
+        g = build_csr(edges, num_vertices=2)
+        assert g.num_directed_edges == 2  # (0,1) and (1,0)
+
+    def test_isolated_vertices_have_zero_degree(self):
+        edges = np.array([[0], [1]])
+        g = build_csr(edges, num_vertices=5)
+        assert g.degree(4) == 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValidationError):
+            build_csr(np.zeros((3, 4), dtype=np.int64))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            build_csr(np.zeros((2, 0), dtype=np.int64))
+
+    def test_memory_bytes(self, small_graph):
+        sizes = small_graph.memory_bytes()
+        assert sizes["csr_offsets"] == small_graph.offsets.nbytes
+        assert sizes["csr_targets"] == small_graph.targets.nbytes

@@ -1,0 +1,194 @@
+"""Graph500 driver tests: real vs analytic traffic, TEPS shapes."""
+
+import pytest
+
+from repro.apps.graph500 import (
+    Graph500Config,
+    Graph500Driver,
+    TrafficModel,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def xeon_driver(xeon_engine):
+    return Graph500Driver(xeon_engine)
+
+
+@pytest.fixture(scope="module")
+def knl_driver(knl_engine):
+    return Graph500Driver(knl_engine)
+
+
+XEON_PUS = tuple(range(40))
+KNL_PUS = tuple(range(64))
+
+
+class TestTrafficModel:
+    def test_analytic_matches_real_within_tolerance(self, xeon_engine):
+        """The analytic Kronecker constants track real runs at small scale."""
+        import numpy as np
+        from repro.apps.graph500 import bfs, build_csr, kronecker_edges
+        scale = 13
+        g = build_csr(kronecker_edges(scale, seed=1), num_vertices=1 << scale)
+        r = bfs(g, int(np.argmax(g.degree())))
+        real = TrafficModel.from_bfs(g, r)
+        analytic = TrafficModel.analytic(scale)
+        assert analytic.directed_edges == pytest.approx(
+            real.directed_edges, rel=0.15
+        )
+        assert analytic.reached_vertices == pytest.approx(
+            real.reached_vertices, rel=0.35
+        )
+
+    def test_buffer_sizes_scale(self):
+        small = TrafficModel.analytic(20)
+        large = TrafficModel.analytic(23)
+        for name in small.buffer_sizes():
+            assert large.buffer_sizes()[name] == pytest.approx(
+                8 * small.buffer_sizes()[name], rel=1e-6
+            )
+
+    def test_phases_well_formed(self):
+        model = TrafficModel.analytic(20)
+        cfg = Graph500Config(scale=20, threads=16)
+        (phase,) = model.phases(cfg)
+        assert phase.threads == 16
+        assert {a.buffer for a in phase.accesses} == {
+            "csr_offsets", "csr_targets", "parent", "frontier"
+        }
+        assert phase.cpu_ops > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            Graph500Config(scale=0)
+        with pytest.raises(ValidationError):
+            Graph500Config(scale=10, nroots=0)
+
+
+class TestRunReal:
+    def test_real_run_produces_teps(self, xeon_driver):
+        cfg = Graph500Config(scale=12, nroots=3, threads=16)
+        model = TrafficModel.analytic(12)
+        placement = xeon_driver.placement_all_on(0, model)
+        result = xeon_driver.run_real(cfg, placement, pus=XEON_PUS)
+        assert len(result.teps_per_root) == 3
+        assert result.harmonic_teps > 0
+        assert "Graph500 scale 12" in result.describe()
+
+    def test_real_run_validates_trees(self, xeon_driver):
+        cfg = Graph500Config(scale=10, nroots=2, threads=8, validate=True)
+        model = TrafficModel.analytic(10)
+        placement = xeon_driver.placement_all_on(0, model)
+        # Raises internally if any BFS tree is invalid.
+        xeon_driver.run_real(cfg, placement, pus=XEON_PUS)
+
+
+class TestTable2Shapes:
+    """The qualitative claims of Table II, asserted as invariants."""
+
+    def test_xeon_dram_beats_nvdimm(self, xeon_driver):
+        cfg = Graph500Config(scale=23, nroots=2, threads=16)
+        model = TrafficModel.analytic(23)
+        dram = xeon_driver.run_model(
+            cfg, xeon_driver.placement_all_on(0, model), pus=XEON_PUS, model=model
+        )
+        nvd = xeon_driver.run_model(
+            cfg, xeon_driver.placement_all_on(2, model), pus=XEON_PUS, model=model
+        )
+        ratio = dram.harmonic_teps / nvd.harmonic_teps
+        # Paper: "DRAM provides results between 1.5 and 3 times higher."
+        assert 1.5 <= ratio <= 3.0
+
+    def test_xeon_dram_teps_near_paper(self, xeon_driver):
+        cfg = Graph500Config(scale=23, nroots=2, threads=16)
+        model = TrafficModel.analytic(23)
+        dram = xeon_driver.run_model(
+            cfg, xeon_driver.placement_all_on(0, model), pus=XEON_PUS, model=model
+        )
+        assert dram.harmonic_teps == pytest.approx(3.42e8, rel=0.15)
+
+    def test_nvdimm_collapses_at_scale27(self, xeon_driver):
+        cfg26 = Graph500Config(scale=26, nroots=1, threads=16)
+        cfg27 = Graph500Config(scale=27, nroots=1, threads=16)
+        m26, m27 = TrafficModel.analytic(26), TrafficModel.analytic(27)
+        t26 = xeon_driver.run_model(
+            cfg26, xeon_driver.placement_all_on(2, m26), pus=XEON_PUS, model=m26
+        )
+        t27 = xeon_driver.run_model(
+            cfg27, xeon_driver.placement_all_on(2, m27), pus=XEON_PUS, model=m27
+        )
+        assert t27.harmonic_teps < t26.harmonic_teps * 0.7
+
+    def test_knl_hbm_dram_tie(self, knl_driver):
+        """Table II(b): MCDRAM buys nothing for Graph500 on KNL."""
+        cfg = Graph500Config(scale=23, nroots=1, threads=16)
+        model = TrafficModel.analytic(23)
+        hbm = knl_driver.run_model(
+            cfg, knl_driver.placement_all_on(4, model), pus=KNL_PUS, model=model
+        )
+        dram = knl_driver.run_model(
+            cfg, knl_driver.placement_all_on(0, model), pus=KNL_PUS, model=model
+        )
+        ratio = hbm.harmonic_teps / dram.harmonic_teps
+        assert 0.95 < ratio < 1.05
+
+    def test_knl_teps_near_paper(self, knl_driver):
+        cfg = Graph500Config(scale=23, nroots=1, threads=16)
+        model = TrafficModel.analytic(23)
+        hbm = knl_driver.run_model(
+            cfg, knl_driver.placement_all_on(4, model), pus=KNL_PUS, model=model
+        )
+        assert hbm.harmonic_teps == pytest.approx(0.418e8, rel=0.2)
+
+
+class TestPerLevelPhases:
+    def test_level_phases_partition_traffic(self):
+        model = TrafficModel.analytic(20)
+        cfg = Graph500Config(scale=20, nroots=1, threads=16)
+        (folded,) = model.phases(cfg)
+        levels = model.phases(cfg, per_level=True)
+        assert len(levels) == len(model.frontier_sizes)
+        total_reads = sum(
+            a.bytes_read for ph in levels for a in ph.accesses
+        )
+        folded_reads = sum(a.bytes_read for a in folded.accesses)
+        assert total_reads == pytest.approx(folded_reads, rel=0.01)
+
+    def test_real_run_frontiers_drive_levels(self, xeon_engine):
+        import numpy as np
+        from repro.apps.graph500 import bfs, build_csr, kronecker_edges
+        g = build_csr(kronecker_edges(12, seed=5), num_vertices=1 << 12)
+        r = bfs(g, int(np.argmax(g.degree())))
+        model = TrafficModel.from_bfs(g, r)
+        cfg = Graph500Config(scale=12, nroots=1, threads=8)
+        levels = model.phases(cfg, per_level=True)
+        assert len(levels) == r.num_levels
+
+    def test_middle_level_dominates_time(self, xeon_engine):
+        """The frontier bell shows up as the Fig. 7 timeline's hump."""
+        model = TrafficModel.analytic(22)
+        cfg = Graph500Config(scale=22, nroots=1, threads=16)
+        driver = Graph500Driver(xeon_engine)
+        run = xeon_engine.price_run(
+            model.phases(cfg, per_level=True),
+            driver.placement_all_on(0, model),
+            pus=XEON_PUS,
+        )
+        times = [p.seconds for p in run.phases]
+        assert max(times) == times[len(times) // 2]
+
+    def test_timeline_renders(self, xeon_engine, xeon):
+        from repro.profiler import render_bandwidth_timeline
+        model = TrafficModel.analytic(20)
+        cfg = Graph500Config(scale=20, nroots=1, threads=16)
+        driver = Graph500Driver(xeon_engine)
+        run = xeon_engine.price_run(
+            model.phases(cfg, per_level=True),
+            driver.placement_all_on(2, model),
+            pus=XEON_PUS,
+        )
+        text = render_bandwidth_timeline(xeon, run)
+        assert "bfs_level0" in text
+        assert "PMem GB/s" in text
+        assert "#" in text

@@ -1,0 +1,85 @@
+"""Kronecker generator tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.graph500 import graph_size_bytes, kronecker_edges
+from repro.errors import ValidationError
+
+
+class TestShape:
+    def test_edge_count(self):
+        edges = kronecker_edges(10)
+        assert edges.shape == (2, 16 * 1024)
+
+    def test_vertex_range(self):
+        edges = kronecker_edges(10)
+        assert edges.min() >= 0
+        assert edges.max() < 1024
+
+    def test_custom_edgefactor(self):
+        edges = kronecker_edges(8, edgefactor=4)
+        assert edges.shape[1] == 4 * 256
+
+    def test_deterministic_by_seed(self):
+        a = kronecker_edges(8, seed=5)
+        b = kronecker_edges(8, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = kronecker_edges(8, seed=5)
+        b = kronecker_edges(8, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            kronecker_edges(0)
+        with pytest.raises(ValidationError):
+            kronecker_edges(8, edgefactor=0)
+
+
+class TestDistribution:
+    def test_power_law_skew(self):
+        """Kronecker graphs are heavy-tailed: the max degree must far
+        exceed the mean degree."""
+        edges = kronecker_edges(12, seed=2)
+        degrees = np.bincount(edges.ravel(), minlength=1 << 12)
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_permutation_decorrelates_degree_from_index(self):
+        """Without permutation, low vertex ids concentrate degree; the
+        required permutation must destroy that correlation."""
+        raw = kronecker_edges(12, seed=2, permute=False)
+        perm = kronecker_edges(12, seed=2, permute=True)
+
+        def low_id_mass(edges):
+            return (edges < (1 << 11)).mean()
+
+        assert low_id_mass(raw) > 0.6
+        assert abs(low_id_mass(perm) - 0.5) < 0.08
+
+    @settings(max_examples=10, deadline=None)
+    @given(scale=st.integers(min_value=4, max_value=12))
+    def test_scale_invariants(self, scale):
+        edges = kronecker_edges(scale, seed=1)
+        assert edges.shape == (2, 16 << scale)
+        assert edges.max() < (1 << scale)
+
+
+class TestNominalSizes:
+    def test_paper_table2_sizes(self):
+        """Scale 23-27 are the paper's 2.15-34.36 GB rows."""
+        expected = {
+            23: 2.147483648e9,
+            24: 4.294967296e9,
+            25: 8.589934592e9,
+            26: 17.179869184e9,
+            27: 34.359738368e9,
+        }
+        for scale, size in expected.items():
+            assert graph_size_bytes(scale) == int(size)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            graph_size_bytes(0)

@@ -1,0 +1,38 @@
+"""Pointer-chase application tests."""
+
+import pytest
+
+from repro.apps import PointerChaseApp
+from repro.errors import AllocationError
+from repro.units import GB
+
+
+@pytest.fixture()
+def xeon_chase(xeon_engine, xeon_allocator):
+    return PointerChaseApp(xeon_engine, xeon_allocator)
+
+
+class TestChase:
+    def test_latency_criterion_faster_than_capacity(self, xeon_chase):
+        lat = xeon_chase.run(2 * GB, "Latency", 0, name="t1")
+        cap = xeon_chase.run(2 * GB, "Capacity", 0, name="t2")
+        # Capacity puts the table on NVDIMM: ~3x the per-access time.
+        assert cap.ns_per_access > 2.5 * lat.ns_per_access
+
+    def test_latency_lands_near_dram_latency(self, xeon_chase):
+        r = xeon_chase.run(2 * GB, "Latency", 0)
+        assert r.ns_per_access == pytest.approx(285, rel=0.15)
+
+    def test_buffers_freed(self, xeon_chase, xeon_allocator):
+        xeon_chase.run(1 * GB, "Latency", 0)
+        assert not xeon_allocator.buffers
+
+    def test_describe(self, xeon_chase):
+        r = xeon_chase.run(1 * GB, "Latency", 0)
+        assert "ns/access" in r.describe()
+
+    def test_validation(self, xeon_chase):
+        with pytest.raises(AllocationError):
+            xeon_chase.run(0, "Latency", 0)
+        with pytest.raises(AllocationError):
+            xeon_chase.run(GB, "Latency", 0, accesses=0)

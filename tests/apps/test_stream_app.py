@@ -1,0 +1,103 @@
+"""STREAM application tests — the Table III experiment machinery."""
+
+import pytest
+
+from repro.apps import StreamApp
+from repro.errors import CapacityError
+from repro.units import GiB
+
+
+@pytest.fixture()
+def xeon_app(xeon_engine, xeon_allocator):
+    return StreamApp(xeon_engine, xeon_allocator)
+
+
+@pytest.fixture()
+def knl_app(knl_engine, knl_allocator):
+    return StreamApp(knl_engine, knl_allocator)
+
+
+XEON_PUS = tuple(range(40))
+KNL_PUS = tuple(range(64))
+
+
+class TestXeonTable3a:
+    def test_latency_criterion_uses_dram(self, xeon_app):
+        r = xeon_app.run(
+            int(22.4 * GiB), "Latency", 0, threads=20, pus=XEON_PUS
+        )
+        assert "P#0" in r.best_target_label
+        assert r.triad_gbps == pytest.approx(74.6, rel=0.05)
+
+    def test_capacity_criterion_uses_nvdimm(self, xeon_app):
+        r = xeon_app.run(
+            int(22.4 * GiB), "Capacity", 0, threads=20, pus=XEON_PUS
+        )
+        assert r.triad_gbps == pytest.approx(31.6, rel=0.08)
+
+    def test_nvdimm_curve_shape(self, xeon_app):
+        vals = [
+            xeon_app.run(int(g * GiB), "Capacity", 0, threads=20, pus=XEON_PUS).triad_gbps
+            for g in (22.4, 89.4, 223.5)
+        ]
+        assert vals[0] > 2.5 * vals[1] > 0
+        assert vals[1] == pytest.approx(10.5, rel=0.15)
+        assert vals[2] == pytest.approx(9.4, rel=0.15)
+
+    def test_latency_criterion_oom_at_223gib(self, xeon_app):
+        """The blank cell of Table III(a): 223.5 GiB exceeds the DRAM the
+        strict (whole-process-binding-style) run insists on."""
+        with pytest.raises(CapacityError):
+            xeon_app.run(
+                int(223.5 * GiB), "Latency", 0, threads=20, pus=XEON_PUS,
+                strict=True,
+            )
+
+    def test_failed_run_leaks_nothing(self, xeon_app, xeon_allocator):
+        with pytest.raises(CapacityError):
+            xeon_app.run(
+                int(223.5 * GiB), "Latency", 0, threads=20, pus=XEON_PUS,
+                strict=True,
+            )
+        assert not xeon_allocator.buffers
+
+    def test_non_strict_fallback_spreads_across_memories(self, xeon_app):
+        """Without strict binding, the third array falls back to the
+        NVDIMM and the run completes (using both memory controllers)."""
+        r = xeon_app.run(int(223.5 * GiB), "Latency", 0, threads=20, pus=XEON_PUS)
+        assert r.fallback_used
+
+    def test_buffers_freed_after_success(self, xeon_app, xeon_allocator):
+        xeon_app.run(1 * GiB, "Latency", 0, threads=20, pus=XEON_PUS)
+        assert not xeon_allocator.buffers
+
+
+class TestKnlTable3b:
+    def test_bandwidth_criterion_uses_mcdram(self, knl_app):
+        r = knl_app.run(int(1.1 * GiB), "Bandwidth", 0, threads=16, pus=KNL_PUS)
+        assert "MCDRAM" in r.best_target_label
+        assert r.triad_gbps == pytest.approx(88.6, rel=0.06)
+
+    def test_latency_criterion_uses_dram(self, knl_app):
+        r = knl_app.run(int(1.1 * GiB), "Latency", 0, threads=16, pus=KNL_PUS)
+        assert "MCDRAM" not in r.best_target_label
+        assert r.triad_gbps == pytest.approx(29.3, rel=0.06)
+
+    def test_capacity_fallback_at_17_9gib(self, knl_app):
+        """Table III(b) bottom-right: arrays exceed the 4 GB MCDRAM, the
+        allocator falls back to DRAM whole-buffer, and Triad runs at DRAM
+        speed (paper: 29.16)."""
+        r = knl_app.run(int(17.9 * GiB), "Bandwidth", 0, threads=16, pus=KNL_PUS)
+        assert r.fallback_used
+        assert r.triad_gbps == pytest.approx(29.3, rel=0.06)
+
+    def test_describe(self, knl_app):
+        r = knl_app.run(int(1.1 * GiB), "Bandwidth", 0, threads=16, pus=KNL_PUS)
+        assert "STREAM Triad[Bandwidth]" in r.describe()
+
+
+class TestValidation:
+    def test_too_small_total(self, xeon_app):
+        from repro.errors import AllocationError
+        with pytest.raises(AllocationError):
+            xeon_app.run(2, "Latency", 0, threads=20, pus=XEON_PUS)

@@ -1,0 +1,110 @@
+"""AutoHBW / intercepting-allocator tests."""
+
+import pytest
+
+from repro.baselines import AutoHBW, InterceptingAllocator, SizeWindow
+from repro.errors import ReproError
+from repro.kernel import KernelMemoryManager
+from repro.units import GB, MiB
+
+
+@pytest.fixture()
+def knl_autohbw(knl):
+    return AutoHBW(
+        KernelMemoryManager(knl), SizeWindow(low=1 * MiB, high=2 * GB)
+    )
+
+
+class TestSizeWindow:
+    def test_matching(self):
+        w = SizeWindow(low=10, high=100)
+        assert w.matches(10) and w.matches(99)
+        assert not w.matches(9) and not w.matches(100)
+
+    def test_unbounded(self):
+        assert SizeWindow(low=10).matches(10**12)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SizeWindow(low=-1)
+        with pytest.raises(ReproError):
+            SizeWindow(low=10, high=10)
+
+
+class TestAutoHBW:
+    def test_window_redirects_to_hbm(self, knl_autohbw, knl):
+        buf = knl_autohbw.malloc(100 * MiB)
+        assert buf.redirected
+        assert knl.node_by_os_index(buf.nodes[0]).kind.value == "HBM"
+        knl_autohbw.free(buf)
+
+    def test_small_allocation_not_redirected(self, knl_autohbw):
+        buf = knl_autohbw.malloc(64 * 1024)
+        assert not buf.redirected
+        knl_autohbw.free(buf)
+
+    def test_large_allocation_not_redirected(self, knl_autohbw, knl):
+        buf = knl_autohbw.malloc(3 * GB)  # above the window
+        assert not buf.redirected
+        assert knl.node_by_os_index(buf.nodes[0]).kind.value == "DRAM"
+        knl_autohbw.free(buf)
+
+    def test_per_run_tuning_required(self, knl):
+        """The paper's critique: the window only fits one run's sizes —
+        retuning it flips which buffers get HBM."""
+        kernel = KernelMemoryManager(knl)
+        run1 = AutoHBW(kernel, SizeWindow(low=1 * MiB, high=2 * GB))
+        b1 = run1.malloc(3 * GB, name="big")
+        assert not b1.redirected          # missed: window tuned for run 1
+        run1.free(b1)
+        run2 = AutoHBW(kernel, SizeWindow(low=2 * GB))
+        b2 = run2.malloc(3 * GB, name="big2")
+        assert b2.redirected
+        run2.free(b2)
+
+    def test_useless_without_hbm(self, xeon):
+        auto = AutoHBW(
+            KernelMemoryManager(xeon), SizeWindow(low=1 * MiB)
+        )
+        assert not auto.usable
+        buf = auto.malloc(100 * MiB)
+        assert not buf.redirected
+        auto.free(buf)
+
+    def test_spills_when_hbm_full(self, knl_autohbw):
+        first = knl_autohbw.malloc(int(1.9 * GB), name="a")
+        second = knl_autohbw.malloc(int(1.9 * GB), name="b")
+        third = knl_autohbw.malloc(int(1.9 * GB), name="c")
+        nodes = set(first.nodes) | set(second.nodes) | set(third.nodes)
+        assert len(nodes) > 1  # spilled beyond cluster-0's 4GB MCDRAM
+        for b in (first, second, third):
+            knl_autohbw.free(b)
+
+
+class TestInterceptingAllocator:
+    def test_hinted_site_uses_attribute(self, knl_allocator):
+        interceptor = InterceptingAllocator(knl_allocator, initiator=0)
+        interceptor.add_hint("bfs.c:31", "Latency")
+        buf = interceptor.malloc(1 * GB, "bfs.c:31")
+        assert buf.requested_attribute == "Latency"
+        assert buf.target.attrs["kind"] == "DRAM"
+        interceptor.free(buf)
+
+    def test_unknown_site_gets_default(self, knl_allocator):
+        interceptor = InterceptingAllocator(knl_allocator, initiator=0)
+        buf = interceptor.malloc(1 * GB, "somewhere_else.c:7")
+        assert buf.requested_attribute == "Locality"
+        interceptor.free(buf)
+
+    def test_hint_validation(self, knl_allocator):
+        interceptor = InterceptingAllocator(knl_allocator, initiator=0)
+        from repro.errors import UnknownAttributeError
+        with pytest.raises(UnknownAttributeError):
+            interceptor.add_hint("x.c:1", "Speediness")
+        with pytest.raises(ReproError):
+            interceptor.add_hint("", "Latency")
+
+    def test_hints_inspectable(self, knl_allocator):
+        interceptor = InterceptingAllocator(knl_allocator, initiator=0)
+        interceptor.add_hint("a.c:1", "Bandwidth")
+        assert interceptor.hints() == {"a.c:1": "Bandwidth"}

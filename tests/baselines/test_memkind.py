@@ -1,0 +1,95 @@
+"""memkind-baseline tests: the hardwiring failure modes of §II-D."""
+
+import pytest
+
+from repro.baselines import Memkind, MemkindError, MemkindKind
+from repro.errors import CapacityError, ReproError
+from repro.kernel import KernelMemoryManager
+from repro.units import GB
+
+
+@pytest.fixture()
+def knl_memkind(knl):
+    return Memkind(KernelMemoryManager(knl))
+
+
+@pytest.fixture()
+def xeon_memkind(xeon):
+    return Memkind(KernelMemoryManager(xeon))
+
+
+class TestHbwKind:
+    def test_hbw_works_on_knl(self, knl_memkind):
+        buf = knl_memkind.malloc(MemkindKind.MEMKIND_HBW, 1 * GB)
+        inst = knl_memkind.kernel.machine.node_by_os_index(buf.nodes[0])
+        assert inst.kind.value == "HBM"
+        knl_memkind.free(buf)
+
+    def test_hbw_fails_on_xeon(self, xeon_memkind):
+        """The paper's portability critique, reproduced: HBW has no
+        backing on a DRAM+NVDIMM machine."""
+        with pytest.raises(MemkindError):
+            xeon_memkind.malloc(MemkindKind.MEMKIND_HBW, 1 * GB)
+
+    def test_check_available(self, knl_memkind, xeon_memkind):
+        assert knl_memkind.kind_available(MemkindKind.MEMKIND_HBW)
+        assert not xeon_memkind.kind_available(MemkindKind.MEMKIND_HBW)
+        assert xeon_memkind.kind_available(MemkindKind.MEMKIND_DAX_KMEM)
+
+    def test_hbw_strict_fails_when_full(self, knl_memkind):
+        with pytest.raises(CapacityError):
+            knl_memkind.malloc(MemkindKind.MEMKIND_HBW, 100 * GB)
+
+    def test_hbw_preferred_falls_back(self, knl_memkind):
+        buf = knl_memkind.malloc(MemkindKind.MEMKIND_HBW_PREFERRED, 100 * GB)
+        assert buf.nodes  # landed somewhere
+        knl_memkind.free(buf)
+
+
+class TestLocalityBlindness:
+    def test_hbw_ignores_locality(self, knl_memkind):
+        """memkind "does not take NUMA locality into account": a request
+        from cluster 3's CPUs still lands on the lowest-index HBM node
+        (cluster 0's)."""
+        buf = knl_memkind.malloc(
+            MemkindKind.MEMKIND_HBW, 1 * GB, initiator_pu=200
+        )
+        assert buf.nodes == (4,)  # cluster-0 MCDRAM, remote for PU 200
+        knl_memkind.free(buf)
+
+
+class TestOtherKinds:
+    def test_pmem_kind_on_xeon(self, xeon_memkind):
+        buf = xeon_memkind.malloc(MemkindKind.MEMKIND_DAX_KMEM, 1 * GB)
+        inst = xeon_memkind.kernel.machine.node_by_os_index(buf.nodes[0])
+        assert inst.kind.value == "NVDIMM"
+        xeon_memkind.free(buf)
+
+    def test_regular_kind(self, xeon_memkind):
+        buf = xeon_memkind.malloc(MemkindKind.MEMKIND_REGULAR, 1 * GB)
+        inst = xeon_memkind.kernel.machine.node_by_os_index(buf.nodes[0])
+        assert inst.kind.value == "DRAM"
+        xeon_memkind.free(buf)
+
+    def test_default_kind_any_node(self, xeon_memkind):
+        buf = xeon_memkind.malloc(MemkindKind.MEMKIND_DEFAULT, 1 * GB)
+        assert buf.nodes
+        xeon_memkind.free(buf)
+
+
+class TestBookkeeping:
+    def test_free_unknown_rejected(self, xeon_memkind):
+        with pytest.raises(ReproError):
+            xeon_memkind.free("ghost")
+
+    def test_duplicate_name_rejected(self, xeon_memkind):
+        buf = xeon_memkind.malloc(
+            MemkindKind.MEMKIND_DEFAULT, 1 * GB, name="x"
+        )
+        with pytest.raises(ReproError):
+            xeon_memkind.malloc(MemkindKind.MEMKIND_DEFAULT, 1 * GB, name="x")
+        xeon_memkind.free(buf)
+
+    def test_bad_size_rejected(self, xeon_memkind):
+        with pytest.raises(ReproError):
+            xeon_memkind.malloc(MemkindKind.MEMKIND_DEFAULT, 0)

@@ -1,0 +1,46 @@
+"""lat_mem_rd tests: the latency staircase."""
+
+import pytest
+
+from repro.bench import run_lat_mem_rd
+from repro.bench.lat import plateau_latency
+from repro.errors import BenchmarkError
+from repro.units import GB, KiB, MiB
+
+
+class TestStaircase:
+    def test_monotone_nondecreasing(self, xeon_engine):
+        points = run_lat_mem_rd(xeon_engine, 0, pu=0)
+        lats = [p.latency for p in points]
+        assert all(b >= a * 0.999 for a, b in zip(lats, lats[1:]))
+
+    def test_cache_resident_fast(self, xeon_engine):
+        points = run_lat_mem_rd(xeon_engine, 0, pu=0, sizes=(16 * KiB,))
+        assert points[0].latency < 50e-9
+
+    def test_memory_plateau_matches_loaded_latency(self, xeon_engine):
+        points = run_lat_mem_rd(xeon_engine, 0, pu=0, sizes=(2 * GB,))
+        assert points[0].latency == pytest.approx(285e-9, rel=0.1)
+
+    def test_nvdimm_plateau(self, xeon_engine):
+        points = run_lat_mem_rd(xeon_engine, 2, pu=0, sizes=(2 * GB,))
+        assert points[0].latency == pytest.approx(860e-9, rel=0.1)
+
+    def test_plateau_helper(self, xeon_engine):
+        points = run_lat_mem_rd(
+            xeon_engine, 0, pu=0, sizes=(1 * MiB, 64 * MiB, 2 * GB)
+        )
+        assert plateau_latency(points) == points[-1].latency
+
+    def test_plateau_empty_raises(self):
+        with pytest.raises(BenchmarkError):
+            plateau_latency(())
+
+    def test_bad_size_raises(self, xeon_engine):
+        with pytest.raises(BenchmarkError):
+            run_lat_mem_rd(xeon_engine, 0, pu=0, sizes=(0,))
+
+    def test_remote_latency_higher(self, xeon_engine):
+        local = run_lat_mem_rd(xeon_engine, 0, pu=0, sizes=(2 * GB,))
+        remote = run_lat_mem_rd(xeon_engine, 1, pu=0, sizes=(2 * GB,))
+        assert remote[0].latency > local[0].latency

@@ -1,0 +1,88 @@
+"""Characterization sweep and attribute-feeding tests."""
+
+import pytest
+
+from repro.bench import characterize_machine, feed_attributes, run_multichase
+from repro.bench.runner import initiator_scopes
+from repro.core import BANDWIDTH, LATENCY, MemAttrs, READ_BANDWIDTH
+from repro.errors import BenchmarkError
+from repro.hw import get_platform
+from repro.sim import SimEngine
+from repro.topology import ObjType, build_topology
+
+
+class TestInitiatorScopes:
+    def test_knl_scopes_are_groups(self, knl_topo):
+        scopes = initiator_scopes(knl_topo)
+        assert len(scopes) == 4
+        assert all(s.type is ObjType.GROUP for s in scopes)
+
+    def test_flat_xeon_scopes_are_packages(self, xeon_topo):
+        scopes = initiator_scopes(xeon_topo)
+        assert len(scopes) == 2
+        assert all(s.type is ObjType.PACKAGE for s in scopes)
+
+
+class TestCharacterize:
+    def test_full_pair_coverage(self, knl_report, knl):
+        nodes = len(knl.numa_nodes())
+        assert len(knl_report.measurements) == 4 * nodes
+
+    def test_remote_pairs_included(self, knl_report):
+        """Benchmarking covers what the HMAT cannot (§VIII)."""
+        targets_of_scope0 = {
+            k.target_node
+            for k in knl_report.pairs()
+            if k.initiator_pus[0] == 0
+        }
+        assert targets_of_scope0 == set(range(8))
+
+    def test_local_faster_than_remote(self, knl_report):
+        local = next(
+            v
+            for k, v in knl_report.measurements.items()
+            if k.target_node == 0 and 0 in k.initiator_pus
+        )
+        remote = next(
+            v
+            for k, v in knl_report.measurements.items()
+            if k.target_node == 0 and 64 in k.initiator_pus
+        )
+        assert remote.loaded_latency > local.loaded_latency
+        assert remote.read_bandwidth < local.read_bandwidth
+
+    def test_for_target_filter(self, knl_report):
+        assert len(knl_report.for_target(3)) == 4
+
+
+class TestFeed:
+    def test_feed_counts(self, knl_topo, knl_report):
+        ma = MemAttrs(knl_topo)
+        n = feed_attributes(ma, knl_report)
+        assert n == len(knl_report.measurements) * 6
+
+    def test_values_queryable_after_feed(self, knl_attrs, knl_topo):
+        node = knl_topo.numanode_by_os_index(4)
+        assert knl_attrs.get_value(BANDWIDTH, node, 0) > 0
+        assert knl_attrs.get_value(LATENCY, node, 0) > 0
+        assert knl_attrs.get_value(READ_BANDWIDTH, node, 0) > 0
+
+    def test_remote_value_queryable(self, knl_attrs, knl_topo):
+        """After benchmarking, a PU can compare a *remote* MCDRAM."""
+        node5 = knl_topo.numanode_by_os_index(5)  # cluster-1 MCDRAM
+        assert knl_attrs.get_value(BANDWIDTH, node5, 0) > 0
+
+
+class TestMultichase:
+    def test_validation(self, knl_engine):
+        with pytest.raises(BenchmarkError):
+            run_multichase(knl_engine, 0, threads=0, pus=(0,))
+        with pytest.raises(BenchmarkError):
+            run_multichase(knl_engine, 0, threads=1, pus=(0,), working_set=0)
+
+    def test_read_and_write_bandwidths_differ_on_nvdimm(self, xeon_engine):
+        r = run_multichase(
+            xeon_engine, 2, threads=10, pus=tuple(range(40)),
+            working_set=1 << 30,
+        )
+        assert r.read_bandwidth > r.write_bandwidth

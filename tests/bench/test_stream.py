@@ -1,0 +1,50 @@
+"""STREAM benchmark substrate tests."""
+
+import pytest
+
+from repro.bench import run_stream
+from repro.errors import BenchmarkError
+
+
+class TestStreamOnXeon:
+    def test_triad_matches_calibration(self, xeon_engine):
+        r = run_stream(xeon_engine, 0, threads=20, pus=tuple(range(40)))
+        assert r.triad == pytest.approx(74.6e9, rel=0.05)
+
+    def test_copy_faster_than_triad_on_asymmetric_node(self, xeon_engine):
+        r = run_stream(xeon_engine, 2, threads=20, pus=tuple(range(40)))
+        # NVDIMM: copy (1R:1W) suffers more from slow writes than triad
+        # (2R:1W); both must at least be positive and ordered sensibly.
+        assert r.triad > 0 and r.copy > 0
+        assert r.triad >= r.copy
+
+    def test_dram_beats_nvdimm_on_all_kernels(self, xeon_engine):
+        dram = run_stream(xeon_engine, 0, threads=20, pus=tuple(range(40)))
+        nvd = run_stream(xeon_engine, 2, threads=20, pus=tuple(range(40)))
+        for kernel in ("copy", "scale", "add", "triad"):
+            assert dram.kernel(kernel) > nvd.kernel(kernel)
+
+    def test_best(self, xeon_engine):
+        r = run_stream(xeon_engine, 0, threads=20, pus=tuple(range(40)))
+        assert r.best() == max(r.copy, r.scale, r.add, r.triad)
+
+    def test_unknown_kernel_raises(self, xeon_engine):
+        r = run_stream(xeon_engine, 0, threads=20, pus=tuple(range(40)))
+        with pytest.raises(BenchmarkError):
+            r.kernel("nstream")
+
+    def test_bad_array_size_raises(self, xeon_engine):
+        with pytest.raises(BenchmarkError):
+            run_stream(xeon_engine, 0, threads=20, pus=(0,), array_bytes=0)
+
+
+class TestStreamOnKNL:
+    def test_mcdram_beats_dram(self, knl_engine):
+        hbm = run_stream(knl_engine, 4, threads=16, pus=tuple(range(64)))
+        dram = run_stream(knl_engine, 0, threads=16, pus=tuple(range(64)))
+        assert hbm.triad > dram.triad * 2.5
+
+    def test_knl_dram_triad_calibration(self, knl_engine):
+        """Table III(b): per-SNC DDR4 triad ≈ 29 GB/s."""
+        dram = run_stream(knl_engine, 0, threads=16, pus=tuple(range(64)))
+        assert dram.triad == pytest.approx(29.3e9, rel=0.05)

@@ -1,0 +1,112 @@
+"""Shared fixtures.
+
+Expensive artifacts (topologies, benchmark characterizations) are
+session-scoped; anything mutable (kernel managers, allocators) is
+function-scoped and built fresh from the shared immutable pieces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import characterize_machine, feed_attributes
+from repro.core import MemAttrs, native_discovery
+from repro.hw import get_platform
+from repro.kernel import KernelMemoryManager
+from repro.alloc import HeterogeneousAllocator
+from repro.sim import SimEngine
+from repro.topology import build_topology
+
+
+@pytest.fixture(scope="session")
+def xeon():
+    """The §VI Xeon test server: SNC off, DRAM + NVDIMM per package."""
+    return get_platform("xeon-cascadelake-1lm")
+
+
+@pytest.fixture(scope="session")
+def xeon_snc2():
+    """The Fig. 2 machine: SNC2, four DRAM + two NVDIMM nodes."""
+    return get_platform("xeon-cascadelake-1lm", snc=2)
+
+
+@pytest.fixture(scope="session")
+def knl():
+    """The §VI KNL server: SNC-4 flat."""
+    return get_platform("knl-snc4-flat")
+
+
+@pytest.fixture(scope="session")
+def fictitious():
+    return get_platform("fictitious-four-kind")
+
+
+@pytest.fixture(scope="session")
+def xeon_topo(xeon):
+    return build_topology(xeon)
+
+
+@pytest.fixture(scope="session")
+def xeon_snc2_topo(xeon_snc2):
+    return build_topology(xeon_snc2)
+
+
+@pytest.fixture(scope="session")
+def knl_topo(knl):
+    return build_topology(knl)
+
+
+@pytest.fixture(scope="session")
+def xeon_engine(xeon, xeon_topo):
+    return SimEngine(xeon, xeon_topo)
+
+
+@pytest.fixture(scope="session")
+def knl_engine(knl, knl_topo):
+    return SimEngine(knl, knl_topo)
+
+
+@pytest.fixture(scope="session")
+def xeon_attrs_native(xeon_topo):
+    """Xeon attributes from the HMAT path (frozen: do not mutate)."""
+    return native_discovery(xeon_topo)
+
+
+@pytest.fixture(scope="session")
+def knl_report(knl_engine):
+    """KNL benchmark characterization (expensive; shared read-only)."""
+    return characterize_machine(knl_engine)
+
+
+@pytest.fixture()
+def knl_attrs(knl_topo, knl_report):
+    """Fresh KNL MemAttrs fed from the shared benchmark report."""
+    memattrs = MemAttrs(knl_topo)
+    feed_attributes(memattrs, knl_report)
+    return memattrs
+
+
+@pytest.fixture()
+def xeon_attrs(xeon_topo):
+    """Fresh Xeon MemAttrs from native discovery (mutable per test)."""
+    return native_discovery(xeon_topo)
+
+
+@pytest.fixture()
+def xeon_kernel(xeon):
+    return KernelMemoryManager(xeon)
+
+
+@pytest.fixture()
+def knl_kernel(knl):
+    return KernelMemoryManager(knl)
+
+
+@pytest.fixture()
+def xeon_allocator(xeon_attrs, xeon_kernel):
+    return HeterogeneousAllocator(xeon_attrs, xeon_kernel)
+
+
+@pytest.fixture()
+def knl_allocator(knl_attrs, knl_kernel):
+    return HeterogeneousAllocator(knl_attrs, knl_kernel)

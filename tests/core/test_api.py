@@ -1,0 +1,186 @@
+"""MemAttrs API tests — the Fig. 4 queries."""
+
+import pytest
+
+from repro.core import (
+    BANDWIDTH,
+    CAPACITY,
+    LATENCY,
+    MemAttrFlag,
+    MemAttrs,
+)
+from repro.errors import (
+    AttributeFlagError,
+    NoTargetError,
+    NoValueError,
+    UnknownAttributeError,
+)
+from repro.topology import Bitmap
+
+
+class TestRegistry:
+    def test_builtins_present(self, xeon_attrs):
+        names = {a.name for a in xeon_attrs.attributes()}
+        assert {"Capacity", "Locality", "Bandwidth", "Latency"} <= names
+
+    def test_lookup_case_insensitive(self, xeon_attrs):
+        assert xeon_attrs.get_by_name("latency") is xeon_attrs.get_by_name("Latency")
+
+    def test_unknown_raises_with_candidates(self, xeon_attrs):
+        with pytest.raises(UnknownAttributeError, match="Bandwidth"):
+            xeon_attrs.get_by_name("Throughput")
+
+    def test_register_custom(self, xeon_attrs):
+        attr = xeon_attrs.register(
+            "Wearout", MemAttrFlag.LOWER_FIRST, unit="writes"
+        )
+        assert attr.id >= 64
+        assert xeon_attrs.get_by_name("Wearout") is attr
+
+    def test_register_duplicate_rejected(self, xeon_attrs):
+        xeon_attrs.register("Foo", MemAttrFlag.HIGHER_FIRST)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.register("foo", MemAttrFlag.HIGHER_FIRST)
+
+    def test_custom_ids_increment(self, xeon_attrs):
+        a = xeon_attrs.register("A1", MemAttrFlag.HIGHER_FIRST)
+        b = xeon_attrs.register("A2", MemAttrFlag.HIGHER_FIRST)
+        assert b.id == a.id + 1
+
+
+class TestBuiltinValues:
+    def test_capacity_auto_populated(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(2)
+        assert xeon_attrs.get_value(CAPACITY, node) == 768e9
+
+    def test_locality_auto_populated(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        assert xeon_attrs.get_value("Locality", node) == 40
+
+    def test_capacity_takes_no_initiator(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.get_value(CAPACITY, node, 0)
+
+
+class TestSetGet:
+    def test_set_then_get(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        xeon_attrs.set_value(BANDWIDTH, node, Bitmap([0]), 42e9)
+        assert xeon_attrs.get_value(BANDWIDTH, node, Bitmap([0])) == 42e9
+
+    def test_initiator_required_for_bandwidth(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.set_value(BANDWIDTH, node, None, 1e9)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.get_value(BANDWIDTH, node)
+
+    def test_missing_value_raises(self, knl_topo):
+        fresh = MemAttrs(knl_topo)
+        node = knl_topo.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            fresh.get_value(LATENCY, node, 0)
+
+    def test_smaller_initiator_matches_stored_superset(self, xeon_attrs, xeon_topo):
+        """PU-level query finds the value stored for the whole package."""
+        node = xeon_topo.numanode_by_os_index(0)
+        # Native discovery stored against package-0 cpuset 0-39.
+        v_pkg = xeon_attrs.get_value(LATENCY, node, Bitmap.from_range(0, 40))
+        v_pu = xeon_attrs.get_value(LATENCY, node, 7)
+        assert v_pu == v_pkg
+
+    def test_disjoint_initiator_no_match(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            # PUs 40+ are package 1; no local value stored for node 0.
+            xeon_attrs.get_value(LATENCY, node, 41)
+
+    def test_smallest_containing_initiator_wins(self, knl_topo):
+        ma = MemAttrs(knl_topo)
+        node = knl_topo.numanode_by_os_index(0)
+        ma.set_value(LATENCY, node, knl_topo.root.cpuset, 500e-9)
+        ma.set_value(LATENCY, node, Bitmap.from_range(0, 64), 100e-9)
+        assert ma.get_value(LATENCY, node, 3) == 100e-9
+
+    def test_negative_value_rejected(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.set_value(BANDWIDTH, node, Bitmap([0]), -1.0)
+
+    def test_non_numanode_target_rejected(self, xeon_attrs, xeon_topo):
+        from repro.topology import ObjType
+        pkg = xeon_topo.objs(ObjType.PACKAGE)[0]
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.set_value(CAPACITY, pkg, None, 1.0)
+
+    def test_has_values(self, knl_topo):
+        fresh = MemAttrs(knl_topo)
+        assert fresh.has_values(CAPACITY)
+        assert not fresh.has_values(BANDWIDTH)
+
+
+class TestBestTarget:
+    def test_best_latency_is_local_dram(self, xeon_attrs, xeon_topo):
+        best = xeon_attrs.get_best_target(LATENCY, 0)
+        assert best.target.os_index == 0
+
+    def test_best_capacity_is_local_nvdimm(self, xeon_attrs):
+        best = xeon_attrs.get_best_target(CAPACITY, 0)
+        assert best.target.os_index == 2
+
+    def test_locality_restriction(self, xeon_attrs):
+        """Package-1 PUs must get package-1 targets."""
+        best = xeon_attrs.get_best_target(LATENCY, 79)
+        assert best.target.os_index == 1
+
+    def test_global_search_with_local_only_false(self, xeon_attrs):
+        best = xeon_attrs.get_best_target(CAPACITY, 0, local_only=False)
+        assert best.target.os_index in (2, 3)
+
+    def test_no_values_raises_no_target(self, knl_topo):
+        fresh = MemAttrs(knl_topo)
+        with pytest.raises(NoTargetError):
+            fresh.get_best_target(BANDWIDTH, 0)
+
+    def test_initiator_mandatory(self, xeon_attrs):
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.get_best_target(LATENCY)
+
+
+class TestBestInitiator:
+    def test_best_initiator_is_local_cpus(self, knl_attrs, knl_topo):
+        node = knl_topo.numanode_by_os_index(2)  # cluster-2 DRAM
+        best = knl_attrs.get_best_initiator(LATENCY, node)
+        assert best.initiator is not None
+        assert best.initiator.isset(128)  # cluster-2 PUs are 128-191
+
+    def test_requires_initiator_attribute(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(AttributeFlagError):
+            xeon_attrs.get_best_initiator(CAPACITY, node)
+
+    def test_no_values_raises(self, knl_topo):
+        fresh = MemAttrs(knl_topo)
+        node = knl_topo.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            fresh.get_best_initiator(LATENCY, node)
+
+
+class TestRankTargets:
+    def test_rank_skips_valueless_targets(self, knl_topo):
+        ma = MemAttrs(knl_topo)
+        n0 = knl_topo.numanode_by_os_index(0)
+        ma.set_value(BANDWIDTH, n0, Bitmap([0]), 1e9)
+        ranked = ma.rank_targets(BANDWIDTH, knl_topo.numanodes(), Bitmap([0]))
+        assert [tv.target.os_index for tv in ranked] == [0]
+
+    def test_rank_direction(self, xeon_attrs, xeon_topo):
+        nodes = [
+            xeon_topo.numanode_by_os_index(0),
+            xeon_topo.numanode_by_os_index(2),
+        ]
+        by_lat = xeon_attrs.rank_targets(LATENCY, nodes, 0)
+        assert [tv.target.os_index for tv in by_lat] == [0, 2]
+        by_cap = xeon_attrs.rank_targets(CAPACITY, nodes)
+        assert [tv.target.os_index for tv in by_cap] == [2, 0]

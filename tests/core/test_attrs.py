@@ -1,0 +1,60 @@
+"""Attribute definition tests."""
+
+import pytest
+
+from repro.core import (
+    BANDWIDTH,
+    BUILTIN_ATTRIBUTES,
+    CAPACITY,
+    LATENCY,
+    LOCALITY,
+    MemAttrFlag,
+    MemAttribute,
+)
+from repro.errors import AttributeFlagError
+
+
+class TestBuiltins:
+    def test_hwloc_ids(self):
+        """Fig. 5 numbering: #0 Capacity, #2 Bandwidth, #3 Latency."""
+        assert CAPACITY.id == 0
+        assert LOCALITY.id == 1
+        assert BANDWIDTH.id == 2
+        assert LATENCY.id == 3
+
+    def test_direction_flags(self):
+        assert CAPACITY.higher_is_better
+        assert BANDWIDTH.higher_is_better
+        assert not LATENCY.higher_is_better
+        assert not LOCALITY.higher_is_better
+
+    def test_initiator_requirements(self):
+        assert BANDWIDTH.needs_initiator
+        assert LATENCY.needs_initiator
+        assert not CAPACITY.needs_initiator
+        assert not LOCALITY.needs_initiator
+
+    def test_eight_builtins(self):
+        assert len(BUILTIN_ATTRIBUTES) == 8
+        assert len({a.id for a in BUILTIN_ATTRIBUTES}) == 8
+
+    def test_better_comparison(self):
+        assert BANDWIDTH.better(2.0, 1.0)
+        assert LATENCY.better(1.0, 2.0)
+        assert not LATENCY.better(2.0, 1.0)
+
+
+class TestValidation:
+    def test_exactly_one_direction_required(self):
+        with pytest.raises(AttributeFlagError):
+            MemAttribute(id=99, name="Bad", flags=MemAttrFlag.NEED_INITIATOR)
+        with pytest.raises(AttributeFlagError):
+            MemAttribute(
+                id=99,
+                name="Bad",
+                flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.LOWER_FIRST,
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(AttributeFlagError):
+            MemAttribute(id=99, name="", flags=MemAttrFlag.HIGHER_FIRST)

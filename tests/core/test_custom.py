@@ -1,0 +1,98 @@
+"""Custom / derived attribute tests (Table I last row, footnote 16)."""
+
+import pytest
+
+from repro.core import (
+    MemAttrFlag,
+    READ_BANDWIDTH,
+    WRITE_BANDWIDTH,
+    register_derived_attribute,
+    stream_triad_attribute,
+)
+from repro.errors import AttributeFlagError
+
+
+class TestStreamTriad:
+    def test_registered_and_valued(self, xeon_attrs, xeon_topo):
+        attr = stream_triad_attribute(xeon_attrs)
+        node0 = xeon_topo.numanode_by_os_index(0)
+        v = xeon_attrs.get_value(attr, node0, 0)
+        rb = xeon_attrs.get_value(READ_BANDWIDTH, node0, 0)
+        wb = xeon_attrs.get_value(WRITE_BANDWIDTH, node0, 0)
+        assert v == pytest.approx(3.0 / (2.0 / rb + 1.0 / wb))
+
+    def test_triad_between_read_and_write(self, xeon_attrs, xeon_topo):
+        attr = stream_triad_attribute(xeon_attrs)
+        for node in (0, 2):
+            n = xeon_topo.numanode_by_os_index(node)
+            v = xeon_attrs.get_value(attr, n, 0)
+            rb = xeon_attrs.get_value(READ_BANDWIDTH, n, 0)
+            wb = xeon_attrs.get_value(WRITE_BANDWIDTH, n, 0)
+            assert min(rb, wb) <= v <= max(rb, wb)
+
+    def test_usable_as_allocation_criterion(self, xeon_attrs):
+        stream_triad_attribute(xeon_attrs)
+        best = xeon_attrs.get_best_target("StreamTriad", 0)
+        assert best.target.os_index == 0  # DRAM wins triad on the Xeon
+
+    def test_ranking_matches_bandwidth_ranking(self, xeon_attrs):
+        stream_triad_attribute(xeon_attrs)
+        triad = [
+            tv.target.os_index
+            for tv in xeon_attrs.rank_targets(
+                "StreamTriad", xeon_attrs.get_local_numanode_objs(0), 0
+            )
+        ]
+        bw = [
+            tv.target.os_index
+            for tv in xeon_attrs.rank_targets(
+                "Bandwidth", xeon_attrs.get_local_numanode_objs(0), 0
+            )
+        ]
+        assert triad == bw
+
+
+class TestRegisterDerived:
+    def test_custom_combination(self, xeon_attrs, xeon_topo):
+        attr = register_derived_attribute(
+            xeon_attrs,
+            "WriteShare",
+            [READ_BANDWIDTH, WRITE_BANDWIDTH],
+            lambda v: v[1] / (v[0] + v[1]),
+            flags=MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR,
+        )
+        node0 = xeon_topo.numanode_by_os_index(0)
+        v = xeon_attrs.get_value(attr, node0, 0)
+        assert 0 < v < 1
+
+    def test_missing_inputs_skip_target(self, knl_topo):
+        """On KNL without benchmarking there are no bandwidth values, so
+        the derived attribute records nothing (and best-target fails)."""
+        from repro.core import MemAttrs
+        ma = MemAttrs(knl_topo)
+        attr = stream_triad_attribute(ma)
+        assert not ma.has_values(attr)
+
+    def test_no_sources_rejected(self, xeon_attrs):
+        from repro.errors import NoValueError
+        with pytest.raises(NoValueError):
+            register_derived_attribute(
+                xeon_attrs, "Empty", [], lambda v: 0.0,
+                flags=MemAttrFlag.HIGHER_FIRST,
+            )
+
+    def test_duplicate_name_rejected(self, xeon_attrs):
+        stream_triad_attribute(xeon_attrs)
+        with pytest.raises(AttributeFlagError):
+            stream_triad_attribute(xeon_attrs)
+
+    def test_initiatorless_derived_from_capacity(self, xeon_attrs, xeon_topo):
+        attr = register_derived_attribute(
+            xeon_attrs,
+            "CapacityTB",
+            ["Capacity"],
+            lambda v: v[0] / 1e12,
+            flags=MemAttrFlag.HIGHER_FIRST,
+        )
+        node = xeon_topo.numanode_by_os_index(2)
+        assert xeon_attrs.get_value(attr, node) == pytest.approx(0.768)

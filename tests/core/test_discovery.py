@@ -1,0 +1,76 @@
+"""Native discovery tests (§IV-A1)."""
+
+import pytest
+
+from repro.core import (
+    BANDWIDTH,
+    LATENCY,
+    MemAttrs,
+    READ_BANDWIDTH,
+    WRITE_LATENCY,
+    discover_from_sysfs,
+    native_discovery,
+)
+from repro.errors import NoValueError
+from repro.firmware import build_sysfs
+from repro.units import MB, NS
+
+
+class TestDiscoverFromSysfs:
+    def test_records_fig5_values(self, xeon_snc2_topo):
+        ma = MemAttrs(xeon_snc2_topo)
+        n = discover_from_sysfs(ma, build_sysfs(xeon_snc2_topo.machine_spec))
+        assert n == 36  # 6 nodes × 6 attributes
+        node0 = xeon_snc2_topo.numanode_by_os_index(0)
+        assert ma.get_value(BANDWIDTH, node0, 0) == pytest.approx(131072 * MB)
+        assert ma.get_value(LATENCY, node0, 0) == pytest.approx(26 * NS)
+
+    def test_nvdimm_values(self, xeon_snc2_topo):
+        ma = MemAttrs(xeon_snc2_topo)
+        discover_from_sysfs(ma, build_sysfs(xeon_snc2_topo.machine_spec))
+        nvd = xeon_snc2_topo.numanode_by_os_index(4)
+        assert ma.get_value(BANDWIDTH, nvd, 0) == pytest.approx(78644 * MB)
+        assert ma.get_value(WRITE_LATENCY, nvd, 0) == pytest.approx(77 * NS)
+
+    def test_local_only_gap(self, xeon_topo):
+        """HMAT discovery leaves remote pairs unmeasured (§IV-A1)."""
+        ma = native_discovery(xeon_topo)
+        node0 = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            # Package-1 PU cannot see package-0 DRAM performance.
+            ma.get_value(LATENCY, node0, 41)
+
+    def test_knl_records_nothing(self, knl_topo):
+        ma = MemAttrs(knl_topo)
+        sysfs = build_sysfs(knl_topo.machine_spec)
+        assert discover_from_sysfs(ma, sysfs) == 0
+        assert not ma.has_values(BANDWIDTH)
+
+    def test_read_write_variants_recorded(self, xeon_topo):
+        ma = native_discovery(xeon_topo)
+        node0 = xeon_topo.numanode_by_os_index(0)
+        assert ma.get_value(READ_BANDWIDTH, node0, 0) > 0
+
+    def test_initiator_is_cpu_union(self, xeon_snc2_topo):
+        """NVDIMM values are stored for the union of both SNC cpusets."""
+        ma = MemAttrs(xeon_snc2_topo)
+        discover_from_sysfs(ma, build_sysfs(xeon_snc2_topo.machine_spec))
+        nvd = xeon_snc2_topo.numanode_by_os_index(4)
+        # Query from either SNC of package 0 succeeds...
+        assert ma.get_value(LATENCY, nvd, 5) == pytest.approx(77 * NS)
+        assert ma.get_value(LATENCY, nvd, 25) == pytest.approx(77 * NS)
+        # ... but package 1 cannot see it.
+        with pytest.raises(NoValueError):
+            ma.get_value(LATENCY, nvd, 45)
+
+
+class TestNativeDiscovery:
+    def test_full_path_on_hmat_platform(self, xeon_topo):
+        ma = native_discovery(xeon_topo)
+        assert ma.has_values(BANDWIDTH)
+        assert ma.has_values("Capacity")
+
+    def test_knl_still_gets_capacity(self, knl_topo):
+        ma = native_discovery(knl_topo)
+        assert ma.has_values("Capacity")
+        assert not ma.has_values(BANDWIDTH)

@@ -1,0 +1,128 @@
+"""Dynamic / under-investigation attribute tests (§III-B3, Table I)."""
+
+import pytest
+
+from repro.core import (
+    refresh_available_capacity,
+    register_endurance_attribute,
+    register_persistence_attribute,
+    register_power_attribute,
+)
+from repro.units import GB
+
+
+class TestAvailableCapacity:
+    def test_tracks_kernel_free_bytes(self, xeon_attrs, xeon_kernel, xeon_topo):
+        attr = refresh_available_capacity(xeon_attrs, xeon_kernel)
+        node0 = xeon_topo.numanode_by_os_index(0)
+        assert xeon_attrs.get_value(attr, node0) == xeon_kernel.free_bytes(0)
+
+    def test_refresh_after_allocation(self, xeon_attrs, xeon_kernel, xeon_topo):
+        from repro.kernel import bind_policy
+        attr = refresh_available_capacity(xeon_attrs, xeon_kernel)
+        node0 = xeon_topo.numanode_by_os_index(0)
+        before = xeon_attrs.get_value(attr, node0)
+        alloc = xeon_kernel.allocate(10 * GB, bind_policy(0))
+        # Stale until refreshed (it is a snapshot, like the paper implies).
+        assert xeon_attrs.get_value(attr, node0) == before
+        refresh_available_capacity(xeon_attrs, xeon_kernel)
+        assert xeon_attrs.get_value(attr, node0) == pytest.approx(
+            before - 10 * GB, rel=0.01
+        )
+        xeon_kernel.free(alloc)
+
+    def test_usable_as_allocation_criterion(self, xeon_allocator, xeon_kernel):
+        """§III-B3: under multi-tenant pressure the *available* capacity
+        criterion avoids the nearly-full node."""
+        from repro.kernel import bind_policy
+        refresh_available_capacity(xeon_allocator.memattrs, xeon_kernel)
+        hog = xeon_kernel.allocate(700 * GB, bind_policy(2))  # NVDIMM nearly full
+        refresh_available_capacity(xeon_allocator.memattrs, xeon_kernel)
+        buf = xeon_allocator.mem_alloc(50 * GB, "AvailableCapacity", 0)
+        assert buf.target.os_index == 0  # DRAM now has the most free space
+        xeon_allocator.free(buf)
+        xeon_kernel.free(hog)
+
+    def test_idempotent_registration(self, xeon_attrs, xeon_kernel):
+        a1 = refresh_available_capacity(xeon_attrs, xeon_kernel)
+        a2 = refresh_available_capacity(xeon_attrs, xeon_kernel)
+        assert a1 is a2
+
+
+class TestPower:
+    def test_only_valued_where_published(self, xeon_attrs, xeon_topo):
+        from repro.errors import NoValueError
+        attr = register_power_attribute(xeon_attrs)
+        nvd = xeon_topo.numanode_by_os_index(2)
+        assert xeon_attrs.get_value(attr, nvd) == 2.5
+        dram = xeon_topo.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            xeon_attrs.get_value(attr, dram)
+
+    def test_lower_is_better(self, xeon_attrs):
+        attr = register_power_attribute(xeon_attrs)
+        assert not attr.higher_is_better
+
+
+class TestEnduranceAndPersistence:
+    def test_endurance_ranks_dram_above_nvdimm(self, xeon_attrs, xeon_topo):
+        attr = register_endurance_attribute(xeon_attrs)
+        ranked = xeon_attrs.rank_targets(attr, xeon_topo.numanodes())
+        best_kind = ranked[0].target.attrs["kind"]
+        worst_kind = ranked[-1].target.attrs["kind"]
+        assert best_kind == "DRAM" and worst_kind == "NVDIMM"
+
+    def test_persistence_finds_the_nvdimms(self, xeon_attrs, xeon_topo):
+        attr = register_persistence_attribute(xeon_attrs)
+        best = xeon_attrs.get_best_target(attr, 0)
+        assert best.target.attrs["kind"] == "NVDIMM"
+
+    def test_persistence_criterion_in_allocator(self, xeon_allocator):
+        register_persistence_attribute(xeon_allocator.memattrs)
+        buf = xeon_allocator.mem_alloc(1 * GB, "Persistence", 0)
+        assert buf.target.attrs["kind"] == "NVDIMM"
+        xeon_allocator.free(buf)
+
+
+class TestMemsideCacheAttribute:
+    def test_exposes_cache_sizes(self):
+        import repro
+        from repro.core import register_memside_cache_attribute
+        setup = repro.quick_setup("xeon-cascadelake-2lm", benchmark=True)
+        attr = register_memside_cache_attribute(setup.memattrs)
+        node = setup.topology.numanode_by_os_index(0)
+        assert setup.memattrs.get_value(attr, node) == 192e9
+
+    def test_zero_without_cache(self, xeon_attrs, xeon_topo):
+        from repro.core import register_memside_cache_attribute
+        attr = register_memside_cache_attribute(xeon_attrs)
+        node = xeon_topo.numanode_by_os_index(0)
+        assert xeon_attrs.get_value(attr, node) == 0.0
+
+
+class TestCoherencyAndAvailability:
+    def test_gpu_memory_non_coherent(self):
+        import repro
+        from repro.core import register_coherency_attribute
+        setup = repro.quick_setup("power9-v100", benchmark=True)
+        attr = register_coherency_attribute(setup.memattrs)
+        gpu = next(
+            n for n in setup.topology.numanodes()
+            if n.attrs["kind"] == "GPU"
+        )
+        dram = setup.topology.numanode_by_os_index(0)
+        assert setup.memattrs.get_value(attr, gpu) == 0.0
+        assert setup.memattrs.get_value(attr, dram) == 1.0
+
+    def test_nam_lower_availability(self, fictitious):
+        import repro
+        from repro.core import register_availability_attribute
+        setup = repro.quick_setup("fictitious-four-kind", benchmark=True)
+        attr = register_availability_attribute(setup.memattrs)
+        nam = next(
+            n for n in setup.topology.numanodes()
+            if n.attrs["kind"] == "NAM"
+        )
+        assert setup.memattrs.get_value(attr, nam) == 0.99
+        ranked = setup.memattrs.rank_targets(attr, setup.topology.numanodes())
+        assert ranked[-1].target is nam

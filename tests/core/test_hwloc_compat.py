@@ -1,0 +1,58 @@
+"""Fig. 4 API-parity tests: the hwloc-spelled functions behave like the
+methods they wrap."""
+
+import pytest
+
+from repro.core import MemAttrFlag
+from repro.core.hwloc_compat import (
+    hwloc_get_local_numanode_objs,
+    hwloc_memattr_get_best_initiator,
+    hwloc_memattr_get_best_target,
+    hwloc_memattr_get_value,
+    hwloc_memattr_register,
+    hwloc_memattr_set_value,
+)
+
+
+class TestFig4Surface:
+    def test_local_numanodes(self, xeon_attrs):
+        targets = hwloc_get_local_numanode_objs(xeon_attrs, 0)
+        assert sorted(t.os_index for t in targets) == [0, 2]
+
+    def test_best_target_tuple(self, xeon_attrs):
+        target, value = hwloc_memattr_get_best_target(
+            xeon_attrs, "Latency", 0
+        )
+        assert target.os_index == 0
+        assert value == pytest.approx(26e-9)
+
+    def test_best_initiator_tuple(self, knl_attrs, knl_topo):
+        node = knl_topo.numanode_by_os_index(4)
+        initiator, value = hwloc_memattr_get_best_initiator(
+            knl_attrs, "Bandwidth", node
+        )
+        assert initiator.isset(0)  # cluster-0 CPUs see their MCDRAM best
+        assert value > 0
+
+    def test_get_value(self, xeon_attrs, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(2)
+        assert hwloc_memattr_get_value(
+            xeon_attrs, "Capacity", node
+        ) == 768e9
+
+    def test_set_then_get(self, knl_attrs, knl_topo):
+        node = knl_topo.numanode_by_os_index(0)
+        attr = hwloc_memattr_register(
+            knl_attrs, "MyMetric", MemAttrFlag.HIGHER_FIRST | MemAttrFlag.NEED_INITIATOR
+        )
+        hwloc_memattr_set_value(knl_attrs, attr, node, 0, 42.0)
+        assert hwloc_memattr_get_value(knl_attrs, attr, node, 0) == 42.0
+
+    def test_paper_flow_verbatim(self, knl_attrs):
+        """The §IV usage: select local targets, compare, allocate-ish."""
+        targets = hwloc_get_local_numanode_objs(knl_attrs, 0)
+        best, value = hwloc_memattr_get_best_target(knl_attrs, "Bandwidth", 0)
+        assert best in targets
+        for t in targets:
+            v = hwloc_memattr_get_value(knl_attrs, "Bandwidth", t, 0)
+            assert v <= value

@@ -1,0 +1,107 @@
+"""Property-based tests of the paper's Eq. 1-3 attribute orderings.
+
+For every platform with the relevant kinds, the recorded attribute values
+must order: HBM > DRAM > NVDIMM by bandwidth (Eq. 1); NVDIMM worst by
+latency priority (Eq. 2); NVDIMM > DRAM > HBM by capacity (Eq. 3).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bench import characterize_machine, feed_attributes
+from repro.core import BANDWIDTH, CAPACITY, LATENCY, MemAttrs
+from repro.hw import MemoryKind, get_platform
+from repro.sim import SimEngine
+from repro.topology import build_topology
+
+
+def _attrs_for(machine):
+    topo = build_topology(machine)
+    engine = SimEngine(machine, topo)
+    ma = MemAttrs(topo)
+    feed_attributes(ma, characterize_machine(engine))
+    return topo, ma
+
+
+def _kind_values(topo, ma, attr, initiator):
+    """attribute value per kind, measured from one initiator's local nodes."""
+    out = {}
+    for tv in ma.rank_targets(attr, ma.get_local_numanode_objs(initiator), initiator):
+        kind = tv.target.attrs["kind"]
+        out.setdefault(kind, tv.value)
+    return out
+
+
+class TestEq1Bandwidth:
+    def test_knl_hbm_beats_dram(self, knl_attrs, knl_topo):
+        vals = _kind_values(knl_topo, knl_attrs, BANDWIDTH, 0)
+        assert vals["HBM"] > vals["DRAM"]
+
+    def test_xeon_dram_beats_nvdimm(self):
+        topo, ma = _attrs_for(get_platform("xeon-cascadelake-1lm"))
+        vals = _kind_values(topo, ma, BANDWIDTH, 0)
+        assert vals["DRAM"] > vals["NVDIMM"]
+
+    def test_fictitious_full_ordering(self):
+        topo, ma = _attrs_for(get_platform("fictitious-four-kind"))
+        vals = _kind_values(topo, ma, BANDWIDTH, 0)
+        assert vals["HBM"] > vals["DRAM"] > vals["NVDIMM"] > vals["NAM"]
+
+
+class TestEq2Latency:
+    def test_xeon_dram_beats_nvdimm(self):
+        topo, ma = _attrs_for(get_platform("xeon-cascadelake-1lm"))
+        vals = _kind_values(topo, ma, LATENCY, 0)
+        assert vals["DRAM"] < vals["NVDIMM"]
+
+    def test_knl_dram_hbm_similar(self, knl_attrs, knl_topo):
+        """§III-B2: DRAM_Lat ≈ HBM_Lat on KNL (within 15%)."""
+        vals = _kind_values(knl_topo, knl_attrs, LATENCY, 0)
+        ratio = vals["HBM"] / vals["DRAM"]
+        assert 0.85 < ratio < 1.15
+
+    def test_fictitious_nvdimm_worst_of_dimms(self):
+        topo, ma = _attrs_for(get_platform("fictitious-four-kind"))
+        vals = _kind_values(topo, ma, LATENCY, 0)
+        assert vals["NVDIMM"] > vals["DRAM"]
+        assert vals["NVDIMM"] > vals["HBM"]
+        assert vals["NAM"] > vals["NVDIMM"]
+
+
+class TestEq3Capacity:
+    def test_orderings(self):
+        topo, ma = _attrs_for(get_platform("fictitious-four-kind"))
+        vals = {}
+        for node in topo.numanodes():
+            vals.setdefault(node.attrs["kind"], node.attrs["capacity"])
+        assert vals["NVDIMM"] > vals["DRAM"] > vals["HBM"]
+
+    def test_xeon(self, xeon_attrs, xeon_topo):
+        nvd = xeon_topo.numanode_by_os_index(2)
+        dram = xeon_topo.numanode_by_os_index(0)
+        assert xeon_attrs.get_value(CAPACITY, nvd) > xeon_attrs.get_value(
+            CAPACITY, dram
+        )
+
+
+class TestOrderingsAreInitiatorStable:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(pu=st.integers(min_value=0, max_value=255))
+    def test_knl_bandwidth_ordering_from_any_pu(self, knl_attrs, knl_topo, pu):
+        """Eq. 1 holds no matter which PU asks."""
+        vals = _kind_values(knl_topo, knl_attrs, BANDWIDTH, pu)
+        assert vals["HBM"] > vals["DRAM"]
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(pu=st.integers(min_value=0, max_value=255))
+    def test_knl_best_bandwidth_target_is_local(self, knl_attrs, knl_topo, pu):
+        best = knl_attrs.get_best_target(BANDWIDTH, pu)
+        assert best.target.cpuset.isset(pu)

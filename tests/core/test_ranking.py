@@ -1,0 +1,56 @@
+"""Tie-break ranking tests (§III-B2's KNL latency-tie case)."""
+
+import pytest
+
+from repro.core import LATENCY, MemAttrs
+from repro.core.ranking import best_target_with_tiebreak, rank_targets
+from repro.errors import NoTargetError
+from repro.topology import Bitmap
+
+
+class TestTieBreak:
+    def test_knl_latency_tie_broken_by_capacity(self, knl_attrs, knl_topo):
+        """DRAM and MCDRAM latencies tie within 15%; capacity keeps DRAM."""
+        best = best_target_with_tiebreak(
+            knl_attrs, LATENCY, 0, tie_attr="Capacity", tie_tolerance=0.15
+        )
+        assert best.target.attrs["kind"] == "DRAM"
+
+    def test_without_tiebreak_primary_order_kept(self, knl_attrs):
+        ranked = rank_targets(knl_attrs, LATENCY, 0)
+        values = [tv.value for tv in ranked]
+        assert values == sorted(values)
+
+    def test_clear_winner_not_overridden(self, xeon_attrs):
+        """On the Xeon, DRAM wins latency outright — capacity tie-break
+        must not promote the NVDIMM."""
+        best = best_target_with_tiebreak(
+            xeon_attrs, LATENCY, 0, tie_attr="Capacity", tie_tolerance=0.10
+        )
+        assert best.target.os_index == 0
+
+    def test_zero_tolerance_requires_exact_tie(self, knl_attrs, knl_topo):
+        ranked = rank_targets(
+            knl_attrs, LATENCY, 0, tie_attr="Capacity", tie_tolerance=0.0
+        )
+        values = [tv.value for tv in ranked]
+        assert values == sorted(values)
+
+    def test_rank_preserves_membership(self, knl_attrs):
+        plain = rank_targets(knl_attrs, LATENCY, 0)
+        tied = rank_targets(
+            knl_attrs, LATENCY, 0, tie_attr="Capacity", tie_tolerance=0.5
+        )
+        assert {tv.target.os_index for tv in plain} == {
+            tv.target.os_index for tv in tied
+        }
+
+    def test_no_targets_raises(self, knl_topo):
+        fresh = MemAttrs(knl_topo)
+        with pytest.raises(NoTargetError):
+            best_target_with_tiebreak(fresh, LATENCY, 0)
+
+    def test_explicit_targets_argument(self, knl_attrs, knl_topo):
+        subset = [knl_topo.numanode_by_os_index(0)]
+        ranked = rank_targets(knl_attrs, LATENCY, 0, targets=subset)
+        assert [tv.target.os_index for tv in ranked] == [0]

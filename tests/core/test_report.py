@@ -1,0 +1,56 @@
+"""Fig. 5 rendering tests."""
+
+from repro.core import render_memattrs
+from repro.core.report import initiator_label
+from repro.topology import Bitmap
+
+
+class TestFig5Reproduction:
+    def test_exact_fig5_lines(self, xeon_snc2_topo):
+        """The key lines of the paper's Fig. 5, verbatim format."""
+        from repro.core import native_discovery
+        ma = native_discovery(xeon_snc2_topo)
+        out = render_memattrs(ma, only=("Capacity", "Bandwidth", "Latency"))
+        assert "Memory attribute #0 name 'Capacity'" in out
+        assert "Memory attribute #2 name 'Bandwidth'" in out
+        assert "Memory attribute #3 name 'Latency'" in out
+        assert "NUMANode L#0 = 131072 from Group0 L#0" in out
+        assert "NUMANode L#2 = 78644 from Package L#0" in out
+        assert "NUMANode L#5 = 78644 from Package L#1" in out
+        assert "NUMANode L#0 = 26 from Group0 L#0" in out
+        assert "NUMANode L#2 = 77 from Package L#0" in out
+
+    def test_capacity_in_bytes(self, xeon_snc2_topo):
+        from repro.core import native_discovery
+        ma = native_discovery(xeon_snc2_topo)
+        out = render_memattrs(ma, only=("Capacity",))
+        assert "NUMANode L#2 = 768000000000" in out
+
+    def test_empty_attributes_skipped(self, knl_topo):
+        from repro.core import MemAttrs
+        ma = MemAttrs(knl_topo)
+        out = render_memattrs(ma)
+        assert "Bandwidth" not in out  # no values on KNL without benchmarks
+        assert "Capacity" in out
+
+    def test_only_filter(self, xeon_attrs):
+        out = render_memattrs(xeon_attrs, only=("Latency",))
+        assert "Latency" in out and "Capacity" not in out
+
+
+class TestInitiatorLabel:
+    def test_group_label(self, xeon_snc2_topo):
+        group_cpuset = Bitmap.from_range(0, 20)
+        assert initiator_label(xeon_snc2_topo, group_cpuset) == "Group0 L#0"
+
+    def test_package_label(self, xeon_snc2_topo):
+        pkg_cpuset = Bitmap.from_range(0, 40)
+        assert initiator_label(xeon_snc2_topo, pkg_cpuset) == "Package L#0"
+
+    def test_pu_label(self, xeon_snc2_topo):
+        assert initiator_label(xeon_snc2_topo, Bitmap([3])) == "PU L#3"
+
+    def test_fallback_to_cover(self, xeon_snc2_topo):
+        odd = Bitmap([0, 1, 2])  # no object matches exactly
+        label = initiator_label(xeon_snc2_topo, odd)
+        assert "L#" in label

@@ -1,0 +1,97 @@
+"""HMAT synthesis tests."""
+
+import pytest
+
+from repro.errors import FirmwareError
+from repro.firmware import DataType, build_hmat, build_srat
+from repro.hw import get_platform
+from repro.units import MB, NS
+
+
+class TestBuild:
+    def test_knl_has_no_hmat(self, knl):
+        with pytest.raises(FirmwareError):
+            build_hmat(knl)
+
+    def test_local_only_restriction(self, xeon):
+        """§IV-A1: only local-access performance is published."""
+        hmat = build_hmat(xeon)
+        srat = build_srat(xeon)
+        for entry in hmat.entries:
+            pus = srat.pus_of_domain(entry.initiator_pd)
+            target = xeon.node_by_os_index(entry.target_pd)
+            assert all(
+                xeon.locality_class(pu, target) == "local" for pu in pus[:1]
+            )
+
+    def test_remote_pairs_absent(self, xeon):
+        hmat = build_hmat(xeon)
+        # Initiator domain 0 (package 0) must not have values for node 1
+        # (package 1 DRAM).
+        assert hmat.lookup(0, 1, DataType.ACCESS_LATENCY) is None
+
+    def test_all_targets_covered(self, xeon_snc2):
+        hmat = build_hmat(xeon_snc2)
+        assert set(hmat.targets()) == {
+            n.os_index for n in xeon_snc2.numa_nodes()
+        }
+
+    def test_full_matrix_when_not_local_only(self):
+        m = get_platform("xeon-cascadelake-1lm")
+        m = type(m)(
+            name=m.name,
+            packages=m.packages,
+            machine_memories=m.machine_memories,
+            interconnect=m.interconnect,
+            core_ops_per_second=m.core_ops_per_second,
+            has_hmat=True,
+            hmat_local_only=False,
+        )
+        hmat = build_hmat(m)
+        assert hmat.lookup(0, 1, DataType.ACCESS_LATENCY) is not None
+
+
+class TestValues:
+    def test_fig5_dram_values(self, xeon_snc2):
+        hmat = build_hmat(xeon_snc2)
+        lat = hmat.lookup(0, 0, DataType.ACCESS_LATENCY)
+        bw = hmat.lookup(0, 0, DataType.ACCESS_BANDWIDTH)
+        assert round(lat / NS) == 26
+        assert round(bw / MB) == 131072
+
+    def test_fig5_nvdimm_values(self, xeon_snc2):
+        hmat = build_hmat(xeon_snc2)
+        # Node 4 = package 0 NVDIMM; initiators are its SNC domains 0 and 1.
+        lat = hmat.lookup(0, 4, DataType.ACCESS_LATENCY)
+        bw = hmat.lookup(0, 4, DataType.ACCESS_BANDWIDTH)
+        assert round(lat / NS) == 77
+        assert round(bw / MB) == 78644
+
+    def test_read_write_split_present(self, xeon):
+        hmat = build_hmat(xeon)
+        for dt in DataType:
+            assert hmat.lookup(0, 0, dt) is not None
+
+    def test_initiators_of(self, xeon_snc2):
+        hmat = build_hmat(xeon_snc2)
+        # Package 0's NVDIMM is local to both of its SNC initiator domains.
+        assert hmat.initiators_of(4) == (0, 1)
+
+    def test_latency_classification(self):
+        assert DataType.READ_LATENCY.is_latency
+        assert not DataType.READ_BANDWIDTH.is_latency
+
+
+class TestMemsideCaches:
+    def test_hybrid_platform_cache_entries(self):
+        m = get_platform("xeon-cascadelake-2lm")
+        hmat = build_hmat(m)
+        assert len(hmat.caches) == 2
+        for cache in hmat.caches:
+            assert cache.cache_size == 192 * 10**9
+            assert hmat.cache_of(cache.target_pd) is cache
+
+    def test_no_cache_entries_on_flat_platform(self, xeon):
+        hmat = build_hmat(xeon)
+        assert hmat.caches == ()
+        assert hmat.cache_of(0) is None

@@ -1,0 +1,45 @@
+"""SLIT synthesis tests."""
+
+import pytest
+
+from repro.errors import FirmwareError
+from repro.firmware import build_slit
+
+
+class TestSlitInvariants:
+    def test_diagonal_is_ten(self, xeon_snc2):
+        slit = build_slit(xeon_snc2)
+        for i in range(slit.num_domains):
+            assert slit.distance(i, i) == 10
+
+    def test_all_values_in_slit_range(self, fictitious):
+        slit = build_slit(fictitious)
+        for row in slit.matrix:
+            assert all(10 <= v <= 254 for v in row)
+
+    def test_matrix_square_and_complete(self, knl):
+        slit = build_slit(knl)
+        n = len(knl.numa_nodes())
+        assert slit.num_domains == n
+        assert all(len(row) == n for row in slit.matrix)
+
+    def test_remote_farther_than_local(self, xeon):
+        slit = build_slit(xeon)
+        # From package-0 CPUs: local DRAM (0) closer than package-1 DRAM (1).
+        assert slit.distance(0, 0) < slit.distance(0, 1)
+
+    def test_nvdimm_farther_than_dram_from_cpu_node(self, xeon):
+        slit = build_slit(xeon)
+        # Node 2 is package 0's NVDIMM: slower medium => larger distance.
+        assert slit.distance(0, 2) > slit.distance(0, 0)
+
+    def test_out_of_range_raises(self, xeon):
+        slit = build_slit(xeon)
+        with pytest.raises(FirmwareError):
+            slit.distance(0, 99)
+
+    def test_render_is_numactl_like(self, xeon):
+        text = build_slit(xeon).render()
+        lines = text.splitlines()
+        assert lines[0].startswith("node")
+        assert len(lines) == len(xeon.numa_nodes()) + 1

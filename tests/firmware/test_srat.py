@@ -1,0 +1,70 @@
+"""SRAT synthesis tests."""
+
+import pytest
+
+from repro.errors import FirmwareError
+from repro.firmware import build_srat
+from repro.hw import MemoryKind, get_platform
+
+
+class TestCpuAffinity:
+    def test_every_pu_assigned(self, xeon):
+        srat = build_srat(xeon)
+        assert {e.pu for e in srat.cpus} == set(range(xeon.total_pus))
+
+    def test_cpus_assigned_to_dram_domains(self, xeon):
+        """CPUs belong to the proximity domain of their local DRAM node."""
+        srat = build_srat(xeon)
+        dram_domains = {
+            n.os_index for n in xeon.numa_nodes() if n.kind is MemoryKind.DRAM
+        }
+        assert {e.proximity_domain for e in srat.cpus} <= dram_domains
+
+    def test_knl_cpus_map_to_cluster_dram(self, knl):
+        srat = build_srat(knl)
+        # PUs 0-63 are cluster 0 whose DRAM is node 0.
+        assert srat.domain_of_pu(0) == 0
+        assert srat.domain_of_pu(63) == 0
+        assert srat.domain_of_pu(64) == 1
+
+    def test_dramless_platform_uses_nearest_node(self):
+        m = get_platform("fugaku-like")
+        srat = build_srat(m)
+        # CMG 0's PUs land on its HBM domain.
+        assert srat.domain_of_pu(0) == 0
+
+    def test_domain_of_unknown_pu_raises(self, xeon):
+        srat = build_srat(xeon)
+        with pytest.raises(FirmwareError):
+            srat.domain_of_pu(10**6)
+
+
+class TestMemoryAffinity:
+    def test_every_node_has_a_range(self, xeon_snc2):
+        srat = build_srat(xeon_snc2)
+        domains = {e.proximity_domain for e in srat.memories}
+        assert domains == {n.os_index for n in xeon_snc2.numa_nodes()}
+
+    def test_range_lengths_match_capacity(self, xeon):
+        srat = build_srat(xeon)
+        for node in xeon.numa_nodes():
+            entries = srat.memory_of_domain(node.os_index)
+            assert sum(e.length for e in entries) == node.capacity
+
+    def test_ranges_do_not_overlap(self, fictitious):
+        srat = build_srat(fictitious)
+        spans = sorted(
+            (e.base_address, e.base_address + e.length) for e in srat.memories
+        )
+        for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+            assert end_a <= start_b
+
+    def test_nvdimm_marked_non_volatile(self, xeon):
+        srat = build_srat(xeon)
+        for node in xeon.numa_nodes():
+            for entry in srat.memory_of_domain(node.os_index):
+                assert entry.non_volatile == (node.kind is MemoryKind.NVDIMM)
+
+    def test_domains_property(self, xeon):
+        srat = build_srat(xeon)
+        assert srat.domains == tuple(range(len(xeon.numa_nodes())))

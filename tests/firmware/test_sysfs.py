@@ -1,0 +1,92 @@
+"""Virtual sysfs tests."""
+
+import pytest
+
+from repro.errors import FirmwareError
+from repro.firmware import build_sysfs
+from repro.firmware.sysfs import parse_ranges
+from repro.hw import get_platform
+from repro.units import KiB
+
+ROOT = "/sys/devices/system/node"
+
+
+class TestTreeShape:
+    def test_online_lists_all_nodes(self, xeon_snc2):
+        fs = build_sysfs(xeon_snc2)
+        assert fs.read(f"{ROOT}/online").strip() == "0-5"
+
+    def test_node_dirs_exist(self, xeon_snc2):
+        fs = build_sysfs(xeon_snc2)
+        for i in range(6):
+            assert fs.exists(f"{ROOT}/node{i}")
+
+    def test_cpulist_matches_srat(self, xeon):
+        fs = build_sysfs(xeon)
+        pus = parse_ranges(fs.read(f"{ROOT}/node0/cpulist"))
+        assert pus == tuple(range(40))
+
+    def test_cpuless_node_has_empty_cpulist(self, xeon):
+        fs = build_sysfs(xeon)
+        assert fs.read(f"{ROOT}/node2/cpulist").strip() == ""
+
+    def test_meminfo_capacity(self, xeon):
+        fs = build_sysfs(xeon)
+        line = fs.read(f"{ROOT}/node0/meminfo").splitlines()[0]
+        kb = int(line.split()[3])
+        assert kb == 192 * 10**9 // KiB
+
+    def test_missing_file_raises(self, xeon):
+        fs = build_sysfs(xeon)
+        with pytest.raises(FirmwareError):
+            fs.read(f"{ROOT}/node99/cpulist")
+
+    def test_listdir(self, xeon):
+        fs = build_sysfs(xeon)
+        names = fs.listdir(ROOT)
+        assert "node0" in names and "online" in names
+
+    def test_listdir_missing_raises(self, xeon):
+        fs = build_sysfs(xeon)
+        with pytest.raises(FirmwareError):
+            fs.listdir("/sys/not/a/dir")
+
+
+class TestAccess0:
+    def test_hmat_values_present_on_xeon(self, xeon_snc2):
+        fs = build_sysfs(xeon_snc2)
+        acc = f"{ROOT}/node0/access0/initiators"
+        assert fs.read(f"{acc}/read_bandwidth").strip() == "131072"
+        assert fs.read(f"{acc}/read_latency").strip() == "26"
+
+    def test_nvdimm_access0(self, xeon_snc2):
+        fs = build_sysfs(xeon_snc2)
+        acc = f"{ROOT}/node4/access0/initiators"
+        assert fs.read(f"{acc}/read_bandwidth").strip() == "78644"
+        assert fs.read(f"{acc}/read_latency").strip() == "77"
+        # Initiator links: the two SNC CPU domains of package 0.
+        names = fs.listdir(acc)
+        assert "node0" in names and "node1" in names
+
+    def test_no_access0_on_knl(self, knl):
+        fs = build_sysfs(knl)
+        assert not fs.exists(f"{ROOT}/node0/access0/initiators")
+
+    def test_memside_cache_exposure(self):
+        m = get_platform("xeon-cascadelake-2lm")
+        fs = build_sysfs(m)
+        base = f"{ROOT}/node0/memory_side_cache/index1"
+        assert int(fs.read(f"{base}/size")) == 192 * 10**9
+        assert fs.read(f"{base}/indexing").strip() == "0"  # direct-mapped
+
+
+class TestRanges:
+    def test_parse_ranges_forms(self):
+        assert parse_ranges("") == ()
+        assert parse_ranges("3") == (3,)
+        assert parse_ranges("0-2,5,7-8") == (0, 1, 2, 5, 7, 8)
+
+    def test_render_tree_filters(self, xeon):
+        fs = build_sysfs(xeon)
+        text = fs.render_tree(f"{ROOT}/node0")
+        assert "node0" in text and "node1/cpulist" not in text

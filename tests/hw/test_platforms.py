@@ -1,0 +1,182 @@
+"""Preset-platform tests: every paper machine has the right shape."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hw import (
+    PLATFORM_REGISTRY,
+    MemoryKind,
+    get_platform,
+)
+from repro.units import GB
+
+
+class TestRegistry:
+    def test_all_presets_instantiate(self):
+        for name in PLATFORM_REGISTRY:
+            machine = get_platform(name)
+            assert machine.numa_nodes()
+
+    def test_unknown_platform_raises(self):
+        with pytest.raises(SpecError):
+            get_platform("cray-1")
+
+    def test_fresh_instances(self):
+        assert get_platform("knl-snc4-flat") is not get_platform("knl-snc4-flat")
+
+
+class TestKNL:
+    def test_snc4_flat_shape(self, knl):
+        nodes = knl.numa_nodes()
+        drams = [n for n in nodes if n.kind is MemoryKind.DRAM]
+        hbms = [n for n in nodes if n.kind is MemoryKind.HBM]
+        assert len(drams) == 4 and len(hbms) == 4
+        assert all(n.capacity == 24 * GB for n in drams)
+        assert all(n.capacity == 4 * GB for n in hbms)
+        assert knl.total_cores == 64
+        assert knl.total_pus == 256
+
+    def test_snc4_flat_has_no_memside_cache(self, knl):
+        assert all(n.spec.memside_cache is None for n in knl.numa_nodes())
+
+    def test_no_hmat_on_knl(self, knl):
+        assert not knl.has_hmat
+
+    def test_hybrid50_fig1_shape(self):
+        m = get_platform("knl-snc4-hybrid50")
+        nodes = m.numa_nodes()
+        drams = [n for n in nodes if n.kind is MemoryKind.DRAM]
+        hbms = [n for n in nodes if n.kind is MemoryKind.HBM]
+        assert len(drams) == 4 and len(hbms) == 4
+        assert all(n.capacity == 12 * GB for n in drams)
+        assert all(n.capacity == 2 * GB for n in hbms)
+        # Fig. 1: each DRAM sits behind a 2 GB MCDRAM memory-side cache.
+        assert all(
+            n.spec.memside_cache is not None
+            and n.spec.memside_cache.size == 2 * GB
+            for n in drams
+        )
+
+    def test_cache_mode_has_no_flat_hbm(self):
+        m = get_platform("knl-snc4-cache")
+        assert all(n.kind is MemoryKind.DRAM for n in m.numa_nodes())
+        assert all(n.spec.memside_cache is not None for n in m.numa_nodes())
+
+    def test_quadrant_flat_two_nodes(self):
+        m = get_platform("knl-quadrant-flat")
+        assert len(m.numa_nodes()) == 2
+
+
+class TestXeon:
+    def test_snc1_shape(self, xeon):
+        nodes = xeon.numa_nodes()
+        assert len(nodes) == 4
+        drams = [n for n in nodes if n.kind is MemoryKind.DRAM]
+        nvds = [n for n in nodes if n.kind is MemoryKind.NVDIMM]
+        assert [n.capacity for n in drams] == [192 * GB] * 2
+        assert [n.capacity for n in nvds] == [768 * GB] * 2
+
+    def test_snc2_fig2_shape(self, xeon_snc2):
+        nodes = xeon_snc2.numa_nodes()
+        drams = [n for n in nodes if n.kind is MemoryKind.DRAM]
+        nvds = [n for n in nodes if n.kind is MemoryKind.NVDIMM]
+        assert len(drams) == 4 and len(nvds) == 2
+        assert all(n.capacity == 96 * GB for n in drams)
+        assert all(n.capacity == 768 * GB for n in nvds)
+
+    def test_snc_validation(self):
+        with pytest.raises(SpecError):
+            get_platform("xeon-cascadelake-1lm", snc=3)
+
+    def test_2lm_dram_becomes_cache(self):
+        m = get_platform("xeon-cascadelake-2lm")
+        nodes = m.numa_nodes()
+        assert all(n.kind is MemoryKind.NVDIMM for n in nodes)
+        assert all(
+            n.spec.memside_cache is not None
+            and n.spec.memside_cache.size == 192 * GB
+            for n in nodes
+        )
+
+    def test_xeon_has_hmat(self, xeon):
+        assert xeon.has_hmat and xeon.hmat_local_only
+
+
+class TestOtherPlatforms:
+    def test_fictitious_four_kinds(self, fictitious):
+        kinds = {n.kind for n in fictitious.numa_nodes()}
+        assert kinds == {
+            MemoryKind.DRAM,
+            MemoryKind.HBM,
+            MemoryKind.NVDIMM,
+            MemoryKind.NAM,
+        }
+
+    def test_fictitious_nam_is_machine_wide(self, fictitious):
+        nam = [n for n in fictitious.numa_nodes() if n.kind is MemoryKind.NAM]
+        assert len(nam) == 1
+        assert nam[0].package is None
+
+    def test_fugaku_hbm_only(self):
+        m = get_platform("fugaku-like")
+        assert all(n.kind is MemoryKind.HBM for n in m.numa_nodes())
+        assert len(m.numa_nodes()) == 4
+
+    def test_power9_exposes_gpu_memory(self):
+        m = get_platform("power9-v100")
+        gpu = [n for n in m.numa_nodes() if n.kind is MemoryKind.GPU]
+        assert len(gpu) == 2
+
+    def test_uniform_dram_control(self):
+        m = get_platform("uniform-dram")
+        assert all(n.kind is MemoryKind.DRAM for n in m.numa_nodes())
+
+    def test_parameterization(self):
+        m = get_platform("knl-snc4-flat", mcdram_per_cluster="8GB")
+        hbms = [n for n in m.numa_nodes() if n.kind is MemoryKind.HBM]
+        assert all(n.capacity == 8 * GB for n in hbms)
+
+
+class TestXeonMax:
+    """The HBM+DDR5 Xeon the paper's §II-C anticipated."""
+
+    def test_flat_mode_shape(self):
+        m = get_platform("xeon-max")
+        nodes = m.numa_nodes()
+        hbm = [n for n in nodes if n.kind is MemoryKind.HBM]
+        ddr = [n for n in nodes if n.kind is MemoryKind.DRAM]
+        assert len(hbm) == 4 and len(ddr) == 4
+        assert all(n.capacity == 16 * GB for n in hbm)
+        assert m.total_cores == 56
+
+    def test_cache_mode_hbm_is_memside_cache(self):
+        m = get_platform("xeon-max", mode="cache")
+        nodes = m.numa_nodes()
+        assert all(n.kind is MemoryKind.DRAM for n in nodes)
+        assert all(
+            n.spec.memside_cache is not None
+            and n.spec.memside_cache.size == 16 * GB
+            for n in nodes
+        )
+
+    def test_hbm_only_mode(self):
+        m = get_platform("xeon-max", mode="hbm-only")
+        assert all(n.kind is MemoryKind.HBM for n in m.numa_nodes())
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SpecError):
+            get_platform("xeon-max", mode="turbo")
+
+    def test_same_criteria_work_unmodified(self):
+        """The paper's portability claim extends to the machine that
+        shipped after it: Latency -> DDR5, Bandwidth -> HBM, untouched
+        application code."""
+        import repro
+        from repro.units import GB as _GB
+        setup = repro.quick_setup("xeon-max", benchmark=True)
+        bw = setup.allocator.mem_alloc(1 * _GB, "Bandwidth", 0)
+        assert bw.target.attrs["kind"] == "HBM"
+        setup.allocator.free(bw)
+        lat = setup.allocator.mem_alloc(1 * _GB, "Latency", 0)
+        assert lat.target.attrs["kind"] == "DRAM"
+        setup.allocator.free(lat)

@@ -1,0 +1,175 @@
+"""Machine-model fuzzing: the whole stack must hold for *any* valid
+platform, not just the presets.
+
+A composite strategy generates random machines (packages × optional SNC
+groups × memories drawn from the technology presets); for each, we assert
+the structural invariants every layer relies on, build the firmware and
+the topology, run native or benchmark discovery, and allocate through the
+attribute API.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import MemAttrs, native_discovery
+from repro.firmware import build_slit, build_srat, build_sysfs
+from repro.hw import (
+    GroupSpec,
+    MachineSpec,
+    MemoryNodeSpec,
+    PackageSpec,
+    machine_from_dict,
+    machine_to_dict,
+    tech,
+)
+from repro.topology import build_topology, render_lstopo
+from repro.units import GB
+
+TECH_NAMES = ("ddr4-xeon", "optane-nvdimm", "hbm2", "ddr5", "cxl-dram")
+
+
+@st.composite
+def machines(draw):
+    n_packages = draw(st.integers(1, 3))
+    use_groups = draw(st.booleans())
+    packages = []
+    for _ in range(n_packages):
+        pkg_mems = tuple(
+            MemoryNodeSpec(
+                tech=tech(draw(st.sampled_from(TECH_NAMES))),
+                capacity=draw(st.integers(1, 64)) * GB,
+            )
+            for _ in range(draw(st.integers(0, 2)))
+        )
+        if use_groups:
+            groups = tuple(
+                GroupSpec(
+                    cores=draw(st.integers(1, 4)),
+                    pus_per_core=draw(st.integers(1, 2)),
+                    memories=tuple(
+                        MemoryNodeSpec(
+                            tech=tech(draw(st.sampled_from(TECH_NAMES))),
+                            capacity=draw(st.integers(1, 16)) * GB,
+                        )
+                        for _ in range(draw(st.integers(0, 2)))
+                    ),
+                )
+                for _ in range(draw(st.integers(1, 2)))
+            )
+            has_mem = pkg_mems or any(g.memories for g in groups)
+            packages.append(
+                PackageSpec(groups=groups, memories=pkg_mems)
+            )
+        else:
+            has_mem = bool(pkg_mems)
+            packages.append(
+                PackageSpec(
+                    cores=draw(st.integers(1, 6)),
+                    pus_per_core=draw(st.integers(1, 2)),
+                    memories=pkg_mems,
+                )
+            )
+    machine_mems = tuple(
+        MemoryNodeSpec(
+            tech=tech("nam"), capacity=draw(st.integers(64, 256)) * GB
+        )
+        for _ in range(draw(st.integers(0, 1)))
+    )
+    # Guarantee at least one NUMA node somewhere.
+    if not machine_mems and not any(
+        p.memories or any(g.memories for g in p.groups) for p in packages
+    ):
+        machine_mems = (
+            MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=32 * GB),
+        )
+    return MachineSpec(
+        name="fuzz",
+        packages=tuple(packages),
+        machine_memories=machine_mems,
+        has_hmat=draw(st.booleans()),
+    )
+
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStructuralInvariants:
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_node_numbering_dense_and_unique(self, machine):
+        nodes = machine.numa_nodes()
+        assert sorted(n.os_index for n in nodes) == list(range(len(nodes)))
+        assert sorted(n.logical_index for n in nodes) == list(range(len(nodes)))
+
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_dram_numbered_before_special_kinds(self, machine):
+        from repro.hw import MemoryKind
+        nodes = machine.numa_nodes()
+        drams = [n.os_index for n in nodes if n.kind is MemoryKind.DRAM]
+        others = [n.os_index for n in nodes if n.kind is not MemoryKind.DRAM]
+        if drams and others:
+            assert max(drams) < min(others)
+
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_serialization_roundtrip(self, machine):
+        assert machine_from_dict(machine_to_dict(machine)) == machine
+
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_firmware_builds(self, machine):
+        srat = build_srat(machine)
+        assert {e.pu for e in srat.cpus} == set(range(machine.total_pus))
+        slit = build_slit(machine)
+        assert slit.num_domains == len(machine.numa_nodes())
+        fs = build_sysfs(machine)
+        assert fs.exists("/sys/devices/system/node/node0")
+
+
+class TestFullStackOnRandomMachines:
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_topology_builds_and_renders(self, machine):
+        topo = build_topology(machine)
+        assert len(topo.numanodes()) == len(machine.numa_nodes())
+        text = render_lstopo(topo)
+        assert text.startswith("Machine (")
+
+    @settings(**COMMON)
+    @given(machine=machines())
+    def test_capacity_attribute_always_rankable(self, machine):
+        """Capacity is "always supported" (Table I): any machine, any PU,
+        get_best_target answers with the largest *local* node."""
+        from repro.errors import NoTargetError
+        topo = build_topology(machine)
+        ma = MemAttrs(topo)
+        local_caps = [
+            n.attrs["capacity"] for n in ma.get_local_numanode_objs(0)
+        ]
+        if local_caps:
+            best = ma.get_best_target("Capacity", 0)
+            assert best.value == max(local_caps)
+        else:
+            # Memoryless package: the low-level API reports no local
+            # target (hwloc's error return); the allocator layer handles
+            # the machine-wide fallback.
+            with pytest.raises(NoTargetError):
+                ma.get_best_target("Capacity", 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(machine=machines())
+    def test_allocator_capacity_requests_always_serve(self, machine):
+        from repro.alloc import HeterogeneousAllocator
+        from repro.kernel import KernelMemoryManager
+        topo = build_topology(machine)
+        ma = native_discovery(topo) if machine.has_hmat else MemAttrs(topo)
+        allocator = HeterogeneousAllocator(ma, KernelMemoryManager(machine))
+        buf = allocator.mem_alloc(64 * 1024, "Capacity", 0)
+        assert buf.allocation.total_pages > 0
+        allocator.free(buf)
+        assert not allocator.buffers

@@ -1,0 +1,113 @@
+"""Machine-spec JSON serialization tests."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hw import PLATFORM_REGISTRY, get_platform
+from repro.hw.serialize import (
+    load_machine,
+    machine_from_dict,
+    machine_to_dict,
+    save_machine,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(PLATFORM_REGISTRY))
+    def test_every_platform_roundtrips(self, name):
+        original = get_platform(name)
+        rebuilt = machine_from_dict(machine_to_dict(original))
+        assert rebuilt == original
+
+    def test_dict_is_json_compatible(self, xeon):
+        text = json.dumps(machine_to_dict(xeon))
+        assert machine_from_dict(json.loads(text)) == xeon
+
+    def test_file_roundtrip(self, knl, tmp_path):
+        path = tmp_path / "knl.json"
+        save_machine(knl, path)
+        assert load_machine(path) == knl
+
+    def test_preset_techs_serialized_by_name(self, xeon):
+        data = machine_to_dict(xeon)
+        assert data["packages"][0]["memories"][0]["tech"] == "ddr4-xeon"
+
+    def test_custom_tech_serialized_inline(self, fictitious):
+        data = machine_to_dict(fictitious)
+        nvdimm = data["packages"][0]["memories"][1]["tech"]
+        # The fictitious platform overrides the Optane HMAT latencies, so
+        # its tech no longer matches the preset and must inline.
+        assert isinstance(nvdimm, dict)
+        assert nvdimm["kind"] == "NVDIMM"
+        rebuilt = machine_from_dict(data)
+        assert rebuilt == fictitious
+
+
+class TestErrors:
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SpecError):
+            machine_from_dict(
+                {
+                    "name": "x",
+                    "packages": [
+                        {
+                            "cores": 1,
+                            "memories": [{"tech": "core-rope", "capacity": 1024}],
+                        }
+                    ],
+                }
+            )
+
+    def test_missing_packages_rejected(self):
+        with pytest.raises(SpecError):
+            machine_from_dict({"name": "x"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SpecError):
+            machine_from_dict([1, 2, 3])
+
+    def test_bad_tech_fields_rejected(self):
+        with pytest.raises(SpecError):
+            machine_from_dict(
+                {
+                    "name": "x",
+                    "packages": [
+                        {
+                            "cores": 1,
+                            "memories": [
+                                {"tech": {"kind": "DRAM"}, "capacity": 1024}
+                            ],
+                        }
+                    ],
+                }
+            )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SpecError):
+            load_machine(tmp_path / "nope.json")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError):
+            load_machine(path)
+
+
+class TestEditedDescriptions:
+    def test_loaded_machine_builds_full_stack(self, knl, tmp_path):
+        """A spec loaded from a user file drives everything downstream."""
+        from repro.topology import build_topology, render_lstopo
+        path = tmp_path / "m.json"
+        save_machine(knl, path)
+        machine = load_machine(path)
+        topo = build_topology(machine)
+        assert "MCDRAM" in render_lstopo(topo)
+
+    def test_hand_edited_capacity(self, knl, tmp_path):
+        data = machine_to_dict(knl)
+        data["packages"][0]["groups"][0]["memories"][1]["capacity"] = 8 * 10**9
+        machine = machine_from_dict(data)
+        hbm0 = machine.node_by_os_index(4)
+        assert hbm0.capacity == 8 * 10**9

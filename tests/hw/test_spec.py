@@ -1,0 +1,188 @@
+"""Machine-spec tests: structure, numbering, locality, performance lookup."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.hw import (
+    GroupSpec,
+    InterconnectSpec,
+    MachineSpec,
+    MemoryKind,
+    MemoryNodeSpec,
+    MemsideCacheSpec,
+    PackageSpec,
+    tech,
+)
+from repro.hw.spec import AttachLevel
+from repro.units import GB
+
+
+def tiny_machine(**kwargs) -> MachineSpec:
+    pkg = PackageSpec(
+        cores=2,
+        pus_per_core=2,
+        memories=(MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=8 * GB),),
+    )
+    return MachineSpec(name="tiny", packages=(pkg,), **kwargs)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            MachineSpec(name="", packages=(PackageSpec(cores=1, memories=(
+                MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=GB),)),))
+
+    def test_no_packages_rejected(self):
+        with pytest.raises(SpecError):
+            MachineSpec(name="x", packages=())
+
+    def test_machine_without_memory_rejected(self):
+        with pytest.raises(SpecError):
+            MachineSpec(name="x", packages=(PackageSpec(cores=1),))
+
+    def test_package_needs_cores_or_groups(self):
+        with pytest.raises(SpecError):
+            PackageSpec()
+
+    def test_package_rejects_both_cores_and_groups(self):
+        with pytest.raises(SpecError):
+            PackageSpec(cores=2, groups=(GroupSpec(cores=2),))
+
+    def test_group_needs_cores(self):
+        with pytest.raises(SpecError):
+            GroupSpec(cores=0)
+
+    def test_memory_node_needs_capacity(self):
+        with pytest.raises(SpecError):
+            MemoryNodeSpec(tech=tech("ddr4-xeon"), capacity=0)
+
+    def test_memside_cache_validation(self):
+        with pytest.raises(SpecError):
+            MemsideCacheSpec(size=0, hit_latency=1e-9, hit_bandwidth=1e9)
+        with pytest.raises(SpecError):
+            MemsideCacheSpec(size=GB, hit_latency=1e-9, hit_bandwidth=1e9,
+                             associativity=0)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(SpecError):
+            InterconnectSpec(cross_group_bandwidth_factor=0.0)
+        with pytest.raises(SpecError):
+            InterconnectSpec(cross_package_latency_add=-1e-9)
+
+
+class TestCounting:
+    def test_pu_and_core_totals(self):
+        m = tiny_machine()
+        assert m.total_cores == 2
+        assert m.total_pus == 4
+
+    def test_grouped_package_totals(self):
+        pkg = PackageSpec(groups=tuple(
+            GroupSpec(cores=3, pus_per_core=4,
+                      memories=(MemoryNodeSpec(tech=tech("hbm2"), capacity=GB),))
+            for _ in range(2)
+        ))
+        m = MachineSpec(name="g", packages=(pkg,))
+        assert m.total_cores == 6
+        assert m.total_pus == 24
+
+    def test_pu_ranges_contiguous(self):
+        m = tiny_machine()
+        ranges = m.pu_ranges()
+        flat = [pu for _, _, _, rng in ranges for pu in rng]
+        assert flat == list(range(m.total_pus))
+
+
+class TestNodeNumbering:
+    def test_os_indices_unique_and_dense(self, xeon_snc2):
+        nodes = xeon_snc2.numa_nodes()
+        assert sorted(n.os_index for n in nodes) == list(range(len(nodes)))
+
+    def test_logical_indices_unique_and_dense(self, xeon_snc2):
+        nodes = xeon_snc2.numa_nodes()
+        assert sorted(n.logical_index for n in nodes) == list(range(len(nodes)))
+
+    def test_dram_gets_lowest_os_indices(self, knl):
+        """Footnote 21: MCDRAM nodes always have higher OS index than DRAM."""
+        nodes = knl.numa_nodes()
+        dram_max = max(n.os_index for n in nodes if n.kind is MemoryKind.DRAM)
+        hbm_min = min(n.os_index for n in nodes if n.kind is MemoryKind.HBM)
+        assert dram_max < hbm_min
+
+    def test_fig5_logical_order(self, xeon_snc2):
+        """Fig. 5: L#2 and L#5 are the NVDIMMs on the SNC2 Xeon."""
+        by_logical = {n.logical_index: n for n in xeon_snc2.numa_nodes()}
+        assert by_logical[2].kind is MemoryKind.NVDIMM
+        assert by_logical[5].kind is MemoryKind.NVDIMM
+        for i in (0, 1, 3, 4):
+            assert by_logical[i].kind is MemoryKind.DRAM
+
+    def test_node_by_os_index(self, xeon):
+        node = xeon.node_by_os_index(0)
+        assert node.kind is MemoryKind.DRAM
+        with pytest.raises(SpecError):
+            xeon.node_by_os_index(99)
+
+    def test_total_capacity(self, xeon):
+        assert xeon.total_capacity() == 2 * (192 + 768) * GB
+
+
+class TestLocality:
+    def test_local_same_group(self, knl):
+        node0 = knl.node_by_os_index(0)
+        assert knl.locality_class(0, node0) == "local"
+
+    def test_cross_group(self, knl):
+        node0 = knl.node_by_os_index(0)
+        # PU 64 lives in cluster 1.
+        assert knl.locality_class(64, node0) == "cross_group"
+
+    def test_cross_package(self, xeon):
+        node0 = xeon.node_by_os_index(0)   # package 0 DRAM
+        last_pu = xeon.total_pus - 1       # package 1
+        assert xeon.locality_class(last_pu, node0) == "cross_package"
+
+    def test_package_memory_local_to_whole_package(self, xeon_snc2):
+        nvdimm = xeon_snc2.node_by_os_index(4)
+        # PUs of both SNCs of package 0 are local to its NVDIMM.
+        assert xeon_snc2.locality_class(0, nvdimm) == "local"
+        assert xeon_snc2.locality_class(39, nvdimm) == "local"
+
+    def test_machine_memory_local_everywhere(self, fictitious):
+        nam = next(
+            n for n in fictitious.numa_nodes() if n.attach_level == AttachLevel.MACHINE
+        )
+        for pu in (0, fictitious.total_pus - 1):
+            assert fictitious.locality_class(pu, nam) == "local"
+
+    def test_unknown_pu_raises(self, xeon):
+        with pytest.raises(SpecError):
+            xeon.pu_location(10**6)
+
+
+class TestAccessPerformance:
+    def test_remote_slower_than_local(self, xeon):
+        node0 = xeon.node_by_os_index(0)
+        lat_local, rbw_local, _ = xeon.access_performance(0, node0)
+        lat_remote, rbw_remote, _ = xeon.access_performance(
+            xeon.total_pus - 1, node0
+        )
+        assert lat_remote > lat_local
+        assert rbw_remote < rbw_local
+
+    def test_loaded_vs_theoretical(self, xeon):
+        node0 = xeon.node_by_os_index(0)
+        lat_loaded, _, _ = xeon.access_performance(0, node0, loaded=True)
+        lat_hmat, _, _ = xeon.access_performance(0, node0, loaded=False)
+        assert lat_hmat < lat_loaded  # HMAT publishes idle numbers
+
+    def test_cross_group_penalty_between_cross_package(self, knl):
+        node0 = knl.node_by_os_index(0)
+        lat_local, _, _ = knl.access_performance(0, node0)
+        lat_xgroup, _, _ = knl.access_performance(64, node0)
+        assert lat_xgroup > lat_local
+
+    def test_describe_mentions_every_node(self, fictitious):
+        text = fictitious.describe()
+        for node in fictitious.numa_nodes():
+            assert f"node{node.os_index}" in text

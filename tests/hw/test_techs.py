@@ -1,0 +1,144 @@
+"""Memory-technology model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecError
+from repro.hw import MemoryKind, TECH_PRESETS, tech
+from repro.units import GB
+
+
+class TestPresets:
+    def test_expected_presets_exist(self):
+        for name in (
+            "ddr4-xeon",
+            "optane-nvdimm",
+            "mcdram-knl-snc",
+            "ddr4-knl-snc",
+            "hbm2",
+            "ddr5",
+            "nam",
+            "gpu-hbm2",
+        ):
+            assert name in TECH_PRESETS
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(SpecError):
+            tech("sram-1985")
+
+    def test_override_produces_copy(self):
+        base = tech("ddr4-xeon")
+        faster = tech("ddr4-xeon", loaded_latency=100e-9)
+        assert faster.loaded_latency == pytest.approx(100e-9)
+        assert base.loaded_latency != faster.loaded_latency
+
+    def test_fig5_hmat_values(self):
+        """The Fig. 5 firmware numbers are baked into the presets."""
+        ddr = tech("ddr4-xeon")
+        assert round(ddr.hmat_read_bandwidth / 1e6) == 131072
+        assert round(ddr.hmat_read_latency / 1e-9) == 26
+        nv = tech("optane-nvdimm")
+        assert round(nv.hmat_read_bandwidth / 1e6) == 78644
+        assert round(nv.hmat_read_latency / 1e-9) == 77
+
+    def test_kind_assignment(self):
+        assert tech("optane-nvdimm").kind is MemoryKind.NVDIMM
+        assert tech("mcdram-knl-snc").kind is MemoryKind.HBM
+        assert tech("nam").kind is MemoryKind.NAM
+
+    def test_persistence(self):
+        assert tech("optane-nvdimm").persistent
+        assert not tech("ddr4-xeon").persistent
+
+    def test_os_numbering_priority_orders_dram_first(self):
+        # Footnote 21: DRAM lowest, so default allocations avoid HBM/NVDIMM.
+        assert (
+            MemoryKind.DRAM.os_numbering_priority
+            < MemoryKind.HBM.os_numbering_priority
+            < MemoryKind.NVDIMM.os_numbering_priority
+        )
+
+
+class TestWriteBufferModel:
+    def test_below_buffer_runs_at_peak(self):
+        nv = tech("optane-nvdimm")
+        assert nv.effective_write_bandwidth(
+            nv.write_buffer_bytes // 2
+        ) == pytest.approx(nv.peak_write_bandwidth)
+
+    def test_far_beyond_buffer_approaches_sustained(self):
+        nv = tech("optane-nvdimm")
+        eff = nv.effective_write_bandwidth(nv.write_buffer_bytes * 1000)
+        assert eff == pytest.approx(nv.sustained_write_bandwidth, rel=0.05)
+
+    def test_monotone_decreasing(self):
+        nv = tech("optane-nvdimm")
+        sizes = [1 * GB, 8 * GB, 16 * GB, 64 * GB, 256 * GB]
+        values = [nv.effective_write_bandwidth(s) for s in sizes]
+        assert values == sorted(values, reverse=True)
+
+    def test_dram_has_no_buffer_model(self):
+        ddr = tech("ddr4-xeon")
+        assert ddr.effective_write_bandwidth(10**13) == ddr.peak_write_bandwidth
+
+    def test_negative_ws_raises(self):
+        with pytest.raises(SpecError):
+            tech("optane-nvdimm").effective_write_bandwidth(-1)
+
+    @given(st.integers(min_value=0, max_value=2**45))
+    def test_bounded_between_sustained_and_peak(self, ws):
+        nv = tech("optane-nvdimm")
+        eff = nv.effective_write_bandwidth(ws)
+        assert nv.sustained_write_bandwidth * 0.999 <= eff <= nv.peak_write_bandwidth * 1.001
+
+
+class TestLatencyModel:
+    def test_below_knee_flat(self):
+        nv = tech("optane-nvdimm")
+        assert nv.effective_latency(nv.latency_knee_bytes) == nv.loaded_latency
+
+    def test_inflates_beyond_knee(self):
+        nv = tech("optane-nvdimm")
+        assert nv.effective_latency(nv.latency_knee_bytes * 10) > nv.loaded_latency
+
+    def test_monotone_nondecreasing(self):
+        ddr = tech("ddr4-xeon")
+        sizes = [1 * GB, 4 * GB, 16 * GB, 64 * GB]
+        values = [ddr.effective_latency(s) for s in sizes]
+        assert values == sorted(values)
+
+    def test_negative_ws_raises(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon").effective_latency(-5)
+
+
+class TestValidation:
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", peak_read_bandwidth=0)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", loaded_latency=0)
+
+    def test_buffer_fields_must_pair(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", write_buffer_bytes=1 * GB)
+
+    def test_mlp_at_least_one(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", max_mlp=0.5)
+
+    def test_random_fraction_range(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", random_bandwidth_fraction=0.0)
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", random_bandwidth_fraction=1.5)
+
+    def test_saturation_threads_at_least_one(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon", saturation_threads=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError):
+            tech("ddr4-xeon").scaled(name="")

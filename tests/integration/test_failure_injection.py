@@ -1,0 +1,130 @@
+"""Failure injection: degraded firmware, exhausted machines, and partial
+data must produce graceful behaviour, not wrong answers."""
+
+import pytest
+
+from repro.core import BANDWIDTH, LATENCY, MemAttrs, discover_from_sysfs
+from repro.errors import (
+    AllocationError,
+    CapacityError,
+    FirmwareError,
+    NoValueError,
+    TopologyError,
+)
+from repro.firmware import build_sysfs
+from repro.kernel import KernelMemoryManager, bind_policy
+from repro.units import GB
+
+
+class TestDegradedFirmware:
+    def test_missing_bandwidth_files_skip_attribute(self, xeon_topo):
+        """Firmware that omits bandwidth still yields latency values."""
+        fs = build_sysfs(xeon_topo.machine_spec)
+        fs.files = {
+            p: c for p, c in fs.files.items()
+            if not p.endswith(("read_bandwidth", "write_bandwidth"))
+        }
+        ma = MemAttrs(xeon_topo)
+        recorded = discover_from_sysfs(ma, fs)
+        assert recorded > 0
+        node0 = xeon_topo.numanode_by_os_index(0)
+        assert ma.get_value(LATENCY, node0, 0) > 0
+        with pytest.raises(NoValueError):
+            ma.get_value(BANDWIDTH, node0, 0)
+
+    def test_partial_hmat_coverage(self, xeon_topo):
+        """Only node 0 has access0 data: discovery records just that node
+        and the allocator's attribute chain still works via fallback."""
+        fs = build_sysfs(xeon_topo.machine_spec)
+        fs.files = {
+            p: c for p, c in fs.files.items()
+            if "access0" not in p or "/node0/" in p
+        }
+        ma = MemAttrs(xeon_topo)
+        discover_from_sysfs(ma, fs)
+        assert ma.has_values(BANDWIDTH)
+        node2 = xeon_topo.numanode_by_os_index(2)
+        with pytest.raises(NoValueError):
+            ma.get_value(BANDWIDTH, node2, 0)
+
+    def test_initiators_without_cpus_rejected(self, xeon_topo):
+        """An access0 directory whose initiator nodes have no CPUs is
+        firmware nonsense and must raise, not record garbage."""
+        fs = build_sysfs(xeon_topo.machine_spec)
+        root = "/sys/devices/system/node"
+        # Claim the CPU-less NVDIMM node 2 is node 0's only initiator.
+        for name in list(fs.files):
+            if name.startswith(f"{root}/node0/access0/initiators/node"):
+                del fs.files[name]
+        fs.files[f"{root}/node0/access0/initiators/node2"] = ""
+        ma = MemAttrs(xeon_topo)
+        with pytest.raises(FirmwareError):
+            discover_from_sysfs(ma, fs)
+
+    def test_missing_sysfs_file_read_raises(self, xeon_topo):
+        fs = build_sysfs(xeon_topo.machine_spec)
+        with pytest.raises(FirmwareError):
+            fs.read("/sys/devices/system/node/node0/flux_capacitor")
+
+
+class TestExhaustedMachine:
+    def test_allocator_raises_cleanly_when_machine_full(self, xeon):
+        kernel = KernelMemoryManager(xeon)
+        hogs = [
+            kernel.allocate(int(kernel.free_bytes(n) * 0.99), bind_policy(n))
+            for n in kernel.node_ids()
+        ]
+        from repro.alloc import HeterogeneousAllocator
+        from repro.core import native_discovery
+        from repro.topology import build_topology
+        # Reuse the machine behind this kernel for a consistent stack.
+        topo = build_topology(xeon)
+        allocator = HeterogeneousAllocator(native_discovery(topo), kernel)
+        with pytest.raises(CapacityError):
+            allocator.mem_alloc(10 * GB, "Latency", 0)
+        assert not allocator.buffers  # nothing half-allocated
+        for hog in hogs:
+            kernel.free(hog)
+
+    def test_heavy_reservation_shrinks_usable_capacity(self, xeon):
+        kernel = KernelMemoryManager(xeon, os_reserved_fraction=0.5)
+        assert kernel.free_bytes(0) <= 96 * GB
+
+    def test_interleave_across_full_nodes_raises(self, knl_kernel):
+        from repro.kernel import interleave_policy
+        a = knl_kernel.allocate(3 * GB, bind_policy(4))
+        b = knl_kernel.allocate(3 * GB, bind_policy(5))
+        with pytest.raises(CapacityError):
+            knl_kernel.allocate(4 * GB, interleave_policy(4, 5))
+        knl_kernel.free(a)
+        knl_kernel.free(b)
+
+
+class TestPartialData:
+    def test_benchmark_matrix_with_missing_pair_raises(self, knl_topo, knl_report):
+        from repro.topology import matrices_from_benchmarks
+        import copy
+        crippled = copy.deepcopy(knl_report)
+        victim = next(iter(crippled.measurements))
+        del crippled.measurements[victim]
+        with pytest.raises(TopologyError):
+            matrices_from_benchmarks(knl_topo, crippled)
+
+    def test_allocator_with_empty_store_falls_back_to_capacity(self, knl_topo, knl_kernel):
+        from repro.alloc import HeterogeneousAllocator
+        allocator = HeterogeneousAllocator(MemAttrs(knl_topo), knl_kernel)
+        buf = allocator.mem_alloc(1 * GB, "Latency", 0)
+        assert buf.used_attribute == "Capacity"
+        allocator.free(buf)
+
+    def test_allocator_rejects_fully_unrankable_request(self, knl_topo, knl_kernel):
+        """Disable every fallback: a performance request on a store with
+        no performance values must fail loudly."""
+        from repro.alloc import HeterogeneousAllocator
+        allocator = HeterogeneousAllocator(
+            MemAttrs(knl_topo),
+            knl_kernel,
+            attribute_fallback={"Latency": ()},
+        )
+        with pytest.raises(AllocationError):
+            allocator.mem_alloc(1 * GB, "Latency", 0)

@@ -1,0 +1,135 @@
+"""Full-stack integration tests: firmware → attrs → allocator → app → profiler."""
+
+import pytest
+
+import repro
+from repro.apps import PointerChaseApp, StreamApp
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.profiler import analyze_run, object_analysis
+from repro.sensitivity import classify_buffers, recommend_requests
+from repro.alloc import PlacementPlanner
+from repro.units import GB, GiB
+
+
+class TestQuickSetup:
+    def test_every_platform_sets_up(self):
+        for name in ("xeon-cascadelake-1lm", "fugaku-like", "uniform-dram"):
+            setup = repro.quick_setup(name)
+            assert setup.allocator.memattrs.has_values("Capacity")
+
+    def test_hmat_platform_skips_benchmarks(self):
+        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        # Native discovery leaves remote pairs unmeasured.
+        from repro.errors import NoValueError
+        node0 = setup.topology.numanode_by_os_index(0)
+        with pytest.raises(NoValueError):
+            setup.memattrs.get_value("Latency", node0, 41)
+
+    def test_forced_benchmark_covers_remote(self):
+        setup = repro.quick_setup("xeon-cascadelake-1lm", benchmark=True)
+        node0 = setup.topology.numanode_by_os_index(0)
+        assert setup.memattrs.get_value("Latency", node0, 41) > 0
+
+
+class TestPortabilityStory:
+    """§VI-A's summary: same criteria, correct placement everywhere."""
+
+    def test_latency_criterion_everywhere(self):
+        for platform in ("xeon-cascadelake-1lm", "knl-snc4-flat",
+                         "fictitious-four-kind"):
+            setup = repro.quick_setup(platform)
+            buf = setup.allocator.mem_alloc(1 * GB, "Latency", 0)
+            # Never lands on NVDIMM/NAM — the slow-latency kinds.
+            assert buf.target.attrs["kind"] not in ("NVDIMM", "NAM")
+            setup.allocator.free(buf)
+
+    def test_bandwidth_criterion_uses_hbm_only_where_it_exists(self):
+        expectations = {
+            "xeon-cascadelake-1lm": "DRAM",   # no HBM: DRAM is the answer
+            "knl-snc4-flat": "HBM",
+            "fictitious-four-kind": "HBM",
+            "fugaku-like": "HBM",
+        }
+        for platform, expected in expectations.items():
+            setup = repro.quick_setup(platform, benchmark=True)
+            buf = setup.allocator.mem_alloc(1 * GB, "Bandwidth", 0)
+            assert buf.target.attrs["kind"] == expected, platform
+            setup.allocator.free(buf)
+
+    def test_memkind_style_hardwiring_fails_where_attrs_succeed(self):
+        """A memkind-style 'give me HBM' request has no portable answer on
+        the Xeon; the attribute request does (returns DRAM)."""
+        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        hbm_nodes = [
+            n for n in setup.topology.numanodes() if n.attrs["kind"] == "HBM"
+        ]
+        assert not hbm_nodes  # hardwired request would fail here
+        buf = setup.allocator.mem_alloc(1 * GB, "Bandwidth", 0)
+        assert buf.target.attrs["kind"] == "DRAM"
+        setup.allocator.free(buf)
+
+
+class TestProfileGuidedLoop:
+    def test_fig6_workflow_improves_over_naive(self):
+        """Profile on the wrong placement, reallocate per recommendations,
+        and verify the TEPS improvement."""
+        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        engine = setup.engine
+        drv = Graph500Driver(engine)
+        model = TrafficModel.analytic(22)
+        cfg = Graph500Config(scale=22, nroots=1, threads=16)
+        pus = tuple(range(40))
+
+        # Naive: everything on the capacity tier (NVDIMM).
+        naive_placement = drv.placement_all_on(2, model)
+        naive = drv.run_model(cfg, naive_placement, pus=pus, model=model)
+
+        # Profile that run, classify, re-place through the planner.
+        run = engine.price_run(model.phases(cfg), naive_placement, pus=pus)
+        reqs = recommend_requests(setup.machine, run, model.buffer_sizes())
+        report = PlacementPlanner(setup.allocator).plan(reqs, 0)
+        assert report.all_placed
+        tuned_placement = setup.allocator.placement()
+        tuned = drv.run_model(cfg, tuned_placement, pus=pus, model=model)
+
+        assert tuned.harmonic_teps > naive.harmonic_teps * 1.5
+
+    def test_profiler_sees_allocator_placements(self):
+        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        buf = setup.allocator.mem_alloc(2 * GB, "Capacity", 0, name="table")
+        from repro.sim import BufferAccess, KernelPhase, PatternKind
+        phase = KernelPhase(
+            name="lookup",
+            threads=8,
+            accesses=(
+                BufferAccess(
+                    buffer="table",
+                    pattern=PatternKind.RANDOM,
+                    bytes_read=8 * 10**7,
+                    working_set=2 * GB,
+                ),
+            ),
+        )
+        run = setup.engine.price_run(
+            [phase], setup.allocator.placement(), pus=tuple(range(16))
+        )
+        objs = object_analysis(run)
+        assert objs[0].nodes == {2: pytest.approx(1.0)}
+        summary = analyze_run(setup.machine, run)
+        assert summary.bound_pct["PMem"] > 0
+        setup.allocator.free(buf)
+
+
+class TestAppsOnEveryPlatform:
+    def test_stream_app_runs_on_fictitious(self):
+        setup = repro.quick_setup("fictitious-four-kind", benchmark=True)
+        app = StreamApp(setup.engine, setup.allocator)
+        r = app.run(int(1 * GiB), "Bandwidth", 0, threads=8,
+                    pus=tuple(setup.topology.pu(i).os_index for i in range(8)))
+        assert r.triad_gbps > 0
+
+    def test_chase_app_runs_on_power9(self):
+        setup = repro.quick_setup("power9-v100", benchmark=True)
+        app = PointerChaseApp(setup.engine, setup.allocator)
+        r = app.run(1 * GB, "Latency", 0)
+        assert r.ns_per_access > 0

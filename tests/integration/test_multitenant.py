@@ -1,0 +1,95 @@
+"""Multi-tenant scenarios (§III-B3): several applications share one
+machine, so placement must consider *available* capacity, and one job's
+allocations change another's fallback behaviour."""
+
+import pytest
+
+import repro
+from repro.alloc import HeterogeneousAllocator
+from repro.core import refresh_available_capacity
+from repro.errors import CapacityError
+from repro.kernel import KernelMemoryManager
+from repro.units import GB
+
+
+@pytest.fixture()
+def shared_knl(knl, knl_attrs):
+    """One kernel (the machine), two allocators (two applications)."""
+    kernel = KernelMemoryManager(knl)
+    app1 = HeterogeneousAllocator(knl_attrs, kernel)
+    app2 = HeterogeneousAllocator(knl_attrs, kernel)
+    return kernel, app1, app2
+
+
+class TestSharedCapacity:
+    def test_second_app_sees_first_apps_pressure(self, shared_knl):
+        kernel, app1, app2 = shared_knl
+        hog = app1.mem_alloc(3 * GB, "Bandwidth", 0, name="hog")
+        late = app2.mem_alloc(3 * GB, "Bandwidth", 0, name="late")
+        assert late.fallback_rank > 0          # MCDRAM already taken
+        app1.free(hog)
+        app2.free(late)
+
+    def test_freeing_returns_capacity_across_apps(self, shared_knl):
+        kernel, app1, app2 = shared_knl
+        hog = app1.mem_alloc(3 * GB, "Bandwidth", 0, name="hog")
+        app1.free(hog)
+        buf = app2.mem_alloc(3 * GB, "Bandwidth", 0, name="fresh")
+        assert buf.fallback_rank == 0
+        app2.free(buf)
+
+    def test_exhaustion_is_shared(self, shared_knl):
+        kernel, app1, app2 = shared_knl
+        total_dram_free = kernel.free_bytes(0)
+        hog = app1.mem_alloc(
+            int(total_dram_free * 0.9), "Latency", 0, name="hog",
+            allow_fallback=False,
+        )
+        with pytest.raises(CapacityError):
+            app2.mem_alloc(
+                int(total_dram_free * 0.2), "Latency", 0,
+                allow_fallback=False,
+            )
+        app1.free(hog)
+
+    def test_available_capacity_criterion_balances(self, shared_knl):
+        """§III-B3: ranking by AvailableCapacity steers the second tenant
+        away from the node the first tenant filled."""
+        kernel, app1, app2 = shared_knl
+        refresh_available_capacity(app1.memattrs, kernel)
+        hog = app1.mem_alloc(20 * GB, "Latency", 0, name="hog")  # most of DRAM 0
+        refresh_available_capacity(app2.memattrs, kernel)
+        buf = app2.mem_alloc(
+            2 * GB, "AvailableCapacity", 0, name="balanced", scope="machine"
+        )
+        assert buf.target.os_index != 0
+        app1.free(hog)
+        app2.free(buf)
+
+
+class TestWholeStackContention:
+    def test_two_stream_apps_degrade_gracefully(self):
+        """Two STREAM instances on one cluster: the second falls back and
+        its throughput reflects the slower tier, not a crash."""
+        from repro.apps import StreamApp
+        from repro.units import GiB
+        setup = repro.quick_setup("knl-snc4-flat")
+        app = StreamApp(setup.engine, setup.allocator)
+        pus = tuple(range(64))
+
+        # App 1 pins its arrays in MCDRAM and keeps them.
+        holders = [
+            setup.allocator.mem_alloc(
+                int(1.2 * GiB), "Bandwidth", 0, name=f"app1_{i}"
+            )
+            for i in range(3)
+        ]
+        assert all(h.target.attrs["kind"] == "HBM" for h in holders)
+
+        # App 2 arrives later: same code, degraded placement.
+        r = app.run(int(3.3 * GiB), "Bandwidth", 0, threads=16, pus=pus,
+                    name_prefix="app2")
+        assert r.fallback_used
+        assert r.triad_gbps == pytest.approx(29.3, rel=0.1)  # DRAM speed
+        for h in holders:
+            setup.allocator.free(h)

@@ -1,0 +1,129 @@
+"""Auto-tiering daemon tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kernel import AutoTierDaemon, TierConfig, bind_policy
+from repro.units import GB, MiB
+
+
+@pytest.fixture()
+def daemon(knl_kernel):
+    cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+    return AutoTierDaemon(knl_kernel, cfg)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            TierConfig(fast_nodes=(), slow_nodes=(0,))
+        with pytest.raises(ReproError):
+            TierConfig(fast_nodes=(0,), slow_nodes=(0,))
+        with pytest.raises(ReproError):
+            TierConfig(fast_nodes=(4,), slow_nodes=(0,), decay=1.5)
+        with pytest.raises(ReproError):
+            TierConfig(
+                fast_nodes=(4,), slow_nodes=(0,),
+                promotion_threshold=0.1, demotion_threshold=0.5,
+            )
+
+    def test_unknown_nodes_rejected(self, knl_kernel):
+        with pytest.raises(ReproError):
+            AutoTierDaemon(
+                knl_kernel, TierConfig(fast_nodes=(42,), slow_nodes=(0,))
+            )
+
+
+class TestTracking:
+    def test_observe_unknown_buffer_rejected(self, daemon):
+        with pytest.raises(ReproError):
+            daemon.observe({"ghost": 1.0})
+
+    def test_double_track_rejected(self, daemon, knl_kernel):
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        with pytest.raises(ReproError):
+            daemon.track("a", a)
+        knl_kernel.free(a)
+
+    def test_negative_volume_rejected(self, daemon, knl_kernel):
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        with pytest.raises(ReproError):
+            daemon.observe({"a": -1.0})
+        knl_kernel.free(a)
+
+
+class TestTiering:
+    def test_hot_buffer_promoted(self, daemon, knl_kernel):
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert "hot" in report.promoted
+        assert hot.fraction_on(4) == pytest.approx(1.0)
+        knl_kernel.free(hot)
+
+    def test_cold_squatter_demoted(self, daemon, knl_kernel):
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        daemon.track("cold", cold)
+        daemon.observe({"cold": 0.0})
+        report = daemon.step()
+        assert "cold" in report.demoted
+        assert cold.fraction_on(4) == 0.0
+        knl_kernel.free(cold)
+
+    def test_demotion_makes_room_for_promotion(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,),
+            migration_budget_bytes=16 * GB,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(3 * GB, bind_policy(4))  # fills MCDRAM
+        hot = knl_kernel.allocate(3 * GB, bind_policy(0))
+        daemon.track("cold", cold)
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 30 * GB, "cold": 0.0})
+        report = daemon.step()
+        assert "cold" in report.demoted and "hot" in report.promoted
+        assert hot.fraction_on(4) > 0.9
+        knl_kernel.free(cold)
+        knl_kernel.free(hot)
+
+    def test_migration_budget_bounds_movement(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,),
+            migration_budget_bytes=256 * MiB,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(2 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 40 * GB})
+        report = daemon.step()
+        assert 0 < report.bytes_moved <= 256 * MiB + knl_kernel.page_size
+        # Convergence takes several steps under a tight budget.
+        for _ in range(12):
+            daemon.observe({"hot": 40 * GB})
+            daemon.step()
+        assert hot.fraction_on(4) > 0.9
+        knl_kernel.free(hot)
+
+    def test_hotness_decays(self, daemon, knl_kernel):
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        daemon.observe({"a": 20 * GB})
+        daemon.step()
+        h1 = daemon.hotness("a")
+        daemon.step()  # no new accesses
+        assert daemon.hotness("a") < h1
+        knl_kernel.free(a)
+
+    def test_stable_when_converged(self, daemon, knl_kernel):
+        hot = knl_kernel.allocate(1 * GB, bind_policy(4))
+        daemon.track("hot", hot)
+        for _ in range(3):
+            daemon.observe({"hot": 20 * GB})
+            report = daemon.step()
+        assert not report.promoted and not report.demoted
+        assert report.bytes_moved == 0
+        knl_kernel.free(hot)

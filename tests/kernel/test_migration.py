@@ -1,0 +1,57 @@
+"""Migration cost-model tests."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.kernel.migration import (
+    PER_PAGE_KERNEL_OVERHEAD,
+    estimate_migration,
+)
+from repro.units import GB
+
+
+class TestCostModel:
+    def test_cost_scales_with_pages(self, xeon):
+        small = estimate_migration(xeon, {0: 1000}, 2, page_size=4096)
+        large = estimate_migration(xeon, {0: 100000}, 2, page_size=4096)
+        assert large.estimated_seconds > small.estimated_seconds * 50
+
+    def test_kernel_overhead_floor(self, xeon):
+        r = estimate_migration(xeon, {0: 1000}, 1, page_size=4096)
+        assert r.estimated_seconds >= 1000 * PER_PAGE_KERNEL_OVERHEAD
+
+    def test_nvdimm_destination_slower_than_dram(self, xeon):
+        pages = (32 * GB) // 4096
+        to_dram = estimate_migration(xeon, {2: pages}, 1, page_size=4096)
+        to_nvdimm = estimate_migration(xeon, {0: pages}, 2, page_size=4096)
+        assert to_nvdimm.estimated_seconds > to_dram.estimated_seconds
+
+    def test_report_fields(self, xeon):
+        r = estimate_migration(xeon, {0: 10, 1: 5}, 2, page_size=4096)
+        assert r.moved_pages == 15
+        assert r.bytes_moved == 15 * 4096
+        assert r.from_nodes == (0, 1)
+        assert r.to_node == 2
+        assert r.complete
+        assert "node2" in r.describe()
+
+    def test_requested_pages_override(self, xeon):
+        r = estimate_migration(
+            xeon, {0: 10}, 2, page_size=4096, requested_pages=20
+        )
+        assert not r.complete
+        assert r.requested_pages == 20
+
+    def test_unknown_nodes_raise(self, xeon):
+        with pytest.raises(MigrationError):
+            estimate_migration(xeon, {0: 10}, 99, page_size=4096)
+        with pytest.raises(MigrationError):
+            estimate_migration(xeon, {99: 10}, 0, page_size=4096)
+
+    def test_negative_pages_raise(self, xeon):
+        with pytest.raises(MigrationError):
+            estimate_migration(xeon, {0: -1}, 1, page_size=4096)
+
+    def test_bad_page_size_raises(self, xeon):
+        with pytest.raises(MigrationError):
+            estimate_migration(xeon, {0: 1}, 1, page_size=0)

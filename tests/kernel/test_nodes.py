@@ -1,0 +1,49 @@
+"""NodeState accounting tests."""
+
+import pytest
+
+from repro.errors import CapacityError, SpecError
+from repro.kernel import NodeState
+from repro.units import GB
+
+
+@pytest.fixture()
+def state(xeon):
+    return NodeState.from_instance(xeon.numa_nodes()[0], page_size=4096)
+
+
+class TestAccounting:
+    def test_from_instance_sizes(self, state):
+        assert state.total_bytes == (192 * GB // 4096) * 4096
+        assert state.free_pages == state.total_pages
+
+    def test_reserve_release_cycle(self, state):
+        state.reserve(100)
+        assert state.used_pages == 100
+        state.release(100)
+        assert state.used_pages == 0
+
+    def test_overcommit_rejected(self, state):
+        with pytest.raises(CapacityError):
+            state.reserve(state.total_pages + 1)
+
+    def test_over_release_rejected(self, state):
+        with pytest.raises(SpecError):
+            state.release(1)
+
+    def test_negative_amounts_rejected(self, state):
+        with pytest.raises(SpecError):
+            state.reserve(-1)
+        with pytest.raises(SpecError):
+            state.release(-1)
+
+    def test_free_bytes(self, state):
+        state.reserve(10)
+        assert state.free_bytes == (state.total_pages - 10) * 4096
+
+    def test_validation(self, xeon):
+        inst = xeon.numa_nodes()[0]
+        with pytest.raises(SpecError):
+            NodeState(instance=inst, page_size=0, total_pages=10)
+        with pytest.raises(SpecError):
+            NodeState(instance=inst, page_size=4096, total_pages=0)

@@ -1,0 +1,65 @@
+"""Memory-policy descriptor tests."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.kernel import (
+    PolicyKind,
+    bind_policy,
+    default_policy,
+    interleave_policy,
+    preferred_policy,
+)
+
+
+class TestConstruction:
+    def test_default(self):
+        p = default_policy()
+        assert p.kind is PolicyKind.DEFAULT
+        assert p.nodes == ()
+
+    def test_bind_strict_by_default(self):
+        p = bind_policy(1, 2)
+        assert p.kind is PolicyKind.BIND
+        assert p.strict
+
+    def test_preferred_single_node(self):
+        assert preferred_policy(3).nodes == (3,)
+
+    def test_interleave(self):
+        assert interleave_policy(0, 1, 2).nodes == (0, 1, 2)
+
+
+class TestValidation:
+    def test_preferred_requires_one_node(self):
+        with pytest.raises(PolicyError):
+            from repro.kernel.policy import MemPolicy
+            MemPolicy(kind=PolicyKind.PREFERRED, nodes=(1, 2))
+
+    def test_bind_requires_nodes(self):
+        with pytest.raises(PolicyError):
+            bind_policy()
+
+    def test_interleave_requires_nodes(self):
+        with pytest.raises(PolicyError):
+            interleave_policy()
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PolicyError):
+            bind_policy(1, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PolicyError):
+            bind_policy(-1)
+
+    def test_default_takes_no_nodes(self):
+        from repro.kernel.policy import MemPolicy
+        with pytest.raises(PolicyError):
+            MemPolicy(kind=PolicyKind.DEFAULT, nodes=(0,))
+
+
+class TestDescribe:
+    def test_describe_forms(self):
+        assert default_policy().describe() == "default"
+        assert "bind(1,2)" in bind_policy(1, 2).describe()
+        assert preferred_policy(4).describe() == "preferred(4)"

@@ -1,0 +1,75 @@
+"""OpenMP allocator-with-traits tests."""
+
+import pytest
+
+from repro.errors import AllocationError, CapacityError
+from repro.omp import AllocatorTraits, FallbackMode, OmpRuntime
+from repro.units import GB, TB
+
+
+@pytest.fixture()
+def rt(knl_allocator):
+    return OmpRuntime(knl_allocator)
+
+
+class TestOmpAlloc:
+    def test_high_bw_alloc_lands_on_mcdram(self, rt):
+        a = rt.make_allocator("omp_high_bw_mem_space")
+        buf = rt.omp_alloc(1 * GB, a, 0)
+        assert buf.target.attrs["kind"] == "HBM"
+        rt.omp_free(buf)
+
+    def test_alignment_rounds_size(self, rt):
+        a = rt.make_allocator(
+            "omp_low_lat_mem_space", AllocatorTraits(alignment=4096)
+        )
+        buf = rt.omp_alloc(5, a, 0)
+        assert buf.size == 4096
+        rt.omp_free(buf)
+
+    def test_default_mem_fb_retries_default_space(self, rt):
+        """No single local node holds 25 GB whole; the default-space retry
+        (which allows hybrid placement) still satisfies the request."""
+        a = rt.make_allocator("omp_high_bw_mem_space")
+        big = rt.omp_alloc(25 * GB, a, 0)
+        assert big is not None
+        assert big.is_split
+        rt.omp_free(big)
+
+    def test_null_fb_returns_none(self, rt):
+        a = rt.make_allocator(
+            "omp_high_bw_mem_space",
+            AllocatorTraits(fallback=FallbackMode.NULL_FB),
+        )
+        assert rt.omp_alloc(10 * TB, a, 0) is None
+
+    def test_abort_fb_raises(self, rt):
+        a = rt.make_allocator(
+            "omp_high_bw_mem_space",
+            AllocatorTraits(fallback=FallbackMode.ABORT_FB),
+        )
+        with pytest.raises(CapacityError):
+            rt.omp_alloc(10 * TB, a, 0)
+
+    def test_interleaved_partition_splits(self, rt):
+        a = rt.make_allocator(
+            "omp_high_bw_mem_space",
+            AllocatorTraits(partition_interleaved=True),
+        )
+        buf = rt.omp_alloc(6 * GB, a, 0)
+        assert buf.is_split
+        rt.omp_free(buf)
+
+    def test_unknown_space_rejected(self, rt):
+        with pytest.raises(AllocationError):
+            rt.make_allocator("omp_gpu_mem_space")
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocatorTraits(alignment=3)
+
+    def test_named_allocation(self, rt, knl_allocator):
+        a = rt.make_allocator("omp_low_lat_mem_space")
+        buf = rt.omp_alloc(1 * GB, a, 0, name="omp_buf")
+        assert "omp_buf" in knl_allocator.buffers
+        rt.omp_free(buf)

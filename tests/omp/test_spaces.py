@@ -1,0 +1,54 @@
+"""OpenMP memory-space mapping tests."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.omp import (
+    OMP_DEFAULT_MEM_SPACE,
+    OMP_HIGH_BW_MEM_SPACE,
+    OMP_LARGE_CAP_MEM_SPACE,
+    OMP_LOW_LAT_MEM_SPACE,
+    PREDEFINED_SPACES,
+    space_targets,
+)
+
+
+class TestPredefined:
+    def test_four_spaces(self):
+        assert len(PREDEFINED_SPACES) == 4
+
+    def test_attribute_mapping(self):
+        assert OMP_HIGH_BW_MEM_SPACE.attribute == "Bandwidth"
+        assert OMP_LOW_LAT_MEM_SPACE.attribute == "Latency"
+        assert OMP_LARGE_CAP_MEM_SPACE.attribute == "Capacity"
+        assert OMP_DEFAULT_MEM_SPACE.attribute == "Locality"
+
+
+class TestSpaceTargets:
+    def test_high_bw_space_on_knl_is_mcdram(self, knl_attrs):
+        targets = space_targets(knl_attrs, "omp_high_bw_mem_space", 0)
+        assert targets[0].attrs["kind"] == "HBM"
+
+    def test_large_cap_space_on_xeon_is_nvdimm(self, xeon_attrs):
+        targets = space_targets(xeon_attrs, OMP_LARGE_CAP_MEM_SPACE, 0)
+        assert targets[0].attrs["kind"] == "NVDIMM"
+
+    def test_low_lat_space_on_xeon_is_dram(self, xeon_attrs):
+        targets = space_targets(xeon_attrs, OMP_LOW_LAT_MEM_SPACE, 0)
+        assert targets[0].os_index == 0
+
+    def test_targets_are_local(self, knl_attrs):
+        for target in space_targets(knl_attrs, OMP_HIGH_BW_MEM_SPACE, 70):
+            assert target.cpuset.isset(70)
+
+    def test_unknown_space_raises(self, xeon_attrs):
+        with pytest.raises(ReproError):
+            space_targets(xeon_attrs, "omp_fast_mem_space", 0)
+
+    def test_default_space_most_local_first(self, xeon_snc2_topo):
+        from repro.core import native_discovery
+        ma = native_discovery(xeon_snc2_topo)
+        targets = space_targets(ma, OMP_DEFAULT_MEM_SPACE, 0)
+        # Locality (cpuset weight) ranks the 20-PU SNC DRAM above the
+        # 40-PU package NVDIMM.
+        assert targets[0].os_index == 0

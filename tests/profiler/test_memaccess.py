@@ -1,0 +1,108 @@
+"""Memory Access summary tests (Table IV semantics)."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.errors import ProfilerError
+from repro.profiler import analyze_run
+from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement, RunTiming
+from repro.units import GiB
+
+XEON_PUS = tuple(range(40))
+
+
+@pytest.fixture(scope="module")
+def graph500_runs(xeon_engine):
+    drv = Graph500Driver(xeon_engine)
+    model = TrafficModel.analytic(23)
+    cfg = Graph500Config(scale=23, nroots=1, threads=16)
+    return {
+        node: xeon_engine.price_run(
+            model.phases(cfg), drv.placement_all_on(node, model), pus=XEON_PUS
+        )
+        for node in (0, 2)
+    }
+
+
+@pytest.fixture(scope="module")
+def stream_runs(xeon_engine):
+    arr = int(22.4 * GiB / 3)
+    def phase():
+        return KernelPhase(
+            name="triad",
+            threads=20,
+            accesses=(
+                BufferAccess(buffer="a", pattern=PatternKind.STREAM,
+                             bytes_written=arr, working_set=arr),
+                BufferAccess(buffer="b", pattern=PatternKind.STREAM,
+                             bytes_read=arr, working_set=arr),
+                BufferAccess(buffer="c", pattern=PatternKind.STREAM,
+                             bytes_read=arr, working_set=arr),
+            ),
+        )
+    return {
+        node: xeon_engine.price_run(
+            [phase()], Placement.single(a=node, b=node, c=node), pus=XEON_PUS
+        )
+        for node in (0, 2)
+    }
+
+
+class TestTable4Graph500:
+    def test_dram_run_dram_bound_flagged(self, xeon, graph500_runs):
+        s = analyze_run(xeon, graph500_runs[0])
+        assert s.flags["DRAM Bound"]
+        assert not s.flags["PMem Bound"]
+
+    def test_nvdimm_run_pmem_bound_flagged(self, xeon, graph500_runs):
+        s = analyze_run(xeon, graph500_runs[2])
+        assert s.flags["PMem Bound"]
+
+    def test_graph500_never_bandwidth_flagged(self, xeon, graph500_runs):
+        """Table IV: Graph500's bandwidth-bound columns are 0.0."""
+        for run in graph500_runs.values():
+            s = analyze_run(xeon, run)
+            assert not s.flags["DRAM Bandwidth Bound"]
+            assert not s.flags["PMem Bandwidth Bound"]
+
+    def test_graph500_reads_as_latency_sensitive(self, xeon, graph500_runs):
+        s = analyze_run(xeon, graph500_runs[2])
+        assert s.latency_sensitive
+        assert not s.bandwidth_sensitive
+
+
+class TestTable4Stream:
+    def test_dram_run_bandwidth_flagged(self, xeon, stream_runs):
+        s = analyze_run(xeon, stream_runs[0])
+        assert s.flags["DRAM Bandwidth Bound"]
+        assert s.bw_bound_pct["DRAM"] > 60
+
+    def test_nvdimm_run_pmem_bandwidth_flagged(self, xeon, stream_runs):
+        s = analyze_run(xeon, stream_runs[2])
+        assert s.flags["PMem Bandwidth Bound"]
+
+    def test_stream_reads_as_bandwidth_sensitive(self, xeon, stream_runs):
+        for run in stream_runs.values():
+            assert analyze_run(xeon, run).bandwidth_sensitive
+
+
+class TestMetricAccess:
+    def test_metric_lookup(self, xeon, graph500_runs):
+        s = analyze_run(xeon, graph500_runs[0])
+        assert s.metric("DRAM Bound") == s.bound_pct["DRAM"]
+        assert s.metric("PMem Bandwidth Bound") == s.bw_bound_pct["PMem"]
+
+    def test_unknown_metric_raises(self, xeon, graph500_runs):
+        s = analyze_run(xeon, graph500_runs[0])
+        with pytest.raises(ProfilerError):
+            s.metric("Mystery")
+
+    def test_percentages_bounded(self, xeon, graph500_runs, stream_runs):
+        for run in list(graph500_runs.values()) + list(stream_runs.values()):
+            s = analyze_run(xeon, run)
+            for v in list(s.bound_pct.values()) + list(s.bw_bound_pct.values()):
+                assert 0.0 <= v <= 100.0
+
+    def test_empty_run_raises(self, xeon):
+        with pytest.raises(ProfilerError):
+            analyze_run(xeon, RunTiming())

@@ -1,0 +1,68 @@
+"""Per-buffer (Fig. 7) analysis tests."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.errors import ProfilerError
+from repro.profiler import object_analysis, render_object_report
+from repro.sim import RunTiming
+
+XEON_PUS = tuple(range(40))
+
+
+@pytest.fixture(scope="module")
+def run(xeon_engine):
+    drv = Graph500Driver(xeon_engine)
+    model = TrafficModel.analytic(23)
+    cfg = Graph500Config(scale=23, nroots=1, threads=16)
+    return xeon_engine.price_run(
+        model.phases(cfg), drv.placement_all_on(0, model), pus=XEON_PUS
+    )
+
+
+class TestObjectAnalysis:
+    def test_ranked_by_llc_misses(self, run):
+        objs = object_analysis(run)
+        misses = [o.llc_miss_count for o in objs]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_parent_is_hottest_object(self, run):
+        """Fig. 7a: the visited/parent buffer dominates LLC misses."""
+        objs = object_analysis(run)
+        assert objs[0].name == "parent"
+
+    def test_stall_shares_sum_to_one(self, run):
+        objs = object_analysis(run)
+        assert sum(o.stall_share for o in objs) == pytest.approx(1.0)
+
+    def test_streaming_buffer_contributes_no_stalls(self, run):
+        frontier = next(o for o in object_analysis(run) if o.name == "frontier")
+        assert frontier.stall_seconds == 0.0
+
+    def test_alloc_site_attribution(self, run):
+        objs = object_analysis(run, alloc_sites={"parent": "xmalloc bfs.c:31"})
+        parent = next(o for o in objs if o.name == "parent")
+        assert parent.alloc_site == "xmalloc bfs.c:31"
+
+    def test_nodes_recorded(self, run):
+        for obj in object_analysis(run):
+            assert obj.nodes == {0: 1.0}
+
+    def test_empty_run_raises(self):
+        with pytest.raises(ProfilerError):
+            object_analysis(RunTiming())
+
+
+class TestReportRendering:
+    def test_report_contains_ranked_buffers(self, run):
+        objs = object_analysis(run, alloc_sites={"parent": "xmalloc bfs.c:31"})
+        text = render_object_report(objs)
+        lines = text.splitlines()
+        assert "LLC Misses" in lines[0]
+        assert "parent" in lines[1]  # hottest first
+        assert "xmalloc bfs.c:31" in text
+
+    def test_top_limits_rows(self, run):
+        objs = object_analysis(run)
+        text = render_object_report(objs, top=2)
+        assert len(text.splitlines()) == 3

@@ -1,0 +1,63 @@
+"""Summary-table rendering tests."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.profiler import analyze_run, render_summary_table
+from repro.profiler.counters import kind_label, node_kinds, per_kind_times
+from repro.hw import MemoryKind
+
+XEON_PUS = tuple(range(40))
+
+
+@pytest.fixture(scope="module")
+def rows(xeon, xeon_engine):
+    drv = Graph500Driver(xeon_engine)
+    model = TrafficModel.analytic(23)
+    cfg = Graph500Config(scale=23, nroots=1, threads=16)
+    out = {}
+    for label, node in (("Graph500 / DRAM", 0), ("Graph500 / NVDIMM", 2)):
+        run = xeon_engine.price_run(
+            model.phases(cfg), drv.placement_all_on(node, model), pus=XEON_PUS
+        )
+        out[label] = analyze_run(xeon, run)
+    return out
+
+
+class TestSummaryTable:
+    def test_structure(self, rows):
+        text = render_summary_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "DRAM Bound %clk" in lines[0]
+        assert "Graph500 / DRAM" in lines[1]
+
+    def test_flags_rendered_as_star(self, rows):
+        text = render_summary_table(rows)
+        assert "*" in text
+
+    def test_custom_kind_selection(self, rows):
+        text = render_summary_table(rows, kinds=("DRAM",))
+        assert "PMem" not in text
+
+
+class TestCounters:
+    def test_kind_labels(self):
+        assert kind_label(MemoryKind.NVDIMM) == "PMem"
+        assert kind_label(MemoryKind.DRAM) == "DRAM"
+
+    def test_node_kinds(self, xeon):
+        kinds = node_kinds(xeon)
+        assert kinds[0] == "DRAM" and kinds[2] == "PMem"
+
+    def test_per_kind_times(self, xeon, xeon_engine):
+        drv = Graph500Driver(xeon_engine)
+        model = TrafficModel.analytic(20)
+        cfg = Graph500Config(scale=20, nroots=1, threads=16)
+        run = xeon_engine.price_run(
+            model.phases(cfg), drv.placement_all_on(2, model), pus=XEON_PUS
+        )
+        agg = per_kind_times(xeon, run)
+        assert agg["PMem"]["stall_seconds"] > 0
+        assert agg["PMem"]["bytes"] > 0
+        assert "DRAM" not in agg  # nothing placed there

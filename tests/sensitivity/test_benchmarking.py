@@ -1,0 +1,112 @@
+"""Benchmarking-based sensitivity tests (§V-A / §VI-A)."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.errors import ReproError
+from repro.sensitivity import infer_criterion, whole_process_binding_sweep
+from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
+from repro.units import GiB
+
+XEON_PUS = tuple(range(40))
+KNL_PUS = tuple(range(64))
+
+
+def graph500_metric(engine, pus, threads=16, scale=23):
+    drv = Graph500Driver(engine)
+    model = TrafficModel.analytic(scale)
+    cfg = Graph500Config(scale=scale, nroots=1, threads=threads)
+
+    def run(node: int) -> float:
+        res = drv.run_model(
+            cfg, drv.placement_all_on(node, model), pus=pus, model=model
+        )
+        return res.harmonic_teps
+
+    return run
+
+
+def stream_metric(engine, pus, threads=20):
+    arr = int(8 * GiB)
+
+    def run(node: int) -> float:
+        phase = KernelPhase(
+            name="triad",
+            threads=threads,
+            accesses=(
+                BufferAccess(buffer="a", pattern=PatternKind.STREAM,
+                             bytes_written=arr, working_set=arr),
+                BufferAccess(buffer="b", pattern=PatternKind.STREAM,
+                             bytes_read=arr, working_set=arr),
+                BufferAccess(buffer="c", pattern=PatternKind.STREAM,
+                             bytes_read=arr, working_set=arr),
+            ),
+        )
+        t = engine.price_phase(phase, Placement.single(a=node, b=node, c=node), pus=pus)
+        return 3 * arr / t.seconds
+
+    return run
+
+
+class TestBindingSweep:
+    def test_sweep_covers_targets(self, xeon_engine, xeon_attrs):
+        targets = xeon_attrs.get_local_numanode_objs(0)
+        outcomes = whole_process_binding_sweep(
+            graph500_metric(xeon_engine, XEON_PUS), targets
+        )
+        assert {o.node for o in outcomes} == {0, 2}
+
+    def test_nonpositive_metric_rejected(self, xeon_attrs):
+        targets = xeon_attrs.get_local_numanode_objs(0)
+        with pytest.raises(ReproError):
+            whole_process_binding_sweep(lambda n: 0.0, targets)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ReproError):
+            whole_process_binding_sweep(lambda n: 1.0, ())
+
+
+class TestInferCriterion:
+    def test_graph500_on_xeon_is_latency_or_bandwidth(self, xeon_engine, xeon_attrs):
+        """§VI-A: on the Xeon either criterion works (DRAM wins both);
+        the sweep must NOT return Capacity."""
+        targets = xeon_attrs.get_local_numanode_objs(0)
+        outcomes = whole_process_binding_sweep(
+            graph500_metric(xeon_engine, XEON_PUS), targets
+        )
+        criterion = infer_criterion(xeon_attrs, outcomes, 0)
+        assert criterion in ("Latency", "Bandwidth")
+
+    def test_graph500_on_knl_degrades_to_capacity(self, knl_engine, knl_attrs):
+        """§VI-A: on KNL the HBM/DRAM gain is too weak to justify MCDRAM;
+        the inferred criterion degrades to Capacity."""
+        targets = knl_attrs.get_local_numanode_objs(0)
+        outcomes = whole_process_binding_sweep(
+            graph500_metric(knl_engine, KNL_PUS), targets
+        )
+        criterion = infer_criterion(knl_attrs, outcomes, 0, gain_threshold=1.10)
+        assert criterion == "Capacity"
+
+    def test_stream_on_knl_is_bandwidth(self, knl_engine, knl_attrs):
+        targets = knl_attrs.get_local_numanode_objs(0)
+        outcomes = whole_process_binding_sweep(
+            stream_metric(knl_engine, KNL_PUS, threads=16), targets
+        )
+        criterion = infer_criterion(knl_attrs, outcomes, 0)
+        assert criterion == "Bandwidth"
+
+    def test_needs_two_outcomes(self, xeon_attrs):
+        from repro.sensitivity import BindingOutcome
+        with pytest.raises(ReproError):
+            infer_criterion(
+                xeon_attrs, [BindingOutcome(node=0, label="x", metric=1.0)], 0
+            )
+
+    def test_gain_threshold_tunable(self, knl_engine, knl_attrs):
+        """With the threshold disabled, KNL Graph500 picks a perf attr."""
+        targets = knl_attrs.get_local_numanode_objs(0)
+        outcomes = whole_process_binding_sweep(
+            graph500_metric(knl_engine, KNL_PUS), targets
+        )
+        criterion = infer_criterion(knl_attrs, outcomes, 0, gain_threshold=1.0)
+        assert criterion in ("Latency", "Bandwidth", "Capacity")

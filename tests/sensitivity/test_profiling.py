@@ -1,0 +1,99 @@
+"""Profiling-based sensitivity tests (§V-B: classify buffers, feed alloc)."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, Graph500Driver, TrafficModel
+from repro.errors import ProfilerError
+from repro.sensitivity import classify_buffers, recommend_requests
+from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
+from repro.units import GiB
+
+XEON_PUS = tuple(range(40))
+
+
+@pytest.fixture(scope="module")
+def graph500_run(xeon_engine):
+    drv = Graph500Driver(xeon_engine)
+    model = TrafficModel.analytic(23)
+    cfg = Graph500Config(scale=23, nroots=1, threads=16)
+    run = xeon_engine.price_run(
+        model.phases(cfg), drv.placement_all_on(2, model), pus=XEON_PUS
+    )
+    return run, model
+
+
+@pytest.fixture(scope="module")
+def stream_run(xeon_engine):
+    arr = int(8 * GiB)
+    phase = KernelPhase(
+        name="triad",
+        threads=20,
+        accesses=(
+            BufferAccess(buffer="a", pattern=PatternKind.STREAM,
+                         bytes_written=arr, working_set=arr),
+            BufferAccess(buffer="b", pattern=PatternKind.STREAM,
+                         bytes_read=arr, working_set=arr),
+            BufferAccess(buffer="c", pattern=PatternKind.STREAM,
+                         bytes_read=arr, working_set=arr),
+        ),
+    )
+    return xeon_engine.price_run(
+        [phase], Placement.single(a=0, b=0, c=0), pus=XEON_PUS
+    )
+
+
+class TestClassifyBuffers:
+    def test_graph500_parent_is_latency(self, xeon, graph500_run):
+        run, _ = graph500_run
+        criteria = classify_buffers(xeon, run)
+        assert criteria["parent"] == "Latency"
+
+    def test_graph500_frontier_is_unimportant(self, xeon, graph500_run):
+        run, _ = graph500_run
+        criteria = classify_buffers(xeon, run)
+        assert criteria["frontier"] == "Capacity"
+
+    def test_stream_arrays_are_bandwidth(self, xeon, stream_run):
+        criteria = classify_buffers(xeon, stream_run)
+        assert set(criteria.values()) == {"Bandwidth"}
+
+    def test_empty_run_rejected(self, xeon):
+        from repro.sim import RunTiming
+        with pytest.raises(ProfilerError):
+            classify_buffers(xeon, RunTiming())
+
+
+class TestRecommendRequests:
+    def test_requests_cover_all_buffers(self, xeon, graph500_run):
+        run, model = graph500_run
+        reqs = recommend_requests(xeon, run, model.buffer_sizes())
+        assert {r.name for r in reqs} == set(model.buffer_sizes())
+
+    def test_latency_buffers_get_priority(self, xeon, graph500_run):
+        run, model = graph500_run
+        reqs = recommend_requests(xeon, run, model.buffer_sizes())
+        by_name = {r.name: r for r in reqs}
+        assert by_name["parent"].priority > by_name["frontier"].priority
+        assert reqs[0].name == "parent"  # sorted best-first
+
+    def test_sizes_propagated(self, xeon, graph500_run):
+        run, model = graph500_run
+        reqs = recommend_requests(xeon, run, model.buffer_sizes())
+        sizes = model.buffer_sizes()
+        for r in reqs:
+            assert r.size == sizes[r.name]
+
+    def test_missing_size_rejected(self, xeon, graph500_run):
+        run, _ = graph500_run
+        with pytest.raises(ProfilerError):
+            recommend_requests(xeon, run, {"parent": 8})
+
+    def test_closed_loop_placement(self, xeon, graph500_run, xeon_allocator):
+        """Fig. 6 end-to-end: profile → classify → plan → allocate."""
+        from repro.alloc import PlacementPlanner
+        run, model = graph500_run
+        reqs = recommend_requests(xeon, run, model.buffer_sizes())
+        report = PlacementPlanner(xeon_allocator).plan(reqs, 0)
+        assert report.all_placed
+        # The latency-critical parent buffer landed on DRAM.
+        assert report.buffers["parent"].target.os_index == 0

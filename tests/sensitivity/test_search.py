@@ -1,0 +1,93 @@
+"""Exhaustive placement-search tests (§V-A's 2^N exploration)."""
+
+import pytest
+
+from repro.apps.graph500 import Graph500Config, TrafficModel
+from repro.errors import ReproError
+from repro.sensitivity import exhaustive_search
+from repro.units import GB
+
+XEON_PUS = tuple(range(40))
+
+
+@pytest.fixture(scope="module")
+def g500_setup():
+    model = TrafficModel.analytic(20)
+    cfg = Graph500Config(scale=20, nroots=1, threads=16)
+    return model.phases(cfg), model.buffer_sizes()
+
+
+class TestSearch:
+    def test_enumerates_full_space(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        results = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS,
+        )
+        assert len(results) == 2 ** 4
+
+    def test_best_first_ordering(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        results = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS,
+        )
+        times = [c.seconds for c in results]
+        assert times == sorted(times)
+
+    def test_oracle_places_parent_on_dram(self, xeon_engine, g500_setup):
+        """The optimal placement agrees with the Latency criterion."""
+        phases, sizes = g500_setup
+        best = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS,
+        )[0]
+        assert best.as_dict()["parent"] == 0
+
+    def test_pruning_reduces_space(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        results = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0,
+            critical_buffers=("parent", "csr_targets"),
+            pus=XEON_PUS,
+        )
+        assert len(results) == 4
+
+    def test_capacity_pruning(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        results = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0,
+            critical_buffers=("parent",),
+            node_capacity={0: 100 * GB, 2: 0},
+            pus=XEON_PUS,
+        )
+        assert all(c.as_dict()["parent"] == 0 for c in results)
+
+    def test_space_explosion_guard(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        with pytest.raises(ReproError):
+            exhaustive_search(
+                xeon_engine, phases, sizes, (0, 1, 2, 3),
+                default_node=0, pus=XEON_PUS, max_candidates=8,
+            )
+
+    def test_unknown_critical_buffer_rejected(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        with pytest.raises(ReproError):
+            exhaustive_search(
+                xeon_engine, phases, sizes, (0, 2),
+                default_node=0, critical_buffers=("ghost",), pus=XEON_PUS,
+            )
+
+    def test_infeasible_everything_raises(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        with pytest.raises(ReproError):
+            exhaustive_search(
+                xeon_engine, phases, sizes, (0,),
+                default_node=0,
+                critical_buffers=("parent",),
+                node_capacity={0: 0},
+                pus=XEON_PUS,
+            )

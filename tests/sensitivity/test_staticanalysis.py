@@ -1,0 +1,95 @@
+"""Static-analysis-style classification tests (§V-C)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sensitivity import (
+    attribute_for_pattern,
+    classify_access,
+    classify_kernel,
+)
+from repro.sim import BufferAccess, KernelPhase, PatternKind
+from repro.units import GiB, MiB
+
+
+def acc(name, pattern, nbytes=1 * GiB, **kw):
+    return BufferAccess(
+        buffer=name,
+        pattern=pattern,
+        bytes_read=nbytes,
+        working_set=int(nbytes),
+        **kw,
+    )
+
+
+class TestPatternMapping:
+    def test_all_patterns_mapped(self):
+        assert attribute_for_pattern(PatternKind.STREAM) == "Bandwidth"
+        assert attribute_for_pattern(PatternKind.STRIDED) == "Bandwidth"
+        assert attribute_for_pattern(PatternKind.RANDOM) == "Latency"
+        assert attribute_for_pattern(PatternKind.POINTER_CHASE) == "Latency"
+
+
+class TestClassifyAccess:
+    def test_declared_pattern(self):
+        assert classify_access(acc("s", PatternKind.STREAM)) == "Bandwidth"
+        assert classify_access(acc("r", PatternKind.RANDOM)) == "Latency"
+
+    def test_trace_based_classification(self):
+        """The trace path re-derives the pattern from addresses."""
+        a = acc("s", PatternKind.STREAM, nbytes=4 * MiB)
+        assert classify_access(a, use_trace=True) == "Bandwidth"
+        b = acc("r", PatternKind.RANDOM, nbytes=4 * MiB)
+        assert classify_access(b, use_trace=True) == "Latency"
+
+    def test_trace_path_on_chase(self):
+        a = acc("c", PatternKind.POINTER_CHASE, nbytes=4 * MiB)
+        assert classify_access(a, use_trace=True) == "Latency"
+
+
+class TestClassifyKernel:
+    def test_mixed_kernel(self):
+        phase = KernelPhase(
+            name="k",
+            threads=4,
+            accesses=(
+                acc("table", PatternKind.RANDOM),
+                acc("stream_in", PatternKind.STREAM),
+                acc("tiny", PatternKind.RANDOM, nbytes=1 * MiB),
+            ),
+        )
+        out = classify_kernel(phase)
+        assert out["table"] == "Latency"
+        assert out["stream_in"] == "Bandwidth"
+        assert out["tiny"] == "Capacity"  # below the traffic threshold
+
+    def test_threshold_tunable(self):
+        phase = KernelPhase(
+            name="k",
+            threads=1,
+            accesses=(
+                acc("a", PatternKind.RANDOM, nbytes=100 * MiB),
+                acc("b", PatternKind.STREAM, nbytes=900 * MiB),
+            ),
+        )
+        strict = classify_kernel(phase, traffic_threshold=0.5)
+        assert strict["a"] == "Capacity"
+        loose = classify_kernel(phase, traffic_threshold=0.01)
+        assert loose["a"] == "Latency"
+
+    def test_agrees_with_profiling_on_graph500(self, xeon, xeon_engine):
+        """§V: static hints and profiling agree on the archetypes."""
+        from repro.apps.graph500 import Graph500Config, TrafficModel
+        from repro.sensitivity import classify_buffers
+        from repro.apps.graph500 import Graph500Driver
+        model = TrafficModel.analytic(23)
+        cfg = Graph500Config(scale=23, nroots=1, threads=16)
+        (phase,) = model.phases(cfg)
+        static = classify_kernel(phase)
+        drv = Graph500Driver(xeon_engine)
+        run = xeon_engine.price_run(
+            model.phases(cfg), drv.placement_all_on(0, model),
+            pus=tuple(range(40)),
+        )
+        profiled = classify_buffers(xeon, run)
+        assert static["parent"] == profiled["parent"] == "Latency"

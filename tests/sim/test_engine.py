@@ -1,0 +1,209 @@
+"""Engine pricing tests: roofline behaviour, locality, contention, splits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    BufferAccess,
+    KernelPhase,
+    PatternKind,
+    Placement,
+    SimEngine,
+)
+from repro.units import GB, GiB, MiB
+
+
+def stream_phase(nbytes, threads=20, name="s"):
+    return KernelPhase(
+        name=name,
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="buf",
+                pattern=PatternKind.STREAM,
+                bytes_read=nbytes,
+                working_set=nbytes,
+            ),
+        ),
+    )
+
+
+def chase_phase(ws, accesses=1 << 16, threads=1):
+    return KernelPhase(
+        name="chase",
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="buf",
+                pattern=PatternKind.POINTER_CHASE,
+                bytes_read=accesses * 8,
+                working_set=ws,
+            ),
+        ),
+    )
+
+
+class TestRoofline:
+    def test_stream_is_bandwidth_bound(self, xeon_engine):
+        t = xeon_engine.price_phase(
+            stream_phase(4 * GB), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        assert t.bound == "bandwidth"
+        assert t.seconds == pytest.approx(t.bandwidth_seconds)
+
+    def test_chase_is_latency_bound(self, xeon_engine):
+        t = xeon_engine.price_phase(
+            chase_phase(4 * GB), Placement.single(buf=0), pus=(0,)
+        )
+        assert t.bound == "latency"
+
+    def test_cpu_bound_phase(self, xeon_engine):
+        phase = KernelPhase(
+            name="compute",
+            threads=1,
+            cpu_ops=10**10,
+            accesses=(
+                BufferAccess(
+                    buffer="buf",
+                    pattern=PatternKind.STREAM,
+                    bytes_read=1 * MiB,
+                    working_set=1 * MiB,
+                ),
+            ),
+        )
+        t = xeon_engine.price_phase(phase, Placement.single(buf=0), pus=(0,))
+        assert t.bound == "cpu"
+
+    def test_chase_latency_matches_tech(self, xeon_engine, xeon):
+        """Per-access chase time on a huge DRAM table ≈ loaded latency."""
+        n = 1 << 16
+        t = xeon_engine.price_phase(
+            chase_phase(2 * GB, accesses=n), Placement.single(buf=0), pus=(0,)
+        )
+        per_access = t.seconds / n
+        assert per_access == pytest.approx(285e-9, rel=0.10)
+
+
+class TestBandwidthBehaviour:
+    def test_dram_stream_at_peak(self, xeon_engine):
+        nbytes = 8 * GB
+        t = xeon_engine.price_phase(
+            stream_phase(nbytes), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        assert nbytes / t.seconds == pytest.approx(76e9, rel=0.05)
+
+    def test_few_threads_cannot_saturate(self, xeon_engine):
+        nbytes = 8 * GB
+        t1 = xeon_engine.price_phase(
+            stream_phase(nbytes, threads=1), Placement.single(buf=0), pus=(0,)
+        )
+        t20 = xeon_engine.price_phase(
+            stream_phase(nbytes, threads=20), Placement.single(buf=0),
+            pus=tuple(range(40)),
+        )
+        assert t1.seconds > t20.seconds * 4
+
+    def test_remote_access_slower(self, xeon_engine):
+        nbytes = 8 * GB
+        local = xeon_engine.price_phase(
+            stream_phase(nbytes), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        remote = xeon_engine.price_phase(
+            stream_phase(nbytes), Placement.single(buf=1), pus=tuple(range(40))
+        )
+        assert remote.seconds > local.seconds * 1.5
+
+    def test_nvdimm_write_collapse(self, xeon_engine):
+        def write_phase(nbytes):
+            return KernelPhase(
+                name="w",
+                threads=20,
+                accesses=(
+                    BufferAccess(
+                        buffer="buf",
+                        pattern=PatternKind.STREAM,
+                        bytes_written=nbytes,
+                        working_set=nbytes,
+                    ),
+                ),
+            )
+        small = xeon_engine.price_phase(
+            write_phase(4 * GB), Placement.single(buf=2), pus=tuple(range(40))
+        )
+        large = xeon_engine.price_phase(
+            write_phase(64 * GB), Placement.single(buf=2), pus=tuple(range(40))
+        )
+        bw_small = 4 * GB / small.seconds
+        bw_large = 64 * GB / large.seconds
+        assert bw_small > bw_large * 3
+
+
+class TestSplitPlacement:
+    def test_split_between_dram_and_nvdimm(self, xeon_engine):
+        nbytes = 8 * GB
+        phase = stream_phase(nbytes)
+        split = Placement({"buf": {0: 0.5, 2: 0.5}})
+        t = xeon_engine.price_phase(phase, split, pus=tuple(range(40)))
+        t_dram = xeon_engine.price_phase(
+            phase, Placement.single(buf=0), pus=tuple(range(40))
+        )
+        t_nvd = xeon_engine.price_phase(
+            phase, Placement.single(buf=2), pus=tuple(range(40))
+        )
+        # §VII: hybrid allocations run between the two pure placements,
+        # dominated by the slower part.
+        assert t_dram.seconds < t.seconds <= t_nvd.seconds
+
+    def test_traffic_attributed_per_node(self, xeon_engine):
+        phase = stream_phase(8 * GB)
+        split = Placement({"buf": {0: 0.25, 2: 0.75}})
+        t = xeon_engine.price_phase(phase, split, pus=tuple(range(40)))
+        r0 = t.node_traffic[0].stream_read_bytes
+        r2 = t.node_traffic[2].stream_read_bytes
+        assert r2 == pytest.approx(3 * r0)
+
+
+class TestMemsideCachedPlatform:
+    def test_2lm_fast_when_fits_cache(self):
+        from repro.hw import get_platform
+        m = get_platform("xeon-cascadelake-2lm")
+        eng = SimEngine(m)
+        small = eng.price_phase(
+            stream_phase(8 * GB), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        big = eng.price_phase(
+            stream_phase(500 * GB), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        bw_small = 8 * GB / small.seconds
+        bw_big = 500 * GB / big.seconds
+        assert bw_small > bw_big * 1.5
+
+
+class TestBookkeeping:
+    def test_phase_timing_fields(self, xeon_engine):
+        t = xeon_engine.price_phase(
+            stream_phase(1 * GB), Placement.single(buf=0), pus=tuple(range(40))
+        )
+        assert t.name == "s"
+        assert t.threads == 20
+        assert "buf" in t.buffer_timings
+        assert 0 in t.node_traffic
+
+    def test_price_run_sums(self, xeon_engine):
+        phases = [stream_phase(1 * GB, name=f"p{i}") for i in range(3)]
+        run = xeon_engine.price_run(phases, Placement.single(buf=0), pus=(0,))
+        assert run.seconds == pytest.approx(
+            sum(p.seconds for p in run.phases)
+        )
+        merged = run.merged_node_traffic()
+        assert merged[0].stream_read_bytes == pytest.approx(3 * GB)
+
+    def test_unknown_node_raises(self, xeon_engine):
+        with pytest.raises(SimulationError):
+            xeon_engine.price_phase(
+                stream_phase(GB), Placement.single(buf=42), pus=(0,)
+            )
+
+    def test_empty_pus_raises(self, xeon_engine):
+        with pytest.raises(SimulationError):
+            xeon_engine.price_phase(stream_phase(GB), Placement.single(buf=0), pus=())

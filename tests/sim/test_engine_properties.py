@@ -1,0 +1,136 @@
+"""Property-based sanity laws for the performance model.
+
+These pin down the *monotonicities* the experiments rely on — if any of
+them breaks, a table shape could flip for the wrong reason.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
+from repro.units import GB, MiB
+
+XEON_PUS = tuple(range(40))
+
+sizes = st.integers(min_value=64 * MiB, max_value=8 * GB)
+threads = st.integers(min_value=1, max_value=20)
+
+COMMON = dict(
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def stream_phase(nbytes, nthreads):
+    return KernelPhase(
+        name="s",
+        threads=nthreads,
+        accesses=(
+            BufferAccess(
+                buffer="buf",
+                pattern=PatternKind.STREAM,
+                bytes_read=nbytes,
+                working_set=nbytes,
+            ),
+        ),
+    )
+
+
+def chase_phase(ws, nthreads=1, accesses=1 << 14):
+    return KernelPhase(
+        name="c",
+        threads=nthreads,
+        accesses=(
+            BufferAccess(
+                buffer="buf",
+                pattern=PatternKind.POINTER_CHASE,
+                bytes_read=accesses * 8,
+                working_set=ws,
+            ),
+        ),
+    )
+
+
+class TestMonotonicity:
+    @settings(**COMMON)
+    @given(nbytes=sizes, t=st.integers(min_value=1, max_value=19))
+    def test_more_threads_never_slower_streaming(self, xeon_engine, nbytes, t):
+        placement = Placement.single(buf=0)
+        slow = xeon_engine.price_phase(
+            stream_phase(nbytes, t), placement, pus=XEON_PUS
+        )
+        fast = xeon_engine.price_phase(
+            stream_phase(nbytes, t + 1), placement, pus=XEON_PUS
+        )
+        assert fast.seconds <= slow.seconds * 1.0001
+
+    @settings(**COMMON)
+    @given(nbytes=sizes, t=threads)
+    def test_dram_never_slower_than_nvdimm_streaming(self, xeon_engine, nbytes, t):
+        dram = xeon_engine.price_phase(
+            stream_phase(nbytes, t), Placement.single(buf=0), pus=XEON_PUS
+        )
+        nvd = xeon_engine.price_phase(
+            stream_phase(nbytes, t), Placement.single(buf=2), pus=XEON_PUS
+        )
+        assert dram.seconds <= nvd.seconds * 1.0001
+
+    @settings(**COMMON)
+    @given(ws=sizes)
+    def test_chase_latency_no_faster_than_dram_floor(self, xeon_engine, ws):
+        t = xeon_engine.price_phase(
+            chase_phase(ws), Placement.single(buf=0), pus=(0,)
+        )
+        per_access = t.seconds / (1 << 14)
+        # Can be below loaded latency only through cache hits; never below
+        # an L1-ish bound, never above the inflated memory latency.
+        assert 1e-10 < per_access < 2e-6
+
+    @settings(**COMMON)
+    @given(nbytes=sizes, t=threads)
+    def test_time_scales_linearly_with_traffic(self, xeon_engine, nbytes, t):
+        placement = Placement.single(buf=0)
+        one = xeon_engine.price_phase(
+            stream_phase(nbytes, t), placement, pus=XEON_PUS
+        )
+        two = xeon_engine.price_phase(
+            stream_phase(nbytes * 2, t), placement, pus=XEON_PUS
+        )
+        assert two.seconds == pytest.approx(2 * one.seconds, rel=0.05)
+
+    @settings(**COMMON)
+    @given(
+        frac=st.floats(min_value=0.0, max_value=1.0),
+        nbytes=sizes,
+    )
+    def test_split_bounded_by_pure_placements(self, xeon_engine, frac, nbytes):
+        """A DRAM/NVDIMM split can beat either pure placement (two memory
+        controllers run in parallel) but never beats perfect overlap, and
+        never loses to the all-on-slow placement."""
+        phase = stream_phase(nbytes, 20)
+        if frac in (0.0, 1.0):
+            return
+        split = Placement({"buf": {0: frac, 2: 1.0 - frac}})
+        t_split = xeon_engine.price_phase(phase, split, pus=XEON_PUS)
+        t_dram = xeon_engine.price_phase(
+            phase, Placement.single(buf=0), pus=XEON_PUS
+        )
+        t_nvd = xeon_engine.price_phase(
+            phase, Placement.single(buf=2), pus=XEON_PUS
+        )
+        lower = max(frac * t_dram.seconds, (1 - frac) * t_nvd.seconds)
+        assert lower * 0.95 <= t_split.seconds <= t_nvd.seconds * 1.001
+
+    @settings(**COMMON)
+    @given(nbytes=sizes, t=threads)
+    def test_timing_components_consistent(self, xeon_engine, nbytes, t):
+        timing = xeon_engine.price_phase(
+            stream_phase(nbytes, t), Placement.single(buf=0), pus=XEON_PUS
+        )
+        assert timing.seconds >= timing.bandwidth_seconds * 0.999
+        assert timing.seconds >= (timing.latency_seconds + timing.cpu_seconds) * 0.999
+        total_traffic = sum(
+            nt.total_bytes for nt in timing.node_traffic.values()
+        )
+        assert total_traffic == pytest.approx(nbytes, rel=0.01)

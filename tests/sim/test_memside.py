@@ -1,0 +1,76 @@
+"""Memory-side cache filter tests (KNL cache/hybrid, Xeon 2LM)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw import get_platform
+from repro.sim import memside_filter
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def cached_node():
+    m = get_platform("xeon-cascadelake-2lm")
+    return m.numa_nodes()[0]  # NVDIMM behind 192GB DRAM cache
+
+
+@pytest.fixture(scope="module")
+def plain_node(xeon):
+    return xeon.node_by_os_index(0)
+
+
+BASE = dict(base_latency=860e-9, base_read_bw=33e9, base_write_bw=30e9)
+
+
+class TestPassThrough:
+    def test_no_cache_no_change(self, plain_node):
+        eff = memside_filter(plain_node, 10 * GB, **BASE)
+        assert eff.hit_rate == 0.0
+        assert eff.latency == BASE["base_latency"]
+        assert eff.read_bandwidth == BASE["base_read_bw"]
+
+
+class TestCachedNode:
+    def test_small_ws_mostly_hits(self, cached_node):
+        eff = memside_filter(cached_node, 10 * GB, **BASE)
+        assert eff.hit_rate > 0.85
+        assert eff.latency < BASE["base_latency"] / 2
+
+    def test_huge_ws_mostly_misses(self, cached_node):
+        eff = memside_filter(cached_node, 600 * GB, **BASE)
+        assert eff.hit_rate < 0.35
+        assert eff.latency > BASE["base_latency"] * 0.5
+
+    def test_miss_pays_lookup_penalty(self, cached_node):
+        eff = memside_filter(cached_node, 10**14, **BASE)
+        # hit_rate → ~0: latency approaches backing + lookup overhead.
+        assert eff.latency > BASE["base_latency"]
+
+    def test_direct_mapped_conflict_cap(self, cached_node):
+        """Even a tiny working set suffers conflict misses (factor 0.90)."""
+        eff = memside_filter(cached_node, 1 * GB, **BASE)
+        assert eff.hit_rate <= 0.90 + 1e-9
+
+    def test_bandwidth_blend_monotone(self, cached_node):
+        sizes = [10 * GB, 100 * GB, 400 * GB, 800 * GB]
+        bws = [memside_filter(cached_node, s, **BASE).read_bandwidth for s in sizes]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_negative_ws_rejected(self, cached_node):
+        with pytest.raises(SimulationError):
+            memside_filter(cached_node, -1, **BASE)
+
+
+class TestKnlHybridEffect:
+    def test_knl_hybrid_dram_node_accelerated(self):
+        m = get_platform("knl-snc4-hybrid50")
+        dram = m.node_by_os_index(0)
+        eff = memside_filter(
+            dram,
+            1 * GB,  # fits in the 2GB MCDRAM-side cache
+            base_latency=145e-9,
+            base_read_bw=29.5e9,
+            base_write_bw=29e9,
+        )
+        # Cache tier is MCDRAM: bandwidth improves beyond plain DDR4.
+        assert eff.read_bandwidth > 29.5e9

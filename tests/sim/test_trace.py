@@ -1,0 +1,69 @@
+"""Synthetic trace generation and classification tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import BufferAccess, PatternKind, classify_trace, synth_trace
+from repro.units import MiB
+
+
+def acc(pattern, ws=4 * MiB, gran=8):
+    return BufferAccess(
+        buffer="b",
+        pattern=pattern,
+        bytes_read=1024,
+        working_set=ws,
+        granularity=gran,
+    )
+
+
+class TestSynthTrace:
+    def test_stream_is_sequential(self):
+        t = synth_trace(acc(PatternKind.STREAM), n=128)
+        assert np.all(np.diff(t) == 8)
+
+    def test_offsets_within_working_set(self):
+        for pattern in PatternKind:
+            t = synth_trace(acc(pattern), n=256)
+            assert t.min() >= 0
+            assert t.max() < 4 * MiB
+
+    def test_random_is_not_sequential(self):
+        t = synth_trace(acc(PatternKind.RANDOM), n=1024, seed=1)
+        deltas = np.diff(t)
+        assert (deltas == 8).mean() < 0.05
+
+    def test_deterministic_by_seed(self):
+        a = synth_trace(acc(PatternKind.RANDOM), n=64, seed=7)
+        b = synth_trace(acc(PatternKind.RANDOM), n=64, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SimulationError):
+            synth_trace(acc(PatternKind.STREAM), n=1)
+
+
+class TestClassify:
+    def test_stream_detected(self):
+        t = synth_trace(acc(PatternKind.STREAM), n=2048)
+        assert classify_trace(t) is PatternKind.STREAM
+
+    def test_strided_detected(self):
+        t = synth_trace(acc(PatternKind.STRIDED), n=2048)
+        assert classify_trace(t) is PatternKind.STRIDED
+
+    def test_random_detected(self):
+        t = synth_trace(acc(PatternKind.RANDOM), n=2048, seed=3)
+        assert classify_trace(t) is PatternKind.RANDOM
+
+    def test_chase_classified_as_latency_bound(self):
+        t = synth_trace(acc(PatternKind.POINTER_CHASE), n=2048, seed=3)
+        assert classify_trace(t).is_latency_bound
+
+    def test_too_short_raises(self):
+        with pytest.raises(SimulationError):
+            classify_trace(np.array([1]))
+
+    def test_constant_trace_is_random(self):
+        assert classify_trace(np.zeros(64, dtype=np.int64)) is PatternKind.RANDOM

@@ -1,0 +1,51 @@
+"""CLI tests for repro-lstopo."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.platform == "xeon-cascadelake-1lm"
+        assert not args.memattrs
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--platform", "pdp11"])
+
+
+class TestMain:
+    def test_topology_only(self, capsys):
+        assert main(["--platform", "knl-snc4-flat"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine (" in out
+        assert "MCDRAM" in out
+
+    def test_memattrs_hmat_source(self, capsys):
+        main(["--platform", "xeon-cascadelake-1lm", "--snc", "2", "--memattrs"])
+        out = capsys.readouterr().out
+        assert "ACPI HMAT via sysfs" in out
+        assert "131072 from Group0 L#0" in out
+
+    def test_memattrs_benchmark_source_on_knl(self, capsys):
+        main(["--platform", "knl-snc4-flat", "--memattrs"])
+        out = capsys.readouterr().out
+        assert "benchmarks" in out
+        assert "including remote accesses" in out
+
+    def test_forced_benchmark(self, capsys):
+        main(["--platform", "uniform-dram", "--memattrs", "--benchmark"])
+        out = capsys.readouterr().out
+        assert "benchmarks" in out
+
+    def test_distances(self, capsys):
+        main(["--platform", "xeon-cascadelake-1lm", "--distances"])
+        out = capsys.readouterr().out
+        assert "NUMA distances" in out
+
+    def test_sysfs_dump(self, capsys):
+        main(["--platform", "xeon-cascadelake-1lm", "--sysfs"])
+        out = capsys.readouterr().out
+        assert "/sys/devices/system/node" in out

@@ -1,0 +1,32 @@
+"""Smoke tests for the standalone experiment runner."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_all_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "figs1-3", "fig5", "table2", "table3", "table4", "fig7"
+        }
+
+    def test_fig5_runner(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "131072 from Group0 L#0" in out
+
+    def test_table3_runner(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "OOM" in out           # the blank cell
+        assert "*" in out             # the KNL fallback marker
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["fig5", "figs1-3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out and "Memory attribute" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

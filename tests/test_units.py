@@ -1,0 +1,173 @@
+"""Unit-helper tests, including property-based round trips."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SpecError
+from repro.units import (
+    GB,
+    GiB,
+    MB,
+    bytes_to_mbps_field,
+    format_bandwidth,
+    format_size,
+    format_time,
+    harmonic_mean,
+    ns_field,
+    parse_bandwidth,
+    parse_size,
+    parse_time,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(1234) == 1234
+
+    def test_float_truncates_to_int(self):
+        assert parse_size(12.7) == 12
+
+    def test_si_suffixes(self):
+        assert parse_size("96GB") == 96 * GB
+        assert parse_size("1.5MB") == 1_500_000
+        assert parse_size("2kb") == 2000
+
+    def test_iec_suffixes(self):
+        assert parse_size("4GiB") == 4 * GiB
+        assert parse_size("512KiB") == 512 * 1024
+
+    def test_bare_bytes(self):
+        assert parse_size("100") == 100
+        assert parse_size("100B") == 100
+
+    def test_short_suffixes(self):
+        assert parse_size("3g") == 3 * GB
+
+    def test_whitespace_tolerated(self):
+        assert parse_size("  8 GB ".replace(" GB", "GB")) == 8 * GB
+
+    def test_negative_raises(self):
+        with pytest.raises(SpecError):
+            parse_size(-1)
+
+    def test_garbage_raises(self):
+        with pytest.raises(SpecError):
+            parse_size("twelve")
+
+    def test_unknown_suffix_raises(self):
+        with pytest.raises(SpecError):
+            parse_size("3parsecs")
+
+
+class TestParseTime:
+    def test_ns(self):
+        assert parse_time("26ns") == pytest.approx(26e-9)
+
+    def test_us_ms_s(self):
+        assert parse_time("3us") == pytest.approx(3e-6)
+        assert parse_time("2ms") == pytest.approx(2e-3)
+        assert parse_time("1.5s") == pytest.approx(1.5)
+
+    def test_number_is_seconds(self):
+        assert parse_time(2) == 2.0
+
+    def test_negative_raises(self):
+        with pytest.raises(SpecError):
+            parse_time(-0.1)
+
+    def test_bad_suffix_raises(self):
+        with pytest.raises(SpecError):
+            parse_time("5fortnights")
+
+
+class TestParseBandwidth:
+    def test_gbps(self):
+        assert parse_bandwidth("128GB/s") == pytest.approx(128e9)
+
+    def test_number_passthrough(self):
+        assert parse_bandwidth(1e9) == 1e9
+
+    def test_requires_per_second(self):
+        with pytest.raises(SpecError):
+            parse_bandwidth("128GB")
+
+    def test_negative_raises(self):
+        with pytest.raises(SpecError):
+            parse_bandwidth(-5)
+
+
+class TestFormatting:
+    def test_format_size_si(self):
+        assert format_size(96 * GB) == "96GB"
+        assert format_size(1536 * MB) == "1.54GB"
+
+    def test_format_size_binary(self):
+        assert format_size(4 * GiB, binary=True) == "4GiB"
+
+    def test_format_small(self):
+        assert format_size(17) == "17B"
+
+    def test_format_time(self):
+        assert format_time(26e-9) == "26ns"
+        assert format_time(1.5e-3) == "1.5ms"
+        assert format_time(0) == "0s"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(128e9) == "128GB/s"
+
+    def test_fig5_fields(self):
+        # The exact numbers of the paper's Fig. 5.
+        assert bytes_to_mbps_field(131072 * MB) == 131072
+        assert ns_field(26e-9) == 26
+
+    def test_negative_format_raises(self):
+        with pytest.raises(SpecError):
+            format_size(-1)
+
+
+class TestHarmonicMean:
+    def test_graph500_aggregation(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(SpecError):
+            harmonic_mean([])
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(SpecError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e9), min_size=1, max_size=20))
+    def test_bounded_by_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) * (1 - 1e-9) <= hm <= max(values) * (1 + 1e-9)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=10)
+    )
+    def test_below_arithmetic_mean(self, values):
+        hm = harmonic_mean(values)
+        assert hm <= sum(values) / len(values) + 1e-6
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_size_format_parse_roundtrip_monotone(nbytes):
+    """format→parse round-trips within formatting precision."""
+    text = format_size(nbytes, precision=6)
+    back = parse_size(text)
+    assert back == pytest.approx(nbytes, rel=1e-5, abs=1)
+
+
+@given(st.floats(min_value=1e-9, max_value=1e3))
+def test_time_format_parse_roundtrip(seconds):
+    back = parse_time(format_time(seconds, precision=6))
+    assert back == pytest.approx(seconds, rel=1e-5)
+
+
+@given(st.floats(min_value=1.0, max_value=1e12))
+def test_bandwidth_roundtrip(bps):
+    back = parse_bandwidth(format_bandwidth(bps, precision=6))
+    assert back == pytest.approx(bps, rel=1e-5)

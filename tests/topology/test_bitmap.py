@@ -1,0 +1,110 @@
+"""Bitmap algebra tests, heavily property-based."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.topology import Bitmap
+
+bits = st.sets(st.integers(min_value=0, max_value=200), max_size=32)
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        b = Bitmap([0, 3, 5])
+        assert list(b) == [0, 3, 5]
+
+    def test_from_range(self):
+        assert list(Bitmap.from_range(2, 5)) == [2, 3, 4]
+
+    def test_empty_range(self):
+        assert Bitmap.from_range(3, 3).is_empty()
+
+    def test_bad_range_raises(self):
+        with pytest.raises(TopologyError):
+            Bitmap.from_range(5, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            Bitmap([-1])
+
+    def test_parse_forms(self):
+        assert list(Bitmap.parse("0-2,5")) == [0, 1, 2, 5]
+        assert Bitmap.parse("").is_empty()
+        assert list(Bitmap.parse("7")) == [7]
+
+    def test_parse_bad_span(self):
+        with pytest.raises(TopologyError):
+            Bitmap.parse("5-2")
+
+
+class TestQueries:
+    def test_first_last_weight(self):
+        b = Bitmap([3, 9, 17])
+        assert b.first() == 3
+        assert b.last() == 17
+        assert b.weight() == 3
+
+    def test_empty_conventions(self):
+        b = Bitmap()
+        assert b.first() == -1
+        assert b.last() == -1
+        assert not b
+        assert len(b) == 0
+
+    def test_contains(self):
+        b = Bitmap([4])
+        assert 4 in b and 5 not in b
+        assert not b.isset(-1)
+
+
+class TestAlgebra:
+    def test_set_clr_immutably(self):
+        b = Bitmap([1])
+        b2 = b.set(2)
+        assert 2 in b2 and 2 not in b
+
+    def test_andnot(self):
+        assert list(Bitmap([1, 2, 3]).andnot(Bitmap([2]))) == [1, 3]
+
+    def test_operators(self):
+        a, b = Bitmap([1, 2]), Bitmap([2, 3])
+        assert list(a & b) == [2]
+        assert list(a | b) == [1, 2, 3]
+        assert list(a ^ b) == [1, 3]
+
+    @given(bits, bits)
+    def test_inclusion_definition(self, xs, ys):
+        a, b = Bitmap(xs), Bitmap(ys)
+        assert a.includes(b) == ys.issubset(xs)
+
+    @given(bits, bits)
+    def test_intersection_definition(self, xs, ys):
+        assert Bitmap(xs).intersects(Bitmap(ys)) == bool(xs & ys)
+
+    @given(bits, bits)
+    def test_demorgan_on_union(self, xs, ys):
+        a, b = Bitmap(xs), Bitmap(ys)
+        assert set(a | b) == xs | ys
+        assert set(a & b) == xs & ys
+        assert set(a ^ b) == xs ^ ys
+
+    @given(bits)
+    def test_roundtrip_list_syntax(self, xs):
+        b = Bitmap(xs)
+        assert Bitmap.parse(b.to_list_syntax()) == b
+
+    @given(bits)
+    def test_weight_matches_len(self, xs):
+        assert Bitmap(xs).weight() == len(xs)
+
+    @given(bits, bits)
+    def test_hash_eq_consistency(self, xs, ys):
+        a, b = Bitmap(xs), Bitmap(ys)
+        if a == b:
+            assert hash(a) == hash(b)
+            assert xs == ys
+
+    @given(bits)
+    def test_iteration_sorted(self, xs):
+        assert list(Bitmap(xs)) == sorted(xs)

@@ -1,0 +1,141 @@
+"""Topology construction tests (Figs. 1-3 structure)."""
+
+import pytest
+
+from repro.errors import TopologyError, UnknownObjectError
+from repro.hw import get_platform
+from repro.topology import ObjType, build_topology
+
+
+class TestTreeStructure:
+    def test_root_is_machine(self, xeon_topo):
+        assert xeon_topo.root.type is ObjType.MACHINE
+        assert xeon_topo.root.cpuset.weight() == 80
+
+    def test_object_counts_xeon(self, xeon_topo):
+        assert xeon_topo.nbobjs(ObjType.PACKAGE) == 2
+        assert xeon_topo.nbobjs(ObjType.CORE) == 40
+        assert xeon_topo.nbobjs(ObjType.PU) == 80
+        assert xeon_topo.nbobjs(ObjType.NUMANODE) == 4
+
+    def test_object_counts_knl(self, knl_topo):
+        assert knl_topo.nbobjs(ObjType.GROUP) == 4
+        assert knl_topo.nbobjs(ObjType.CORE) == 64
+        assert knl_topo.nbobjs(ObjType.PU) == 256
+        assert knl_topo.nbobjs(ObjType.NUMANODE) == 8
+
+    def test_memory_attach_points_knl(self, knl_topo):
+        """KNL: both DRAM and MCDRAM hang off their SubNUMA cluster."""
+        for node in knl_topo.numanodes():
+            assert node.parent.type is ObjType.GROUP
+
+    def test_memory_attach_points_xeon_snc2(self, xeon_snc2_topo):
+        """Fig. 2: DRAM under Groups, NVDIMM under Packages."""
+        for node in xeon_snc2_topo.numanodes():
+            kind = node.attrs["kind"]
+            parent_type = node.parent.type
+            if kind == "DRAM":
+                assert parent_type is ObjType.GROUP
+            else:
+                assert parent_type is ObjType.PACKAGE
+
+    def test_machine_level_memory(self, fictitious):
+        topo = build_topology(fictitious)
+        nam = [n for n in topo.numanodes() if n.attrs["kind"] == "NAM"]
+        assert len(nam) == 1
+        assert nam[0].parent.type is ObjType.MACHINE
+
+    def test_memside_cache_interposed(self):
+        topo = build_topology(get_platform("knl-snc4-hybrid50"))
+        dram_nodes = [n for n in topo.numanodes() if n.attrs["kind"] == "DRAM"]
+        assert all(n.parent.type is ObjType.MEMCACHE for n in dram_nodes)
+        mcdram = [n for n in topo.numanodes() if n.attrs["kind"] == "HBM"]
+        assert all(n.parent.type is ObjType.GROUP for n in mcdram)
+
+
+class TestNumbering:
+    def test_numanode_logical_matches_spec(self, xeon_snc2_topo):
+        spec_nodes = {
+            n.logical_index: n.os_index
+            for n in xeon_snc2_topo.machine_spec.numa_nodes()
+        }
+        for node in xeon_snc2_topo.numanodes():
+            assert spec_nodes[node.logical_index] == node.os_index
+
+    def test_pu_os_indices_dense(self, knl_topo):
+        assert [p.os_index for p in knl_topo.pus()] == list(range(256))
+
+    def test_core_logical_indices_dense(self, knl_topo):
+        cores = knl_topo.objs(ObjType.CORE)
+        assert sorted(c.logical_index for c in cores) == list(range(64))
+
+
+class TestCpusets:
+    def test_child_cpusets_nest(self, knl_topo):
+        for obj in knl_topo.iter_all():
+            for child in obj.children:
+                assert obj.cpuset.includes(child.cpuset)
+
+    def test_group_cpusets_partition_package(self, knl_topo):
+        pkg = knl_topo.objs(ObjType.PACKAGE)[0]
+        groups = [c for c in pkg.children if c.type is ObjType.GROUP]
+        union = groups[0].cpuset
+        for g in groups[1:]:
+            assert not union.intersects(g.cpuset)
+            union = union | g.cpuset
+        assert union == pkg.cpuset
+
+    def test_numanode_nodeset_single_bit(self, xeon_topo):
+        for node in xeon_topo.numanodes():
+            assert node.nodeset.weight() == 1
+            assert node.nodeset.first() == node.os_index
+
+
+class TestLookups:
+    def test_obj_by_logical(self, xeon_topo):
+        assert xeon_topo.obj_by_logical(ObjType.PACKAGE, 1).logical_index == 1
+        with pytest.raises(UnknownObjectError):
+            xeon_topo.obj_by_logical(ObjType.PACKAGE, 5)
+
+    def test_numanode_by_os_index(self, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(2)
+        assert node.attrs["kind"] == "NVDIMM"
+        with pytest.raises(UnknownObjectError):
+            xeon_topo.numanode_by_os_index(77)
+
+    def test_pu_lookup(self, xeon_topo):
+        assert xeon_topo.pu(13).os_index == 13
+
+    def test_node_instance_mapping(self, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(0)
+        inst = xeon_topo.node_instance(node)
+        assert inst.os_index == 0
+
+    def test_node_instance_missing_raises(self, xeon_topo):
+        from repro.topology.objects import TopoObject
+        fake = TopoObject(type=ObjType.NUMANODE, logical_index=0)
+        with pytest.raises(TopologyError):
+            xeon_topo.node_instance(fake)
+
+    def test_distances_exposed(self, xeon_topo):
+        assert xeon_topo.distance(0, 0) == 10
+        assert xeon_topo.distance(0, 1) > 10
+
+
+class TestObjectStruct:
+    def test_memory_child_type_enforced(self, xeon_topo):
+        from repro.topology.objects import TopoObject
+        machine = xeon_topo.root
+        pu = TopoObject(type=ObjType.PU, logical_index=0)
+        with pytest.raises(TopologyError):
+            machine.add_memory_child(pu)
+        node = TopoObject(type=ObjType.NUMANODE, logical_index=0)
+        with pytest.raises(TopologyError):
+            machine.add_child(node)
+
+    def test_label_format(self, xeon_topo):
+        node = xeon_topo.numanode_by_os_index(2)
+        assert node.label.startswith("NVDIMM L#") or node.label.startswith(
+            "NUMANode L#"
+        )
+        assert "(P#2)" in node.label

@@ -1,0 +1,89 @@
+"""Distances-matrix API tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    DistancesDB,
+    DistancesMatrix,
+    matrices_from_benchmarks,
+    matrix_from_slit,
+)
+
+
+class TestSlitMatrix:
+    def test_square_over_all_nodes(self, xeon_topo):
+        m = matrix_from_slit(xeon_topo)
+        assert m.means == "relative" and m.source == "os"
+        assert len(m.target_nodes) == 4
+        assert m.value("node0", 0) == 10.0
+
+    def test_value_lookup_errors(self, xeon_topo):
+        m = matrix_from_slit(xeon_topo)
+        with pytest.raises(TopologyError):
+            m.value("node99", 0)
+        with pytest.raises(TopologyError):
+            m.value("node0", 99)
+
+    def test_render(self, xeon_topo):
+        text = matrix_from_slit(xeon_topo).render()
+        assert "NUMA:SLIT" in text
+        assert "node3" in text
+
+
+class TestBenchmarkMatrices:
+    def test_full_coverage(self, knl_topo, knl_report):
+        lat, bw = matrices_from_benchmarks(knl_topo, knl_report)
+        assert lat.means == "latency" and bw.means == "bandwidth"
+        assert lat.source == "benchmark"
+        assert len(lat.row_labels) == 4       # one per SNC scope
+        assert len(lat.target_nodes) == 8
+
+    def test_local_beats_remote(self, knl_topo, knl_report):
+        lat, bw = matrices_from_benchmarks(knl_topo, knl_report)
+        scope0 = lat.row_labels[0]
+        assert lat.value(scope0, 0) < lat.value(scope0, 1)  # local DRAM vs remote
+        assert bw.value(scope0, 4) > bw.value(scope0, 5)    # local vs remote HBM
+
+    def test_hbm_vs_dram_visible(self, knl_topo, knl_report):
+        _, bw = matrices_from_benchmarks(knl_topo, knl_report)
+        scope0 = bw.row_labels[0]
+        assert bw.value(scope0, 4) > 2 * bw.value(scope0, 0)
+
+
+class TestDB:
+    def test_filtering(self, knl_topo, knl_report):
+        db = DistancesDB(knl_topo)
+        db.add(matrix_from_slit(knl_topo))
+        lat, bw = matrices_from_benchmarks(knl_topo, knl_report)
+        db.add(lat)
+        db.add(bw)
+        assert len(db.get()) == 3
+        assert len(db.get(means="latency")) == 1
+        assert len(db.get(source="benchmark")) == 2
+        assert db.get(means="relative", source="os")[0].name == "NUMA:SLIT"
+
+    def test_rejects_unknown_nodes(self, knl_topo):
+        db = DistancesDB(knl_topo)
+        bad = DistancesMatrix(
+            name="bad",
+            means="latency",
+            source="user",
+            row_labels=("x",),
+            target_nodes=(99,),
+            values=((1.0,),),
+        )
+        with pytest.raises(TopologyError):
+            db.add(bad)
+
+    def test_matrix_validation(self):
+        with pytest.raises(TopologyError):
+            DistancesMatrix(
+                name="m", means="speed", source="user",
+                row_labels=("a",), target_nodes=(0,), values=((1.0,),),
+            )
+        with pytest.raises(TopologyError):
+            DistancesMatrix(
+                name="m", means="latency", source="user",
+                row_labels=("a", "b"), target_nodes=(0,), values=((1.0,),),
+            )

@@ -1,0 +1,67 @@
+"""lstopo rendering tests (Figs. 1-3)."""
+
+from repro.hw import get_platform
+from repro.topology import build_topology, render_lstopo
+
+
+class TestFig1KNLHybrid:
+    def test_renders_memside_cache_and_mcdram(self):
+        topo = build_topology(get_platform("knl-snc4-hybrid50"))
+        out = render_lstopo(topo)
+        # Fig. 1: each cluster shows 12GB DRAM behind a 2GB memside cache
+        # plus a flat 2GB MCDRAM node.
+        assert out.count("MemSideCache(MCDRAM) (2GB)") == 4
+        assert out.count("12GB") == 4
+        assert out.count("2GB MCDRAM") == 4
+        assert out.count("Group0") == 4
+
+    def test_core_collapsing(self):
+        topo = build_topology(get_platform("knl-snc4-hybrid50"))
+        out = render_lstopo(topo)
+        assert "18 × Core" in out
+        assert "4×PU" in out
+
+
+class TestFig2Xeon:
+    def test_renders_six_nodes(self, xeon_snc2_topo):
+        out = render_lstopo(xeon_snc2_topo)
+        assert out.count("96GB") == 4
+        assert out.count("768GB NVDIMM") == 2
+        assert out.count("Package L#") == 2
+
+    def test_machine_header_totals(self, xeon_snc2_topo):
+        out = render_lstopo(xeon_snc2_topo)
+        assert out.splitlines()[0].startswith("Machine (1.92TB total)")
+
+
+class TestFig3Fictitious:
+    def test_four_kinds_visible(self, fictitious):
+        out = render_lstopo(build_topology(fictitious))
+        assert "NAM" in out
+        assert "HBM" in out
+        assert "NVDIMM" in out
+        assert "128GB" in out  # plain DRAM
+
+    def test_nam_at_machine_level(self, fictitious):
+        out = render_lstopo(build_topology(fictitious))
+        lines = out.splitlines()
+        nam_line = next(l for l in lines if "NAM" in l)
+        # Machine-level memory is rendered at the outermost indent.
+        assert not nam_line.startswith("  ")
+
+
+class TestGeneralShape:
+    def test_every_platform_renders(self):
+        from repro.hw import PLATFORM_REGISTRY
+        for name in PLATFORM_REGISTRY:
+            out = render_lstopo(build_topology(get_platform(name)))
+            assert out.startswith("Machine (")
+            assert "NUMANode" in out
+
+    def test_indentation_reflects_depth(self, knl_topo):
+        out = render_lstopo(knl_topo)
+        lines = out.splitlines()
+        pkg = next(i for i, l in enumerate(lines) if l.startswith("Package"))
+        grp = next(i for i, l in enumerate(lines) if l.lstrip().startswith("Group0"))
+        assert lines[grp].startswith("  ")
+        assert grp > pkg

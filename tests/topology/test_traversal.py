@@ -1,0 +1,96 @@
+"""Traversal and get_local_numanode_objs (Fig. 4) tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    Bitmap,
+    LocalNumanodeFlags,
+    ObjType,
+    find_covering_object,
+    get_local_numanode_objs,
+)
+
+
+class TestLocalNumanodes:
+    def test_pu_sees_cluster_and_package_nodes(self, xeon_snc2_topo):
+        """A PU of SNC 0 sees its group DRAM and its package NVDIMM."""
+        nodes = get_local_numanode_objs(xeon_snc2_topo, 0)
+        os_idx = sorted(n.os_index for n in nodes)
+        assert os_idx == [0, 4]
+
+    def test_knl_pu_sees_dram_and_mcdram(self, knl_topo):
+        nodes = get_local_numanode_objs(knl_topo, 0)
+        kinds = sorted(n.attrs["kind"] for n in nodes)
+        assert kinds == ["DRAM", "HBM"]
+
+    def test_remote_cluster_excluded(self, knl_topo):
+        nodes = get_local_numanode_objs(knl_topo, 0)
+        assert all(n.cpuset.isset(0) for n in nodes)
+
+    def test_initiator_as_object(self, knl_topo):
+        group = knl_topo.objs(ObjType.GROUP)[2]
+        nodes = get_local_numanode_objs(knl_topo, group)
+        assert sorted(n.os_index for n in nodes) == [2, 6]
+
+    def test_initiator_as_bitmap(self, xeon_topo):
+        nodes = get_local_numanode_objs(xeon_topo, Bitmap([0, 1]))
+        assert sorted(n.os_index for n in nodes) == [0, 2]
+
+    def test_exact_flag(self, xeon_snc2_topo):
+        group_cpuset = xeon_snc2_topo.objs(ObjType.GROUP)[0].cpuset
+        nodes = get_local_numanode_objs(
+            xeon_snc2_topo, group_cpuset, LocalNumanodeFlags.EXACT
+        )
+        assert [n.os_index for n in nodes] == [0]
+
+    def test_smaller_flag_from_package(self, xeon_snc2_topo):
+        pkg = xeon_snc2_topo.objs(ObjType.PACKAGE)[0]
+        nodes = get_local_numanode_objs(
+            xeon_snc2_topo, pkg, LocalNumanodeFlags.SMALLER
+        )
+        # Package-scope query with SMALLER finds the SNC DRAMs.
+        assert {n.os_index for n in nodes} >= {0, 1}
+
+    def test_all_flag(self, xeon_topo):
+        nodes = get_local_numanode_objs(xeon_topo, 0, LocalNumanodeFlags.ALL)
+        assert len(nodes) == 4
+
+    def test_results_in_logical_order(self, fictitious):
+        from repro.topology import build_topology
+        topo = build_topology(fictitious)
+        nodes = get_local_numanode_objs(topo, 0)
+        logicals = [n.logical_index for n in nodes]
+        assert logicals == sorted(logicals)
+
+    def test_machine_memory_local_to_everyone(self, fictitious):
+        from repro.topology import build_topology
+        topo = build_topology(fictitious)
+        for pu in (0, topo.machine_spec.total_pus - 1):
+            kinds = {n.attrs["kind"] for n in get_local_numanode_objs(topo, pu)}
+            assert "NAM" in kinds
+
+    def test_empty_initiator_raises(self, xeon_topo):
+        with pytest.raises(TopologyError):
+            get_local_numanode_objs(xeon_topo, Bitmap())
+
+    def test_unknown_pu_raises(self, xeon_topo):
+        with pytest.raises(TopologyError):
+            get_local_numanode_objs(xeon_topo, 10**5)
+
+
+class TestCoveringObject:
+    def test_smallest_cover(self, knl_topo):
+        obj = find_covering_object(knl_topo, Bitmap([0, 1]), ObjType.GROUP)
+        assert obj.logical_index == 0
+
+    def test_machine_covers_everything(self, knl_topo):
+        obj = find_covering_object(
+            knl_topo, knl_topo.complete_cpuset, ObjType.MACHINE
+        )
+        assert obj is knl_topo.root
+
+    def test_no_cover_raises(self, knl_topo):
+        spanning = Bitmap([0, 100])  # spans two groups
+        with pytest.raises(TopologyError):
+            find_covering_object(knl_topo, spanning, ObjType.GROUP)

@@ -1,0 +1,62 @@
+"""XML export/import tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.xmlio import export_xml, parse_xml
+
+
+class TestExport:
+    def test_wellformed_and_complete(self, knl_topo):
+        text = export_xml(knl_topo)
+        summary = parse_xml(text)
+        assert summary.machine == "knl-snc4-flat"
+        assert summary.count("NUMANode") == 8
+        assert summary.count("Core") == 64
+        assert summary.count("PU") == 256
+        assert summary.count("Group") == 4
+
+    def test_numanode_details_preserved(self, xeon_topo):
+        summary = parse_xml(export_xml(xeon_topo))
+        node2 = summary.numa_nodes[2]
+        assert node2["capacity"] == 768 * 10**9
+        assert node2["kind"] == "NVDIMM"
+        assert node2["cpuset"] == "0-39"
+
+    def test_memside_cache_objects_exported(self):
+        from repro.hw import get_platform
+        from repro.topology import build_topology
+        topo = build_topology(get_platform("knl-snc4-hybrid50"))
+        summary = parse_xml(export_xml(topo))
+        assert summary.count("MemCache") == 4
+
+    def test_memattrs_section(self, xeon_topo, xeon_attrs_native):
+        text = export_xml(xeon_topo, xeon_attrs_native)
+        summary = parse_xml(text)
+        assert "Bandwidth" in summary.attribute_values
+        values = dict(
+            (t, v) for t, _i, v in summary.attribute_values["Bandwidth"]
+        )
+        assert values[0] == pytest.approx(131072e6)
+        # Initiator cpusets survive the round trip.
+        initiators = [i for _t, i, _v in summary.attribute_values["Latency"]]
+        assert "0-39" in initiators
+
+    def test_capacity_attribute_without_initiator(self, xeon_topo, xeon_attrs_native):
+        summary = parse_xml(export_xml(xeon_topo, xeon_attrs_native))
+        rows = summary.attribute_values["Capacity"]
+        assert all(i is None for _t, i, _v in rows)
+
+
+class TestParseErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_xml("<<<not xml")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_xml("<machine/>")
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_xml("<topology machine='x'></topology>")
