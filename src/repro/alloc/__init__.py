@@ -17,12 +17,13 @@ lands on DRAM on the Xeon and on DRAM on KNL — or on HBM where that is
 genuinely the right answer.
 """
 
-from .allocator import Buffer, HeterogeneousAllocator
+from .allocator import AllocRequest, Buffer, HeterogeneousAllocator
 from .fallback import DEFAULT_ATTRIBUTE_FALLBACK, attribute_fallback_chain
 from .policy import AllocationRequest, PlacementPlanner, PlanReport
 from .phases import MigrationDecision, PhaseManager
 
 __all__ = [
+    "AllocRequest",
     "Buffer",
     "HeterogeneousAllocator",
     "DEFAULT_ATTRIBUTE_FALLBACK",

@@ -12,18 +12,36 @@ import itertools
 from dataclasses import dataclass
 
 from ..core.api import MemAttrs, TargetValue
+from ..core.querycache import MISSING
 from ..core.ranking import rank_targets
-from ..errors import AllocationError, CapacityError, SpecError
+from ..errors import AllocationError, CapacityError, SpecError, TopologyError
 from ..kernel.migration import MigrationReport
 from ..kernel.pagealloc import KernelMemoryManager, PageAllocation
 from ..kernel.policy import bind_policy
 from ..sim.access import Placement
 from ..topology.objects import TopoObject
+from ..topology.traversal import as_cpuset
 from .fallback import attribute_fallback_chain
 
-__all__ = ["Buffer", "HeterogeneousAllocator"]
+__all__ = ["AllocRequest", "Buffer", "HeterogeneousAllocator"]
 
 _buffer_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class AllocRequest:
+    """One request of a :meth:`HeterogeneousAllocator.mem_alloc_many` batch.
+
+    Mirrors the keyword surface of :meth:`~HeterogeneousAllocator.mem_alloc`.
+    """
+
+    size: int
+    attribute: str
+    initiator: object
+    name: str | None = None
+    allow_partial: bool = False
+    allow_fallback: bool = True
+    scope: str = "local"
 
 
 @dataclass
@@ -78,6 +96,11 @@ class HeterogeneousAllocator:
         self.memattrs = memattrs
         self.kernel = kernel
         self._attribute_fallback = attribute_fallback
+        self._overrides_key = (
+            None
+            if attribute_fallback is None
+            else tuple(sorted((k, tuple(v)) for k, v in attribute_fallback.items()))
+        )
         self.tie_tolerance = tie_tolerance
         self.tie_attr = tie_attr
         self.buffers: dict[str, Buffer] = {}
@@ -93,9 +116,20 @@ class HeterogeneousAllocator:
         the §VIII question "is it better to allocate in the local NVDIMM
         or in another DRAM?", answerable once benchmarking measured the
         remote pairs.  Returns ``(used_attribute_name, ranked_targets)``.
+
+        This is the allocator's hot path: the resolved
+        ``(used_attribute, ranking)`` pair is memoized in the MemAttrs
+        query cache (family ``"alloc_rank"``) keyed by its generation,
+        so repeated ``mem_alloc`` calls between attribute updates only
+        re-walk the free-capacity check.
         """
         if scope not in ("local", "machine"):
             raise AllocationError(f"unknown scope {scope!r}")
+        cache_key = self._rank_for_cache_key(attribute, initiator, scope)
+        if cache_key is not None:
+            cached = self.memattrs.query_cache.get("alloc_rank", cache_key)
+            if cached is not MISSING:
+                return cached
         if scope == "local":
             # Memoryless-initiator fallback: a CPU whose package has no
             # memory at all (CPU-only NUMA nodes exist) allocates from the
@@ -119,10 +153,33 @@ class HeterogeneousAllocator:
                 tie_tolerance=self.tie_tolerance,
             )
             if ranked:
+                if cache_key is not None:
+                    self.memattrs.query_cache.store(
+                        "alloc_rank", cache_key, (attr.name, ranked)
+                    )
                 return attr.name, ranked
         raise AllocationError(
             f"no attribute in the fallback chain of {attribute!r} has values "
             "for any local target"
+        )
+
+    def _rank_for_cache_key(self, attribute: str, initiator, scope: str):
+        """Key for one resolved ranking, or ``None`` when uncacheable (the
+        uncached path then raises exactly as before)."""
+        try:
+            init_key = as_cpuset(
+                self.memattrs.topology, initiator, cache=self.memattrs.query_cache
+            )
+        except TopologyError:
+            return None
+        return (
+            self.memattrs.generation,
+            attribute.lower() if isinstance(attribute, str) else attribute,
+            init_key,
+            scope,
+            self.tie_attr,
+            self.tie_tolerance,
+            self._overrides_key,
         )
 
     # ------------------------------------------------------------------
@@ -210,6 +267,56 @@ class HeterogeneousAllocator:
             )
         )
 
+    def mem_alloc_many(
+        self,
+        requests,
+        *,
+        rollback_on_error: bool = True,
+    ) -> tuple[Buffer, ...]:
+        """Allocate a batch of buffers in one call.
+
+        ``requests`` is an iterable of :class:`AllocRequest` (or dicts /
+        tuples with the same fields).  Requests sharing an (attribute,
+        initiator, scope) resolve their target ranking once — the query
+        cache serves every repeat — so the per-buffer cost is only the
+        free-capacity walk and the page placement.
+
+        By default the batch is all-or-nothing: when any request fails,
+        buffers already placed by this call are freed before the error
+        propagates.  ``rollback_on_error=False`` keeps the partial batch
+        (the failed request's error still propagates).
+        """
+        placed: list[Buffer] = []
+        try:
+            for req in requests:
+                if isinstance(req, AllocRequest):
+                    r = req
+                elif isinstance(req, dict):
+                    r = AllocRequest(**req)
+                else:
+                    r = AllocRequest(*req)
+                placed.append(
+                    self.mem_alloc(
+                        r.size,
+                        r.attribute,
+                        r.initiator,
+                        name=r.name,
+                        allow_partial=r.allow_partial,
+                        allow_fallback=r.allow_fallback,
+                        scope=r.scope,
+                    )
+                )
+        except Exception:
+            if rollback_on_error:
+                for buf in reversed(placed):
+                    self.free(buf)
+            raise
+        return tuple(placed)
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/invalidation counters of the shared query cache."""
+        return self.memattrs.cache_stats()
+
     def free(self, buffer: Buffer | str) -> None:
         buffer = self._resolve_buffer(buffer)
         self.kernel.free(buffer.allocation)
@@ -259,9 +366,13 @@ class HeterogeneousAllocator:
             raise AllocationError(f"unknown buffer {key!r}") from None
 
     def _initiator_pus(self, initiator) -> tuple[int, ...]:
-        from ..topology.traversal import as_cpuset
-
-        cpuset = as_cpuset(self.memattrs.topology, initiator)
+        cache = self.memattrs.query_cache
+        cpuset = as_cpuset(self.memattrs.topology, initiator, cache=cache)
+        pus = cache.get("initiator_pus", cpuset)
+        if pus is not MISSING:
+            return pus
         if cpuset.is_empty():
             raise AllocationError("initiator has no PUs")
-        return tuple(cpuset)
+        pus = tuple(cpuset)
+        cache.store("initiator_pus", cpuset, pus)
+        return pus

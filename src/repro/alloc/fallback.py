@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..core.api import MemAttrs
 from ..core.attrs import MemAttribute
+from ..core.querycache import MISSING
 from ..errors import UnknownAttributeError
 
 __all__ = ["DEFAULT_ATTRIBUTE_FALLBACK", "attribute_fallback_chain"]
@@ -36,11 +37,22 @@ def attribute_fallback_chain(
     """The requested attribute followed by its fallbacks, resolved.
 
     Unknown names raise; custom attributes without a configured chain
-    fall back to Capacity.
+    fall back to Capacity.  Resolved chains are memoized in the
+    ``MemAttrs`` query cache (family ``"fallback_chain"``) keyed by its
+    generation, since ``register`` can extend what a chain resolves to.
     """
     attr = memattrs.get_by_name(
         attribute if isinstance(attribute, str) else attribute.name
     )
+    overrides_key = (
+        None
+        if overrides is None
+        else tuple(sorted((k, tuple(v)) for k, v in overrides.items()))
+    )
+    cache_key = (memattrs.generation, attr.id, overrides_key)
+    cached = memattrs.query_cache.get("fallback_chain", cache_key)
+    if cached is not MISSING:
+        return cached
     table = dict(DEFAULT_ATTRIBUTE_FALLBACK)
     if overrides:
         table.update(overrides)
@@ -55,4 +67,6 @@ def attribute_fallback_chain(
             continue
         if nxt not in chain:
             chain.append(nxt)
-    return tuple(chain)
+    resolved = tuple(chain)
+    memattrs.query_cache.store("fallback_chain", cache_key, resolved)
+    return resolved

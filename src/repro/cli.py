@@ -13,7 +13,9 @@ import argparse
 import sys
 
 from .bench import characterize_machine, feed_attributes
-from .core import MemAttrs, discover_from_sysfs, render_memattrs
+from .core import MemAttrs, discover_from_sysfs, render_cache_stats, render_memattrs
+from .core.ranking import rank_targets
+from .errors import ReproError
 from .firmware import build_sysfs
 from .hw import PLATFORM_REGISTRY, get_platform
 from .sim import SimEngine
@@ -55,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sysfs", action="store_true", help="dump the virtual sysfs tree"
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="exercise the attribute-query hot path and print the "
+        "memoization counters (implies --memattrs discovery)",
+    )
     return parser
 
 
@@ -76,7 +84,7 @@ def main(argv: list[str] | None = None) -> int:
         print("\nVirtual sysfs:")
         print(build_sysfs(machine).render_tree())
 
-    if args.memattrs:
+    if args.memattrs or args.cache_stats:
         memattrs = MemAttrs(topology)
         if machine.has_hmat and not args.benchmark:
             recorded = discover_from_sysfs(memattrs, build_sysfs(machine))
@@ -85,8 +93,21 @@ def main(argv: list[str] | None = None) -> int:
             engine = SimEngine(machine, topology)
             recorded = feed_attributes(memattrs, characterize_machine(engine))
             source = f"benchmarks ({recorded} values, including remote accesses)"
-        print(f"\nMemory attributes — source: {source}")
-        print(render_memattrs(memattrs))
+        if args.memattrs:
+            print(f"\nMemory attributes — source: {source}")
+            print(render_memattrs(memattrs))
+        if args.cache_stats:
+            # Run each attribute's local ranking twice from PU 0: the first
+            # pass fills the cache, the second demonstrates the hits.
+            for _ in range(2):
+                for attr in memattrs.attributes():
+                    try:
+                        rank_targets(memattrs, attr.name, 0)
+                    except ReproError:
+                        continue
+            print("\nQuery-cache statistics:")
+            print(render_cache_stats(memattrs.cache_stats()))
+            print(f"generation: {memattrs.generation}")
     return 0
 
 

@@ -36,6 +36,7 @@ from .attrs import (
 )
 from .api import MemAttrs
 from .discovery import discover_from_sysfs, native_discovery
+from .querycache import CacheStats, QueryCache, render_cache_stats
 from .ranking import rank_targets
 from .custom import register_derived_attribute, stream_triad_attribute
 from .dynamic import (
@@ -64,6 +65,9 @@ __all__ = [
     "MemAttrs",
     "discover_from_sysfs",
     "native_discovery",
+    "CacheStats",
+    "QueryCache",
+    "render_cache_stats",
     "rank_targets",
     "register_derived_attribute",
     "stream_triad_attribute",

@@ -21,6 +21,7 @@ from ..errors import (
     AttributeFlagError,
     NoTargetError,
     NoValueError,
+    TopologyError,
     UnknownAttributeError,
 )
 from ..topology.bitmap import Bitmap
@@ -38,6 +39,7 @@ from .attrs import (
     MemAttrFlag,
     MemAttribute,
 )
+from .querycache import MISSING, QueryCache
 
 __all__ = ["MemAttrs", "TargetValue"]
 
@@ -74,14 +76,34 @@ class _Store:
 class MemAttrs:
     """Memory attributes of one topology."""
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(self, topology: Topology, *, query_cache: QueryCache | None = None) -> None:
         self.topology = topology
         self._attrs: dict[str, MemAttribute] = {}
         self._store = _Store()
         self._next_custom_id = 64  # leave room below for future builtins
+        #: Memoized query engine; every cache key embeds :attr:`generation`
+        #: so entries recorded before a mutation can never be served after.
+        self.query_cache = query_cache if query_cache is not None else QueryCache()
+        self._generation = 0
         for attr in BUILTIN_ATTRIBUTES:
             self._attrs[attr.name.lower()] = attr
         self._populate_builtin_values()
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every ``set_value``/``register``; cached query answers
+        are keyed by it, which is what invalidates them."""
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self.query_cache.invalidate()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss/invalidation counters of the query engine."""
+        stats = self.query_cache.stats()
+        stats["generation"] = self._generation
+        return stats
 
     # ------------------------------------------------------------------
     # registry
@@ -112,6 +134,7 @@ class MemAttrs:
         )
         self._next_custom_id += 1
         self._attrs[key] = attr
+        self._bump_generation()
         return attr
 
     def get_by_name(self, name: str) -> MemAttribute:
@@ -150,7 +173,9 @@ class MemAttrs:
                 raise AttributeFlagError(
                     f"attribute {attr.name} needs an initiator"
                 )
-            key: Bitmap | None = as_cpuset(self.topology, initiator)
+            key: Bitmap | None = as_cpuset(
+                self.topology, initiator, cache=self.query_cache
+            )
         else:
             if initiator is not None:
                 raise AttributeFlagError(
@@ -160,6 +185,7 @@ class MemAttrs:
         if value < 0:
             raise AttributeFlagError(f"{attr.name} value must be non-negative")
         self._store.put(attr.id, target.os_index, key, float(value))
+        self._bump_generation()
 
     def get_value(
         self,
@@ -179,8 +205,12 @@ class MemAttrs:
             return per_initiator[None]
         if initiator is None:
             raise AttributeFlagError(f"attribute {attr.name} needs an initiator")
-        cpuset = as_cpuset(self.topology, initiator)
-        match = self._match_initiator(per_initiator, cpuset)
+        cpuset = as_cpuset(self.topology, initiator, cache=self.query_cache)
+        cache_key = (self._generation, attr.id, target.os_index, cpuset)
+        match = self.query_cache.get("match_initiator", cache_key)
+        if match is MISSING:
+            match = self._match_initiator(per_initiator, cpuset)
+            self.query_cache.store("match_initiator", cache_key, match)
         if match is None:
             raise NoValueError(
                 f"no {attr.name} value for {target.label} from initiator "
@@ -192,16 +222,23 @@ class MemAttrs:
     def _match_initiator(
         per_initiator: dict[Bitmap | None, float], cpuset: Bitmap
     ) -> Bitmap | None:
-        """Exact match first, else the smallest stored initiator ⊇ query."""
+        """Exact match first, else the smallest stored initiator ⊇ query.
+
+        Equal-weight candidates tie-break on the lowest first set bit
+        (then remaining bits, lexicographically) — never on dict
+        insertion order, so the answer is stable across value-feeding
+        orders.
+        """
         if cpuset in per_initiator:
             return cpuset
         best: Bitmap | None = None
+        best_rank: tuple[int, tuple[int, ...]] | None = None
         for stored in per_initiator:
-            if stored is None:
+            if stored is None or not stored.includes(cpuset):
                 continue
-            if stored.includes(cpuset):
-                if best is None or stored.weight() < best.weight():
-                    best = stored
+            rank = (stored.weight(), tuple(stored))
+            if best_rank is None or rank < best_rank:
+                best, best_rank = stored, rank
         return best
 
     def has_values(self, attr: MemAttribute | str) -> bool:
@@ -217,7 +254,9 @@ class MemAttrs:
         self, initiator, flags: LocalNumanodeFlags | None = None
     ) -> tuple[TopoObject, ...]:
         """Memory targets local to an initiator (Fig. 4, first call)."""
-        return get_local_numanode_objs(self.topology, initiator, flags)
+        return get_local_numanode_objs(
+            self.topology, initiator, flags, cache=self.query_cache
+        )
 
     def get_best_target(
         self,
@@ -290,6 +329,12 @@ class MemAttrs:
         higher level).
         """
         attr = self._resolve(attr)
+        targets = tuple(targets)
+        cache_key = self._rank_cache_key(attr, targets, initiator)
+        if cache_key is not None:
+            cached = self.query_cache.get("rank_targets", cache_key)
+            if cached is not MISSING:
+                return cached
         scored: list[TargetValue] = []
         for target in targets:
             try:
@@ -300,7 +345,32 @@ class MemAttrs:
         scored.sort(
             key=lambda tv: (-tv.value if attr.higher_is_better else tv.value)
         )
-        return tuple(scored)
+        ranked = tuple(scored)
+        if cache_key is not None:
+            self.query_cache.store("rank_targets", cache_key, ranked)
+        return ranked
+
+    def _rank_cache_key(self, attr: MemAttribute, targets, initiator):
+        """Key for one ranking: (generation, attr id, target ids,
+        normalized initiator).  ``None`` when the query is malformed —
+        the uncached path then raises exactly as before."""
+        if attr.needs_initiator:
+            if initiator is None:
+                return None
+            try:
+                init_key: Bitmap | None = as_cpuset(
+                    self.topology, initiator, cache=self.query_cache
+                )
+            except TopologyError:
+                return None
+        else:
+            init_key = None
+        return (
+            self._generation,
+            attr.id,
+            tuple(id(t) for t in targets),
+            init_key,
+        )
 
     # ------------------------------------------------------------------
     # internals

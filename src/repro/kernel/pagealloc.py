@@ -103,6 +103,11 @@ class KernelMemoryManager:
             state.free_pages -= reserved
             self.nodes[inst.os_index] = state
         self._live: dict[int, PageAllocation] = {}
+        # Zonelists and policy candidate orders derive only from the SLIT
+        # and the node set, both fixed at construction — memoize them so
+        # the allocation hot path stops re-sorting distances per call.
+        self._zonelist_cache: dict[int, tuple[int, ...]] = {}
+        self._order_cache: dict[tuple[MemPolicy, int], tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # queries
@@ -119,13 +124,18 @@ class KernelMemoryManager:
 
     def zonelist(self, from_node: int) -> tuple[int, ...]:
         """Fallback order from a node: self first, then by SLIT distance."""
+        cached = self._zonelist_cache.get(from_node)
+        if cached is not None:
+            return cached
         if from_node not in self.nodes:
             raise PolicyError(f"unknown node {from_node}")
         others = sorted(
             (n for n in self.nodes if n != from_node),
             key=lambda n: (self.slit.distance(from_node, n), n),
         )
-        return (from_node, *others)
+        order = (from_node, *others)
+        self._zonelist_cache[from_node] = order
+        return order
 
     def _node(self, node: int) -> NodeState:
         try:
@@ -226,14 +236,24 @@ class KernelMemoryManager:
         return alloc
 
     def _candidate_order(self, policy: MemPolicy, initiator_pu: int) -> tuple[int, ...]:
+        local = self.local_node_of_pu(initiator_pu)
+        key = (policy, local)
+        cached = self._order_cache.get(key)
+        if cached is None:
+            cached = self._candidate_order_uncached(policy, local)
+            self._order_cache[key] = cached
+        return cached
+
+    def _candidate_order_uncached(
+        self, policy: MemPolicy, local: int
+    ) -> tuple[int, ...]:
         if policy.kind is PolicyKind.DEFAULT:
-            return self.zonelist(self.local_node_of_pu(initiator_pu))
+            return self.zonelist(local)
         if policy.kind is PolicyKind.BIND:
             allowed = set(policy.nodes)
             unknown = allowed - set(self.nodes)
             if unknown:
                 raise PolicyError(f"bind nodeset contains unknown nodes {sorted(unknown)}")
-            local = self.local_node_of_pu(initiator_pu)
             start = local if local in allowed else min(allowed)
             return tuple(n for n in self.zonelist(start) if n in allowed)
         if policy.kind is PolicyKind.PREFERRED:

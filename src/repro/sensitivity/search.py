@@ -46,12 +46,21 @@ def exhaustive_search(
     node_capacity: dict[int, int] | None = None,
     pus: tuple[int, ...] | None = None,
     max_candidates: int = 4096,
+    reuse_phase_pricings: bool = True,
 ) -> tuple[PlacementCandidate, ...]:
     """Price every feasible placement of the critical buffers.
 
     ``critical_buffers`` defaults to all buffers (full 2^N); pass the
     pruned set to reproduce the paper's mitigation.  ``node_capacity``
     bounds the total bytes placed per node (defaults to unlimited).
+
+    ``reuse_phase_pricings`` (default on) memoizes each phase's pricing
+    on the placement *slice the phase actually reads* — the nodes of the
+    buffers it accesses.  Candidates that differ only in buffers a phase
+    never touches share one pricing, which collapses much of the 2^N
+    enumeration's engine work; the per-candidate totals are bit-identical
+    to the uncached sums because the identical
+    :class:`~repro.sim.engine.PhaseTiming` objects are reused.
     """
     if not phases:
         raise ReproError("need at least one phase to search over")
@@ -71,6 +80,14 @@ def exhaustive_search(
             f"max_candidates={max_candidates}; prune critical_buffers"
         )
 
+    # One entry per (phase, slice-of-placement-it-reads): phases only look
+    # at the nodes of the buffers they access, so assignments differing in
+    # other buffers reuse the exact same PhaseTiming.
+    phase_buffers = [
+        tuple(a.buffer for a in phase.accesses) for phase in phases
+    ]
+    pricing_memo: dict[tuple, float] = {}
+
     results: list[PlacementCandidate] = []
     for combo in itertools.product(candidate_nodes, repeat=len(critical)):
         if node_capacity is not None:
@@ -79,16 +96,31 @@ def exhaustive_search(
                 used[node] = used.get(node, 0) + buffer_sizes[buf]
             if any(used[n] > node_capacity.get(n, 0) for n in used):
                 continue
+        assignment = dict(zip(critical, combo))
         placement = Placement(
-            {b: {default_node: 1.0} for b in all_buffers}
+            {b: {assignment.get(b, default_node): 1.0} for b in all_buffers}
         )
-        for buf, node in zip(critical, combo):
-            placement.set(buf, {node: 1.0})
-        timing = engine.price_run(phases, placement, pus=pus)
+        if reuse_phase_pricings:
+            seconds = 0.0
+            for idx, phase in enumerate(phases):
+                key = (
+                    idx,
+                    tuple(
+                        assignment.get(b, default_node)
+                        for b in phase_buffers[idx]
+                    ),
+                )
+                cached = pricing_memo.get(key)
+                if cached is None:
+                    cached = engine.price_phase(phase, placement, pus=pus).seconds
+                    pricing_memo[key] = cached
+                seconds += cached
+        else:
+            seconds = engine.price_run(phases, placement, pus=pus).seconds
         results.append(
             PlacementCandidate(
                 assignment=tuple(zip(critical, combo)),
-                seconds=timing.seconds,
+                seconds=seconds,
             )
         )
     if not results:

@@ -49,12 +49,33 @@ class LocalNumanodeFlags(enum.Flag):
         return cls.LARGER | cls.SMALLER
 
 
-def as_cpuset(topology: Topology, initiator) -> Bitmap:
+def as_cpuset(topology: Topology, initiator, *, cache=None) -> Bitmap:
     """Coerce an initiator (Bitmap, TopoObject, PU index, or iterable of
     PU indices) into a cpuset — initiators in the paper's API are either
-    CPU-sets or specific objects."""
+    CPU-sets or specific objects.
+
+    ``cache`` is an optional :class:`~repro.core.querycache.QueryCache`
+    (duck-typed to keep this layer free of a ``core`` dependency): the
+    normalization depends only on the immutable topology, so answers for
+    hashable initiators are memoized under the ``"as_cpuset"`` family.
+    """
     if isinstance(initiator, Bitmap):
         return initiator
+    if cache is not None:
+        try:
+            cached = cache.get("as_cpuset", initiator, None)
+        except TypeError:  # unhashable initiator (e.g. a list of PUs)
+            cache = None
+        else:
+            if cached is not None:
+                return cached
+    cpuset = _as_cpuset_uncached(topology, initiator)
+    if cache is not None:
+        cache.store("as_cpuset", initiator, cpuset)
+    return cpuset
+
+
+def _as_cpuset_uncached(topology: Topology, initiator) -> Bitmap:
     if isinstance(initiator, TopoObject):
         if initiator.cpuset.is_empty():
             raise TopologyError(f"{initiator.label} has an empty cpuset")
@@ -75,15 +96,24 @@ def get_local_numanode_objs(
     topology: Topology,
     initiator,
     flags: LocalNumanodeFlags | None = None,
+    *,
+    cache=None,
 ) -> tuple[TopoObject, ...]:
     """Memory targets local to ``initiator`` (paper Fig. 4, first call).
 
-    Results are ordered by logical index, like hwloc.
+    Results are ordered by logical index, like hwloc.  Locality depends
+    only on the immutable topology, so when a ``cache`` is supplied the
+    answer is memoized under the ``"local_nodes"`` family, keyed by the
+    normalized cpuset and flags.
     """
-    cpuset = as_cpuset(topology, initiator)
+    cpuset = as_cpuset(topology, initiator, cache=cache)
     if cpuset.is_empty():
         raise TopologyError("initiator cpuset is empty")
     flags = LocalNumanodeFlags.default() if flags is None else flags
+    if cache is not None:
+        cached = cache.get("local_nodes", (cpuset, flags), None)
+        if cached is not None:
+            return cached
 
     out = []
     for node in topology.numanodes():
@@ -97,7 +127,10 @@ def get_local_numanode_objs(
             out.append(node)
         elif flags & LocalNumanodeFlags.SMALLER and cpuset.includes(locality):
             out.append(node)
-    return tuple(out)
+    result = tuple(out)
+    if cache is not None:
+        cache.store("local_nodes", (cpuset, flags), result)
+    return result
 
 
 def objs_by_type(topology: Topology, type: ObjType) -> tuple[TopoObject, ...]:

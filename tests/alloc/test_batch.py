@@ -1,0 +1,136 @@
+"""``mem_alloc_many`` batch semantics: coercion, atomicity, rollback."""
+
+import pytest
+
+from repro.alloc import AllocRequest
+from repro.errors import AllocationError, CapacityError
+
+
+def _total_free(allocator):
+    return sum(
+        allocator.kernel.free_bytes(n.os_index)
+        for n in allocator.memattrs.topology.numanodes()
+    )
+
+
+class TestSuccess:
+    def test_batch_allocates_all(self, xeon_allocator):
+        requests = [
+            AllocRequest(size=1 << 20, attribute="Bandwidth", initiator=0),
+            AllocRequest(size=2 << 20, attribute="Latency", initiator=0),
+            AllocRequest(size=1 << 20, attribute="Capacity", initiator=1),
+        ]
+        buffers = xeon_allocator.mem_alloc_many(requests)
+        assert len(buffers) == 3
+        assert [b.size for b in buffers] == [1 << 20, 2 << 20, 1 << 20]
+        for buf in buffers:
+            assert xeon_allocator.buffers[buf.name] is buf
+
+    def test_batch_matches_sequential_mem_alloc(self, xeon, xeon_topo):
+        """A batch places buffers exactly where the equivalent sequence of
+        ``mem_alloc`` calls would."""
+        from repro.alloc import HeterogeneousAllocator
+        from repro.core import native_discovery
+        from repro.kernel import KernelMemoryManager
+
+        batch_alloc = HeterogeneousAllocator(
+            native_discovery(xeon_topo), KernelMemoryManager(xeon)
+        )
+        seq_alloc = HeterogeneousAllocator(
+            native_discovery(xeon_topo), KernelMemoryManager(xeon)
+        )
+        specs = [
+            ((i + 1) << 20, ("Bandwidth", "Latency", "Capacity")[i % 3], i % 2)
+            for i in range(12)
+        ]
+        batched = batch_alloc.mem_alloc_many(
+            [AllocRequest(size=s, attribute=a, initiator=i) for s, a, i in specs]
+        )
+        sequential = [seq_alloc.mem_alloc(s, a, i) for s, a, i in specs]
+        for b, s in zip(batched, sequential):
+            assert b.used_attribute == s.used_attribute
+            assert b.fallback_rank == s.fallback_rank
+            assert b.allocation.pages_by_node == s.allocation.pages_by_node
+
+    def test_dict_requests(self, xeon_allocator):
+        buffers = xeon_allocator.mem_alloc_many(
+            [
+                {"size": 1 << 20, "attribute": "Bandwidth", "initiator": 0},
+                {"size": 1 << 20, "attribute": "Latency", "initiator": 0,
+                 "name": "named", "scope": "machine"},
+            ]
+        )
+        assert buffers[1].name == "named"
+
+    def test_tuple_requests(self, xeon_allocator):
+        buffers = xeon_allocator.mem_alloc_many(
+            [(1 << 20, "Bandwidth", 0), (1 << 20, "Capacity", 1)]
+        )
+        assert len(buffers) == 2
+        assert buffers[0].used_attribute == "Bandwidth"
+
+    def test_empty_batch(self, xeon_allocator):
+        assert xeon_allocator.mem_alloc_many([]) == ()
+
+
+class TestRollback:
+    def test_failed_batch_is_all_or_nothing(self, xeon_allocator):
+        free_before = _total_free(xeon_allocator)
+        huge = free_before * 2  # cannot fit anywhere
+        with pytest.raises(CapacityError):
+            xeon_allocator.mem_alloc_many(
+                [
+                    AllocRequest(size=1 << 20, attribute="Bandwidth", initiator=0),
+                    AllocRequest(size=1 << 20, attribute="Latency", initiator=0),
+                    AllocRequest(size=huge, attribute="Bandwidth", initiator=0),
+                ]
+            )
+        # Everything placed before the failure was rolled back.
+        assert not xeon_allocator.buffers
+        assert _total_free(xeon_allocator) == free_before
+
+    def test_rollback_on_duplicate_name(self, xeon_allocator):
+        free_before = _total_free(xeon_allocator)
+        with pytest.raises(AllocationError):
+            xeon_allocator.mem_alloc_many(
+                [
+                    AllocRequest(size=1 << 20, attribute="Bandwidth",
+                                 initiator=0, name="dup"),
+                    AllocRequest(size=1 << 20, attribute="Latency",
+                                 initiator=0, name="dup"),
+                ]
+            )
+        assert not xeon_allocator.buffers
+        assert _total_free(xeon_allocator) == free_before
+
+    def test_partial_batch_kept_when_requested(self, xeon_allocator):
+        huge = _total_free(xeon_allocator) * 2
+        with pytest.raises(CapacityError):
+            xeon_allocator.mem_alloc_many(
+                [
+                    AllocRequest(size=1 << 20, attribute="Bandwidth",
+                                 initiator=0, name="kept"),
+                    AllocRequest(size=huge, attribute="Bandwidth", initiator=0),
+                ],
+                rollback_on_error=False,
+            )
+        assert set(xeon_allocator.buffers) == {"kept"}
+
+    def test_strict_binding_request_rolls_back(self, xeon_allocator):
+        """allow_fallback=False fails on a full best target; earlier
+        buffers of the batch must still be rolled back."""
+        _, ranked = xeon_allocator.rank_for("Bandwidth", 0)
+        best = ranked[0].target.os_index
+        fill = xeon_allocator.kernel.free_bytes(best)
+        free_before = _total_free(xeon_allocator)
+        with pytest.raises(CapacityError):
+            xeon_allocator.mem_alloc_many(
+                [
+                    AllocRequest(size=fill, attribute="Bandwidth", initiator=0,
+                                 name="filler"),
+                    AllocRequest(size=1 << 20, attribute="Bandwidth",
+                                 initiator=0, allow_fallback=False),
+                ]
+            )
+        assert not xeon_allocator.buffers
+        assert _total_free(xeon_allocator) == free_before

@@ -108,3 +108,39 @@ class TestAlgebra:
     @given(bits)
     def test_iteration_sorted(self, xs):
         assert list(Bitmap(xs)) == sorted(xs)
+
+
+# Any syntactically valid list string: unsorted, overlapping spans and
+# duplicates allowed — parse must still accept it.
+spans = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=0, max_value=8),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestListSyntaxRoundtrip:
+    """parse ↔ to_list_syntax round-trips, both directions."""
+
+    @given(spans)
+    def test_parse_then_render_is_canonical(self, parts):
+        text = ",".join(
+            f"{lo}-{lo + length}" if length else str(lo)
+            for lo, length in parts
+        )
+        b = Bitmap.parse(text)
+        canonical = b.to_list_syntax()
+        # Rendering loses nothing: re-parsing gives the same set back.
+        assert Bitmap.parse(canonical) == b
+        # The canonical form is a fixed point of parse ∘ render.
+        assert Bitmap.parse(canonical).to_list_syntax() == canonical
+
+    @given(bits)
+    def test_render_then_parse_preserves_bits(self, xs):
+        assert set(Bitmap.parse(Bitmap(xs).to_list_syntax())) == xs
+
+    def test_canonical_form_merges_adjacent(self):
+        assert Bitmap.parse("0,1,2,5").to_list_syntax() == "0-2,5"
