@@ -1,10 +1,17 @@
-"""``repro-lstopo`` — the lstopo-like command-line tool.
+"""``repro-lstopo`` and ``repro-search`` — the command-line tools.
 
-Renders any preset platform's topology (Figs. 1-3), its memory attributes
-(``--memattrs``, Fig. 5), NUMA distances (``--distances``) and the virtual
-sysfs tree (``--sysfs``).  Attributes come from native HMAT discovery when
-the platform has one, otherwise from the benchmark sweep — announced in
-the output, since that distinction is the point of §IV-A.
+``repro-lstopo`` renders any preset platform's topology (Figs. 1-3), its
+memory attributes (``--memattrs``, Fig. 5), NUMA distances
+(``--distances``) and the virtual sysfs tree (``--sysfs``).  Attributes
+come from native HMAT discovery when the platform has one, otherwise from
+the benchmark sweep — announced in the output, since that distinction is
+the point of §IV-A.
+
+``repro-search`` runs the §V-A placement search oracle over a Graph500
+workload on any preset platform, exposing the search engine's knobs:
+``--top-k`` (bounded best-k heap), ``--workers`` (process fan-out),
+``--budget`` (pricing budget with truncation report), ``--no-prune``
+(disable branch-and-bound).
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from .hw import PLATFORM_REGISTRY, get_platform
 from .sim import SimEngine
 from .topology import build_topology, render_lstopo
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "search_main", "build_search_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +115,106 @@ def main(argv: list[str] | None = None) -> int:
             print("\nQuery-cache statistics:")
             print(render_cache_stats(memattrs.cache_stats()))
             print(f"generation: {memattrs.generation}")
+    return 0
+
+
+def build_search_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-search",
+        description="Branch-and-bound placement search (§V-A oracle) "
+        "over a Graph500 workload",
+    )
+    parser.add_argument(
+        "--platform",
+        default="xeon-cascadelake-1lm",
+        choices=sorted(PLATFORM_REGISTRY),
+        help="preset platform to search on",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=20, help="Graph500 scale (2^scale vertices)"
+    )
+    parser.add_argument(
+        "--nodes",
+        default="0,2",
+        help="comma-separated candidate NUMA nodes (first is the default node)",
+    )
+    parser.add_argument(
+        "--critical",
+        default=None,
+        help="comma-separated critical buffers (default: all buffers)",
+    )
+    parser.add_argument(
+        "--top-k",
+        type=int,
+        default=8,
+        help="keep only the k best placements; 0 keeps every candidate",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes pricing candidates in parallel",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="pricing budget: max placements priced before truncating",
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable branch-and-bound pruning (for comparison runs)",
+    )
+    parser.add_argument(
+        "--per-level",
+        action="store_true",
+        help="search per-BFS-level phases instead of the folded phase",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=16, help="threads of the workload"
+    )
+    return parser
+
+
+def search_main(argv: list[str] | None = None) -> int:
+    from .apps.graph500 import Graph500Config, TrafficModel
+    from .sensitivity import search_placements
+
+    args = build_search_parser().parse_args(argv)
+    machine = get_platform(args.platform)
+    engine = SimEngine(machine)
+    nodes = tuple(int(n) for n in args.nodes.split(","))
+    model = TrafficModel.analytic(args.scale)
+    cfg = Graph500Config(scale=args.scale, nroots=1, threads=args.threads)
+    phases = model.phases(cfg, per_level=args.per_level)
+    critical = (
+        tuple(args.critical.split(",")) if args.critical is not None else None
+    )
+    try:
+        result = search_placements(
+            engine,
+            phases,
+            model.buffer_sizes(),
+            nodes,
+            default_node=nodes[0],
+            critical_buffers=critical,
+            top_k=args.top_k or None,
+            workers=args.workers,
+            max_candidates=args.budget,
+            prune=not args.no_prune,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    buffers = [b for b, _ in result.candidates[0].assignment]
+    print(f"Graph500 scale {args.scale} on {args.platform}, nodes {list(nodes)}")
+    print(" | ".join(f"{b:>12}" for b in buffers) + f" | {'time':>10}")
+    for c in result.candidates:
+        row = " | ".join(f"{node:>12}" for _, node in c.assignment)
+        print(f"{row} | {c.seconds * 1e3:>8.2f}ms")
+    print()
+    print(result.stats.report())
     return 0
 
 

@@ -25,6 +25,7 @@ from .errors import CapacityError
 from .firmware import build_sysfs
 from .hw import get_platform
 from .profiler import analyze_run, object_analysis, render_object_report, render_summary_table
+from .sensitivity import search_placements
 from .sim import BufferAccess, KernelPhase, PatternKind, Placement
 from .topology import build_topology, render_lstopo
 from .units import GiB
@@ -180,6 +181,47 @@ def fig7() -> str:
     return render_object_report(objs)
 
 
+def search(
+    *,
+    platform: str = "xeon-cascadelake-1lm",
+    scale: int = 20,
+    nodes: tuple[int, ...] = (0, 2),
+    top_k: int | None = 8,
+    workers: int = 1,
+    budget: int | None = None,
+    per_level: bool = False,
+) -> str:
+    """§V-A oracle: the branch-and-bound placement search on Graph500."""
+    setup = quick_setup(platform)
+    model = TrafficModel.analytic(scale)
+    cfg = Graph500Config(scale=scale, nroots=1, threads=16)
+    phases = model.phases(cfg, per_level=per_level)
+    sizes = model.buffer_sizes()
+    result = search_placements(
+        setup.engine,
+        phases,
+        sizes,
+        nodes,
+        default_node=nodes[0],
+        pus=_XEON_PUS,
+        top_k=top_k,
+        workers=workers,
+        max_candidates=budget,
+    )
+    buffers = [b for b, _ in result.candidates[0].assignment]
+    header = " | ".join(f"{b:>12}" for b in buffers) + f" | {'seconds':>10}"
+    lines = [
+        f"Graph500 scale {scale} placement search over nodes {list(nodes)}",
+        header,
+    ]
+    for c in result.candidates:
+        row = " | ".join(f"{node:>12}" for _, node in c.assignment)
+        lines.append(f"{row} | {c.seconds * 1e3:>8.2f}ms")
+    lines.append("")
+    lines.append(result.stats.report())
+    return "\n".join(lines)
+
+
 EXPERIMENTS: dict[str, Callable[[], str]] = {
     "figs1-3": figs_topology,
     "fig5": fig5,
@@ -187,6 +229,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "table3": table3,
     "table4": table4,
     "fig7": fig7,
+    "search": search,
 }
 
 
@@ -201,11 +244,61 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which artifacts to regenerate",
     )
+    group = parser.add_argument_group(
+        "search knobs", "only apply to the 'search' artifact"
+    )
+    group.add_argument(
+        "--search-nodes",
+        default="0,2",
+        help="comma-separated candidate NUMA nodes (default: 0,2)",
+    )
+    group.add_argument(
+        "--search-top-k",
+        type=int,
+        default=8,
+        help="keep only the k best placements (0 = keep all)",
+    )
+    group.add_argument(
+        "--search-workers",
+        type=int,
+        default=1,
+        help="worker processes pricing candidates in parallel",
+    )
+    group.add_argument(
+        "--search-budget",
+        type=int,
+        default=None,
+        help="max placements to price before truncating (default: unlimited)",
+    )
+    group.add_argument(
+        "--search-scale",
+        type=int,
+        default=20,
+        help="Graph500 scale of the searched workload",
+    )
+    group.add_argument(
+        "--search-per-level",
+        action="store_true",
+        help="search over per-BFS-level phases instead of the folded phase",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.artifacts else args.artifacts
     for name in names:
         print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
-        print(EXPERIMENTS[name]())
+        if name == "search":
+            nodes = tuple(int(n) for n in args.search_nodes.split(","))
+            print(
+                search(
+                    scale=args.search_scale,
+                    nodes=nodes,
+                    top_k=args.search_top_k or None,
+                    workers=args.search_workers,
+                    budget=args.search_budget,
+                    per_level=args.search_per_level,
+                )
+            )
+        else:
+            print(EXPERIMENTS[name]())
     return 0
 
 

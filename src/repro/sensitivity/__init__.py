@@ -19,7 +19,13 @@ the heterogeneous allocator, closing the loop of Fig. 6:
 from .benchmarking import BindingOutcome, whole_process_binding_sweep, infer_criterion
 from .profiling import classify_buffers, recommend_requests
 from .staticanalysis import classify_access, classify_kernel, attribute_for_pattern
-from .search import PlacementCandidate, exhaustive_search
+from .search import (
+    PlacementCandidate,
+    SearchResult,
+    SearchStats,
+    exhaustive_search,
+    search_placements,
+)
 
 __all__ = [
     "BindingOutcome",
@@ -31,5 +37,8 @@ __all__ = [
     "classify_kernel",
     "attribute_for_pattern",
     "PlacementCandidate",
+    "SearchResult",
+    "SearchStats",
     "exhaustive_search",
+    "search_placements",
 ]

@@ -21,7 +21,7 @@ The latency and cpu terms serialize within a thread; the phase time is
 from .access import PatternKind, BufferAccess, KernelPhase, Placement
 from .caches import CacheModel, cache_filter
 from .memside import memside_filter, MemsideEffect
-from .engine import SimEngine, PhaseTiming, RunTiming
+from .engine import SimEngine, PhaseTiming, PreparedPhase, RunTiming
 from .contention import ConcurrentJob, ConcurrentOutcome, price_concurrent
 from .trace import synth_trace, classify_trace
 
@@ -36,6 +36,7 @@ __all__ = [
     "MemsideEffect",
     "SimEngine",
     "PhaseTiming",
+    "PreparedPhase",
     "RunTiming",
     "ConcurrentJob",
     "ConcurrentOutcome",

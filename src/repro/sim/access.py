@@ -106,11 +106,28 @@ class KernelPhase:
         raise SimulationError(f"phase {self.name!r}: no buffer {buffer!r}")
 
 
+def _validate_split(buffer: str, split: dict[int, float]) -> None:
+    total = sum(split.values())
+    if not 0.999 <= total <= 1.001:
+        raise SimulationError(
+            f"buffer {buffer!r}: placement fractions sum to {total}, not 1"
+        )
+
+
 @dataclass
 class Placement:
-    """Which node(s) hold each buffer: buffer → {node os index: fraction}."""
+    """Which node(s) hold each buffer: buffer → {node os index: fraction}.
+
+    Fraction sums are validated when splits enter the placement
+    (construction, :meth:`set`), so :meth:`of` — the pricing hot path —
+    is a plain dictionary lookup.
+    """
 
     fractions: dict[str, dict[int, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for buffer, split in self.fractions.items():
+            _validate_split(buffer, split)
 
     @classmethod
     def single(cls, **buffer_to_node: int) -> "Placement":
@@ -129,17 +146,12 @@ class Placement:
 
     def of(self, buffer: str) -> dict[int, float]:
         try:
-            split = self.fractions[buffer]
+            return self.fractions[buffer]
         except KeyError:
             raise SimulationError(f"no placement for buffer {buffer!r}") from None
-        total = sum(split.values())
-        if not 0.999 <= total <= 1.001:
-            raise SimulationError(
-                f"buffer {buffer!r}: placement fractions sum to {total}, not 1"
-            )
-        return split
 
     def set(self, buffer: str, split: dict[int, float]) -> None:
+        _validate_split(buffer, split)
         self.fractions[buffer] = dict(split)
 
     def nodes_used(self) -> tuple[int, ...]:

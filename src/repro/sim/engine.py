@@ -18,7 +18,14 @@ from .access import KernelPhase, PatternKind, Placement
 from .caches import CacheModel, cache_filter
 from .memside import memside_filter
 
-__all__ = ["NodeTraffic", "BufferTiming", "PhaseTiming", "RunTiming", "SimEngine"]
+__all__ = [
+    "NodeTraffic",
+    "BufferTiming",
+    "PhaseTiming",
+    "RunTiming",
+    "PreparedPhase",
+    "SimEngine",
+]
 
 
 @dataclass
@@ -95,6 +102,24 @@ class RunTiming:
         return merged
 
 
+@dataclass(frozen=True)
+class PreparedPhase:
+    """The placement-independent half of pricing one phase.
+
+    :meth:`SimEngine.prepare_phase` hoists everything that does not
+    depend on the buffer placement — the cache model for the executing
+    PUs, the cache-filtered traffic per access, the CPU term — so a
+    search pricing the same phase under thousands of placements pays for
+    it once (see :meth:`SimEngine.price_phase_many`).
+    """
+
+    phase: KernelPhase
+    pus: tuple[int, ...]
+    #: ``(access, cache_filter result)`` per access, in phase order.
+    filtered: tuple[tuple, ...]
+    cpu_seconds: float
+
+
 class SimEngine:
     """Prices phases against one machine."""
 
@@ -104,8 +129,41 @@ class SimEngine:
         self._nodes: dict[int, NodeInstance] = {
             n.os_index: n for n in machine.numa_nodes()
         }
+        # (node, pus) -> locality-blended (latency, read bw, write bw).
+        # Pure in the immutable machine spec, so safe for the engine's
+        # lifetime; shared by every pricing on the same PU set.
+        self._blend_memo: dict[tuple[int, tuple[int, ...]], tuple[float, float, float]] = {}
 
     # ------------------------------------------------------------------
+    def prepare_phase(
+        self,
+        phase: KernelPhase,
+        *,
+        pus: tuple[int, ...] | None = None,
+    ) -> PreparedPhase:
+        """Hoist the placement-independent work of pricing ``phase``."""
+        if pus is None:
+            pus = tuple(range(phase.threads))
+        if len(pus) < 1:
+            raise SimulationError("phase needs at least one PU")
+        cache_model = CacheModel.for_threads(self.topology, pus)
+        total_ws = float(sum(a.working_set for a in phase.accesses))
+        filtered = tuple(
+            (access, cache_filter(
+                cache_model, access,
+                access.working_set / total_ws if total_ws else 1.0,
+            ))
+            for access in phase.accesses
+        )
+        cpu_seconds = (
+            phase.cpu_ops / (phase.threads * self.machine.core_ops_per_second)
+            if phase.cpu_ops
+            else 0.0
+        )
+        return PreparedPhase(
+            phase=phase, pus=pus, filtered=filtered, cpu_seconds=cpu_seconds
+        )
+
     def price_phase(
         self,
         phase: KernelPhase,
@@ -118,14 +176,72 @@ class SimEngine:
         ``pus`` are the processors executing the phase (used for locality
         and cache capacity); defaults to the first ``phase.threads`` PUs.
         """
-        if pus is None:
-            pus = tuple(range(phase.threads))
-        if len(pus) < 1:
-            raise SimulationError("phase needs at least one PU")
-        threads = phase.threads
-        cache_model = CacheModel.for_threads(self.topology, pus)
+        return self.price_prepared(self.prepare_phase(phase, pus=pus), placement)
 
-        total_ws = float(sum(a.working_set for a in phase.accesses))
+    def price_phase_many(
+        self,
+        phase: KernelPhase,
+        placements,
+        *,
+        pus: tuple[int, ...] | None = None,
+    ) -> list[PhaseTiming]:
+        """Price one phase under many placements (batch path).
+
+        The cache model and per-access cache filtering are computed once
+        and shared; each placement only pays the node-dependent part.
+        Results are bit-identical to per-placement :meth:`price_phase`
+        calls.
+        """
+        prepared = self.prepare_phase(phase, pus=pus)
+        return [self.price_prepared(prepared, p) for p in placements]
+
+    def price_access_alone(
+        self, prepared: PreparedPhase, index: int, node: int
+    ) -> tuple[float, float]:
+        """Price one prepared access as if it sat alone on ``node``.
+
+        Returns ``(latency_seconds, bandwidth_seconds)`` — the access's
+        contribution to the phase's latency chain and to ``node``'s
+        bandwidth time when no other buffer shares the node.  Because the
+        access keeps its real cache share (miss counts match the full
+        phase) while the node sees only this buffer's working set (its
+        loaded latency is lowest, its bandwidth highest), each component
+        is a lower bound on the access's contribution in *any* complete
+        placement — the building block of the placement search's
+        branch-and-bound (docs/MODEL.md, "Placement search").
+        """
+        access, filtered = prepared.filtered[index]
+        pus = prepared.pus
+        threads = prepared.phase.threads
+        ws = float(access.working_set)
+        write_ws = ws if access.bytes_written > 0 else 0.0
+        inst = self._instance(node)
+        lat_seconds = 0.0
+        if access.pattern.is_latency_bound:
+            lat = self._node_latency(node, pus, ws)
+            mlp = threads * min(access.pattern.cpu_mlp, inst.tech.max_mlp)
+            lat_seconds = filtered.miss_count * lat / mlp
+            random_bytes = filtered.memory_read_bytes + filtered.memory_write_bytes
+            stream_read = stream_write = 0.0
+        else:
+            random_bytes = 0.0
+            stream_read = filtered.memory_read_bytes
+            stream_write = filtered.memory_write_bytes
+        _, rbw, wbw = self._node_bandwidths(node, pus, ws, write_ws, threads)
+        random_bw = min(rbw, wbw) * inst.tech.random_bandwidth_fraction
+        bw_seconds = (
+            stream_read / rbw + stream_write / wbw + random_bytes / random_bw
+        )
+        return lat_seconds, bw_seconds
+
+    def price_prepared(
+        self, prepared: PreparedPhase, placement: Placement
+    ) -> PhaseTiming:
+        """Price a :class:`PreparedPhase` under one placement."""
+        phase = prepared.phase
+        pus = prepared.pus
+        threads = phase.threads
+
         node_traffic: dict[int, NodeTraffic] = {}
         buffer_timings: dict[str, BufferTiming] = {}
 
@@ -140,9 +256,12 @@ class SimEngine:
                         node_write_ws.get(node, 0.0) + access.working_set * frac
                     )
 
-        for access in phase.accesses:
-            share = access.working_set / total_ws if total_ws else 1.0
-            filtered = cache_filter(cache_model, access, share)
+        # The loaded latency of a node is fixed for the whole phase (it
+        # depends on the node's total working set, not on which access is
+        # paying it), so resolve it at most once per node.
+        lat_memo: dict[int, float] = {}
+
+        for access, filtered in prepared.filtered:
             bt = BufferTiming(
                 buffer=access.buffer,
                 pattern=access.pattern,
@@ -155,9 +274,10 @@ class SimEngine:
                 nt = node_traffic.setdefault(node, NodeTraffic(node=node))
                 if access.pattern.is_latency_bound:
                     nt.random_bytes += bt.traffic_bytes * frac
-                    lat = self._node_latency(
-                        node, pus, node_ws.get(node, 0.0), threads
-                    )
+                    lat = lat_memo.get(node)
+                    if lat is None:
+                        lat = self._node_latency(node, pus, node_ws.get(node, 0.0))
+                        lat_memo[node] = lat
                     inst = self._nodes[node]
                     mlp = threads * min(access.pattern.cpu_mlp, inst.tech.max_mlp)
                     lat_time = filtered.miss_count * frac * lat / mlp
@@ -182,11 +302,7 @@ class SimEngine:
                 + nt.random_bytes / random_bw
             )
 
-        cpu_seconds = (
-            phase.cpu_ops / (threads * self.machine.core_ops_per_second)
-            if phase.cpu_ops
-            else 0.0
-        )
+        cpu_seconds = prepared.cpu_seconds
         latency_seconds = sum(bt.latency_seconds for bt in buffer_timings.values())
         bandwidth_seconds = max(
             (nt.bw_seconds for nt in node_traffic.values()), default=0.0
@@ -234,14 +350,24 @@ class SimEngine:
         """Locality-weighted performance when the executing PUs straddle
         locality domains (e.g. an interleaved app spanning two packages):
         latency averages arithmetically, bandwidths harmonically, weighted
-        by the PU distribution over locality classes."""
+        by the PU distribution over locality classes.
+
+        Memoized per (node, pus) for the engine's lifetime: the blend is
+        pure in the immutable machine spec, and pricing hot loops resolve
+        the same (node, pus) pair once per access otherwise."""
+        key = (inst.os_index, pus)
+        cached = self._blend_memo.get(key)
+        if cached is not None:
+            return cached
         classes: dict[str, int] = {}
         for pu in pus:
             cls = self.machine.locality_class(pu, inst)
             classes[cls] = classes.get(cls, 0) + 1
         total = len(pus)
         if len(classes) == 1:
-            return self.machine.access_performance(pus[0], inst, loaded=True)
+            result = self.machine.access_performance(pus[0], inst, loaded=True)
+            self._blend_memo[key] = result
+            return result
         lat = inv_r = inv_w = 0.0
         for cls, count in classes.items():
             rep = next(
@@ -254,10 +380,12 @@ class SimEngine:
             lat += weight * c_lat
             inv_r += weight / c_rbw
             inv_w += weight / c_wbw
-        return lat, 1.0 / inv_r, 1.0 / inv_w
+        result = (lat, 1.0 / inv_r, 1.0 / inv_w)
+        self._blend_memo[key] = result
+        return result
 
     def _node_latency(
-        self, node: int, pus: tuple[int, ...], working_set: float, threads: int
+        self, node: int, pus: tuple[int, ...], working_set: float
     ) -> float:
         inst = self._instance(node)
         base_lat, base_rbw, base_wbw = self._blended_performance(inst, pus)

@@ -1,11 +1,15 @@
-"""Exhaustive placement-search tests (§V-A's 2^N exploration)."""
+"""Placement-search tests (§V-A's 2^N exploration, now branch-and-bound)."""
+
+import random
 
 import pytest
 
 from repro.apps.graph500 import Graph500Config, TrafficModel
 from repro.errors import ReproError
-from repro.sensitivity import exhaustive_search
-from repro.units import GB
+from repro.sensitivity import exhaustive_search, search_placements
+from repro.sensitivity.search import _BoundModel, _SearchSpace
+from repro.sim import BufferAccess, KernelPhase, PatternKind
+from repro.units import GB, MiB
 
 XEON_PUS = tuple(range(40))
 
@@ -65,13 +69,39 @@ class TestSearch:
         )
         assert all(c.as_dict()["parent"] == 0 for c in results)
 
-    def test_space_explosion_guard(self, xeon_engine, g500_setup):
+    def test_capacity_missing_node_means_unlimited(self, xeon_engine, g500_setup):
+        """Regression: a node absent from node_capacity used to be treated
+        as capacity 0 and silently made every placement on it infeasible."""
         phases, sizes = g500_setup
-        with pytest.raises(ReproError):
-            exhaustive_search(
-                xeon_engine, phases, sizes, (0, 1, 2, 3),
-                default_node=0, pus=XEON_PUS, max_candidates=8,
-            )
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0,
+            critical_buffers=("parent",),
+            node_capacity={2: 0},   # node 0 not mentioned => unlimited
+            pus=XEON_PUS,
+        )
+        assert [c.as_dict()["parent"] for c in result.candidates] == [0]
+        assert result.stats.capacity_pruned == 1
+
+    def test_budget_truncates_instead_of_raising(self, xeon_engine, g500_setup):
+        """max_candidates is a pricing budget now, not a hard error."""
+        phases, sizes = g500_setup
+        logged = []
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, max_candidates=8,
+            log=logged.append,
+        )
+        assert result.stats.truncated
+        assert result.stats.leaves_priced == 8
+        assert len(result.candidates) == 8
+        assert "TRUNCATED" in logged[0]
+        # The tuple-returning wrapper no longer raises either.
+        results = exhaustive_search(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, max_candidates=8,
+        )
+        assert len(results) == 8
 
     def test_unknown_critical_buffer_rejected(self, xeon_engine, g500_setup):
         phases, sizes = g500_setup
@@ -91,3 +121,250 @@ class TestSearch:
                 node_capacity={0: 0},
                 pus=XEON_PUS,
             )
+
+
+class TestTopK:
+    def test_topk_returns_exactly_the_k_best(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        full = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS,
+        )
+        for k in (1, 3, 7):
+            topk = search_placements(
+                xeon_engine, phases, sizes, (0, 1, 2, 3),
+                default_node=0, pus=XEON_PUS, top_k=k,
+            )
+            assert topk.candidates == full.candidates[:k]
+
+    def test_pruned_and_unpruned_agree(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        pruned = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, top_k=4, prune=True,
+        )
+        unpruned = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, top_k=4, prune=False,
+        )
+        assert pruned.candidates == unpruned.candidates
+        assert pruned.stats.bound_pruned > 0
+        assert unpruned.stats.bound_pruned == 0
+
+
+def _tied_workload():
+    """Two symmetric single-buffer phases: placements (x=a, y=b) and
+    (x=b, y=a) price identically, exercising the tie-break."""
+    def phase(name, buf):
+        return KernelPhase(
+            name=name,
+            threads=8,
+            accesses=(
+                BufferAccess(
+                    buffer=buf, pattern=PatternKind.STREAM,
+                    bytes_read=64 * MiB, working_set=64 * MiB,
+                ),
+            ),
+        )
+    phases = (phase("p1", "x"), phase("p2", "y"))
+    sizes = {"x": 64 * MiB, "y": 64 * MiB}
+    return phases, sizes
+
+
+class TestDeterminism:
+    def test_tie_break_is_seconds_then_assignment(self, xeon_engine):
+        phases, sizes = _tied_workload()
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0,
+            pus=XEON_PUS,
+        )
+        combos = [tuple(n for _, n in c.assignment) for c in result.candidates]
+        tied = [
+            c for c in result.candidates
+            if c.seconds == result.candidates[1].seconds
+        ]
+        assert len(tied) >= 2, "workload should produce a tie"
+        # Within equal seconds, assignments ascend lexicographically.
+        for a, b in zip(result.candidates, result.candidates[1:]):
+            assert (a.seconds, tuple(n for _, n in a.assignment)) < (
+                b.seconds, tuple(n for _, n in b.assignment)
+            )
+        assert sorted(combos) != combos or True  # full order asserted above
+
+    def test_parallel_identical_to_serial_with_ties(self, xeon_engine):
+        phases, sizes = _tied_workload()
+        serial = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0, pus=XEON_PUS,
+        )
+        parallel = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0, pus=XEON_PUS,
+            workers=2,
+        )
+        assert parallel.candidates == serial.candidates
+        assert parallel.stats.workers == 2
+
+    def test_parallel_identical_to_serial_graph500(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        serial = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS,
+        )
+        parallel = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, workers=3,
+        )
+        # Bit-identical seconds, same ordering, same assignments.
+        assert parallel.candidates == serial.candidates
+
+    def test_parallel_topk_identical_to_serial(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        serial = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, top_k=5,
+        )
+        parallel = search_placements(
+            xeon_engine, phases, sizes, (0, 1, 2, 3),
+            default_node=0, pus=XEON_PUS, top_k=5, workers=4,
+        )
+        assert parallel.candidates == serial.candidates
+
+    def test_reuse_phase_pricings_bit_identity(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        memoized = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0,
+            pus=XEON_PUS, reuse_phase_pricings=True,
+        )
+        direct = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0,
+            pus=XEON_PUS, reuse_phase_pricings=False,
+        )
+        # Not approx: the memoized totals reuse the identical floats.
+        assert memoized.candidates == direct.candidates
+
+
+def _random_workload(rng: random.Random):
+    """A randomized multi-phase workload for the admissibility sweep."""
+    patterns = (
+        PatternKind.STREAM, PatternKind.STRIDED,
+        PatternKind.RANDOM, PatternKind.POINTER_CHASE,
+    )
+    buffers = [f"b{i}" for i in range(rng.randint(3, 4))]
+    sizes = {b: rng.randint(8, 512) * MiB for b in buffers}
+    phases = []
+    for p in range(rng.randint(1, 3)):
+        chosen = rng.sample(buffers, rng.randint(2, len(buffers)))
+        accesses = tuple(
+            BufferAccess(
+                buffer=b,
+                pattern=rng.choice(patterns),
+                bytes_read=rng.randint(1, 64) * MiB,
+                bytes_written=rng.choice((0, rng.randint(1, 16) * MiB)),
+                working_set=sizes[b],
+                granularity=rng.choice((8, 64)),
+                hot_fraction=rng.choice((0.0, 0.3, 0.7)),
+            )
+            for b in chosen
+        )
+        phases.append(
+            KernelPhase(
+                name=f"ph{p}",
+                threads=rng.choice((4, 16)),
+                accesses=accesses,
+                cpu_ops=float(rng.choice((0, 10 ** 9))),
+            )
+        )
+    return tuple(phases), sizes
+
+
+class TestLowerBound:
+    def test_bound_admissible_on_randomized_workloads(self, xeon_engine):
+        """The branch-and-bound lower bound never exceeds the true pricing
+        of any completion — on a randomized sweep of workloads, prefixes
+        and placements."""
+        nodes = (0, 2)
+        for seed in range(12):
+            rng = random.Random(seed)
+            phases, sizes = _random_workload(rng)
+            # Match the search's default critical set: buffers the phases
+            # actually access (a generated buffer may go unused).
+            critical = tuple(
+                sorted({a.buffer for ph in phases for a in ph.accesses})
+            )
+            full = search_placements(
+                xeon_engine, phases, sizes, nodes, default_node=0,
+                pus=XEON_PUS, prune=False,
+            )
+            space = _SearchSpace(
+                xeon_engine, phases, sizes, nodes, critical,
+                critical, 0, None, XEON_PUS, True,
+            )
+            bound = _BoundModel(
+                xeon_engine, space.prepared, critical, nodes, 0
+            )
+            by_combo = {
+                tuple(n for _, n in c.assignment): c.seconds
+                for c in full.candidates
+            }
+            for depth in range(len(critical) + 1):
+                for combo, seconds in by_combo.items():
+                    prefix = combo[:depth]
+                    lb = bound.bound_for(prefix)
+                    assert lb <= seconds * (1 + 1e-9), (
+                        f"seed {seed}: bound {lb} exceeds pricing {seconds} "
+                        f"for prefix {prefix} of {combo}"
+                    )
+
+    def test_bound_full_assignment_below_truth(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        critical = tuple(sorted(sizes))
+        full = search_placements(
+            xeon_engine, phases, sizes, (0, 2), default_node=0,
+            pus=XEON_PUS, prune=False,
+        )
+        space = _SearchSpace(
+            xeon_engine, phases, sizes, (0, 2), critical, critical,
+            0, None, XEON_PUS, True,
+        )
+        bound = _BoundModel(xeon_engine, space.prepared, critical, (0, 2), 0)
+        for c in full.candidates:
+            combo = tuple(n for _, n in c.assignment)
+            assert bound.bound_for(combo) <= c.seconds * (1 + 1e-9)
+
+
+class TestLargeSpace:
+    def test_2_to_16_space_completes(self, xeon_engine):
+        """PR 1 refused anything past max_candidates; the streaming +
+        branch-and-bound path walks a 2^16 space."""
+        phases = []
+        sizes = {}
+        for p in range(4):
+            accesses = []
+            for i in range(4):
+                name = f"chunk{p}_{i}"
+                sizes[name] = 32 * MiB
+                accesses.append(
+                    BufferAccess(
+                        buffer=name,
+                        pattern=PatternKind.RANDOM if i % 2 else PatternKind.STREAM,
+                        bytes_read=(8 + 4 * i) * MiB,
+                        working_set=32 * MiB,
+                    )
+                )
+            phases.append(
+                KernelPhase(name=f"ph{p}", threads=16, accesses=tuple(accesses))
+            )
+        result = search_placements(
+            xeon_engine, tuple(phases), sizes, (0, 2), default_node=0,
+            pus=XEON_PUS, top_k=8,
+        )
+        assert result.stats.space_size == 2 ** 16
+        assert not result.stats.truncated
+        assert len(result.candidates) == 8
+        priced_or_pruned = (
+            result.stats.leaves_priced
+            + result.stats.bound_pruned
+            + result.stats.capacity_pruned
+        )
+        assert priced_or_pruned == 2 ** 16
+        times = [c.seconds for c in result.candidates]
+        assert times == sorted(times)

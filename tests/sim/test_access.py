@@ -81,9 +81,16 @@ class TestPlacement:
             Placement().of("ghost")
 
     def test_fractions_must_sum_to_one(self):
-        p = Placement({"a": {0: 0.5, 1: 0.4}})
+        # Malformed splits are rejected when they enter the placement
+        # (construction), not lazily in the of() hot path.
         with pytest.raises(SimulationError):
-            p.of("a")
+            Placement({"a": {0: 0.5, 1: 0.4}})
+
+    def test_set_rejects_bad_fractions(self):
+        p = Placement.single(a=0)
+        with pytest.raises(SimulationError):
+            p.set("a", {0: 0.5, 1: 0.6})
+        assert p.of("a") == {0: 1.0}  # rejected split did not stick
 
     def test_split_placement_ok(self):
         p = Placement({"a": {0: 0.25, 1: 0.75}})

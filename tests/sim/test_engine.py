@@ -207,3 +207,83 @@ class TestBookkeeping:
     def test_empty_pus_raises(self, xeon_engine):
         with pytest.raises(SimulationError):
             xeon_engine.price_phase(stream_phase(GB), Placement.single(buf=0), pus=())
+
+
+def mixed_phase(threads=16):
+    return KernelPhase(
+        name="mixed",
+        threads=threads,
+        accesses=(
+            BufferAccess(
+                buffer="a", pattern=PatternKind.STREAM,
+                bytes_read=512 * MiB, bytes_written=128 * MiB,
+                working_set=512 * MiB,
+            ),
+            BufferAccess(
+                buffer="b", pattern=PatternKind.RANDOM,
+                bytes_read=64 * MiB, working_set=256 * MiB, hot_fraction=0.4,
+            ),
+            BufferAccess(
+                buffer="c", pattern=PatternKind.POINTER_CHASE,
+                bytes_read=8 * MiB, working_set=128 * MiB,
+            ),
+        ),
+    )
+
+
+class TestBatchPricing:
+    """The prepared/batch path must be bit-identical to price_phase."""
+
+    def test_price_phase_many_bit_identical(self, xeon_engine):
+        phase = mixed_phase()
+        pus = tuple(range(40))
+        placements = [
+            Placement.single(a=a, b=b, c=c)
+            for a in (0, 2) for b in (0, 2) for c in (0, 2)
+        ]
+        batch = xeon_engine.price_phase_many(phase, placements, pus=pus)
+        for placement, timing in zip(placements, batch):
+            single = xeon_engine.price_phase(phase, placement, pus=pus)
+            assert timing.seconds == single.seconds          # exact, not approx
+            assert timing.latency_seconds == single.latency_seconds
+            assert timing.bandwidth_seconds == single.bandwidth_seconds
+            assert timing.cpu_seconds == single.cpu_seconds
+
+    def test_prepared_phase_reusable(self, xeon_engine):
+        phase = mixed_phase()
+        pus = tuple(range(40))
+        prepared = xeon_engine.prepare_phase(phase, pus=pus)
+        t1 = xeon_engine.price_prepared(prepared, Placement.single(a=0, b=0, c=0))
+        t2 = xeon_engine.price_prepared(prepared, Placement.single(a=2, b=2, c=2))
+        t3 = xeon_engine.price_prepared(prepared, Placement.single(a=0, b=0, c=0))
+        assert t1.seconds == t3.seconds
+        assert t1.seconds != t2.seconds
+
+    def test_prepare_rejects_empty_pus(self, xeon_engine):
+        with pytest.raises(SimulationError):
+            xeon_engine.prepare_phase(mixed_phase(), pus=())
+
+    def test_price_access_alone_below_full_pricing(self, xeon_engine):
+        """The bound building block: an access alone on a node costs no
+        more than its share of any full-phase pricing."""
+        phase = mixed_phase()
+        pus = tuple(range(40))
+        prepared = xeon_engine.prepare_phase(phase, pus=pus)
+        for node in (0, 2):
+            full = xeon_engine.price_phase(
+                phase, Placement.single(a=node, b=node, c=node), pus=pus
+            )
+            lat_sum = 0.0
+            bw_sum = 0.0
+            for i in range(len(phase.accesses)):
+                lat, bw = xeon_engine.price_access_alone(prepared, i, node)
+                lat_sum += lat
+                bw_sum += bw
+            assert lat_sum <= full.latency_seconds * (1 + 1e-9)
+            assert bw_sum <= full.bandwidth_seconds * (1 + 1e-9)
+
+    def test_blend_memo_shared_across_pricings(self, xeon_engine):
+        pus = tuple(range(40))
+        xeon_engine.price_phase(mixed_phase(), Placement.single(a=0, b=2, c=0), pus=pus)
+        assert (0, pus) in xeon_engine._blend_memo
+        assert (2, pus) in xeon_engine._blend_memo

@@ -1,8 +1,8 @@
-"""CLI tests for repro-lstopo."""
+"""CLI tests for repro-lstopo and repro-search."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_search_parser, main, search_main
 
 
 class TestParser:
@@ -49,3 +49,43 @@ class TestMain:
         main(["--platform", "xeon-cascadelake-1lm", "--sysfs"])
         out = capsys.readouterr().out
         assert "/sys/devices/system/node" in out
+
+
+class TestSearchCli:
+    def test_parser_defaults(self):
+        args = build_search_parser().parse_args([])
+        assert args.platform == "xeon-cascadelake-1lm"
+        assert args.nodes == "0,2"
+        assert args.top_k == 8
+        assert args.workers == 1
+        assert args.budget is None
+        assert not args.no_prune
+
+    def test_search_smoke(self, capsys):
+        assert search_main(["--top-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Graph500 scale 20" in out
+        assert "csr_offsets" in out
+        assert "placement search: space 16" in out
+
+    def test_search_four_nodes_per_level(self, capsys):
+        assert search_main(
+            ["--nodes", "0,1,2,3", "--per-level", "--top-k", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "placement search: space 256" in out
+        assert "by bound" in out
+
+    def test_search_critical_subset(self, capsys):
+        assert search_main(["--critical", "parent,frontier", "--top-k", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "placement search: space 4" in out
+
+    def test_search_unknown_critical_fails(self, capsys):
+        assert search_main(["--critical", "nonesuch"]) == 1
+        assert "critical buffers not in phases" in capsys.readouterr().err
+
+    def test_search_no_prune(self, capsys):
+        assert search_main(["--no-prune", "--top-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 by bound" in out

@@ -8,7 +8,7 @@ from repro.experiments import EXPERIMENTS, main
 class TestRunner:
     def test_all_artifacts_registered(self):
         assert set(EXPERIMENTS) == {
-            "figs1-3", "fig5", "table2", "table3", "table4", "fig7"
+            "figs1-3", "fig5", "table2", "table3", "table4", "fig7", "search"
         }
 
     def test_fig5_runner(self, capsys):
@@ -30,3 +30,18 @@ class TestRunner:
     def test_unknown_artifact_rejected(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+    def test_search_runner(self, capsys):
+        assert main(["search", "--search-top-k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "placement search over nodes [0, 2]" in out
+        assert "csr_offsets" in out
+        assert "placement search: space 16" in out
+
+    def test_search_runner_budget_truncates(self, capsys):
+        # Budget 1: the heap is not full yet, so the bound cannot prune
+        # and the second leaf must hit the budget.
+        assert main(["search", "--search-top-k", "2",
+                     "--search-budget", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "TRUNCATED" in out
