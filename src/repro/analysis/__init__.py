@@ -1,0 +1,61 @@
+"""Source-level access-pattern analysis — the paper's missing compiler.
+
+The paper (§V-C) surveys compiler support for memory-attribute hints and
+concludes compilers "are not ready to provide such hints yet".  This
+package is that hint compiler for the repo's own kernels:
+
+* :mod:`astpass` — taint-based AST interpretation of scalar kernels,
+  classifying each array parameter as STREAM / STRIDED / RANDOM /
+  POINTER_CHASE with read/write direction;
+* :mod:`kernels` — the registry binding each bundled app's reference
+  kernel to the descriptors its traffic model declares;
+* :mod:`hints` — the output side: attribute annotations for
+  ``mem_alloc``, synthetic phases for the placement search, and
+  end-to-end hint-driven placements;
+* :mod:`lint` — ``repro-lint``: diffs inference against declaration and
+  validates placement plans without simulating.
+"""
+
+from .astpass import (
+    InferredAccess,
+    KernelAnalysis,
+    analyze_function,
+    analyze_source,
+)
+from .hints import (
+    access_from_inferred,
+    hint_placement,
+    hints_for,
+    phase_from_analysis,
+)
+from .kernels import AppKernel, app_kernels, merge_params
+from .lint import (
+    LintIssue,
+    LintReport,
+    lint_app_kernels,
+    lint_paths,
+    lint_plan,
+    lint_plan_file,
+    rule_catalog,
+)
+
+__all__ = [
+    "InferredAccess",
+    "KernelAnalysis",
+    "analyze_function",
+    "analyze_source",
+    "AppKernel",
+    "app_kernels",
+    "merge_params",
+    "hints_for",
+    "access_from_inferred",
+    "phase_from_analysis",
+    "hint_placement",
+    "LintIssue",
+    "LintReport",
+    "lint_app_kernels",
+    "lint_paths",
+    "lint_plan",
+    "lint_plan_file",
+    "rule_catalog",
+]

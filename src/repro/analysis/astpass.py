@@ -1,0 +1,571 @@
+"""AST access-pattern inference: the "hint compiler" of paper §V-C.
+
+The paper surveys compiler passes that mark "streamed/linear accesses to
+contiguous buffers" as bandwidth sensitive and indirection-heavy kernels
+as latency sensitive, then concludes compilers "are not ready to provide
+such hints yet".  This module is that pass, over the scalar reference
+kernels the apps ship: a taint analysis on subscript index expressions
+classifies every buffer access site, so a kernel can go source -> hints
+-> placement with no profiling run.
+
+Recognized idioms (the rule catalog docs/ANALYSIS.md expands on):
+
+=====================================  ==============================
+subscript                              classification
+=====================================  ==============================
+``a[i]``, ``a[i + 1]`` (i affine)      STREAM
+``a[i * k + c]``, ``range(_,_,k)``     STRIDED
+``a[idx[i]]`` (one-level indirection)  RANDOM
+``a[a[i]]``, ``node = table[node]``,   POINTER_CHASE
+``node = node.next``
+``vals[k]``, ``k in range(S[i],        STREAM (CSR row sweep: the
+S[i+1])``, i affine                    segments tile the array)
+``targets[e]``, ``e in range(lo, hi)`` RANDOM (gather of segments at
+with data-dependent ``lo``/``hi``      data-dependent offsets)
+``a[f(i)]`` (call in the index)        unknown — recorded, not guessed
+=====================================  ==============================
+
+Index **taints** drive the table: a variable is *const* (loop-invariant),
+*affine* (unit-stride induction, including ``out += 1`` counters), *seq*
+(globally-sequential CSR segment variable), *randseg* (segment variable
+at data-dependent offsets), *data* (value loaded from a buffer — the
+carrier of indirection and, when it feeds a subscript of its own source
+buffer, of pointer chasing), or *opaque* (gave up).  Loop bodies are
+walked to a taint fixpoint before access sites are recorded, so
+loop-carried dependences like ``node = table[node]`` classify correctly.
+
+Direction is tracked per site (loads read, stores write, augmented
+assignment does both), feeding the read/write-qualified attributes of
+:func:`repro.sensitivity.attribute_for_pattern`.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..sim.access import PatternKind
+
+__all__ = [
+    "InferredAccess",
+    "KernelAnalysis",
+    "analyze_function",
+    "analyze_source",
+]
+
+#: Evidence precedence: dependence beats indirection beats stride beats
+#: streaming.  A buffer with both stream and random sites is random — the
+#: latency-bound sites dominate its placement needs (paper §III-B2).
+_KIND_RANK = {"stream": 1, "strided": 2, "random": 3, "chase": 4}
+
+_KIND_TO_PATTERN = {
+    "stream": PatternKind.STREAM,
+    "strided": PatternKind.STRIDED,
+    "random": PatternKind.RANDOM,
+    "chase": PatternKind.POINTER_CHASE,
+}
+
+
+@dataclass(frozen=True)
+class _Taint:
+    """Index class of one variable or expression."""
+
+    kind: str                 # const | affine | strided | seq | randseg | data | opaque
+    source: str | None = None  # buffer the value was loaded from (kind="data")
+
+
+_CONST = _Taint("const")
+_AFFINE = _Taint("affine")
+_STRIDED = _Taint("strided")
+_OPAQUE = _Taint("opaque")
+
+#: Combination precedence for ``Add``/``Sub``: the less predictable
+#: operand wins (``data + const`` is still a data-dependent index).
+_COMBINE_RANK = {
+    "const": 0,
+    "affine": 1,
+    "strided": 2,
+    "seq": 3,
+    "randseg": 4,
+    "data": 5,
+    "opaque": 6,
+}
+
+
+@dataclass
+class InferredAccess:
+    """What the pass concluded about one buffer.
+
+    ``pattern`` is ``None`` when every access site was unanalyzable
+    (dynamic indexing through calls — the documented false negative) or
+    loop-invariant scalar touches only.
+    """
+
+    buffer: str
+    pattern: PatternKind | None
+    reads: int = 0                 # loop access sites that load
+    writes: int = 0                # loop access sites that store
+    scalar_reads: int = 0          # loop-invariant (negligible) loads
+    scalar_writes: int = 0
+    lines: tuple[int, ...] = ()
+    unknown_lines: tuple[int, ...] = ()
+
+    @property
+    def direction(self) -> str | None:
+        """``"read"``/``"write"``/``"readwrite"``, or ``None`` if untouched."""
+        reads = self.reads or self.scalar_reads
+        writes = self.writes or self.scalar_writes
+        if self.reads or self.writes:
+            reads, writes = self.reads, self.writes
+        if reads and writes:
+            return "readwrite"
+        if reads:
+            return "read"
+        if writes:
+            return "write"
+        return None
+
+
+@dataclass
+class KernelAnalysis:
+    """Per-buffer inference for one kernel function."""
+
+    name: str
+    accesses: dict[str, InferredAccess] = field(default_factory=dict)
+
+    def pattern_of(self, buffer: str) -> PatternKind | None:
+        access = self.accesses.get(buffer)
+        return access.pattern if access is not None else None
+
+    def describe(self) -> str:
+        lines = [f"kernel {self.name}:"]
+        for name in sorted(self.accesses):
+            a = self.accesses[name]
+            pat = a.pattern.value if a.pattern else "unknown"
+            note = (
+                f" ({len(a.unknown_lines)} unanalyzable site(s))"
+                if a.unknown_lines
+                else ""
+            )
+            lines.append(f"  {name}: {pat} [{a.direction or 'untouched'}]{note}")
+        return "\n".join(lines)
+
+
+class _Evidence:
+    """Accumulated access sites for one buffer."""
+
+    def __init__(self, buffer: str) -> None:
+        self.buffer = buffer
+        self.kinds: dict[str, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.scalar_reads = 0
+        self.scalar_writes = 0
+        self.lines: set[int] = set()
+        self.unknown_lines: set[int] = set()
+
+    def record(self, kind: str | None, line: int, *, read: bool, write: bool) -> None:
+        if kind is None:
+            self.unknown_lines.add(line)
+            return
+        if kind == "scalar":
+            self.scalar_reads += int(read)
+            self.scalar_writes += int(write)
+            return
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        self.reads += int(read)
+        self.writes += int(write)
+        self.lines.add(line)
+
+    def finish(self) -> InferredAccess:
+        pattern = None
+        if self.kinds:
+            best = max(self.kinds, key=lambda k: _KIND_RANK[k])
+            pattern = _KIND_TO_PATTERN[best]
+        return InferredAccess(
+            buffer=self.buffer,
+            pattern=pattern,
+            reads=self.reads,
+            writes=self.writes,
+            scalar_reads=self.scalar_reads,
+            scalar_writes=self.scalar_writes,
+            lines=tuple(sorted(self.lines)),
+            unknown_lines=tuple(sorted(self.unknown_lines)),
+        )
+
+
+class _KernelPass:
+    """One function's walk: statement interpreter over taints."""
+
+    def __init__(self, fn: ast.FunctionDef, buffers: tuple[str, ...] | None) -> None:
+        self.fn = fn
+        params = tuple(a.arg for a in fn.args.args)
+        self.tracked = tuple(buffers) if buffers is not None else params
+        self.env: dict[str, _Taint] = {p: _CONST for p in params}
+        self.evidence: dict[str, _Evidence] = {}
+        self.loop_depth = 0
+        self.recording = True
+
+    # -- taint helpers -------------------------------------------------
+    def _combine(self, left: _Taint, right: _Taint, op: ast.operator) -> _Taint:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            winner = max(left, right, key=lambda t: _COMBINE_RANK[t.kind])
+            return winner
+        if isinstance(op, ast.Mult):
+            kinds = {left.kind, right.kind}
+            if kinds == {"const"}:
+                return _CONST
+            if kinds <= {"const", "affine"} and "affine" in kinds:
+                # i * k: constant (or loop-invariant) scale => strided.
+                return _STRIDED
+            if "data" in kinds:
+                return left if left.kind == "data" else right
+            return _OPAQUE
+        if isinstance(op, (ast.FloorDiv, ast.Mod)):
+            # a[i // 2] repeats lines, a[i % n] wraps: both keep the
+            # operand's locality class.
+            return left
+        return _OPAQUE
+
+    def _eval(self, node: ast.expr) -> _Taint:
+        """Taint of an expression; records buffer loads found inside it."""
+        if isinstance(node, ast.Constant):
+            return _CONST
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _CONST)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left)
+            right = self._eval(node.right)
+            return self._combine(left, right, node.op)
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comp in node.comparators:
+                self._eval(comp)
+            return _CONST
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value)
+            return _CONST
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, read=True, write=False)
+        if isinstance(node, ast.Call):
+            func = node.func
+            reductions = ("len", "min", "max", "int", "abs")
+            if isinstance(func, ast.Name) and func.id in reductions:
+                for arg in node.args:
+                    # len(a) etc. are loop-invariant reductions, not
+                    # element accesses — do not record a load.
+                    if not isinstance(arg, ast.Name):
+                        self._eval(arg)
+                return _CONST
+            for arg in node.args:
+                self._eval(arg)
+            return _Taint("opaque")
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self._eval(elt)
+            return _OPAQUE
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            left = self._eval(node.body)
+            right = self._eval(node.orelse)
+            return max(left, right, key=lambda t: _COMBINE_RANK[t.kind])
+        if isinstance(node, ast.Attribute):
+            self._eval(node.value)
+            return _OPAQUE
+        return _OPAQUE
+
+    # -- access recording ----------------------------------------------
+    def _classify_index(self, taint: _Taint, base: str) -> str | None:
+        if taint.kind == "const":
+            return "scalar"
+        if taint.kind in ("affine", "seq"):
+            return "stream"
+        if taint.kind == "strided":
+            return "strided"
+        if taint.kind == "randseg":
+            return "random"
+        if taint.kind == "data":
+            return "chase" if taint.source == base else "random"
+        return None   # opaque / call: the documented false negative
+
+    def _record(
+        self, base: str, kind: str | None, line: int, *, read: bool, write: bool
+    ) -> None:
+        if not self.recording or base not in self.tracked:
+            return
+        ev = self.evidence.get(base)
+        if ev is None:
+            ev = self.evidence[base] = _Evidence(base)
+        ev.record(kind, line, read=read, write=write)
+
+    def _eval_subscript(
+        self, node: ast.Subscript, *, read: bool, write: bool
+    ) -> _Taint:
+        base = node.value
+        index_taint = self._eval(node.slice)
+        if not isinstance(base, ast.Name):
+            # a.field[i], matrix[i][j]: analyze inward, give up on the base.
+            self._eval(base)
+            return _OPAQUE
+        name = base.id
+        kind = self._classify_index(index_taint, name)
+        self._record(name, kind, node.lineno, read=read, write=write)
+        if name in self.tracked:
+            return _Taint("data", name)
+        return _OPAQUE
+
+    # -- statements ----------------------------------------------------
+    def _is_self_increment(self, target: str, value: ast.expr) -> bool:
+        """``x = x + 1`` (or ``x = 1 + x``) with a constant int step."""
+        if not isinstance(value, ast.BinOp):
+            return False
+        if not isinstance(value.op, (ast.Add, ast.Sub)):
+            return False
+        left, right = value.left, value.right
+        if isinstance(left, ast.Name) and left.id == target:
+            return isinstance(right, ast.Constant) and isinstance(right.value, int)
+        if isinstance(right, ast.Name) and right.id == target:
+            return isinstance(left, ast.Constant) and isinstance(left.value, int)
+        return False
+
+    def _assign_name(self, name: str, value: ast.expr) -> None:
+        # Chained self-reference through an attribute: node = node.next —
+        # the linked-list walk a subscript can't express.
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == name
+            and self.loop_depth > 0
+        ):
+            # Attribute the chase to the buffer the cursor was loaded
+            # from (node = nodes[head]; node = node.next), or to the
+            # cursor itself when it is the tracked buffer.
+            buffer = name
+            if name not in self.tracked:
+                current = self.env.get(name)
+                if (
+                    current is not None
+                    and current.kind == "data"
+                    and current.source in self.tracked
+                ):
+                    buffer = current.source
+            self._record(buffer, "chase", value.lineno, read=True, write=False)
+            self.env[name] = _Taint("data", buffer)
+            return
+        if self.loop_depth > 0 and self._is_self_increment(name, value):
+            # A monotonic counter is a unit-stride induction variable.
+            self.env[name] = _AFFINE
+            return
+        self.env[name] = self._eval(value)
+
+    def _do_assign_target(self, target: ast.expr, value: ast.expr) -> None:
+        """Handle one assignment target; the RHS is evaluated exactly once
+        per statement (by the caller for non-Name targets, here for Names)."""
+        if isinstance(target, ast.Name):
+            self._assign_name(target.id, value)
+        elif isinstance(target, ast.Subscript):
+            self._eval_subscript(target, read=False, write=True)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    self.env[elt.id] = _OPAQUE
+                elif isinstance(elt, ast.Subscript):
+                    self._eval_subscript(elt, read=False, write=True)
+
+    def _range_target_taint(self, call: ast.Call) -> _Taint:
+        args = call.args
+        step_taint = None
+        if len(args) == 3:
+            step = args[2]
+            if isinstance(step, ast.Constant) and isinstance(step.value, int):
+                step_taint = _AFFINE if abs(step.value) == 1 else _STRIDED
+            else:
+                step_taint = _STRIDED if self._eval(step).kind == "const" else _OPAQUE
+        # CSR row sweep: range(S[i], S[i + 1]) with i affine — consecutive
+        # segments tile S's companion arrays, so the inner variable is
+        # globally sequential.
+        bounds = args[:2] if len(args) >= 2 else args
+        if (
+            len(args) >= 2
+            and isinstance(args[0], ast.Subscript)
+            and isinstance(args[1], ast.Subscript)
+            and isinstance(args[0].value, ast.Name)
+            and isinstance(args[1].value, ast.Name)
+            and args[0].value.id == args[1].value.id
+            and ast.unparse(args[1].slice) == f"{ast.unparse(args[0].slice)} + 1"
+        ):
+            lo_taint = self._eval(args[0].slice)
+            # Record the two bound loads with their real classification.
+            for bound in (args[0], args[1]):
+                self._eval(bound)
+            if lo_taint.kind == "affine":
+                return _Taint("seq") if step_taint is None else step_taint
+            return _Taint("randseg")
+        taints = [self._eval(b) for b in bounds]
+        kinds = {t.kind for t in taints}
+        if kinds <= {"const", "affine", "strided"}:
+            return step_taint or _AFFINE
+        if kinds & {"data", "seq", "randseg"}:
+            # Segment bounds computed from loaded values: short runs at
+            # data-dependent offsets — line-granular random.
+            return _Taint("randseg")
+        return _OPAQUE
+
+    def _walk_loop_body(self, body: list[ast.stmt]) -> None:
+        self.loop_depth += 1
+        try:
+            # Fixpoint pass: propagate loop-carried taints (node =
+            # table[node]) without recording, then record once.
+            was_recording = self.recording
+            self.recording = False
+            self._walk(body)
+            self.recording = was_recording
+            self._walk(body)
+        finally:
+            self.loop_depth -= 1
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            if any(not isinstance(t, ast.Name) for t in stmt.targets):
+                self._eval(stmt.value)
+            for target in stmt.targets:
+                self._do_assign_target(target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                if (
+                    self.loop_depth > 0
+                    and isinstance(stmt.op, (ast.Add, ast.Sub))
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, int)
+                ):
+                    self._eval(stmt.value)
+                    self.env[name] = _AFFINE
+                else:
+                    self.env[name] = self._combine(
+                        self.env.get(name, _CONST), self._eval(stmt.value), stmt.op
+                    )
+            elif isinstance(stmt.target, ast.Subscript):
+                self._eval(stmt.value)
+                self._eval_subscript(stmt.target, read=True, write=True)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self._assign_name(stmt.target.id, stmt.value)
+                elif isinstance(stmt.target, ast.Subscript):
+                    self._eval(stmt.value)
+                    self._eval_subscript(stmt.target, read=False, write=True)
+        elif isinstance(stmt, ast.For):
+            iter_node = stmt.iter
+            if (
+                isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id == "range"
+            ):
+                target_taint = self._range_target_taint(iter_node)
+            elif isinstance(iter_node, ast.Name):
+                # for x in buf: a linear sweep loading elements of buf.
+                src = iter_node.id
+                if src in self.tracked:
+                    self._record(
+                        src, "stream", iter_node.lineno, read=True, write=False
+                    )
+                    target_taint = _Taint("data", src)
+                else:
+                    target_taint = self.env.get(src, _OPAQUE)
+            else:
+                self._eval(iter_node)
+                target_taint = _OPAQUE
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = target_taint
+            self._walk_loop_body(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._walk_loop_body(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self._eval(stmt.value)
+        elif isinstance(stmt, (ast.With,)):
+            self._walk(stmt.body)
+        # pass / break / continue / imports: nothing to do
+
+    def _walk(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def run(self) -> KernelAnalysis:
+        self._walk(self.fn.body)
+        analysis = KernelAnalysis(name=self.fn.name)
+        for name in self.tracked:
+            ev = self.evidence.get(name)
+            if ev is not None:
+                analysis.accesses[name] = ev.finish()
+        return analysis
+
+
+def analyze_source(
+    source: str,
+    *,
+    kernel: str | None = None,
+    buffers: tuple[str, ...] | None = None,
+    filename: str = "<source>",
+) -> KernelAnalysis | dict[str, KernelAnalysis]:
+    """Analyze kernel function(s) in a source snippet.
+
+    ``kernel`` selects one function by name and returns its
+    :class:`KernelAnalysis`; without it, every top-level function is
+    analyzed and a ``{name: analysis}`` dict is returned.  ``buffers``
+    restricts which names are tracked (default: the function's
+    parameters).
+    """
+    try:
+        tree = ast.parse(textwrap.dedent(source), filename=filename)
+    except SyntaxError as exc:
+        raise ReproError(f"cannot parse kernel source: {exc}") from exc
+    functions = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    if not functions:
+        raise ReproError(f"no function definitions in {filename}")
+    if kernel is not None:
+        if kernel not in functions:
+            raise ReproError(
+                f"no kernel {kernel!r} in {filename} "
+                f"(found: {sorted(functions)})"
+            )
+        return _KernelPass(functions[kernel], buffers).run()
+    return {
+        name: _KernelPass(fn, buffers).run() for name, fn in functions.items()
+    }
+
+
+def analyze_function(func, *, buffers: tuple[str, ...] | None = None) -> KernelAnalysis:
+    """Analyze a live Python function (via its source)."""
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise ReproError(f"cannot fetch source of {func!r}: {exc}") from exc
+    tree = ast.parse(textwrap.dedent(source))
+    try:
+        ast.increment_lineno(tree, func.__code__.co_firstlineno - 1)
+    except AttributeError:
+        pass
+    fn = next(
+        node for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return _KernelPass(fn, buffers).run()

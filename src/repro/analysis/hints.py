@@ -1,0 +1,191 @@
+"""From inference to hints: descriptors, attribute annotations, placements.
+
+The output side of the static pass.  Given a
+:class:`~repro.analysis.astpass.KernelAnalysis` (merged to buffer space),
+this module emits exactly what the rest of the stack already consumes:
+
+* **attribute annotations** (:func:`hints_for`) — per-buffer criterion
+  names, direction-qualified via
+  :func:`repro.sensitivity.attribute_for_pattern`, ready for
+  ``mem_alloc`` (the annotation a compiler would insert);
+* **access descriptors** (:func:`phase_from_analysis`) — synthetic
+  :class:`~repro.sim.access.BufferAccess`/:class:`~repro.sim.access.KernelPhase`
+  records that feed ``classify_kernel`` and ``sensitivity.search``
+  unchanged, so a kernel can be searched without a profiling run;
+* **placements** (:func:`hint_placement`) — the result of actually
+  allocating every buffer through the heterogeneous allocator under the
+  static hints, for scoring against the search optimum.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..sensitivity.staticanalysis import attribute_for_pattern
+from ..sim.access import BufferAccess, KernelPhase, Placement
+from .astpass import InferredAccess, KernelAnalysis
+from .kernels import merge_params
+
+__all__ = [
+    "hints_for",
+    "access_from_inferred",
+    "phase_from_analysis",
+    "hint_placement",
+]
+
+
+def _merged(
+    analysis: KernelAnalysis | dict[str, InferredAccess],
+    param_buffers: dict[str, str] | None,
+) -> dict[str, InferredAccess]:
+    if isinstance(analysis, KernelAnalysis):
+        return merge_params(analysis, param_buffers)
+    return analysis
+
+
+def hints_for(
+    analysis: KernelAnalysis | dict[str, InferredAccess],
+    *,
+    param_buffers: dict[str, str] | None = None,
+    directional: bool = True,
+    default: str = "Capacity",
+) -> dict[str, str]:
+    """Per-buffer allocation criteria from inferred patterns.
+
+    Buffers the pass could not classify (dynamic indexing, scalar-only
+    touches) get ``default`` — ``Capacity``, the attribute every platform
+    provides, i.e. "no hint".  With ``directional=True`` single-direction
+    buffers get the qualified attribute (``ReadBandwidth``, ...), served
+    through the allocator's fallback chain on platforms without values
+    for it.
+    """
+    out: dict[str, str] = {}
+    for name, inferred in _merged(analysis, param_buffers).items():
+        if inferred.pattern is None:
+            out[name] = default
+        elif directional:
+            reads = inferred.reads or inferred.scalar_reads
+            writes = inferred.writes or inferred.scalar_writes
+            if inferred.reads or inferred.writes:
+                reads, writes = inferred.reads, inferred.writes
+            out[name] = attribute_for_pattern(
+                inferred.pattern, reads=reads, writes=writes
+            )
+        else:
+            out[name] = attribute_for_pattern(inferred.pattern)
+    return out
+
+
+def access_from_inferred(
+    inferred: InferredAccess,
+    working_set: int,
+    *,
+    traffic_scale: float = 1.0,
+) -> BufferAccess:
+    """A synthetic descriptor for one inferred buffer.
+
+    Static analysis sees access *sites*, not byte counts; the descriptor
+    models each loop site as one sweep over the working set
+    (``bytes = sites * working_set * traffic_scale``), which preserves
+    the relative traffic shares ``classify_kernel`` thresholds on and
+    gives the placement search a pattern-faithful workload.
+    """
+    if inferred.pattern is None:
+        raise ReproError(
+            f"buffer {inferred.buffer!r} has no inferred pattern; "
+            "cannot emit a descriptor"
+        )
+    reads = inferred.reads or (
+        1 if inferred.scalar_reads and not inferred.writes else 0
+    )
+    writes = inferred.writes or (
+        1 if inferred.scalar_writes and not inferred.reads else 0
+    )
+    if reads == 0 and writes == 0:
+        reads = 1
+    return BufferAccess(
+        buffer=inferred.buffer,
+        pattern=inferred.pattern,
+        bytes_read=reads * working_set * traffic_scale,
+        bytes_written=writes * working_set * traffic_scale,
+        working_set=working_set,
+        granularity=8,
+    )
+
+
+def phase_from_analysis(
+    analysis: KernelAnalysis | dict[str, InferredAccess],
+    buffer_sizes: dict[str, int],
+    *,
+    param_buffers: dict[str, str] | None = None,
+    name: str = "static",
+    threads: int = 1,
+    traffic_scale: float = 1.0,
+) -> KernelPhase:
+    """A priceable phase built purely from source-level inference.
+
+    Buffers without an inferred pattern are omitted (and absent buffers
+    in ``buffer_sizes`` raise): the phase only claims what the pass can
+    defend.  The result feeds ``classify_kernel`` and
+    ``sensitivity.search`` exactly like a profiled phase.
+    """
+    merged = _merged(analysis, param_buffers)
+    accesses = []
+    for buffer_name in sorted(merged):
+        inferred = merged[buffer_name]
+        if inferred.pattern is None:
+            continue
+        if buffer_name not in buffer_sizes:
+            raise ReproError(f"no size for inferred buffer {buffer_name!r}")
+        accesses.append(
+            access_from_inferred(
+                inferred, buffer_sizes[buffer_name], traffic_scale=traffic_scale
+            )
+        )
+    if not accesses:
+        raise ReproError(f"kernel {name!r}: nothing classifiable to price")
+    return KernelPhase(name=name, threads=threads, accesses=tuple(accesses))
+
+
+def hint_placement(
+    allocator,
+    hints: dict[str, str],
+    buffer_sizes: dict[str, int],
+    initiator,
+    *,
+    name_prefix: str = "hint_",
+    keep: bool = False,
+) -> Placement:
+    """Allocate every hinted buffer through ``mem_alloc`` and return the
+    resulting placement.
+
+    This is the zero-profiling path end to end: source -> hints ->
+    allocator -> placement.  Buffers are freed before returning unless
+    ``keep=True`` (the placement snapshot stays valid either way).
+    Allocation order is by descending size, the order a real program's
+    big arrays hit the allocator's capacity walk hardest.
+    """
+    missing = sorted(set(hints) - set(buffer_sizes))
+    if missing:
+        raise ReproError(f"no sizes for hinted buffers: {missing}")
+    order = sorted(hints, key=lambda b: (-buffer_sizes[b], b))
+    buffers = allocator.mem_alloc_many(
+        [
+            {
+                "size": buffer_sizes[b],
+                "attribute": hints[b],
+                "initiator": initiator,
+                "name": f"{name_prefix}{b}",
+            }
+            for b in order
+        ]
+    )
+    placement = Placement(
+        {
+            b: buf.placement_fractions()
+            for b, buf in zip(order, buffers)
+        }
+    )
+    if not keep:
+        for buf in buffers:
+            allocator.free(buf)
+    return placement

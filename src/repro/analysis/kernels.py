@@ -1,0 +1,161 @@
+"""Registry binding app kernel *sources* to their declared descriptors.
+
+Each bundled application ships a scalar reference kernel (the analyzable
+source) next to the :class:`~repro.sim.access.BufferAccess` descriptors
+its traffic model declares.  An :class:`AppKernel` holds both plus the
+parameter-to-buffer mapping, so the static pass and ``repro-lint`` can
+diff inference against declaration buffer by buffer.
+
+Parameters absent from ``param_buffers`` are auxiliary arrays the traffic
+model folds into another buffer (e.g. SpMV's ``offsets``); they are
+analyzed but excluded from the descriptor diff.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..sim.access import BufferAccess, PatternKind
+from .astpass import InferredAccess, KernelAnalysis, analyze_function
+
+__all__ = ["AppKernel", "app_kernels", "merge_params"]
+
+#: Evidence precedence when several kernel parameters alias one declared
+#: buffer: dependence beats indirection beats stride beats streaming.
+_PATTERN_RANK = {
+    PatternKind.STREAM: 1,
+    PatternKind.STRIDED: 2,
+    PatternKind.RANDOM: 3,
+    PatternKind.POINTER_CHASE: 4,
+}
+
+
+def merge_params(
+    analysis: KernelAnalysis,
+    param_buffers: dict[str, str] | None = None,
+) -> dict[str, InferredAccess]:
+    """Fold a parameter-space analysis into declared-buffer space.
+
+    ``param_buffers`` maps kernel parameter names to declared buffer
+    names; several parameters may alias one buffer (Graph500's
+    ``frontier``/``next_frontier`` are the two halves of the frontier
+    queue).  ``None`` maps every analyzed parameter to itself.
+    """
+    if param_buffers is None:
+        param_buffers = {name: name for name in analysis.accesses}
+    merged: dict[str, InferredAccess] = {}
+    for param, inferred in analysis.accesses.items():
+        buffer = param_buffers.get(param)
+        if buffer is None:
+            continue
+        prior = merged.get(buffer)
+        if prior is None:
+            merged[buffer] = InferredAccess(
+                buffer=buffer,
+                pattern=inferred.pattern,
+                reads=inferred.reads,
+                writes=inferred.writes,
+                scalar_reads=inferred.scalar_reads,
+                scalar_writes=inferred.scalar_writes,
+                lines=inferred.lines,
+                unknown_lines=inferred.unknown_lines,
+            )
+            continue
+        pattern = prior.pattern
+        if inferred.pattern is not None and (
+            pattern is None
+            or _PATTERN_RANK[inferred.pattern] > _PATTERN_RANK[pattern]
+        ):
+            pattern = inferred.pattern
+        merged[buffer] = InferredAccess(
+            buffer=buffer,
+            pattern=pattern,
+            reads=prior.reads + inferred.reads,
+            writes=prior.writes + inferred.writes,
+            scalar_reads=prior.scalar_reads + inferred.scalar_reads,
+            scalar_writes=prior.scalar_writes + inferred.scalar_writes,
+            lines=tuple(sorted({*prior.lines, *inferred.lines})),
+            unknown_lines=tuple(
+                sorted({*prior.unknown_lines, *inferred.unknown_lines})
+            ),
+        )
+    return merged
+
+
+@dataclass(frozen=True)
+class AppKernel:
+    """One app's kernel source + declared descriptors."""
+
+    name: str
+    func: Callable
+    param_buffers: dict[str, str]
+    declared: tuple[BufferAccess, ...]
+
+    @property
+    def module(self) -> str:
+        return self.func.__module__
+
+    @property
+    def source_file(self) -> str:
+        return getattr(self.func.__code__, "co_filename", "<unknown>")
+
+    def analyze(self) -> KernelAnalysis:
+        """Parameter-space analysis of the kernel source."""
+        return analyze_function(self.func)
+
+    def inferred(self) -> dict[str, InferredAccess]:
+        """Inference merged into declared-buffer space."""
+        return merge_params(self.analyze(), self.param_buffers)
+
+    def declared_by_buffer(self) -> dict[str, BufferAccess]:
+        return {a.buffer: a for a in self.declared}
+
+
+def app_kernels() -> tuple[AppKernel, ...]:
+    """The bundled apps' kernels, source and declaration side by side."""
+    # Imported lazily: apps pull in the allocator/engine stack, which the
+    # analyzer itself does not need.
+    from ..apps.graph500 import Graph500Config, TrafficModel, bfs_kernel
+    from ..apps.pointer_chase_app import chase_accesses, chase_kernel
+    from ..apps.spmv_app import SyntheticMatrix, spmv_kernel, spmv_phases
+    from ..apps.stream_app import triad_accesses, triad_kernel
+
+    g500_model = TrafficModel.analytic(20)
+    g500_cfg = Graph500Config(scale=20, nroots=1, threads=16)
+    (g500_phase,) = g500_model.phases(g500_cfg)
+    spmv_matrix = SyntheticMatrix(num_vertices=1 << 16, num_directed_edges=1 << 20)
+    (spmv_phase,) = spmv_phases(spmv_matrix, threads=1)
+
+    return (
+        AppKernel(
+            name="stream_triad",
+            func=triad_kernel,
+            param_buffers={"a": "a", "b": "b", "c": "c"},
+            declared=triad_accesses(8 << 20),
+        ),
+        AppKernel(
+            name="spmv",
+            func=spmv_kernel,
+            param_buffers={"vals": "vals", "cols": "cols", "x": "x", "y": "y"},
+            declared=spmv_phase.accesses,
+        ),
+        AppKernel(
+            name="pointer_chase",
+            func=chase_kernel,
+            param_buffers={"table": "table"},
+            declared=chase_accesses(1 << 20, 1 << 10),
+        ),
+        AppKernel(
+            name="graph500_bfs",
+            func=bfs_kernel,
+            param_buffers={
+                "offsets": "csr_offsets",
+                "targets": "csr_targets",
+                "parent": "parent",
+                "frontier": "frontier",
+                "next_frontier": "frontier",
+            },
+            declared=g500_phase.accesses,
+        ),
+    )

@@ -1,0 +1,442 @@
+"""repro-lint: static validation of kernels, plans, and allocation sites.
+
+Three families of checks, none of which runs the simulator:
+
+* **Kernel rules (A…)** diff what :mod:`repro.analysis.astpass` infers
+  from each app's reference kernel against the descriptors the app's
+  traffic model declares — a mismatch means either the kernel or its
+  model drifted.
+* **Plan rules (P…)** validate a placement-plan JSON (buffers, node
+  assignment, attribute annotations, fallback overrides) against a
+  platform: unknown names, capacity-infeasible assignments, broken
+  fallback chains.
+* **Source rules (S…)** scan ``.py`` files for ``mem_alloc`` calls whose
+  string-literal attribute is not registered on the target platform.
+
+Each finding is a :class:`LintIssue` with a stable rule id, so CI can
+gate on errors while warnings document known false negatives.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..alloc.fallback import attribute_fallback_chain
+from ..errors import ReproError, UnknownAttributeError
+
+__all__ = [
+    "LintIssue",
+    "LintReport",
+    "RULES",
+    "rule_catalog",
+    "lint_app_kernels",
+    "lint_plan",
+    "lint_plan_file",
+    "lint_source",
+    "lint_paths",
+]
+
+#: rule id -> (severity, one-line description).
+RULES: dict[str, tuple[str, str]] = {
+    "A001": (
+        "error",
+        "pattern-mismatch: inferred access pattern differs from the "
+        "declared descriptor",
+    ),
+    "A002": (
+        "warning",
+        "direction-mismatch: inferred read/write direction differs from "
+        "the declared descriptor",
+    ),
+    "A003": (
+        "error",
+        "undeclared-buffer: buffer present on only one side of the "
+        "inference/declaration diff",
+    ),
+    "A004": (
+        "warning",
+        "unknown-pattern: the pass could not classify the buffer "
+        "(documented false negative)",
+    ),
+    "P001": (
+        "error",
+        "unknown-buffer: plan assignment/attribute names a buffer the "
+        "plan does not size",
+    ),
+    "P002": (
+        "error",
+        "unknown-node: plan assigns a buffer to a NUMA node the platform "
+        "does not have",
+    ),
+    "P003": (
+        "error",
+        "capacity-infeasible: bytes assigned to a node exceed its capacity",
+    ),
+    "P004": (
+        "error",
+        "unknown-attribute: plan annotates a buffer with an unregistered "
+        "attribute name",
+    ),
+    "P005": (
+        "error",
+        "broken-fallback-chain: no member of an attribute's fallback "
+        "chain has values on the platform",
+    ),
+    "S001": (
+        "error",
+        "unknown-attribute-literal: mem_alloc call passes an attribute "
+        "name the platform does not register",
+    ),
+}
+
+
+def rule_catalog() -> str:
+    """Human-readable rule table for ``repro-lint --list-rules``."""
+    lines = ["rule  severity  description"]
+    for rule_id, (severity, description) in sorted(RULES.items()):
+        lines.append(f"{rule_id}  {severity:8}  {description}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: where, which rule, what happened."""
+
+    rule: str
+    message: str
+    location: str = ""
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule][0]
+
+    def __str__(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        return f"{where}{self.rule} [{self.severity}] {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Accumulated findings from one lint run."""
+
+    issues: list[LintIssue] = field(default_factory=list)
+
+    def add(self, rule: str, message: str, location: str = "") -> None:
+        if rule not in RULES:
+            raise ReproError(f"unknown lint rule {rule!r}")
+        self.issues.append(LintIssue(rule=rule, message=message, location=location))
+
+    def extend(self, other: "LintReport") -> None:
+        self.issues.extend(other.issues)
+
+    @property
+    def errors(self) -> list[LintIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[LintIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing gating was found (warnings allowed)."""
+        return not self.errors
+
+    def render(self) -> str:
+        if not self.issues:
+            return "repro-lint: clean"
+        lines = [str(issue) for issue in self.issues]
+        lines.append(
+            f"repro-lint: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Kernel rules (A...): inference vs declaration
+
+
+def _declared_direction(access) -> str:
+    reads = access.bytes_read > 0
+    writes = access.bytes_written > 0
+    if reads and writes:
+        return "readwrite"
+    return "read" if reads else "write"
+
+
+def lint_app_kernels(kernels=None) -> LintReport:
+    """Diff every registered app kernel against its declared descriptors."""
+    from .kernels import app_kernels
+
+    report = LintReport()
+    for spec in kernels if kernels is not None else app_kernels():
+        where = f"{spec.name} ({Path(spec.source_file).name})"
+        inferred = spec.inferred()
+        declared = spec.declared_by_buffer()
+        for buffer in sorted(set(inferred) - set(declared)):
+            report.add(
+                "A003",
+                f"kernel touches buffer {buffer!r} but the traffic model "
+                "declares no descriptor for it",
+                where,
+            )
+        for buffer in sorted(set(declared) - set(inferred)):
+            report.add(
+                "A003",
+                f"traffic model declares buffer {buffer!r} but the kernel "
+                "source never touches it",
+                where,
+            )
+        for buffer in sorted(set(inferred) & set(declared)):
+            inf, dec = inferred[buffer], declared[buffer]
+            if inf.pattern is None:
+                report.add(
+                    "A004",
+                    f"buffer {buffer!r}: pattern not classifiable "
+                    f"(unanalyzable sites at lines {list(inf.unknown_lines)}); "
+                    f"declared {dec.pattern.value}",
+                    where,
+                )
+                continue
+            if inf.pattern is not dec.pattern:
+                report.add(
+                    "A001",
+                    f"buffer {buffer!r}: inferred {inf.pattern.value}, "
+                    f"declared {dec.pattern.value}",
+                    where,
+                )
+            inf_dir = inf.direction
+            dec_dir = _declared_direction(dec)
+            if inf_dir is not None and inf_dir != dec_dir:
+                report.add(
+                    "A002",
+                    f"buffer {buffer!r}: inferred direction {inf_dir}, "
+                    f"declared {dec_dir}",
+                    where,
+                )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Plan rules (P...): placement-plan JSON vs platform
+
+
+def _platform_stack(platform: str):
+    from .. import quick_setup
+
+    setup = quick_setup(platform)
+    return setup.machine, setup.memattrs
+
+
+def lint_plan(
+    plan: dict,
+    *,
+    platform: str | None = None,
+    location: str = "",
+    machine=None,
+    memattrs=None,
+) -> LintReport:
+    """Validate one placement plan without simulating it.
+
+    Plan schema (all sections optional except ``buffers``)::
+
+        {
+          "platform": "xeon-cascadelake-1lm",
+          "buffers": {"name": bytes, ...},
+          "assignment": {"name": node | {"node": fraction, ...}, ...},
+          "attributes": {"name": "Attribute", ...},
+          "fallback_overrides": {"Attribute": ["Other", ...], ...}
+        }
+    """
+    report = LintReport()
+    platform = plan.get("platform") or platform
+    if machine is None or memattrs is None:
+        if not platform:
+            report.add("P001", "plan names no platform and none was given", location)
+            return report
+        machine, memattrs = _platform_stack(platform)
+    nodes = {n.os_index: n for n in machine.numa_nodes()}
+
+    buffers = plan.get("buffers", {})
+    assignment = plan.get("assignment", {})
+    attributes = plan.get("attributes", {})
+    overrides = {
+        k: tuple(v) for k, v in plan.get("fallback_overrides", {}).items()
+    }
+
+    sections = (("assignment", assignment), ("attributes", attributes))
+    for section_name, section in sections:
+        for buffer in sorted(set(section) - set(buffers)):
+            report.add(
+                "P001",
+                f"{section_name} names buffer {buffer!r} not present in 'buffers'",
+                location,
+            )
+
+    # P002/P003: node existence and capacity feasibility.
+    per_node: dict[int, float] = {}
+    for buffer, target in sorted(assignment.items()):
+        if buffer not in buffers:
+            continue
+        size = buffers[buffer]
+        shares = target if isinstance(target, dict) else {target: 1.0}
+        for node_key, fraction in shares.items():
+            node_index = int(node_key)
+            if node_index not in nodes:
+                report.add(
+                    "P002",
+                    f"buffer {buffer!r} assigned to node {node_index}, but "
+                    f"{platform} only has nodes {sorted(nodes)}",
+                    location,
+                )
+                continue
+            per_node[node_index] = per_node.get(node_index, 0.0) + size * fraction
+    for node_index, assigned in sorted(per_node.items()):
+        capacity = nodes[node_index].capacity
+        if assigned > capacity:
+            report.add(
+                "P003",
+                f"node {node_index}: {assigned / 1e9:.2f} GB assigned exceeds "
+                f"{capacity / 1e9:.2f} GB capacity",
+                location,
+            )
+
+    # P004/P005: attribute names and their fallback chains.
+    for attr_name in sorted(
+        {*(attributes[b] for b in attributes if b in buffers), *overrides}
+    ):
+        try:
+            memattrs.get_by_name(attr_name)
+        except UnknownAttributeError:
+            report.add(
+                "P004",
+                f"attribute {attr_name!r} is not registered on {platform}",
+                location,
+            )
+            continue
+        chain = attribute_fallback_chain(
+            memattrs, attr_name, overrides=overrides or None
+        )
+        if not any(
+            attr.name == "Capacity" or memattrs.has_values(attr) for attr in chain
+        ):
+            report.add(
+                "P005",
+                f"attribute {attr_name!r}: no member of fallback chain "
+                f"{[a.name for a in chain]} has values on {platform}",
+                location,
+            )
+    for attr_name, chain_names in sorted(overrides.items()):
+        for name in chain_names:
+            try:
+                memattrs.get_by_name(name)
+            except UnknownAttributeError:
+                report.add(
+                    "P005",
+                    f"fallback override for {attr_name!r} references unknown "
+                    f"attribute {name!r} (entry would be silently skipped)",
+                    location,
+                )
+    return report
+
+
+def lint_plan_file(path: str | Path, *, platform: str | None = None) -> LintReport:
+    path = Path(path)
+    try:
+        plan = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        report = LintReport()
+        report.add("P001", f"unreadable plan: {exc}", str(path))
+        return report
+    if not isinstance(plan, dict):
+        report = LintReport()
+        report.add("P001", "plan JSON must be an object", str(path))
+        return report
+    return lint_plan(plan, platform=platform, location=str(path))
+
+
+# ----------------------------------------------------------------------
+# Source rules (S...): attribute literals at allocation sites
+
+_ALLOC_CALLS = {"mem_alloc"}
+
+
+def _attribute_literals(tree: ast.AST):
+    """Yield (lineno, name) for string-literal attributes at mem_alloc sites."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        func_name = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name)
+            else None
+        )
+        if func_name not in _ALLOC_CALLS:
+            continue
+        candidates = []
+        if len(node.args) >= 2:
+            candidates.append(node.args[1])
+        for kw in node.keywords:
+            if kw.arg == "attribute":
+                candidates.append(kw.value)
+        for arg in candidates:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                yield node.lineno, arg.value
+
+
+def lint_source(
+    path: str | Path,
+    *,
+    platform: str = "xeon-cascadelake-1lm",
+    memattrs=None,
+) -> LintReport:
+    """Validate attribute-name literals at ``mem_alloc`` call sites."""
+    path = Path(path)
+    report = LintReport()
+    if memattrs is None:
+        _, memattrs = _platform_stack(platform)
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        report.add("S001", f"unparseable source: {exc}", str(path))
+        return report
+    for lineno, name in _attribute_literals(tree):
+        try:
+            memattrs.get_by_name(name)
+        except UnknownAttributeError:
+            report.add(
+                "S001",
+                f"mem_alloc attribute {name!r} is not registered on the platform",
+                f"{path}:{lineno}",
+            )
+    return report
+
+
+def lint_paths(
+    paths,
+    *,
+    platform: str = "xeon-cascadelake-1lm",
+) -> LintReport:
+    """Lint files and directories: ``.json`` as plans, ``.py`` for S-rules."""
+    report = LintReport()
+    _, memattrs = _platform_stack(platform)
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+            files.extend(sorted(p.rglob("*.json")))
+        else:
+            files.append(p)
+    for f in files:
+        if f.suffix == ".json":
+            report.extend(lint_plan_file(f, platform=platform))
+        elif f.suffix == ".py":
+            report.extend(lint_source(f, platform=platform, memattrs=memattrs))
+        else:
+            report.add("P001", "not a .py or .json file", str(f))
+    return report

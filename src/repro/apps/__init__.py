@@ -12,19 +12,36 @@
 """
 
 from . import graph500
-from .stream_app import StreamApp, StreamAppResult
-from .pointer_chase_app import PointerChaseApp, PointerChaseResult
-from .spmv_app import SpmvApp, SpmvResult, SyntheticMatrix, spmv_phases, spmv_buffer_sizes
+from .stream_app import StreamApp, StreamAppResult, triad_accesses, triad_kernel
+from .pointer_chase_app import (
+    PointerChaseApp,
+    PointerChaseResult,
+    chase_accesses,
+    chase_kernel,
+)
+from .spmv_app import (
+    SpmvApp,
+    SpmvResult,
+    SyntheticMatrix,
+    spmv_phases,
+    spmv_buffer_sizes,
+    spmv_kernel,
+)
 
 __all__ = [
     "graph500",
     "StreamApp",
     "StreamAppResult",
+    "triad_accesses",
+    "triad_kernel",
     "PointerChaseApp",
     "PointerChaseResult",
+    "chase_accesses",
+    "chase_kernel",
     "SpmvApp",
     "SpmvResult",
     "SyntheticMatrix",
     "spmv_phases",
     "spmv_buffer_sizes",
+    "spmv_kernel",
 ]

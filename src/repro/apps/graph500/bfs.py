@@ -17,7 +17,31 @@ import numpy as np
 from ...errors import ValidationError
 from .csr import CSRGraph
 
-__all__ = ["BFSResult", "bfs", "bfs_hybrid", "validate_bfs"]
+__all__ = ["BFSResult", "bfs", "bfs_hybrid", "validate_bfs", "bfs_kernel"]
+
+
+def bfs_kernel(offsets, targets, parent, frontier, next_frontier, frontier_len, level):
+    """Scalar reference for one top-down BFS level.
+
+    This is the loop nest the vectorized :func:`bfs` implements and the
+    driver's traffic model *declares*; the static pass
+    (:mod:`repro.analysis`) re-derives the declaration from this source:
+    frontier reads/writes stream, offset lookups and adjacency gathers
+    are data-dependent (random), and the visited check reads and writes
+    ``parent`` at gathered indices.
+    """
+    out = 0
+    for fi in range(frontier_len):
+        v = frontier[fi]
+        start = offsets[v]
+        end = offsets[v + 1]
+        for e in range(start, end):
+            w = targets[e]
+            if parent[w] == -1:
+                parent[w] = v
+                next_frontier[out] = w
+                out += 1
+    return out
 
 
 @dataclass

@@ -15,7 +15,39 @@ from ..errors import AllocationError
 from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
 from ..sim.engine import SimEngine
 
-__all__ = ["PointerChaseResult", "PointerChaseApp"]
+__all__ = [
+    "PointerChaseResult",
+    "PointerChaseApp",
+    "chase_accesses",
+    "chase_kernel",
+]
+
+
+def chase_kernel(table, start, steps):
+    """Scalar reference chase — the analyzable source of the descriptor.
+
+    Each load feeds the next index: the loop-carried dependence the
+    static pass (:mod:`repro.analysis`) classifies as POINTER_CHASE.
+    """
+    node = start
+    for _ in range(steps):
+        node = table[node]
+    return node
+
+
+def chase_accesses(
+    table_bytes: int, accesses: int, *, name: str = "table"
+) -> tuple[BufferAccess, ...]:
+    """The chase's declared access descriptor: dependent 8-byte reads."""
+    return (
+        BufferAccess(
+            buffer=name,
+            pattern=PatternKind.POINTER_CHASE,
+            bytes_read=accesses * 8,
+            working_set=table_bytes,
+            granularity=8,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -64,15 +96,7 @@ class PointerChaseApp:
             phase = KernelPhase(
                 name="chase",
                 threads=threads,
-                accesses=(
-                    BufferAccess(
-                        buffer=name,
-                        pattern=PatternKind.POINTER_CHASE,
-                        bytes_read=accesses * 8,
-                        working_set=table_bytes,
-                        granularity=8,
-                    ),
-                ),
+                accesses=chase_accesses(table_bytes, accesses, name=name),
             )
             placement = Placement({name: buf.placement_fractions()})
             timing = self.engine.price_phase(

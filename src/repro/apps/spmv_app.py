@@ -32,6 +32,7 @@ __all__ = [
     "SyntheticMatrix",
     "spmv_phases",
     "spmv_buffer_sizes",
+    "spmv_kernel",
     "SPMV_BUFFERS",
 ]
 
@@ -52,6 +53,23 @@ class SyntheticMatrix:
     def __post_init__(self) -> None:
         if self.num_vertices < 1 or self.num_directed_edges < 1:
             raise AllocationError("matrix must have rows and nonzeros")
+
+def spmv_kernel(y, vals, cols, x, offsets, n):
+    """Scalar reference CSR SpMV — the analyzable source of the descriptors.
+
+    The static pass (:mod:`repro.analysis`) recognizes the CSR row sweep
+    (``range(offsets[i], offsets[i + 1])`` with affine ``i``): ``vals``
+    and ``cols`` are globally sequential streams, while ``x[cols[k]]`` is
+    the one-level-indirection gather.  ``offsets`` is an auxiliary array
+    the traffic model folds into ``cols`` (it moves ``n/nnz`` of the
+    bytes), so it carries no descriptor of its own.
+    """
+    for i in range(n):
+        acc = 0.0
+        for k in range(offsets[i], offsets[i + 1]):
+            acc += vals[k] * x[cols[k]]
+        y[i] = acc
+
 
 SPMV_BUFFERS = ("vals", "cols", "x", "y")
 

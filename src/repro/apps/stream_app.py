@@ -16,9 +16,54 @@ from ..errors import AllocationError, CapacityError
 from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
 from ..sim.engine import SimEngine
 
-__all__ = ["StreamAppResult", "StreamApp"]
+__all__ = ["StreamAppResult", "StreamApp", "triad_accesses", "triad_kernel"]
 
 _ARRAYS = ("a", "b", "c")
+
+
+def triad_kernel(a, b, c, scalar, n):
+    """Scalar reference Triad — the analyzable source of the descriptors.
+
+    This is the loop the access descriptors below *declare*; the static
+    pass (:mod:`repro.analysis`) re-derives the declaration from this
+    source, and ``repro-lint`` diffs the two.
+    """
+    for i in range(n):
+        a[i] = b[i] + scalar * c[i]
+
+
+def triad_accesses(
+    array_bytes: int, *, names: dict[str, str] | None = None
+) -> tuple[BufferAccess, ...]:
+    """The Triad loop's declared per-array access descriptors.
+
+    ``a`` is the write-only stream, ``b``/``c`` the read streams.
+    ``names`` maps the canonical array names to buffer names.
+    """
+    names = names or {arr: arr for arr in _ARRAYS}
+    return (
+        BufferAccess(
+            buffer=names["a"],
+            pattern=PatternKind.STREAM,
+            bytes_written=array_bytes,
+            working_set=array_bytes,
+            granularity=8,
+        ),
+        BufferAccess(
+            buffer=names["b"],
+            pattern=PatternKind.STREAM,
+            bytes_read=array_bytes,
+            working_set=array_bytes,
+            granularity=8,
+        ),
+        BufferAccess(
+            buffer=names["c"],
+            pattern=PatternKind.STREAM,
+            bytes_read=array_bytes,
+            working_set=array_bytes,
+            granularity=8,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -97,29 +142,7 @@ class StreamApp:
             phase = KernelPhase(
                 name="triad",
                 threads=threads,
-                accesses=(
-                    BufferAccess(
-                        buffer=names["a"],
-                        pattern=PatternKind.STREAM,
-                        bytes_written=array_bytes,
-                        working_set=array_bytes,
-                        granularity=8,
-                    ),
-                    BufferAccess(
-                        buffer=names["b"],
-                        pattern=PatternKind.STREAM,
-                        bytes_read=array_bytes,
-                        working_set=array_bytes,
-                        granularity=8,
-                    ),
-                    BufferAccess(
-                        buffer=names["c"],
-                        pattern=PatternKind.STREAM,
-                        bytes_read=array_bytes,
-                        working_set=array_bytes,
-                        granularity=8,
-                    ),
-                ),
+                accesses=triad_accesses(array_bytes, names=names),
             )
             placement = Placement(
                 {names[arr]: buffers[arr].placement_fractions() for arr in _ARRAYS}

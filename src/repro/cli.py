@@ -28,7 +28,14 @@ from .hw import PLATFORM_REGISTRY, get_platform
 from .sim import SimEngine
 from .topology import build_topology, render_lstopo
 
-__all__ = ["main", "build_parser", "search_main", "build_search_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "search_main",
+    "build_search_parser",
+    "lint_main",
+    "build_lint_parser",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -216,6 +223,53 @@ def search_main(argv: list[str] | None = None) -> int:
     print()
     print(result.stats.report())
     return 0
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static validation: diff app kernels against their "
+        "declared descriptors, lint placement-plan JSON files, and check "
+        "attribute literals at mem_alloc call sites — without simulating",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (.json as plans, .py for "
+        "allocation sites); default: the bundled app kernels only",
+    )
+    parser.add_argument(
+        "--apps",
+        action="store_true",
+        help="lint the bundled app kernels (inference vs declaration)",
+    )
+    parser.add_argument(
+        "--platform",
+        default="xeon-cascadelake-1lm",
+        choices=sorted(PLATFORM_REGISTRY),
+        help="platform to validate attribute names and plans against "
+        "(plans naming their own platform keep it)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    return parser
+
+
+def lint_main(argv: list[str] | None = None) -> int:
+    from .analysis.lint import LintReport, lint_app_kernels, lint_paths, rule_catalog
+
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        print(rule_catalog())
+        return 0
+    report = LintReport()
+    if args.apps or not args.paths:
+        report.extend(lint_app_kernels())
+    if args.paths:
+        report.extend(lint_paths(args.paths, platform=args.platform))
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

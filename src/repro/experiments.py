@@ -190,8 +190,14 @@ def search(
     workers: int = 1,
     budget: int | None = None,
     per_level: bool = False,
+    hints: str = "none",
 ) -> str:
-    """§V-A oracle: the branch-and-bound placement search on Graph500."""
+    """§V-A oracle: the branch-and-bound placement search on Graph500.
+
+    ``hints="static"`` additionally scores the zero-profiling path: the
+    placement the AST pass's hints produce through ``mem_alloc``, priced
+    on the same phases and compared against the search optimum.
+    """
     setup = quick_setup(platform)
     model = TrafficModel.analytic(scale)
     cfg = Graph500Config(scale=scale, nroots=1, threads=16)
@@ -219,6 +225,25 @@ def search(
         lines.append(f"{row} | {c.seconds * 1e3:>8.2f}ms")
     lines.append("")
     lines.append(result.stats.report())
+    if hints == "static":
+        from .analysis import app_kernels, hint_placement, hints_for
+
+        (spec,) = [k for k in app_kernels() if k.name == "graph500_bfs"]
+        static_hints = hints_for(spec.analyze(), param_buffers=spec.param_buffers)
+        placement = hint_placement(setup.allocator, static_hints, sizes, 0)
+        seconds = setup.engine.price_run(phases, placement, pus=_XEON_PUS).seconds
+        best = result.candidates[0].seconds
+        lines.append("")
+        lines.append("static hints (source -> mem_alloc, no profiling):")
+        for buffer in sorted(static_hints):
+            where = ", ".join(
+                f"node{n}:{f:.0%}" for n, f in sorted(placement.of(buffer).items())
+            )
+            lines.append(f"  {buffer:>12}: {static_hints[buffer]:<15} -> {where}")
+        lines.append(
+            f"  static-hint time {seconds * 1e3:.2f}ms vs optimum "
+            f"{best * 1e3:.2f}ms ({seconds / best:.3f}x)"
+        )
     return "\n".join(lines)
 
 
@@ -281,6 +306,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="search over per-BFS-level phases instead of the folded phase",
     )
+    group.add_argument(
+        "--search-hints",
+        choices=("none", "static"),
+        default="none",
+        help="also score the static-analysis hint placement against the "
+        "search optimum",
+    )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if "all" in args.artifacts else args.artifacts
     for name in names:
@@ -295,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
                     workers=args.search_workers,
                     budget=args.search_budget,
                     per_level=args.search_per_level,
+                    hints=args.search_hints,
                 )
             )
         else:

@@ -7,6 +7,10 @@ indirection-heavy kernels as latency sensitive, then concludes compilers
 generator the paper envisions: classify what a kernel *does* to each
 buffer — from its access descriptor or a short synthetic trace — and emit
 the attribute annotation a compiler would insert before each allocation.
+
+The actual compiler front-end — inference of the descriptors from kernel
+*source* — lives in :mod:`repro.analysis`; this module is the back-end
+both share: pattern -> attribute.
 """
 
 from __future__ import annotations
@@ -17,15 +21,38 @@ from ..sim.trace import classify_trace, synth_trace
 
 __all__ = ["attribute_for_pattern", "classify_access", "classify_kernel"]
 
+_BASE_ATTRIBUTE = {
+    PatternKind.STREAM: "Bandwidth",
+    PatternKind.STRIDED: "Bandwidth",
+    PatternKind.RANDOM: "Latency",
+    PatternKind.POINTER_CHASE: "Latency",
+}
 
-def attribute_for_pattern(pattern: PatternKind) -> str:
-    """The allocation criterion a given access pattern wants."""
-    return {
-        PatternKind.STREAM: "Bandwidth",
-        PatternKind.STRIDED: "Bandwidth",
-        PatternKind.RANDOM: "Latency",
-        PatternKind.POINTER_CHASE: "Latency",
-    }[pattern]
+
+def attribute_for_pattern(
+    pattern: PatternKind,
+    *,
+    reads: float = 0.0,
+    writes: float = 0.0,
+) -> str:
+    """The allocation criterion a given access pattern wants.
+
+    When the access *direction* is known — exactly one of ``reads`` /
+    ``writes`` is positive — the qualified attribute is returned
+    (``ReadBandwidth`` for a read-only stream, ``WriteLatency`` for a
+    write-only scatter, ...).  Platforms without values for the qualified
+    attribute serve it through the allocator's fallback chain
+    (:data:`repro.alloc.DEFAULT_ATTRIBUTE_FALLBACK`), e.g.
+    ``WriteBandwidth -> Bandwidth`` — the §IV-B behaviour this layer
+    previously never exercised.  With both or neither direction known,
+    the unqualified attribute is returned, as before.
+    """
+    base = _BASE_ATTRIBUTE[pattern]
+    has_reads = reads > 0
+    has_writes = writes > 0
+    if has_reads == has_writes:
+        return base
+    return ("Read" if has_reads else "Write") + base
 
 
 def classify_access(
@@ -34,18 +61,26 @@ def classify_access(
     use_trace: bool = False,
     trace_length: int = 4096,
     seed: int = 0,
+    directional: bool = False,
 ) -> str:
     """Criterion for one buffer access.
 
     With ``use_trace=True`` the classification goes through a synthetic
     address trace and the trace classifier — the path a binary-analysis
     tool would take — instead of trusting the declared pattern.
+    ``directional=True`` qualifies the attribute by the access direction
+    (``ReadBandwidth``/``WriteBandwidth``/...) when the descriptor moves
+    bytes in only one direction.
     """
     if use_trace:
         trace = synth_trace(access, n=trace_length, seed=seed)
         pattern = classify_trace(trace, line_size=access.line_size)
     else:
         pattern = access.pattern
+    if directional:
+        return attribute_for_pattern(
+            pattern, reads=access.bytes_read, writes=access.bytes_written
+        )
     return attribute_for_pattern(pattern)
 
 
@@ -54,13 +89,21 @@ def classify_kernel(
     *,
     traffic_threshold: float = 0.05,
     use_trace: bool = False,
+    directional: bool = False,
 ) -> dict[str, str]:
     """Per-buffer criteria for one kernel.
 
-    Buffers moving less than ``traffic_threshold`` of the kernel's bytes
-    are below the noise floor and get ``Capacity`` (§VII: small buffers
-    can matter, but *a static analyzer without profile data* cannot tell
-    — this is exactly the limitation the paper assigns to the method).
+    Buffers moving **strictly less** than ``traffic_threshold`` of the
+    kernel's bytes are below the noise floor and get ``Capacity`` (§VII:
+    small buffers can matter, but *a static analyzer without profile
+    data* cannot tell — this is exactly the limitation the paper assigns
+    to the method).  The boundary is exclusive: a buffer whose share
+    equals the threshold exactly is classified by its pattern, so the
+    default ``traffic_threshold=0.0`` semantics of "never drop a buffer"
+    can be expressed without a negative epsilon.
+
+    ``directional=True`` propagates to :func:`classify_access`: streams
+    that only read or only write get the qualified attribute.
     """
     total = sum(a.bytes_read + a.bytes_written for a in phase.accesses)
     if total <= 0:
@@ -71,5 +114,7 @@ def classify_kernel(
         if share < traffic_threshold:
             out[access.buffer] = "Capacity"
         else:
-            out[access.buffer] = classify_access(access, use_trace=use_trace)
+            out[access.buffer] = classify_access(
+                access, use_trace=use_trace, directional=directional
+            )
     return out

@@ -1,0 +1,232 @@
+"""AST access-pattern inference tests — the §V-C hint compiler."""
+
+import pytest
+
+from repro.analysis import analyze_source, app_kernels, merge_params
+from repro.errors import ReproError
+from repro.sim import PatternKind
+
+
+def one_analysis(source, kernel=None):
+    out = analyze_source(source, kernel=kernel)
+    if isinstance(out, dict):
+        (out,) = out.values()
+    return out
+
+
+def infer(source, kernel=None):
+    return one_analysis(source, kernel=kernel).accesses
+
+
+class TestStreamIdioms:
+    def test_triad(self):
+        acc = infer(
+            "def k(a, b, c, s, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = b[i] + s * c[i]\n"
+        )
+        assert acc["a"].pattern is PatternKind.STREAM
+        assert acc["a"].direction == "write"
+        assert acc["b"].pattern is PatternKind.STREAM
+        assert acc["b"].direction == "read"
+        assert acc["c"].direction == "read"
+
+    def test_affine_offset_is_stream(self):
+        acc = infer(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i + 1] = a[i]\n"
+        )
+        assert acc["a"].pattern is PatternKind.STREAM
+        assert acc["a"].direction == "readwrite"
+
+    def test_csr_row_sweep_is_stream(self):
+        """range(offsets[i], offsets[i+1]) with affine i sweeps the CSR
+        arrays globally sequentially — SpMV's vals/cols are streams."""
+        acc = infer(
+            "def k(y, vals, cols, x, offsets, n):\n"
+            "    for i in range(n):\n"
+            "        s = 0.0\n"
+            "        for j in range(offsets[i], offsets[i + 1]):\n"
+            "            s += vals[j] * x[cols[j]]\n"
+            "        y[i] = s\n"
+        )
+        assert acc["vals"].pattern is PatternKind.STREAM
+        assert acc["cols"].pattern is PatternKind.STREAM
+        assert acc["x"].pattern is PatternKind.RANDOM
+        assert acc["y"].pattern is PatternKind.STREAM
+        assert acc["y"].direction == "write"
+
+
+class TestStridedIdioms:
+    def test_scaled_index(self):
+        acc = infer(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i * 4] = 0\n"
+        )
+        assert acc["a"].pattern is PatternKind.STRIDED
+
+    def test_range_step(self):
+        acc = infer(
+            "def k(a, n):\n"
+            "    for i in range(0, n, 16):\n"
+            "        a[i] = 0\n"
+        )
+        assert acc["a"].pattern is PatternKind.STRIDED
+
+    def test_unit_stride_stays_stream(self):
+        acc = infer(
+            "def k(a, n):\n"
+            "    for i in range(0, n, 1):\n"
+            "        a[i] = 0\n"
+        )
+        assert acc["a"].pattern is PatternKind.STREAM
+
+
+class TestRandomIdioms:
+    def test_gather(self):
+        acc = infer(
+            "def k(dst, src, idx, n):\n"
+            "    for i in range(n):\n"
+            "        dst[i] = src[idx[i]]\n"
+        )
+        assert acc["src"].pattern is PatternKind.RANDOM
+        assert acc["idx"].pattern is PatternKind.STREAM
+        assert acc["dst"].pattern is PatternKind.STREAM
+        assert acc["dst"].direction == "write"
+
+    def test_scatter(self):
+        acc = infer(
+            "def k(out, idx, n):\n"
+            "    for i in range(n):\n"
+            "        out[idx[i]] = i\n"
+        )
+        assert acc["out"].pattern is PatternKind.RANDOM
+        assert acc["out"].direction == "write"
+
+    def test_data_dependent_segment_bounds(self):
+        """BFS-style: segments located by values loaded from another
+        buffer are RANDOM, even though each segment streams locally."""
+        acc = infer(
+            "def k(frontier, offsets, targets, n):\n"
+            "    for i in range(n):\n"
+            "        v = frontier[i]\n"
+            "        for j in range(offsets[v], offsets[v + 1]):\n"
+            "            t = targets[j]\n"
+        )
+        assert acc["targets"].pattern is PatternKind.RANDOM
+        assert acc["offsets"].pattern is PatternKind.RANDOM
+        assert acc["frontier"].pattern is PatternKind.STREAM
+
+
+class TestChaseIdioms:
+    def test_table_chase(self):
+        acc = infer(
+            "def k(table, start, steps):\n"
+            "    node = start\n"
+            "    for _ in range(steps):\n"
+            "        node = table[node]\n"
+        )
+        assert acc["table"].pattern is PatternKind.POINTER_CHASE
+
+    def test_self_indexed(self):
+        acc = infer(
+            "def k(a, i):\n"
+            "    for _ in range(10):\n"
+            "        x = a[a[i]]\n"
+        )
+        assert acc["a"].pattern is PatternKind.POINTER_CHASE
+
+    def test_linked_list_walk(self):
+        acc = infer(
+            "def k(nodes, head, n):\n"
+            "    node = nodes[head]\n"
+            "    for _ in range(n):\n"
+            "        node = node.next\n"
+        )
+        assert acc["nodes"].pattern is PatternKind.POINTER_CHASE
+
+
+class TestFalseNegatives:
+    def test_call_in_index_is_unknown(self):
+        """Dynamic indexing through a call defeats the pass — the
+        documented false negative (docs/ANALYSIS.md)."""
+        acc = infer(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[hash(i) % n] = 0\n"
+        )
+        assert acc["a"].pattern is None
+        assert acc["a"].unknown_lines
+
+    def test_scalar_only_touch_has_no_pattern(self):
+        acc = infer(
+            "def k(a, n):\n"
+            "    x = a[0]\n"
+        )
+        assert acc["a"].pattern is None
+        assert acc["a"].scalar_reads == 1
+
+
+class TestAnalyzeSource:
+    def test_kernel_selection(self):
+        src = (
+            "def one(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = 0\n"
+            "def two(b, n):\n"
+            "    for i in range(n):\n"
+            "        x = b[b[i]]\n"
+        )
+        assert infer(src, kernel="one")["a"].pattern is PatternKind.STREAM
+        assert infer(src, kernel="two")["b"].pattern is PatternKind.POINTER_CHASE
+
+    def test_missing_kernel_raises(self):
+        with pytest.raises(ReproError):
+            analyze_source("x = 1\n", kernel="nope")
+
+
+class TestAppKernelAgreement:
+    """Acceptance: inference matches every app's declared descriptors."""
+
+    @pytest.mark.parametrize(
+        "spec", app_kernels(), ids=lambda s: s.name
+    )
+    def test_patterns_and_directions_agree(self, spec):
+        inferred = spec.inferred()
+        declared = spec.declared_by_buffer()
+        assert set(inferred) == set(declared)
+        for buffer, dec in declared.items():
+            inf = inferred[buffer]
+            assert inf.pattern is dec.pattern, (
+                f"{spec.name}/{buffer}: inferred {inf.pattern}, "
+                f"declared {dec.pattern}"
+            )
+            dec_dir = ("read" if dec.bytes_read else "") + (
+                "write" if dec.bytes_written else ""
+            )
+            assert inf.direction == dec_dir
+
+
+class TestMergeParams:
+    def test_aliased_params_merge_by_rank(self):
+        analysis = one_analysis(
+            "def k(a, b, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = 0\n"
+            "        x = b[b[i]]\n"
+        )
+        merged = merge_params(analysis, {"a": "buf", "b": "buf"})
+        assert set(merged) == {"buf"}
+        assert merged["buf"].pattern is PatternKind.POINTER_CHASE
+        assert merged["buf"].direction == "readwrite"
+
+    def test_unmapped_params_dropped(self):
+        analysis = one_analysis(
+            "def k(a, aux, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = aux[i]\n"
+        )
+        merged = merge_params(analysis, {"a": "a"})
+        assert set(merged) == {"a"}

@@ -1,0 +1,115 @@
+"""Inference -> hints -> descriptors -> placements."""
+
+import pytest
+
+from repro.analysis import (
+    access_from_inferred,
+    analyze_function,
+    app_kernels,
+    hint_placement,
+    hints_for,
+    phase_from_analysis,
+)
+from repro.apps.stream_app import triad_kernel
+from repro.errors import ReproError
+from repro.sensitivity import classify_kernel
+from repro.sim import PatternKind
+from repro.units import MiB
+
+
+@pytest.fixture()
+def triad_analysis():
+    return analyze_function(triad_kernel)
+
+
+class TestHintsFor:
+    def test_directional_triad(self, triad_analysis):
+        hints = hints_for(triad_analysis)
+        assert hints["a"] == "WriteBandwidth"
+        assert hints["b"] == "ReadBandwidth"
+        assert hints["c"] == "ReadBandwidth"
+
+    def test_unqualified_when_not_directional(self, triad_analysis):
+        hints = hints_for(triad_analysis, directional=False)
+        assert hints["a"] == hints["b"] == "Bandwidth"
+
+    def test_unknown_pattern_gets_default(self):
+        from repro.analysis import analyze_source
+
+        analysis = analyze_source(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[hash(i) % n] = 0\n",
+            kernel="k",
+        )
+        assert hints_for(analysis)["a"] == "Capacity"
+        assert hints_for(analysis, default="Bandwidth")["a"] == "Bandwidth"
+
+    def test_app_registry_hints(self):
+        by_name = {spec.name: spec for spec in app_kernels()}
+        spec = by_name["graph500_bfs"]
+        hints = hints_for(spec.analyze(), param_buffers=spec.param_buffers)
+        assert hints["csr_targets"] == "ReadLatency"
+        assert hints["parent"] == "Latency"       # read+write: unqualified
+        assert hints["frontier"] == "Bandwidth"   # read+write stream
+
+
+class TestSyntheticDescriptors:
+    def test_access_from_inferred(self, triad_analysis):
+        access = access_from_inferred(triad_analysis.accesses["b"], 4 * MiB)
+        assert access.pattern is PatternKind.STREAM
+        assert access.bytes_read == 4 * MiB
+        assert access.bytes_written == 0
+        assert access.working_set == 4 * MiB
+
+    def test_unknown_pattern_raises(self):
+        from repro.analysis import analyze_source
+
+        analysis = analyze_source(
+            "def k(a, n):\n    x = a[0]\n", kernel="k"
+        )
+        with pytest.raises(ReproError):
+            access_from_inferred(analysis.accesses["a"], 1 * MiB)
+
+    def test_phase_feeds_classify_kernel(self, triad_analysis):
+        sizes = {"a": 4 * MiB, "b": 4 * MiB, "c": 4 * MiB}
+        phase = phase_from_analysis(triad_analysis, sizes, name="triad")
+        assert {a.buffer for a in phase.accesses} == {"a", "b", "c"}
+        out = classify_kernel(phase, directional=True)
+        assert out == {
+            "a": "WriteBandwidth",
+            "b": "ReadBandwidth",
+            "c": "ReadBandwidth",
+        }
+
+    def test_missing_size_raises(self, triad_analysis):
+        with pytest.raises(ReproError):
+            phase_from_analysis(triad_analysis, {"a": 4 * MiB})
+
+
+class TestHintPlacement:
+    def test_triad_lands_on_mcdram_knl(self, knl_allocator, triad_analysis):
+        """The end-to-end zero-profiling path: on KNL the bandwidth hints
+        put all three arrays in MCDRAM."""
+        sizes = {"a": 64 * MiB, "b": 64 * MiB, "c": 64 * MiB}
+        placement = hint_placement(
+            knl_allocator, hints_for(triad_analysis), sizes, 0
+        )
+        for buffer in sizes:
+            fractions = placement.of(buffer)
+            assert sum(fractions.values()) == pytest.approx(1.0)
+            assert set(fractions) == {4}  # PU 0's local MCDRAM node
+        assert not knl_allocator.buffers  # freed on exit
+
+    def test_keep_retains_buffers(self, xeon_allocator, triad_analysis):
+        sizes = {"a": 1 * MiB, "b": 1 * MiB, "c": 1 * MiB}
+        hint_placement(
+            xeon_allocator, hints_for(triad_analysis), sizes, 0, keep=True
+        )
+        assert len(xeon_allocator.buffers) == 3
+
+    def test_missing_size_raises(self, xeon_allocator, triad_analysis):
+        with pytest.raises(ReproError):
+            hint_placement(
+                xeon_allocator, hints_for(triad_analysis), {"a": 1 * MiB}, 0
+            )

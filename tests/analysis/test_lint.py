@@ -1,0 +1,221 @@
+"""repro-lint rule tests: kernel diffs, plan validation, source scan."""
+
+import json
+
+import pytest
+
+from repro.analysis import AppKernel, lint_app_kernels, lint_plan, lint_plan_file
+from repro.analysis.lint import lint_paths, lint_source, rule_catalog
+from repro.cli import lint_main
+from repro.core import MemAttrs
+from repro.sim import BufferAccess, PatternKind
+from repro.units import GB, MiB
+
+
+def rules_of(report):
+    return [i.rule for i in report.issues]
+
+
+# ----------------------------------------------------------------------
+# Kernel rules — reference kernels defined at module level so
+# inspect.getsource works.
+
+
+def mismatched_kernel(a, n):
+    for i in range(n):
+        a[a[i] % n] = 0
+
+
+def partial_kernel(a, b, n):
+    for i in range(n):
+        a[i] = b[i]
+
+
+def acc(name, pattern, *, read=True, write=False):
+    return BufferAccess(
+        buffer=name,
+        pattern=pattern,
+        bytes_read=1 * MiB if read else 0,
+        bytes_written=1 * MiB if write else 0,
+        working_set=1 * MiB,
+    )
+
+
+class TestKernelRules:
+    def test_clean_on_bundled_apps(self):
+        """Acceptance: the shipped kernels diff clean against their models."""
+        report = lint_app_kernels()
+        assert report.ok
+        assert not report.issues
+
+    def test_pattern_mismatch_detected(self):
+        """A001: declared STREAM, source does data-dependent scatter."""
+        spec = AppKernel(
+            name="bad",
+            func=mismatched_kernel,
+            param_buffers={"a": "a"},
+            declared=(acc("a", PatternKind.STREAM, read=True, write=True),),
+        )
+        report = lint_app_kernels([spec])
+        assert "A001" in rules_of(report)
+        assert not report.ok
+
+    def test_undeclared_buffer_detected(self):
+        """A003, both directions: source touches 'b' which the model does
+        not declare; the model declares 'ghost' the source never touches."""
+        spec = AppKernel(
+            name="bad",
+            func=partial_kernel,
+            param_buffers={"a": "a", "b": "b"},
+            declared=(
+                acc("a", PatternKind.STREAM, read=False, write=True),
+                acc("ghost", PatternKind.STREAM),
+            ),
+        )
+        report = lint_app_kernels([spec])
+        assert rules_of(report).count("A003") == 2
+        assert not report.ok
+
+    def test_direction_mismatch_is_warning(self):
+        spec = AppKernel(
+            name="warn",
+            func=partial_kernel,
+            param_buffers={"a": "a", "b": "b"},
+            declared=(
+                acc("a", PatternKind.STREAM, read=True, write=True),
+                acc("b", PatternKind.STREAM),
+            ),
+        )
+        report = lint_app_kernels([spec])
+        assert "A002" in rules_of(report)
+        assert report.ok  # warnings do not gate
+
+
+# ----------------------------------------------------------------------
+# Plan rules
+
+
+def plan(**overrides):
+    base = {
+        "platform": "xeon-cascadelake-1lm",
+        "buffers": {"big": 1 * GB, "small": 64 * MiB},
+        "assignment": {"big": 2, "small": 0},
+        "attributes": {"big": "Capacity", "small": "Latency"},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestPlanRules:
+    def test_valid_plan_is_clean(self):
+        assert lint_plan(plan()).ok
+
+    def test_unknown_buffer(self):
+        report = lint_plan(plan(assignment={"nope": 0}))
+        assert "P001" in rules_of(report)
+
+    def test_unknown_node(self):
+        report = lint_plan(plan(assignment={"big": 9}))
+        assert "P002" in rules_of(report)
+
+    def test_capacity_infeasible(self):
+        """P003: 300 GB on a 192 GB DRAM node."""
+        report = lint_plan(
+            plan(buffers={"huge": 300 * GB}, assignment={"huge": 0}, attributes={})
+        )
+        assert "P003" in rules_of(report)
+
+    def test_split_assignment_capacity_accounting(self):
+        """Fractional shares count proportionally: 300 GB half-and-half
+        over two 192 GB nodes fits."""
+        report = lint_plan(
+            plan(
+                buffers={"huge": 300 * GB},
+                assignment={"huge": {"0": 0.5, "1": 0.5}},
+                attributes={},
+            )
+        )
+        assert report.ok
+
+    def test_unknown_attribute(self):
+        report = lint_plan(plan(attributes={"big": "Shininess"}))
+        assert "P004" in rules_of(report)
+
+    def test_override_referencing_unknown_attribute(self):
+        report = lint_plan(
+            plan(fallback_overrides={"Latency": ["NotRegistered"]})
+        )
+        assert "P005" in rules_of(report)
+
+    def test_chain_without_values_on_platform(self, xeon, xeon_topo):
+        """P005: a platform whose attributes carry no values cannot serve
+        a chain that never reaches Capacity."""
+        empty_attrs = MemAttrs(xeon_topo)
+        report = lint_plan(
+            plan(fallback_overrides={"Latency": ["ReadLatency"]}),
+            machine=xeon,
+            memattrs=empty_attrs,
+        )
+        assert "P005" in rules_of(report)
+
+    def test_plan_file_roundtrip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan()))
+        assert lint_plan_file(path).ok
+        path.write_text("{not json")
+        assert not lint_plan_file(path).ok
+
+    def test_bundled_example_plans_are_clean(self):
+        report = lint_paths(["examples/plans"])
+        assert report.ok, report.render()
+
+
+# ----------------------------------------------------------------------
+# Source rules
+
+
+class TestSourceRules:
+    def test_unknown_attribute_literal(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "buf = allocator.mem_alloc(1024, 'Shininess', 0)\n"
+            "buf2 = allocator.mem_alloc(1024, attribute='AlsoWrong')\n"
+        )
+        report = lint_source(bad)
+        assert rules_of(report).count("S001") == 2
+
+    def test_known_attribute_literal_clean(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("buf = mem_alloc(1024, 'WriteBandwidth', 0)\n")
+        assert lint_source(good).ok
+
+    def test_non_literal_attribute_ignored(self, tmp_path):
+        src = tmp_path / "dyn.py"
+        src.write_text("buf = mem_alloc(1024, attr_variable, 0)\n")
+        assert lint_source(src).ok
+
+    def test_bundled_apps_and_examples_are_clean(self):
+        report = lint_paths(["src/repro/apps", "examples"])
+        assert report.ok, report.render()
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "A001" in out and "P003" in out and "S001" in out
+        assert rule_catalog() in out
+
+    def test_default_lints_apps_clean(self, capsys):
+        assert lint_main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = mem_alloc(8, 'Nope', 0)\n")
+        assert lint_main([str(bad)]) == 1
+        assert "S001" in capsys.readouterr().out

@@ -29,6 +29,28 @@ class TestPatternMapping:
         assert attribute_for_pattern(PatternKind.RANDOM) == "Latency"
         assert attribute_for_pattern(PatternKind.POINTER_CHASE) == "Latency"
 
+    def test_single_direction_qualifies(self):
+        assert (
+            attribute_for_pattern(PatternKind.STREAM, reads=1) == "ReadBandwidth"
+        )
+        assert (
+            attribute_for_pattern(PatternKind.STREAM, writes=1) == "WriteBandwidth"
+        )
+        assert (
+            attribute_for_pattern(PatternKind.RANDOM, reads=1) == "ReadLatency"
+        )
+        assert (
+            attribute_for_pattern(PatternKind.POINTER_CHASE, writes=1)
+            == "WriteLatency"
+        )
+
+    def test_both_or_neither_direction_stays_unqualified(self):
+        assert (
+            attribute_for_pattern(PatternKind.STREAM, reads=1, writes=1)
+            == "Bandwidth"
+        )
+        assert attribute_for_pattern(PatternKind.RANDOM) == "Latency"
+
 
 class TestClassifyAccess:
     def test_declared_pattern(self):
@@ -77,6 +99,53 @@ class TestClassifyKernel:
         loose = classify_kernel(phase, traffic_threshold=0.01)
         assert loose["a"] == "Latency"
 
+    def test_threshold_boundary_is_exclusive(self):
+        """Pin the boundary: a share exactly *equal* to the threshold is
+        classified by its pattern; only strictly-below shares become
+        Capacity.  Two equal buffers at threshold 0.5 sit exactly on the
+        boundary."""
+        phase = KernelPhase(
+            name="k",
+            threads=1,
+            accesses=(
+                acc("a", PatternKind.RANDOM, nbytes=512 * MiB),
+                acc("b", PatternKind.STREAM, nbytes=512 * MiB),
+            ),
+        )
+        on_boundary = classify_kernel(phase, traffic_threshold=0.5)
+        assert on_boundary == {"a": "Latency", "b": "Bandwidth"}
+        just_above = classify_kernel(phase, traffic_threshold=0.5000001)
+        assert just_above == {"a": "Capacity", "b": "Capacity"}
+
+    def test_zero_threshold_never_drops(self):
+        phase = KernelPhase(
+            name="k",
+            threads=1,
+            accesses=(
+                acc("big", PatternKind.STREAM, nbytes=1 * GiB),
+                acc("tiny", PatternKind.RANDOM, nbytes=1),
+            ),
+        )
+        out = classify_kernel(phase, traffic_threshold=0.0)
+        assert out["tiny"] == "Latency"
+
+    def test_directional_kernel_classification(self):
+        write_stream = BufferAccess(
+            buffer="out",
+            pattern=PatternKind.STREAM,
+            bytes_written=1 * GiB,
+            working_set=1 * GiB,
+        )
+        phase = KernelPhase(
+            name="k",
+            threads=1,
+            accesses=(write_stream, acc("in", PatternKind.STREAM)),
+        )
+        out = classify_kernel(phase, directional=True)
+        assert out == {"out": "WriteBandwidth", "in": "ReadBandwidth"}
+        # Default stays unqualified — existing callers see no change.
+        assert classify_kernel(phase) == {"out": "Bandwidth", "in": "Bandwidth"}
+
     def test_agrees_with_profiling_on_graph500(self, xeon, xeon_engine):
         """§V: static hints and profiling agree on the archetypes."""
         from repro.apps.graph500 import Graph500Config, TrafficModel
@@ -93,3 +162,41 @@ class TestClassifyKernel:
         )
         profiled = classify_buffers(xeon, run)
         assert static["parent"] == profiled["parent"] == "Latency"
+
+
+class TestDirectionalFallback:
+    """§IV-B: qualified hints on platforms without qualified values."""
+
+    def test_write_bandwidth_served_via_bandwidth(self, xeon, xeon_topo, xeon_attrs):
+        """A WriteBandwidth hint on a platform that only measured
+        Bandwidth lands on the Bandwidth ranking via the fallback chain —
+        the directional hints of :func:`attribute_for_pattern` stay safe
+        everywhere."""
+        from repro.alloc import HeterogeneousAllocator
+        from repro.core import MemAttrs
+        from repro.errors import ReproError
+        from repro.kernel import KernelMemoryManager
+
+        partial = MemAttrs(xeon_topo)
+        node_objs = {}
+        for pu in range(40):
+            for obj in xeon_attrs.get_local_numanode_objs(pu):
+                node_objs[obj.os_index] = obj
+        for attr_name in ("Bandwidth", "Latency"):
+            for obj in node_objs.values():
+                for pu in range(40):
+                    try:
+                        value = xeon_attrs.get_value(attr_name, obj, pu)
+                    except ReproError:
+                        continue
+                    partial.set_value(attr_name, obj, pu, value)
+        assert partial.has_values("Bandwidth")
+        assert not partial.has_values("WriteBandwidth")
+
+        allocator = HeterogeneousAllocator(partial, KernelMemoryManager(xeon))
+        hint = attribute_for_pattern(PatternKind.STREAM, writes=1)
+        assert hint == "WriteBandwidth"
+        buf = allocator.mem_alloc(1 * GiB, hint, 0)
+        assert buf.requested_attribute == "WriteBandwidth"
+        assert buf.used_attribute == "Bandwidth"
+        allocator.free(buf)

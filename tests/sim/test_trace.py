@@ -67,3 +67,46 @@ class TestClassify:
 
     def test_constant_trace_is_random(self):
         assert classify_trace(np.zeros(64, dtype=np.int64)) is PatternKind.RANDOM
+
+
+class TestClassifyEdgeCases:
+    """Pin the classifier's behaviour on degenerate traces."""
+
+    def test_sub_cache_line_trace_is_stream(self):
+        """A trace that never leaves one 64 B cache line still streams:
+        the rule is small *forward deltas*, not lines visited."""
+        t = np.arange(0, 64, 8, dtype=np.int64)  # 8 offsets within line 0
+        assert classify_trace(t) is PatternKind.STREAM
+
+    def test_two_entry_trace_classifies(self):
+        """The minimum classifiable trace is two accesses (one delta)."""
+        assert classify_trace(np.array([0, 8])) is PatternKind.STREAM
+        assert classify_trace(np.array([0, 4096])) is PatternKind.STRIDED
+
+    def test_all_same_address_nonzero_is_random(self):
+        """All-same-address leaves no nonzero delta to judge by; the
+        classifier refuses to call that a stream and returns RANDOM
+        (latency-bound is the safe default for a hot single line)."""
+        t = np.full(64, 4096, dtype=np.int64)
+        assert classify_trace(t) is PatternKind.RANDOM
+
+    def test_mixed_stream_random_random_wins(self):
+        """50/50 stream+random interleave: RANDOM wins because streaming
+        needs a >=80% supermajority of small forward deltas, and no single
+        large delta dominates either.  A buffer that jumps away every
+        other access pays latency, not bandwidth — the conservative
+        call."""
+        rng = np.random.default_rng(0)
+        seq = np.arange(512, dtype=np.int64) * 8
+        t = np.empty(1024, dtype=np.int64)
+        t[0::2] = seq
+        t[1::2] = rng.integers(0, 4 * MiB, size=512) & ~7
+        assert classify_trace(t) is PatternKind.RANDOM
+
+    def test_mostly_stream_with_noise_is_stream(self):
+        """Sparse noise does not flip a stream: each far jump spoils two
+        deltas (out and back), so jumps every 25 accesses still leave
+        ~92% small forward deltas — above the 80% supermajority."""
+        t = np.arange(1024, dtype=np.int64) * 8
+        t[::25] = 2 * MiB  # occasional far jumps
+        assert classify_trace(t) is PatternKind.STREAM

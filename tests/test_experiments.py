@@ -45,3 +45,14 @@ class TestRunner:
                      "--search-budget", "1"]) == 0
         out = capsys.readouterr().out
         assert "TRUNCATED" in out
+
+    def test_search_static_hints(self, capsys):
+        """--search-hints static scores the AST-pass placement against
+        the search optimum on the same phases."""
+        assert main(["search", "--search-top-k", "2",
+                     "--search-hints", "static"]) == 0
+        out = capsys.readouterr().out
+        assert "static hints" in out
+        assert "ReadLatency" in out       # csr_targets hint
+        assert "static-hint time" in out
+        assert "vs optimum" in out
