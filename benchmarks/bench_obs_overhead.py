@@ -1,0 +1,136 @@
+"""Observability overhead on the warm allocation path.
+
+The PR's contract: with telemetry **disabled** (the default), the only
+cost ``repro.obs`` adds to ``mem_alloc`` is one attribute check plus a
+delegating call.  The pre-PR allocation body survives verbatim as
+``_mem_alloc_impl`` (the instrumentation refactor moved it, unchanged),
+so calling it directly *is* the pre-PR baseline — this bench measures
+warm ``mem_alloc``/``free`` throughput three ways, interleaved,
+median-of-rounds:
+
+* ``impl``     — ``_mem_alloc_impl`` called directly (pre-PR hot path);
+* ``disabled`` — public ``mem_alloc`` with ``OBS.enabled`` false;
+* ``enabled``  — public ``mem_alloc`` with tracing + metrics recording.
+
+Acceptance: the disabled path stays within 2% of the pre-PR baseline.
+Results land in ``benchmarks/results/BENCH_obs_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+import repro
+from repro import obs
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
+
+ALLOC_SIZE = 1 << 20
+LOOPS = 600          # mem_alloc/free pairs per round
+ROUNDS = 11          # odd: clean median
+WARMUP = 100
+MAX_DISABLED_OVERHEAD_PCT = 2.0
+
+_results: dict[str, object] = {}
+
+
+def _alloc_free_impl(allocator, loops: int) -> float:
+    start = time.perf_counter()
+    for _ in range(loops):
+        buf = allocator._mem_alloc_impl(
+            ALLOC_SIZE,
+            "Bandwidth",
+            0,
+            name=None,
+            allow_partial=False,
+            allow_fallback=True,
+            scope="local",
+        )
+        allocator.free(buf)
+    return loops / (time.perf_counter() - start)
+
+
+def _alloc_free_public(allocator, loops: int) -> float:
+    start = time.perf_counter()
+    for _ in range(loops):
+        buf = allocator.mem_alloc(ALLOC_SIZE, "Bandwidth", 0)
+        allocator.free(buf)
+    return loops / (time.perf_counter() - start)
+
+
+def _measure(setup) -> dict:
+    allocator = setup.allocator
+    _alloc_free_public(allocator, WARMUP)  # warm cache + page pools
+
+    impl, disabled, enabled = [], [], []
+    for _ in range(ROUNDS):
+        # Interleave the variants inside every round so drift (thermal,
+        # scheduler) hits all three alike.
+        obs.reset()
+        impl.append(_alloc_free_impl(allocator, LOOPS))
+        disabled.append(_alloc_free_public(allocator, LOOPS))
+        obs.reset()
+        obs.enable()
+        enabled.append(_alloc_free_public(allocator, LOOPS))
+        obs.reset()
+
+    impl_aps = statistics.median(impl)
+    disabled_aps = statistics.median(disabled)
+    enabled_aps = statistics.median(enabled)
+    return {
+        "loops_per_round": LOOPS,
+        "rounds": ROUNDS,
+        "impl_aps": round(impl_aps),
+        "disabled_aps": round(disabled_aps),
+        "enabled_aps": round(enabled_aps),
+        # Positive = slower than the pre-PR body.
+        "disabled_overhead_pct": round((impl_aps / disabled_aps - 1) * 100, 2),
+        "enabled_overhead_pct": round((impl_aps / enabled_aps - 1) * 100, 2),
+    }
+
+
+def test_disabled_path_within_2pct_of_pre_pr_baseline(record):
+    setup = repro.quick_setup("xeon-cascadelake-1lm")
+    result = _measure(setup)
+    _results["xeon-cascadelake-1lm"] = result
+    record(
+        "obs_overhead",
+        "\n".join(
+            [
+                f"pre-PR impl : {result['impl_aps']:>9,} alloc/s",
+                f"obs disabled: {result['disabled_aps']:>9,} alloc/s "
+                f"({result['disabled_overhead_pct']:+.2f}%)",
+                f"obs enabled : {result['enabled_aps']:>9,} alloc/s "
+                f"({result['enabled_overhead_pct']:+.2f}%)",
+            ]
+        ),
+    )
+    assert result["disabled_overhead_pct"] <= MAX_DISABLED_OVERHEAD_PCT, (
+        f"disabled-path overhead {result['disabled_overhead_pct']}% exceeds "
+        f"{MAX_DISABLED_OVERHEAD_PCT}% budget: {result}"
+    )
+
+
+def test_enabled_path_records_without_breaking_the_allocator():
+    """Sanity while timing: with telemetry on, the warm loop records one
+    span + counters per allocation and the placements stay identical."""
+    setup = repro.quick_setup("xeon-cascadelake-1lm")
+    obs.reset()
+    baseline = setup.allocator.mem_alloc(ALLOC_SIZE, "Bandwidth", 0, name="a")
+    setup.allocator.free(baseline)
+    obs.enable()
+    observed = setup.allocator.mem_alloc(ALLOC_SIZE, "Bandwidth", 0, name="b")
+    setup.allocator.free(observed)
+    assert observed.target.os_index == baseline.target.os_index
+    assert obs.OBS.metrics.value("alloc.requests", attribute="Bandwidth") == 1
+    assert [r.name for r in obs.OBS.tracer.finished()] == ["mem_alloc"]
+    obs.reset()
+
+
+def test_write_json(results_dir):
+    assert _results, "overhead bench must run first"
+    RESULTS_JSON.write_text(json.dumps(_results, indent=2) + "\n")
+    print(f"archived {RESULTS_JSON}")

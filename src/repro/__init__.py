@@ -39,6 +39,7 @@ from . import (
     firmware,
     hw,
     kernel,
+    obs,
     omp,
     profiler,
     sensitivity,
@@ -66,6 +67,7 @@ __all__ = [
     "firmware",
     "hw",
     "kernel",
+    "obs",
     "omp",
     "profiler",
     "sensitivity",

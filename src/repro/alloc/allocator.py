@@ -18,6 +18,7 @@ from ..errors import AllocationError, CapacityError, SpecError, TopologyError
 from ..kernel.migration import MigrationReport
 from ..kernel.pagealloc import KernelMemoryManager, PageAllocation
 from ..kernel.policy import bind_policy
+from ..obs import OBS
 from ..sim.access import Placement
 from ..topology.objects import TopoObject
 from ..topology.traversal import as_cpuset
@@ -206,6 +207,68 @@ class HeterogeneousAllocator:
         (strict binding): the request fails when it is full, like the
         whole-process-binding runs of Tables II/III.
         """
+        if not OBS.enabled:
+            return self._mem_alloc_impl(
+                size,
+                attribute,
+                initiator,
+                name=name,
+                allow_partial=allow_partial,
+                allow_fallback=allow_fallback,
+                scope=scope,
+            )
+        metrics = OBS.metrics
+        with OBS.tracer.span(
+            "mem_alloc", attribute=attribute, size=size, scope=scope
+        ) as span:
+            metrics.counter("alloc.requests", attribute=attribute).inc()
+            try:
+                buffer = self._mem_alloc_impl(
+                    size,
+                    attribute,
+                    initiator,
+                    name=name,
+                    allow_partial=allow_partial,
+                    allow_fallback=allow_fallback,
+                    scope=scope,
+                )
+            except CapacityError:
+                metrics.counter("alloc.capacity_errors", attribute=attribute).inc()
+                raise
+            primary = None if buffer.target is None else buffer.target.os_index
+            metrics.counter(
+                "alloc.placed",
+                attribute=buffer.used_attribute,
+                node="split" if primary is None else primary,
+            ).inc()
+            metrics.histogram("alloc.fallback_rank").observe(buffer.fallback_rank)
+            if buffer.fallback_rank > 0:
+                metrics.counter("alloc.capacity_fallbacks").inc()
+            if buffer.used_attribute.lower() != str(attribute).lower():
+                metrics.counter(
+                    "alloc.attribute_fallbacks",
+                    requested=attribute,
+                    used=buffer.used_attribute,
+                ).inc()
+            span.fields.update(
+                buffer=buffer.name,
+                used_attribute=buffer.used_attribute,
+                fallback_rank=buffer.fallback_rank,
+                nodes=list(buffer.nodes),
+            )
+            return buffer
+
+    def _mem_alloc_impl(
+        self,
+        size: int,
+        attribute: str,
+        initiator,
+        *,
+        name: str | None,
+        allow_partial: bool,
+        allow_fallback: bool,
+        scope: str,
+    ) -> Buffer:
         if size <= 0:
             raise AllocationError("allocation size must be positive")
         name = name or f"buf{next(_buffer_ids)}"
@@ -286,6 +349,29 @@ class HeterogeneousAllocator:
         propagates.  ``rollback_on_error=False`` keeps the partial batch
         (the failed request's error still propagates).
         """
+        if not OBS.enabled:
+            return self._mem_alloc_many_impl(
+                requests, rollback_on_error=rollback_on_error
+            )
+        with OBS.tracer.span("mem_alloc_many") as span:
+            OBS.metrics.counter("alloc.batches").inc()
+            try:
+                placed = self._mem_alloc_many_impl(
+                    requests, rollback_on_error=rollback_on_error
+                )
+            except Exception:
+                OBS.metrics.counter("alloc.batch_failures").inc()
+                raise
+            span.fields.update(buffers=len(placed))
+            OBS.metrics.histogram("alloc.batch_size").observe(len(placed))
+            return placed
+
+    def _mem_alloc_many_impl(
+        self,
+        requests,
+        *,
+        rollback_on_error: bool,
+    ) -> tuple[Buffer, ...]:
         placed: list[Buffer] = []
         try:
             for req in requests:
@@ -329,6 +415,16 @@ class HeterogeneousAllocator:
         :attr:`MigrationReport.estimated_seconds` against the expected
         gain.
         """
+        if not OBS.enabled:
+            return self._migrate_impl(buffer, attribute)
+        with OBS.tracer.span("alloc.migrate", attribute=attribute) as span:
+            report = self._migrate_impl(buffer, attribute)
+            span.fields.update(
+                moved_pages=report.moved_pages, to_node=report.to_node
+            )
+            return report
+
+    def _migrate_impl(self, buffer: Buffer | str, attribute: str) -> MigrationReport:
         buffer = self._resolve_buffer(buffer)
         used_attr, ranked = self.rank_for(attribute, buffer.initiator)
         for tv in ranked:

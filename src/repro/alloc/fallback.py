@@ -12,6 +12,7 @@ from ..core.api import MemAttrs
 from ..core.attrs import MemAttribute
 from ..core.querycache import MISSING
 from ..errors import UnknownAttributeError
+from ..obs import OBS
 
 __all__ = ["DEFAULT_ATTRIBUTE_FALLBACK", "attribute_fallback_chain"]
 
@@ -69,4 +70,9 @@ def attribute_fallback_chain(
             chain.append(nxt)
     resolved = tuple(chain)
     memattrs.query_cache.store("fallback_chain", cache_key, resolved)
+    if OBS.enabled:
+        OBS.metrics.counter(
+            "alloc.fallback_chains_resolved", attribute=attr.name
+        ).inc()
+        OBS.metrics.histogram("alloc.fallback_chain_len").observe(len(resolved))
     return resolved

@@ -25,6 +25,7 @@ from .core.ranking import rank_targets
 from .errors import ReproError
 from .firmware import build_sysfs
 from .hw import PLATFORM_REGISTRY, get_platform
+from .obs.cli import add_obs_arguments, finish_obs, start_obs
 from .sim import SimEngine
 from .topology import build_topology, render_lstopo
 
@@ -181,6 +182,7 @@ def build_search_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--threads", type=int, default=16, help="threads of the workload"
     )
+    add_obs_arguments(parser)
     return parser
 
 
@@ -189,6 +191,7 @@ def search_main(argv: list[str] | None = None) -> int:
     from .sensitivity import search_placements
 
     args = build_search_parser().parse_args(argv)
+    start_obs(args)
     machine = get_platform(args.platform)
     engine = SimEngine(machine)
     nodes = tuple(int(n) for n in args.nodes.split(","))
@@ -222,6 +225,7 @@ def search_main(argv: list[str] | None = None) -> int:
         print(f"{row} | {c.seconds * 1e3:>8.2f}ms")
     print()
     print(result.stats.report())
+    finish_obs(args)
     return 0
 
 

@@ -24,6 +24,7 @@ from ..errors import (
     TopologyError,
     UnknownAttributeError,
 )
+from ..obs import OBS
 from ..topology.bitmap import Bitmap
 from ..topology.build import Topology
 from ..topology.objects import ObjType, TopoObject
@@ -98,6 +99,8 @@ class MemAttrs:
     def _bump_generation(self) -> None:
         self._generation += 1
         self.query_cache.invalidate()
+        if OBS.enabled:
+            OBS.metrics.counter("core.generation_bumps").inc()
 
     def cache_stats(self) -> dict:
         """Hit/miss/invalidation counters of the query engine."""
@@ -348,6 +351,8 @@ class MemAttrs:
         ranked = tuple(scored)
         if cache_key is not None:
             self.query_cache.store("rank_targets", cache_key, ranked)
+        if OBS.enabled:
+            OBS.metrics.counter("core.rankings_computed", attribute=attr.name).inc()
         return ranked
 
     def _rank_cache_key(self, attr: MemAttribute, targets, initiator):

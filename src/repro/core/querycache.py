@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import OBS
+
 __all__ = [
     "MISSING",
     "CacheStats",
@@ -101,8 +103,12 @@ class QueryCache:
         value = self._families.get(family, {}).get(key, MISSING)
         if value is MISSING:
             self._misses[family] = self._misses.get(family, 0) + 1
+            if OBS.enabled:
+                OBS.metrics.counter("querycache.misses", family=family).inc()
             return default
         self._hits[family] = self._hits.get(family, 0) + 1
+        if OBS.enabled:
+            OBS.metrics.counter("querycache.hits", family=family).inc()
         return value
 
     def store(self, family: str, key, value) -> None:
@@ -119,6 +125,8 @@ class QueryCache:
         """Drop value-dependent entries (generation keys already shield
         correctness; this bounds memory and feeds the counter)."""
         self.invalidations += 1
+        if OBS.enabled:
+            OBS.metrics.counter("querycache.invalidations").inc()
         for family in list(self._families):
             if keep_topology_families and family in TOPOLOGY_FAMILIES:
                 continue

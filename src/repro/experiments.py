@@ -24,6 +24,7 @@ from .core import MemAttrs, discover_from_sysfs, render_memattrs
 from .errors import CapacityError
 from .firmware import build_sysfs
 from .hw import get_platform
+from .obs.cli import add_obs_arguments, finish_obs, start_obs
 from .profiler import analyze_run, object_analysis, render_object_report, render_summary_table
 from .sensitivity import search_placements
 from .sim import BufferAccess, KernelPhase, PatternKind, Placement
@@ -313,7 +314,9 @@ def main(argv: list[str] | None = None) -> int:
         help="also score the static-analysis hint placement against the "
         "search optimum",
     )
+    add_obs_arguments(parser)
     args = parser.parse_args(argv)
+    start_obs(args)
     names = sorted(EXPERIMENTS) if "all" in args.artifacts else args.artifacts
     for name in names:
         print(f"\n{'=' * 70}\n{name}\n{'=' * 70}")
@@ -332,6 +335,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(EXPERIMENTS[name]())
+    finish_obs(args)
     return 0
 
 

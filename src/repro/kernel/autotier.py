@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ReproError
+from ..obs import OBS
 from .migration import MigrationReport
 from .pagealloc import KernelMemoryManager, PageAllocation
 
@@ -118,6 +119,23 @@ class AutoTierDaemon:
 
     def step(self) -> StepReport:
         """Close one interval: update hotness, demote cold, promote hot."""
+        if not OBS.enabled:
+            return self._step_impl()
+        with OBS.tracer.span("autotier.step") as span:
+            report = self._step_impl()
+            metrics = OBS.metrics
+            metrics.counter("autotier.steps").inc()
+            metrics.counter("autotier.promotions").inc(len(report.promoted))
+            metrics.counter("autotier.demotions").inc(len(report.demoted))
+            metrics.counter("autotier.bytes_moved").inc(report.bytes_moved)
+            span.fields.update(
+                promoted=len(report.promoted),
+                demoted=len(report.demoted),
+                bytes_moved=report.bytes_moved,
+            )
+            return report
+
+    def _step_impl(self) -> StepReport:
         cfg = self.config
         report = StepReport()
         for t in self._tracked.values():

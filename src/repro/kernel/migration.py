@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..errors import MigrationError
 from ..hw.spec import MachineSpec
+from ..obs import OBS
 
 __all__ = ["MigrationReport", "estimate_migration", "PER_PAGE_KERNEL_OVERHEAD"]
 
@@ -84,7 +85,7 @@ def estimate_migration(
         seconds += nbytes / rate + pages * PER_PAGE_KERNEL_OVERHEAD
         total_pages += pages
 
-    return MigrationReport(
+    report = MigrationReport(
         moved_pages=total_pages,
         requested_pages=total_pages if requested_pages is None else requested_pages,
         to_node=to_node,
@@ -92,3 +93,10 @@ def estimate_migration(
         bytes_moved=total_pages * page_size,
         estimated_seconds=seconds,
     )
+    if OBS.enabled:
+        OBS.metrics.counter("kernel.migration_estimates").inc()
+        OBS.metrics.histogram(
+            "kernel.migration_seconds",
+            bounds=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0),
+        ).observe(report.estimated_seconds)
+    return report

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..errors import CapacityError, PolicyError, SpecError
 from ..firmware.slit import Slit, build_slit
+from ..obs import OBS
 from ..firmware.srat import Srat, build_srat
 from ..hw.spec import MachineSpec
 from .migration import MigrationReport, estimate_migration
@@ -192,6 +193,9 @@ class KernelMemoryManager:
             policy=policy,
         )
         self._live[alloc.allocation_id] = alloc
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.allocations").inc()
+            OBS.metrics.counter("kernel.pages_allocated").inc(alloc.total_pages)
         return alloc
 
     def allocate_ordered(
@@ -347,6 +351,10 @@ class KernelMemoryManager:
             self.machine, moved, to_node, page_size=self.page_size,
             requested_pages=want,
         )
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.migrations").inc()
+            OBS.metrics.counter("kernel.pages_migrated").inc(report.moved_pages)
+            OBS.metrics.counter("kernel.bytes_migrated").inc(report.bytes_moved)
         for node, count in moved.items():
             self._node(node).release(count)
             dest.reserve(count)

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..errors import SimulationError
 from ..hw.spec import MachineSpec, NodeInstance
+from ..obs import OBS
 from ..topology.build import Topology, build_topology
 from .access import KernelPhase, PatternKind, Placement
 from .caches import CacheModel, cache_filter
@@ -210,6 +211,8 @@ class SimEngine:
         placement — the building block of the placement search's
         branch-and-bound (docs/MODEL.md, "Placement search").
         """
+        if OBS.enabled:
+            OBS.metrics.counter("sim.single_access_pricings").inc()
         access, filtered = prepared.filtered[index]
         pus = prepared.pus
         threads = prepared.phase.threads
@@ -238,6 +241,8 @@ class SimEngine:
         self, prepared: PreparedPhase, placement: Placement
     ) -> PhaseTiming:
         """Price a :class:`PreparedPhase` under one placement."""
+        if OBS.enabled:
+            OBS.metrics.counter("sim.pricings").inc()
         phase = prepared.phase
         pus = prepared.pus
         threads = phase.threads
@@ -330,10 +335,17 @@ class SimEngine:
         pus: tuple[int, ...] | None = None,
     ) -> RunTiming:
         """Price a sequence of phases under one placement."""
-        run = RunTiming()
-        for phase in phases:
-            run.phases.append(self.price_phase(phase, placement, pus=pus))
-        return run
+        if not OBS.enabled:
+            run = RunTiming()
+            for phase in phases:
+                run.phases.append(self.price_phase(phase, placement, pus=pus))
+            return run
+        with OBS.tracer.span("sim.price_run") as span:
+            run = RunTiming()
+            for phase in phases:
+                run.phases.append(self.price_phase(phase, placement, pus=pus))
+            span.fields.update(phases=len(run.phases), seconds=run.seconds)
+            return run
 
     # ------------------------------------------------------------------
     # node performance resolution

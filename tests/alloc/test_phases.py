@@ -6,8 +6,7 @@ from repro.alloc import PhaseManager
 from repro.errors import AllocationError
 from repro.sim import BufferAccess, KernelPhase, PatternKind
 from repro.units import GB
-
-KNL_PUS = tuple(range(64))
+from tests.conftest import KNL_PUS
 
 
 def hot_phase(buffer: str, sweeps: int) -> KernelPhase:

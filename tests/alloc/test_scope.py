@@ -13,12 +13,6 @@ from repro.kernel import bind_policy
 from repro.units import GB
 
 
-@pytest.fixture(scope="module")
-def xeon_benchmarked():
-    """Xeon stack with benchmark-fed attributes (remote pairs measured)."""
-    return repro.quick_setup("xeon-cascadelake-1lm", benchmark=True)
-
-
 class TestScope:
     def test_local_scope_stays_local(self, xeon_benchmarked):
         setup = xeon_benchmarked

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+import repro
+from repro import obs
 from repro.bench import characterize_machine, feed_attributes
 from repro.core import MemAttrs, native_discovery
 from repro.hw import get_platform
@@ -16,6 +18,33 @@ from repro.kernel import KernelMemoryManager
 from repro.alloc import HeterogeneousAllocator
 from repro.sim import SimEngine
 from repro.topology import build_topology
+
+# Shared PU sets for the two §VI servers (importable: tests.conftest).
+XEON_PUS = tuple(range(40))
+KNL_PUS = tuple(range(64))
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    """Reset the process-global observability state around every test.
+
+    Tests that enable tracing/metrics mutate ``repro.obs.OBS``; resetting
+    on both sides keeps the instrumented hot paths deterministic and
+    stops counters leaking between tests.
+    """
+    obs.reset()
+    yield obs.OBS
+    obs.reset()
+
+
+@pytest.fixture(scope="session")
+def xeon_pus():
+    return XEON_PUS
+
+
+@pytest.fixture(scope="session")
+def knl_pus():
+    return KNL_PUS
 
 
 @pytest.fixture(scope="session")
@@ -110,3 +139,25 @@ def xeon_allocator(xeon_attrs, xeon_kernel):
 @pytest.fixture()
 def knl_allocator(knl_attrs, knl_kernel):
     return HeterogeneousAllocator(knl_attrs, knl_kernel)
+
+
+@pytest.fixture()
+def xeon_setup():
+    """Full Xeon stack from quick_setup (HMAT path; fresh kernel state)."""
+    return repro.quick_setup("xeon-cascadelake-1lm")
+
+
+@pytest.fixture()
+def knl_setup():
+    """Full KNL stack from quick_setup (fresh kernel state)."""
+    return repro.quick_setup("knl-snc4-flat")
+
+
+@pytest.fixture(scope="module")
+def xeon_benchmarked():
+    """Xeon stack with benchmark-fed attributes (remote pairs measured).
+
+    Module-scoped: benchmarking every pair is the expensive part; tests
+    sharing it must free what they allocate.
+    """
+    return repro.quick_setup("xeon-cascadelake-1lm", benchmark=True)

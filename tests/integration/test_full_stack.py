@@ -9,6 +9,7 @@ from repro.profiler import analyze_run, object_analysis
 from repro.sensitivity import classify_buffers, recommend_requests
 from repro.alloc import PlacementPlanner
 from repro.units import GB, GiB
+from tests.conftest import XEON_PUS
 
 
 class TestQuickSetup:
@@ -17,16 +18,16 @@ class TestQuickSetup:
             setup = repro.quick_setup(name)
             assert setup.allocator.memattrs.has_values("Capacity")
 
-    def test_hmat_platform_skips_benchmarks(self):
-        setup = repro.quick_setup("xeon-cascadelake-1lm")
+    def test_hmat_platform_skips_benchmarks(self, xeon_setup):
+        setup = xeon_setup
         # Native discovery leaves remote pairs unmeasured.
         from repro.errors import NoValueError
         node0 = setup.topology.numanode_by_os_index(0)
         with pytest.raises(NoValueError):
             setup.memattrs.get_value("Latency", node0, 41)
 
-    def test_forced_benchmark_covers_remote(self):
-        setup = repro.quick_setup("xeon-cascadelake-1lm", benchmark=True)
+    def test_forced_benchmark_covers_remote(self, xeon_benchmarked):
+        setup = xeon_benchmarked
         node0 = setup.topology.numanode_by_os_index(0)
         assert setup.memattrs.get_value("Latency", node0, 41) > 0
 
@@ -56,10 +57,10 @@ class TestPortabilityStory:
             assert buf.target.attrs["kind"] == expected, platform
             setup.allocator.free(buf)
 
-    def test_memkind_style_hardwiring_fails_where_attrs_succeed(self):
+    def test_memkind_style_hardwiring_fails_where_attrs_succeed(self, xeon_setup):
         """A memkind-style 'give me HBM' request has no portable answer on
         the Xeon; the attribute request does (returns DRAM)."""
-        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        setup = xeon_setup
         hbm_nodes = [
             n for n in setup.topology.numanodes() if n.attrs["kind"] == "HBM"
         ]
@@ -70,15 +71,15 @@ class TestPortabilityStory:
 
 
 class TestProfileGuidedLoop:
-    def test_fig6_workflow_improves_over_naive(self):
+    def test_fig6_workflow_improves_over_naive(self, xeon_setup):
         """Profile on the wrong placement, reallocate per recommendations,
         and verify the TEPS improvement."""
-        setup = repro.quick_setup("xeon-cascadelake-1lm")
+        setup = xeon_setup
         engine = setup.engine
         drv = Graph500Driver(engine)
         model = TrafficModel.analytic(22)
         cfg = Graph500Config(scale=22, nroots=1, threads=16)
-        pus = tuple(range(40))
+        pus = XEON_PUS
 
         # Naive: everything on the capacity tier (NVDIMM).
         naive_placement = drv.placement_all_on(2, model)
@@ -94,8 +95,8 @@ class TestProfileGuidedLoop:
 
         assert tuned.harmonic_teps > naive.harmonic_teps * 1.5
 
-    def test_profiler_sees_allocator_placements(self):
-        setup = repro.quick_setup("xeon-cascadelake-1lm")
+    def test_profiler_sees_allocator_placements(self, xeon_setup):
+        setup = xeon_setup
         buf = setup.allocator.mem_alloc(2 * GB, "Capacity", 0, name="table")
         from repro.sim import BufferAccess, KernelPhase, PatternKind
         phase = KernelPhase(

@@ -4,7 +4,6 @@ allocations change another's fallback behaviour."""
 
 import pytest
 
-import repro
 from repro.alloc import HeterogeneousAllocator
 from repro.core import refresh_available_capacity
 from repro.errors import CapacityError
@@ -68,12 +67,12 @@ class TestSharedCapacity:
 
 
 class TestWholeStackContention:
-    def test_two_stream_apps_degrade_gracefully(self):
+    def test_two_stream_apps_degrade_gracefully(self, knl_setup):
         """Two STREAM instances on one cluster: the second falls back and
         its throughput reflects the slower tier, not a crash."""
         from repro.apps import StreamApp
         from repro.units import GiB
-        setup = repro.quick_setup("knl-snc4-flat")
+        setup = knl_setup
         app = StreamApp(setup.engine, setup.allocator)
         pus = tuple(range(64))
 

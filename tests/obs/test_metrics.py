@@ -1,0 +1,156 @@
+"""Unit tests for the metrics half of :mod:`repro.obs`."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_metrics,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        c.inc(2)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 2.0  # failed inc leaves the value untouched
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("free_bytes")
+        g.set(100)
+        g.add(-30)
+        assert g.value == 70.0
+
+
+class TestHistogram:
+    def test_observations_land_in_first_matching_bucket(self):
+        h = Histogram("h", bounds=(1, 10, 100))
+        for v in (0, 1, 5, 10, 50, 1000):
+            h.observe(v)
+        assert h.bucket_counts == [2, 2, 1, 1]  # last = +Inf overflow
+        assert h.count == 6
+        assert h.sum == 1066
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(10, 1))
+
+    def test_mean(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        h.observe(2)
+        h.observe(4)
+        assert h.mean == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("alloc.requests", attribute="Bandwidth")
+        b = reg.counter("alloc.requests", attribute="Bandwidth")
+        assert a is b
+        other = reg.counter("alloc.requests", attribute="Latency")
+        assert other is not a  # distinct labels = distinct series
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", x=1, y=2)
+        b = reg.counter("c", y=2, x=1)
+        assert a is b
+
+    def test_name_bound_to_one_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("alloc.requests")
+        with pytest.raises(ValueError):
+            reg.gauge("alloc.requests")
+
+    def test_value_defaults_to_zero_when_untouched(self):
+        reg = MetricsRegistry()
+        assert reg.value("never.seen") == 0.0
+        reg.counter("seen").inc(3)
+        assert reg.value("seen") == 3.0
+        assert reg.value("seen", node=1) == 0.0  # other series untouched
+
+    def test_histogram_custom_bounds_kept(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(0.1, 1.0))
+        assert h.bounds == (0.1, 1.0)
+        assert reg.histogram("lat") is h
+
+    def test_instruments_sorted_and_as_dict_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("b.second").inc()
+        reg.counter("a.first", node=2).inc(2)
+        reg.gauge("c.gauge").set(7)
+        reg.histogram("d.hist").observe(3)
+        names = [i.name for i in reg.instruments()]
+        assert names == sorted(names)
+        snapshot = reg.as_dict()
+        # JSON-safe: survives a dumps/loads round trip unchanged.
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["a.first"][0] == {
+            "labels": {"node": "2"},
+            "kind": "counter",
+            "value": 2.0,
+        }
+        assert snapshot["d.hist"][0]["count"] == 1
+
+
+class TestRenderMetrics:
+    def test_counter_rendering(self):
+        reg = MetricsRegistry()
+        reg.counter("alloc.requests", attribute="Bandwidth").inc(3)
+        text = render_metrics(reg)
+        assert "# TYPE alloc_requests_total counter" in text
+        assert 'alloc_requests_total{attribute="Bandwidth"} 3.0' in text
+
+    def test_gauge_rendering(self):
+        reg = MetricsRegistry()
+        reg.gauge("free.bytes", node=0).set(42)
+        text = render_metrics(reg)
+        assert "# TYPE free_bytes gauge" in text
+        assert 'free_bytes{node="0"} 42.0' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 99):
+            h.observe(v)
+        text = render_metrics(reg)
+        assert '# TYPE h histogram' in text
+        assert 'h_bucket{le="1.0"} 1' in text
+        assert 'h_bucket{le="2.0"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 101.0" in text
+        assert "h_count 3" in text
+
+    def test_rendering_does_not_mutate(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(1)
+        before = reg.as_dict()
+        render_metrics(reg)
+        render_metrics(reg)
+        assert reg.as_dict() == before
+
+    def test_empty_registry_renders_empty(self):
+        assert render_metrics(MetricsRegistry()) == ""
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

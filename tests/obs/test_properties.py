@@ -1,0 +1,198 @@
+"""Property-based invariants of the observability layer.
+
+The pillars the rest of the PR leans on:
+
+* counters are monotone under any sequence of valid increments;
+* histogram ``sum``/``count`` exactly conserve the observations;
+* span trees are well-nested for *any* nesting of bodies, including
+  ones that raise;
+* both exporters round-trip through ``json.loads`` losslessly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs import MetricsRegistry, Tracer, to_chrome_trace, to_jsonl
+
+
+class Ticker:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+class TestCounterMonotone:
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), max_size=50))
+    def test_value_never_decreases(self, increments):
+        c = MetricsRegistry().counter("c")
+        seen = [c.value]
+        for amount in increments:
+            c.inc(amount)
+            seen.append(c.value)
+        assert all(a <= b for a, b in zip(seen, seen[1:]))
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e9), max_size=20),
+        st.floats(max_value=-1e-9, min_value=-1e9),
+    )
+    def test_negative_increment_never_observable(self, increments, bad):
+        c = MetricsRegistry().counter("c")
+        for amount in increments:
+            c.inc(amount)
+        before = c.value
+        with pytest.raises(ValueError):
+            c.inc(bad)
+        assert c.value == before
+
+
+# ----------------------------------------------------------------------
+# histograms
+# ----------------------------------------------------------------------
+class TestHistogramConservation:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), max_size=100))
+    def test_sum_and_count_exact(self, values):
+        h = MetricsRegistry().histogram("h")
+        for v in values:
+            h.observe(v)
+        # Integer inputs make float addition exact: equality, not approx.
+        assert h.sum == sum(values)
+        assert h.count == len(values)
+        assert sum(h.bucket_counts) == len(values)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=50))
+    def test_every_observation_lands_in_exactly_one_bucket(self, values):
+        h = MetricsRegistry().histogram("h", bounds=(1.0, 10.0, 50.0))
+        for v in values:
+            h.observe(v)
+        assert sum(h.bucket_counts) == h.count == len(values)
+        # Bucket i counts values in (bounds[i-1], bounds[i]].
+        bounds = (float("-inf"), 1.0, 10.0, 50.0, float("inf"))
+        for i in range(4):
+            expected = sum(1 for v in values if bounds[i] < v <= bounds[i + 1])
+            assert h.bucket_counts[i] == expected
+
+
+# ----------------------------------------------------------------------
+# span trees
+# ----------------------------------------------------------------------
+# A span tree: (name, raises, children).  Bodies either complete or
+# raise; every raise is caught one level up, like real call stacks.
+_trees = st.recursive(
+    st.tuples(st.sampled_from("abcd"), st.booleans(), st.just(())),
+    lambda kids: st.tuples(
+        st.sampled_from("abcd"), st.booleans(), st.lists(kids, max_size=3)
+    ),
+    max_leaves=12,
+)
+
+
+def _run_tree(tracer, node):
+    name, raises, children = node
+    try:
+        with tracer.span(name):
+            for child in children:
+                _run_tree(tracer, child)
+            if raises:
+                raise RuntimeError(name)
+    except RuntimeError:
+        pass
+
+
+class TestWellNesting:
+    @given(st.lists(_trees, min_size=1, max_size=4))
+    def test_intervals_well_nested(self, forest):
+        tracer = Tracer(clock=Ticker())
+        for tree in forest:
+            _run_tree(tracer, tree)
+        spans = tracer.finished()
+        assert len(spans) == len(tracer.records)  # everything closed
+        by_id = {s.span_id: s for s in spans}
+        for s in spans:
+            assert s.start < s.end
+            if s.parent_id is None:
+                assert s.depth == 0
+            else:
+                parent = by_id[s.parent_id]
+                assert s.depth == parent.depth + 1
+                # Child interval strictly inside the parent's.
+                assert parent.start < s.start and s.end < parent.end
+        # Any two spans are disjoint or one contains the other.
+        for a in spans:
+            for b in spans:
+                if a is b:
+                    continue
+                disjoint = a.end < b.start or b.end < a.start
+                a_in_b = b.start < a.start and a.end < b.end
+                b_in_a = a.start < b.start and b.end < a.end
+                assert disjoint or a_in_b or b_in_a
+
+    @given(st.lists(_trees, min_size=1, max_size=4))
+    def test_raising_bodies_marked_error(self, forest):
+        tracer = Tracer(clock=Ticker())
+        for tree in forest:
+            _run_tree(tracer, tree)
+
+        def walk(node, depth=0):
+            name, raises, children = node
+            yield name, raises, depth
+            for child in children:
+                yield from walk(child, depth + 1)
+
+        expected = [item for tree in forest for item in walk(tree)]
+        got = [(s.name, s.status == "error", s.depth) for s in tracer.records]
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+_field_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+    st.booleans(),
+)
+
+
+class TestExportRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(min_size=1, max_size=20),
+                st.dictionaries(
+                    st.text(min_size=1, max_size=10), _field_values, max_size=3
+                ),
+            ),
+            max_size=10,
+        )
+    )
+    def test_jsonl_round_trips(self, span_specs):
+        tracer = Tracer(clock=Ticker())
+        for name, fields in span_specs:
+            with tracer.span(name, **{}):
+                tracer.annotate(**fields)
+        text = to_jsonl(tracer)
+        lines = [line for line in text.splitlines() if line]
+        assert len(lines) == len(span_specs)
+        for line, record in zip(lines, tracer.finished()):
+            assert json.loads(line) == record.as_dict()
+
+    @given(st.lists(st.sampled_from("abcd"), max_size=10))
+    def test_chrome_trace_round_trips(self, names):
+        tracer = Tracer(clock=Ticker())
+        for name in names:
+            with tracer.span(name):
+                pass
+        doc = to_chrome_trace(tracer)
+        assert json.loads(json.dumps(doc)) == doc
+        assert [e["name"] for e in doc["traceEvents"]] == names
+        for event in doc["traceEvents"]:
+            assert event["dur"] >= 0

@@ -7,9 +7,7 @@ from repro.errors import ReproError
 from repro.sensitivity import infer_criterion, whole_process_binding_sweep
 from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
 from repro.units import GiB
-
-XEON_PUS = tuple(range(40))
-KNL_PUS = tuple(range(64))
+from tests.conftest import KNL_PUS, XEON_PUS
 
 
 def graph500_metric(engine, pus, threads=16, scale=23):

@@ -7,8 +7,7 @@ from repro.errors import ProfilerError
 from repro.sensitivity import classify_buffers, recommend_requests
 from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
 from repro.units import GiB
-
-XEON_PUS = tuple(range(40))
+from tests.conftest import XEON_PUS
 
 
 @pytest.fixture(scope="module")

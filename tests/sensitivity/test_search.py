@@ -10,8 +10,7 @@ from repro.sensitivity import exhaustive_search, search_placements
 from repro.sensitivity.search import _BoundModel, _SearchSpace
 from repro.sim import BufferAccess, KernelPhase, PatternKind
 from repro.units import GB, MiB
-
-XEON_PUS = tuple(range(40))
+from tests.conftest import XEON_PUS
 
 
 @pytest.fixture(scope="module")
