@@ -64,6 +64,7 @@ def _run_reactive() -> tuple[float, int]:
         ),
     )
     daemon.track("hot", alloc)
+    fast, slow = {4}, {0}
     total = 0.0
     converged_at = INTERVALS
     for interval in range(INTERVALS):
@@ -74,6 +75,15 @@ def _run_reactive() -> tuple[float, int]:
         total += t.seconds
         daemon.observe({"hot": HOT_BYTES * SWEEPS_PER_INTERVAL})
         report = daemon.step()
+        # Churn guard: every migration crosses the tier boundary.  A
+        # demotion pulls only fast-resident pages, a promotion only pages
+        # from outside the fast tier — never slow→slow (or fast→fast)
+        # shuffling that burns budget without changing the tier mix.
+        for m in report.migrations:
+            if m.to_node in slow:
+                assert set(m.from_nodes) <= fast, f"slow→slow churn: {m}"
+            if m.to_node in fast:
+                assert not set(m.from_nodes) & fast, f"fast→fast churn: {m}"
         total += report.migration_seconds
         if alloc.fraction_on(4) > 0.999 and converged_at == INTERVALS:
             converged_at = interval + 1

@@ -42,6 +42,7 @@ from . import (
     obs,
     omp,
     profiler,
+    resilience,
     sensitivity,
     sim,
     topology,
@@ -70,6 +71,7 @@ __all__ = [
     "obs",
     "omp",
     "profiler",
+    "resilience",
     "sensitivity",
     "sim",
     "topology",

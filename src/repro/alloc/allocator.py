@@ -105,6 +105,13 @@ class HeterogeneousAllocator:
         self.tie_tolerance = tie_tolerance
         self.tie_attr = tie_attr
         self.buffers: dict[str, Buffer] = {}
+        # Topology events (node offline/online, co-tenant capacity shifts)
+        # must invalidate the memoized rankings exactly like attribute
+        # updates do, or mem_alloc would keep placing onto a dead node.
+        kernel.add_topology_listener(self._on_topology_event)
+
+    def _on_topology_event(self, event: str, node: int) -> None:
+        self.memattrs.notify_topology_event(event=event, node=node)
 
     # ------------------------------------------------------------------
     def rank_for(

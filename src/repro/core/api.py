@@ -108,6 +108,48 @@ class MemAttrs:
         stats["generation"] = self._generation
         return stats
 
+    def notify_topology_event(
+        self, event: str = "topology", node: int | None = None
+    ) -> None:
+        """The machine changed under us (node offline/online, co-tenant
+        capacity shift): bump the generation so every memoized query —
+        rankings, fallback chains, initiator matches — is invalidated
+        exactly as an attribute update would.
+
+        The kernel layer fires this through a topology listener
+        (:meth:`repro.kernel.KernelMemoryManager.add_topology_listener`);
+        the heterogeneous allocator wires the two together.
+        """
+        self._bump_generation()
+        if OBS.enabled:
+            OBS.metrics.counter("core.topology_events", event=event).inc()
+
+    def degrade_target(
+        self, attr: MemAttribute | str, target: TopoObject, factor: float
+    ) -> int:
+        """Scale every stored value of ``attr`` for one target by ``factor``.
+
+        This is the staleness/degradation fault model of
+        :mod:`repro.resilience`: co-tenant interference makes measured
+        bandwidth values optimistic (``factor < 1``) or latencies
+        pessimistic (``factor > 1``).  Returns how many stored values were
+        rescaled; the generation is bumped when any were.
+        """
+        attr = self._resolve(attr)
+        self._check_target(target)
+        if factor <= 0:
+            raise AttributeFlagError("degradation factor must be positive")
+        per_initiator = self._store.get_map(attr.id, target.os_index)
+        for key in per_initiator:
+            per_initiator[key] *= factor
+        if per_initiator:
+            self._bump_generation()
+            if OBS.enabled:
+                OBS.metrics.counter(
+                    "core.values_degraded", attribute=attr.name
+                ).inc(len(per_initiator))
+        return len(per_initiator)
+
     # ------------------------------------------------------------------
     # registry
     # ------------------------------------------------------------------

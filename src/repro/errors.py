@@ -22,6 +22,7 @@ __all__ = [
     "CapacityError",
     "PolicyError",
     "MigrationError",
+    "TransientMigrationError",
     "FirmwareError",
     "SimulationError",
     "BenchmarkError",
@@ -95,6 +96,15 @@ class PolicyError(ReproError):
 
 class MigrationError(ReproError):
     """A page/buffer migration failed."""
+
+
+class TransientMigrationError(MigrationError):
+    """A migration failed for a *transient* reason (fault injection, page
+    pinned mid-move, racing reclaim).
+
+    Retrying the same request may succeed; callers that care about
+    resilience (``repro.resilience``) back off and retry, everyone else
+    can treat it as a plain :class:`MigrationError`."""
 
 
 class FirmwareError(ReproError):

@@ -9,18 +9,18 @@ The heterogeneous allocator (:mod:`repro.alloc`) sits on top of this layer
 exactly like hwloc's allocator sits on top of ``mbind``/``move_pages``.
 """
 
+from .autotier import AutoTierDaemon, TierConfig
+from .migration import MigrationReport
 from .nodes import NodeState
+from .pagealloc import KernelMemoryManager, PageAllocation
 from .policy import (
     MemPolicy,
     PolicyKind,
-    default_policy,
     bind_policy,
-    preferred_policy,
+    default_policy,
     interleave_policy,
+    preferred_policy,
 )
-from .pagealloc import KernelMemoryManager, PageAllocation
-from .migration import MigrationReport
-from .autotier import AutoTierDaemon, TierConfig
 
 __all__ = [
     "NodeState",

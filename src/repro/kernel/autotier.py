@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ReproError
+from ..errors import ReproError, TransientMigrationError
 from ..obs import OBS
 from .migration import MigrationReport
 from .pagealloc import KernelMemoryManager, PageAllocation
@@ -50,6 +50,8 @@ class TierConfig:
             raise ReproError("a node cannot be in both tiers")
         if not 0 <= self.decay <= 1:
             raise ReproError("decay must be in [0, 1]")
+        if self.migration_budget_bytes < 0:
+            raise ReproError("migration budget must be non-negative")
         if self.promotion_threshold <= self.demotion_threshold:
             raise ReproError("promotion threshold must exceed demotion threshold")
 
@@ -69,6 +71,11 @@ class StepReport:
     demoted: list[str] = field(default_factory=list)
     migrations: list[MigrationReport] = field(default_factory=list)
     bytes_moved: int = 0
+    #: migrations skipped because the kernel reported a transient failure
+    #: (the buffer stays where it is; next step retries naturally).
+    transient_failures: int = 0
+    #: tier nodes found offline this step (that tier direction is skipped).
+    offline_tier_nodes: int = 0
 
     @property
     def migration_seconds(self) -> float:
@@ -102,12 +109,16 @@ class AutoTierDaemon:
         """Feed one interval's access volumes (bytes touched per buffer).
 
         Stands in for the page-fault/PMU sampling a real kernel uses.
+        Validation is all-or-nothing: a bad entry anywhere in the dict
+        raises *before* any hotness state is touched, so a failed call
+        leaves the daemon exactly as it was.
         """
         for name, nbytes in accesses_bytes.items():
             if name not in self._tracked:
                 raise ReproError(f"unknown buffer {name!r}")
             if nbytes < 0:
                 raise ReproError("access volume must be non-negative")
+        for name, nbytes in accesses_bytes.items():
             self._tracked[name].bytes_this_interval += nbytes
 
     # ------------------------------------------------------------------
@@ -128,6 +139,14 @@ class AutoTierDaemon:
             metrics.counter("autotier.promotions").inc(len(report.promoted))
             metrics.counter("autotier.demotions").inc(len(report.demoted))
             metrics.counter("autotier.bytes_moved").inc(report.bytes_moved)
+            if report.transient_failures:
+                metrics.counter("autotier.transient_failures").inc(
+                    report.transient_failures
+                )
+            if report.offline_tier_nodes:
+                metrics.counter("autotier.offline_tier_nodes").inc(
+                    report.offline_tier_nodes
+                )
             span.fields.update(
                 promoted=len(report.promoted),
                 demoted=len(report.demoted),
@@ -144,20 +163,40 @@ class AutoTierDaemon:
             t.bytes_this_interval = 0.0
 
         budget = cfg.migration_budget_bytes
+        # Tier nodes can vanish mid-run (hot-unplug, co-tenant eviction):
+        # work with what is still online and skip a direction entirely when
+        # its tier is gone, rather than migrating into a dead node.
+        fast = tuple(n for n in cfg.fast_nodes if self.kernel.is_online(n))
+        slow = tuple(n for n in cfg.slow_nodes if self.kernel.is_online(n))
+        report.offline_tier_nodes = (
+            len(cfg.fast_nodes) - len(fast) + len(cfg.slow_nodes) - len(slow)
+        )
 
-        # Demote cold residents first: frees fast-tier room.
+        # Demote cold residents first: frees fast-tier room.  Only pages
+        # actually resident in the fast tier move (``from_nodes=fast``) —
+        # demoting a buffer that already lives in the slow tier would burn
+        # the migration budget moving pages slow→slow.
         for name, t in sorted(self._tracked.items(), key=lambda kv: kv[1].hotness):
-            if t.hotness >= cfg.demotion_threshold:
+            if not slow or t.hotness >= cfg.demotion_threshold:
                 break
-            if self._fraction_fast(t.allocation) == 0.0 or budget <= 0:
-                continue
-            dest = max(cfg.slow_nodes, key=self.kernel.free_bytes)
-            pages = min(
-                t.allocation.total_pages, budget // self.kernel.page_size
+            if budget <= 0:
+                break
+            fast_resident = sum(
+                t.allocation.pages_by_node.get(n, 0) for n in fast
             )
-            if pages == 0:
+            if fast_resident == 0:
                 continue
-            migration = self.kernel.migrate(t.allocation, dest, pages=pages)
+            dest = max(slow, key=self.kernel.free_bytes)
+            pages = min(fast_resident, budget // self.kernel.page_size)
+            if pages == 0:
+                break
+            try:
+                migration = self.kernel.migrate(
+                    t.allocation, dest, pages=pages, from_nodes=fast
+                )
+            except TransientMigrationError:
+                report.transient_failures += 1
+                continue
             if migration.moved_pages:
                 report.demoted.append(name)
                 report.migrations.append(migration)
@@ -165,16 +204,21 @@ class AutoTierDaemon:
                 budget -= migration.bytes_moved
 
         # Promote the hottest candidates while room and budget remain.
+        # Symmetrically, only pages *outside* the fast tier move — pulling
+        # pages from one fast node into another is churn, not promotion.
+        non_fast = tuple(
+            n for n in self.kernel.node_ids() if n not in cfg.fast_nodes
+        )
         for name, t in sorted(
             self._tracked.items(), key=lambda kv: -kv[1].hotness
         ):
-            if t.hotness < cfg.promotion_threshold or budget <= 0:
+            if not fast or t.hotness < cfg.promotion_threshold or budget <= 0:
                 break
             if self._fraction_fast(t.allocation) >= 0.999:
                 continue
-            dest = max(cfg.fast_nodes, key=self.kernel.free_bytes)
-            needed = t.allocation.total_pages - t.allocation.pages_by_node.get(
-                dest, 0
+            dest = max(fast, key=self.kernel.free_bytes)
+            needed = sum(
+                t.allocation.pages_by_node.get(n, 0) for n in non_fast
             )
             pages = min(
                 needed,
@@ -183,7 +227,13 @@ class AutoTierDaemon:
             )
             if pages == 0:
                 continue
-            migration = self.kernel.migrate(t.allocation, dest, pages=pages)
+            try:
+                migration = self.kernel.migrate(
+                    t.allocation, dest, pages=pages, from_nodes=non_fast
+                )
+            except TransientMigrationError:
+                report.transient_failures += 1
+                continue
             if migration.moved_pages:
                 report.promoted.append(name)
                 report.migrations.append(migration)

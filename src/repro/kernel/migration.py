@@ -69,21 +69,25 @@ def estimate_migration(
     dest = nodes[to_node]
 
     total_pages = 0
-    seconds = 0.0
     for src_index, pages in moved.items():
         if pages < 0:
             raise MigrationError("negative page count in migration plan")
         if src_index not in nodes:
             raise MigrationError(f"unknown source node {src_index}")
+        total_pages += pages
+
+    # The destination absorbs the *whole* transfer, so its working-set-aware
+    # write bandwidth is evaluated on the total transferred bytes — pricing
+    # each source chunk separately would let a multi-source migration dodge
+    # the write-buffer falloff of NVDIMM-like targets.
+    write_bw = dest.tech.effective_write_bandwidth(total_pages * page_size)
+    seconds = 0.0
+    for src_index, pages in moved.items():
         src = nodes[src_index]
         nbytes = pages * page_size
-        # Copy rate limited by the slower side; destination writes use the
-        # working-set-aware write bandwidth (NVDIMM destinations are slow).
-        read_bw = src.tech.peak_read_bandwidth
-        write_bw = dest.tech.effective_write_bandwidth(nbytes)
-        rate = min(read_bw, write_bw)
+        # Copy rate limited by the slower side.
+        rate = min(src.tech.peak_read_bandwidth, write_bw)
         seconds += nbytes / rate + pages * PER_PAGE_KERNEL_OVERHEAD
-        total_pages += pages
 
     report = MigrationReport(
         moved_pages=total_pages,

@@ -10,13 +10,20 @@ observable to the simulator and the profiler.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Callable
 from dataclasses import dataclass
 
-from ..errors import CapacityError, PolicyError, SpecError
+from ..errors import (
+    CapacityError,
+    MigrationError,
+    PolicyError,
+    SpecError,
+    TransientMigrationError,
+)
 from ..firmware.slit import Slit, build_slit
-from ..obs import OBS
 from ..firmware.srat import Srat, build_srat
 from ..hw.spec import MachineSpec
+from ..obs import OBS
 from .migration import MigrationReport, estimate_migration
 from .nodes import NodeState
 from .policy import MemPolicy, PolicyKind, bind_policy
@@ -98,12 +105,28 @@ class KernelMemoryManager:
         self.srat = srat or build_srat(machine)
         self.slit = slit or build_slit(machine)
         self.nodes: dict[int, NodeState] = {}
+        self._os_reserved: dict[int, int] = {}
         for inst in machine.numa_nodes():
             state = NodeState.from_instance(inst, page_size)
             reserved = int(state.total_pages * os_reserved_fraction)
             state.free_pages -= reserved
             self.nodes[inst.os_index] = state
+            self._os_reserved[inst.os_index] = reserved
         self._live: dict[int, PageAllocation] = {}
+        #: Nodes taken out of service (hot-unplug / co-tenant eviction).
+        #: Offline nodes keep their :class:`NodeState` but are skipped by
+        #: every allocation path and refused as migration destinations.
+        self._offline: set[int] = set()
+        #: Pages stolen per node by a co-tenant (capacity-loss faults).
+        self._cotenant: dict[int, int] = {}
+        #: Called as ``listener(event, node)`` after every topology event
+        #: ("offline" / "online" / "capacity_loss" / "capacity_restored") —
+        #: how the attribute layer learns its cached rankings went stale.
+        self._topology_listeners: list[Callable[[str, int], None]] = []
+        #: Fault-injection hook: when set and returning True, the next
+        #: public :meth:`migrate` raises :class:`TransientMigrationError`.
+        #: Kernel-internal drains (:meth:`offline_node`) bypass it.
+        self.migration_fault_hook: Callable[[], bool] | None = None
         # Zonelists and policy candidate orders derive only from the SLIT
         # and the node set, both fixed at construction — memoize them so
         # the allocation hot path stops re-sorting distances per call.
@@ -116,8 +139,26 @@ class KernelMemoryManager:
     def node_ids(self) -> tuple[int, ...]:
         return tuple(sorted(self.nodes))
 
+    def online_node_ids(self) -> tuple[int, ...]:
+        return tuple(n for n in sorted(self.nodes) if n not in self._offline)
+
+    def is_online(self, node: int) -> bool:
+        self._node(node)
+        return node not in self._offline
+
     def free_bytes(self, node: int) -> int:
-        return self._node(node).free_bytes
+        state = self._node(node)
+        return 0 if node in self._offline else state.free_bytes
+
+    def os_reserved_pages(self, node: int) -> int:
+        """Pages the OS kept for itself on a node (fixed at construction)."""
+        self._node(node)
+        return self._os_reserved[node]
+
+    def cotenant_pages(self, node: int) -> int:
+        """Pages currently stolen from a node by a co-tenant."""
+        self._node(node)
+        return self._cotenant.get(node, 0)
 
     def local_node_of_pu(self, pu: int) -> int:
         """The node "default" allocations target for a given CPU."""
@@ -212,6 +253,14 @@ class KernelMemoryManager:
         unknown = set(nodes_in_order) - set(self.nodes)
         if unknown:
             raise PolicyError(f"unknown nodes {sorted(unknown)}")
+        if self._offline:
+            nodes_in_order = tuple(
+                n for n in nodes_in_order if n not in self._offline
+            )
+            if not nodes_in_order:
+                raise CapacityError(
+                    "ordered placement impossible: every candidate node is offline"
+                )
         pages = self._pages_for(size_bytes)
         placed: dict[int, int] = {}
         remaining = pages
@@ -246,6 +295,9 @@ class KernelMemoryManager:
         if cached is None:
             cached = self._candidate_order_uncached(policy, local)
             self._order_cache[key] = cached
+        if self._offline:
+            # The cached order is topology-static; online-ness is not.
+            return tuple(n for n in cached if n not in self._offline)
         return cached
 
     def _candidate_order_uncached(
@@ -257,7 +309,9 @@ class KernelMemoryManager:
             allowed = set(policy.nodes)
             unknown = allowed - set(self.nodes)
             if unknown:
-                raise PolicyError(f"bind nodeset contains unknown nodes {sorted(unknown)}")
+                raise PolicyError(
+                    f"bind nodeset contains unknown nodes {sorted(unknown)}"
+                )
             start = local if local in allowed else min(allowed)
             return tuple(n for n in self.zonelist(start) if n in allowed)
         if policy.kind is PolicyKind.PREFERRED:
@@ -281,6 +335,12 @@ class KernelMemoryManager:
 
     def _interleave(self, pages: int, nodes: tuple[int, ...]) -> dict[int, int]:
         """Round-robin placement honouring per-node free space."""
+        if self._offline:
+            nodes = tuple(n for n in nodes if n not in self._offline)
+            if not nodes:
+                raise CapacityError(
+                    "interleave impossible: every node in the set is offline"
+                )
         placed = {n: 0 for n in nodes}
         free = {n: self._node(n).free_pages for n in nodes}
         live = [n for n in nodes if free[n] > 0]
@@ -314,31 +374,79 @@ class KernelMemoryManager:
         if alloc.freed:
             raise SpecError(f"double free of {alloc.describe()}")
         if alloc.allocation_id not in self._live:
-            raise SpecError(f"allocation #{alloc.allocation_id} not owned by this manager")
+            raise SpecError(
+                f"allocation #{alloc.allocation_id} not owned by this manager"
+            )
         for node, count in alloc.pages_by_node.items():
             self._node(node).release(count)
         alloc.freed = True
         del self._live[alloc.allocation_id]
 
     def migrate(
-        self, alloc: PageAllocation, to_node: int, *, pages: int | None = None
+        self,
+        alloc: PageAllocation,
+        to_node: int,
+        *,
+        pages: int | None = None,
+        from_nodes: tuple[int, ...] | None = None,
     ) -> MigrationReport:
         """Move pages of an allocation to another node (``move_pages``).
 
         Moves up to ``pages`` pages (default: all of them), constrained by
-        free space on the destination.  Returns a report with the moved
+        free space on the destination.  ``from_nodes`` restricts which
+        source nodes pages may be pulled from — the auto-tier daemon
+        demotes with ``from_nodes=fast_nodes`` so that slow-resident pages
+        are never re-moved slow→slow.  Returns a report with the moved
         count and estimated cost.
+
+        Raises :class:`TransientMigrationError` when the installed
+        :attr:`migration_fault_hook` fires (fault injection), and
+        :class:`MigrationError` when the destination is offline.
         """
         if alloc.freed:
             raise SpecError("cannot migrate a freed allocation")
+        hook = self.migration_fault_hook
+        if hook is not None and hook():
+            if OBS.enabled:
+                OBS.metrics.counter("kernel.migration_transient_failures").inc()
+            raise TransientMigrationError(
+                f"transient failure migrating alloc#{alloc.allocation_id} "
+                f"to node {to_node}"
+            )
+        if to_node in self._offline:
+            raise MigrationError(f"destination node {to_node} is offline")
+        return self._do_migrate(alloc, to_node, pages=pages, from_nodes=from_nodes)
+
+    def _do_migrate(
+        self,
+        alloc: PageAllocation,
+        to_node: int,
+        *,
+        pages: int | None,
+        from_nodes: tuple[int, ...] | None,
+    ) -> MigrationReport:
+        """The migration body, shared by :meth:`migrate` and the
+        :meth:`offline_node` drain (which bypasses fault injection)."""
         dest = self._node(to_node)
-        want = alloc.total_pages if pages is None else pages
-        if want < 0:
+        if pages is not None and pages < 0:
             raise SpecError("cannot migrate a negative page count")
+        if from_nodes is None:
+            sources = sorted(alloc.pages_by_node)
+            want = alloc.total_pages if pages is None else pages
+        else:
+            unknown = set(from_nodes) - set(self.nodes)
+            if unknown:
+                raise PolicyError(f"unknown source nodes {sorted(unknown)}")
+            allowed = set(from_nodes)
+            sources = [n for n in sorted(alloc.pages_by_node) if n in allowed]
+            eligible = sum(
+                alloc.pages_by_node[n] for n in sources if n != to_node
+            )
+            want = eligible if pages is None else pages
 
         moved: dict[int, int] = {}
         remaining = min(want, alloc.total_pages - alloc.pages_by_node.get(to_node, 0))
-        for node in sorted(alloc.pages_by_node):
+        for node in sources:
             if node == to_node or remaining == 0:
                 continue
             here = alloc.pages_by_node[node]
@@ -365,6 +473,109 @@ class KernelMemoryManager:
                 del alloc.pages_by_node[node]
             alloc.pages_by_node[to_node] = alloc.pages_by_node.get(to_node, 0) + count
         return report
+
+    # ------------------------------------------------------------------
+    # node lifecycle (hot-unplug / co-tenant pressure)
+    # ------------------------------------------------------------------
+    def add_topology_listener(
+        self, listener: Callable[[str, int], None]
+    ) -> None:
+        """Register ``listener(event, node)`` for topology events."""
+        self._topology_listeners.append(listener)
+
+    def _notify(self, event: str, node: int) -> None:
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.topology_events", event=event).inc()
+        for listener in self._topology_listeners:
+            listener(event, node)
+
+    def offline_node(self, node: int) -> tuple[MigrationReport, ...]:
+        """Take a node out of service, draining every resident page first.
+
+        All pages of live allocations resident on ``node`` are migrated to
+        the remaining online nodes in zonelist (distance) order.  The
+        whole drain is checked for capacity *before* any page moves, so
+        the call either drains everything or raises
+        :class:`CapacityError` leaving all state untouched.
+        """
+        self._node(node)
+        if node in self._offline:
+            raise PolicyError(f"node {node} is already offline")
+        drains = [
+            (alloc, alloc.pages_by_node[node])
+            for alloc in sorted(
+                self._live.values(), key=lambda a: a.allocation_id
+            )
+            if node in alloc.pages_by_node
+        ]
+        resident = sum(p for _, p in drains)
+        dests = [n for n in self.zonelist(node)[1:] if n not in self._offline]
+        if resident > sum(self._node(d).free_pages for d in dests):
+            raise CapacityError(
+                f"cannot offline node {node}: {resident} resident pages "
+                f"exceed the free capacity of online nodes {dests}"
+            )
+        reports: list[MigrationReport] = []
+        for alloc, pages in drains:
+            remaining = pages
+            for dest in dests:
+                if remaining == 0:
+                    break
+                take = min(remaining, self._node(dest).free_pages)
+                if take == 0:
+                    continue
+                report = self._do_migrate(
+                    alloc, dest, pages=take, from_nodes=(node,)
+                )
+                remaining -= report.moved_pages
+                reports.append(report)
+            # The pre-check guarantees the drain completed.
+            assert remaining == 0, f"drain of node {node} lost {remaining} pages"
+        self._offline.add(node)
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.nodes_offlined").inc()
+            OBS.metrics.counter("kernel.pages_drained").inc(resident)
+        self._notify("offline", node)
+        return tuple(reports)
+
+    def online_node(self, node: int) -> None:
+        """Bring a previously offlined node back into service."""
+        self._node(node)
+        if node not in self._offline:
+            raise PolicyError(f"node {node} is not offline")
+        self._offline.discard(node)
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.nodes_onlined").inc()
+        self._notify("online", node)
+
+    def cotenant_reserve(self, node: int, pages: int) -> int:
+        """A co-tenant steals up to ``pages`` free pages from a node.
+
+        Returns how many were actually taken (capped at the free pool —
+        co-tenants cannot evict our live allocations).
+        """
+        state = self._node(node)
+        if pages < 0:
+            raise SpecError("cannot steal a negative page count")
+        take = min(pages, state.free_pages)
+        if take:
+            state.reserve(take)
+            self._cotenant[node] = self._cotenant.get(node, 0) + take
+        if OBS.enabled:
+            OBS.metrics.counter("kernel.cotenant_pages_taken").inc(take)
+        self._notify("capacity_loss", node)
+        return take
+
+    def cotenant_release(self, node: int, pages: int | None = None) -> int:
+        """Return co-tenant-held pages (default: all of them) to the node."""
+        state = self._node(node)
+        held = self._cotenant.get(node, 0)
+        give = held if pages is None else min(pages, held)
+        if give:
+            state.release(give)
+            self._cotenant[node] = held - give
+        self._notify("capacity_restored", node)
+        return give
 
     def live_allocations(self) -> tuple[PageAllocation, ...]:
         return tuple(self._live.values())

@@ -1,0 +1,60 @@
+"""Fault injection and degraded-mode resilience (:mod:`repro.resilience`).
+
+The paper's API assumes a static machine: attributes are measured once,
+placement decided once.  Real HPC nodes lose NUMA nodes to failures and
+maintenance, lose capacity to co-tenants, and serve stale attribute data.
+This package makes the stack survivable under all of that — and provable:
+
+* :mod:`~repro.resilience.faults` — seeded, deterministic
+  :class:`FaultPlan` schedules and the :class:`FaultClock` that replays
+  them against a live kernel + attribute registry;
+* :mod:`~repro.resilience.events` — the typed event log backing the
+  "nothing degrades silently" contract;
+* :mod:`~repro.resilience.resilient` — :class:`ResilientAllocator`,
+  a drop-in ``mem_alloc`` front end with degradation events and
+  retry-with-backoff on transient migration failures;
+* :mod:`~repro.resilience.chaos` — the differential chaos harness behind
+  the ``repro-chaos`` CLI and the seeded test suite.
+"""
+
+from .chaos import (
+    WORKLOADS,
+    ChaosOutcome,
+    ChaosRunResult,
+    check_invariants,
+    run_chaos,
+)
+from .events import EventKind, ResilienceEvent, ResilienceLog
+from .faults import (
+    AttrDegrade,
+    CapacityLoss,
+    CapacityRestore,
+    Fault,
+    FaultClock,
+    FaultPlan,
+    MigrationFlaky,
+    NodeOffline,
+    NodeOnline,
+)
+from .resilient import ResilientAllocator
+
+__all__ = [
+    "AttrDegrade",
+    "CapacityLoss",
+    "CapacityRestore",
+    "ChaosOutcome",
+    "ChaosRunResult",
+    "EventKind",
+    "Fault",
+    "FaultClock",
+    "FaultPlan",
+    "MigrationFlaky",
+    "NodeOffline",
+    "NodeOnline",
+    "ResilienceEvent",
+    "ResilienceLog",
+    "ResilientAllocator",
+    "WORKLOADS",
+    "check_invariants",
+    "run_chaos",
+]

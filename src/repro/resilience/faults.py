@@ -1,0 +1,357 @@
+"""Deterministic, seeded fault injection.
+
+A :class:`FaultPlan` is an immutable schedule of faults — node
+offline/online, co-tenant capacity pressure, attribute staleness,
+transient migration failures — pinned to integer ticks.  Identical seeds
+produce bit-identical plans (:meth:`FaultPlan.random` uses only its own
+``random.Random``), which is what makes the chaos differential suite
+reproducible.
+
+The :class:`FaultClock` replays a plan against a live stack: it owns the
+"now" tick, applies due faults to the kernel and the attribute registry,
+and records every application (or the reason it couldn't apply) in a
+:class:`~repro.resilience.events.ResilienceLog`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.api import MemAttrs
+from ..errors import CapacityError, PolicyError, ReproError, SpecError
+from ..kernel.pagealloc import KernelMemoryManager
+from ..obs import OBS
+from .events import EventKind, ResilienceLog
+
+__all__ = [
+    "NodeOffline",
+    "NodeOnline",
+    "CapacityLoss",
+    "CapacityRestore",
+    "AttrDegrade",
+    "MigrationFlaky",
+    "Fault",
+    "FaultPlan",
+    "FaultClock",
+]
+
+
+@dataclass(frozen=True)
+class NodeOffline:
+    """Take a node out of service (drains resident pages first)."""
+
+    node: int
+
+    def describe(self) -> str:
+        return f"offline node{self.node}"
+
+
+@dataclass(frozen=True)
+class NodeOnline:
+    """Bring an offlined node back."""
+
+    node: int
+
+    def describe(self) -> str:
+        return f"online node{self.node}"
+
+
+@dataclass(frozen=True)
+class CapacityLoss:
+    """A co-tenant steals ``fraction`` of the node's total pages."""
+
+    node: int
+    fraction: float
+
+    def describe(self) -> str:
+        return f"capacity-loss node{self.node} x{self.fraction:.3f}"
+
+
+@dataclass(frozen=True)
+class CapacityRestore:
+    """The co-tenant returns everything it stole from the node."""
+
+    node: int
+
+    def describe(self) -> str:
+        return f"capacity-restore node{self.node}"
+
+
+@dataclass(frozen=True)
+class AttrDegrade:
+    """Stored attribute values for one node go stale by ``factor``."""
+
+    attribute: str
+    node: int
+    factor: float
+
+    def describe(self) -> str:
+        return f"degrade {self.attribute}@node{self.node} x{self.factor:.3f}"
+
+
+@dataclass(frozen=True)
+class MigrationFlaky:
+    """The next ``failures`` migrations fail transiently."""
+
+    failures: int
+
+    def describe(self) -> str:
+        return f"flaky-migrations x{self.failures}"
+
+
+Fault = (
+    NodeOffline
+    | NodeOnline
+    | CapacityLoss
+    | CapacityRestore
+    | AttrDegrade
+    | MigrationFlaky
+)
+
+#: Attributes whose degradation means *smaller* values (throughput-like);
+#: everything else degrades upward (latency-like).
+_BANDWIDTH_LIKE = ("bandwidth", "capacity")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable (tick, fault) schedule, sorted by tick."""
+
+    schedule: tuple[tuple[int, Fault], ...]
+
+    def __post_init__(self) -> None:
+        ticks = [t for t, _ in self.schedule]
+        if any(t < 0 for t in ticks):
+            raise SpecError("fault ticks must be non-negative")
+        if ticks != sorted(ticks):
+            raise SpecError("fault schedule must be sorted by tick")
+
+    @property
+    def horizon(self) -> int:
+        """The last tick carrying a fault (-1 for an empty plan)."""
+        return self.schedule[-1][0] if self.schedule else -1
+
+    def at(self, tick: int) -> tuple[Fault, ...]:
+        return tuple(f for t, f in self.schedule if t == tick)
+
+    def describe(self) -> str:
+        """One deterministic line per fault — the schedule's identity.
+
+        Two plans are bit-identical iff their ``describe()`` outputs are.
+        """
+        return "\n".join(
+            f"t{tick:03d}: {fault.describe()}" for tick, fault in self.schedule
+        )
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        nodes: tuple[int, ...],
+        ticks: int = 16,
+        attributes: tuple[str, ...] = ("Bandwidth", "Latency"),
+        fault_rate: float = 0.7,
+    ) -> FaultPlan:
+        """A seeded random plan over ``nodes`` spanning ``ticks`` ticks.
+
+        Deterministic: the same arguments always yield the same plan.  The
+        generator keeps its own model of which nodes it has offlined so it
+        never schedules offlining the last node standing, and onlines only
+        nodes it offlined — though the *actual* stack may still refuse an
+        offline (capacity), which the clock records as a typed event.
+        """
+        if not nodes:
+            raise SpecError("a fault plan needs at least one node")
+        if ticks <= 0:
+            raise SpecError("a fault plan needs at least one tick")
+        rng = random.Random(seed)
+        online = list(nodes)
+        offline: list[int] = []
+        schedule: list[tuple[int, Fault]] = []
+        for tick in range(ticks):
+            if rng.random() >= fault_rate:
+                continue
+            kinds = ["capacity_loss", "capacity_restore", "attr", "flaky"]
+            if len(online) > 1:
+                kinds.append("offline")
+            if offline:
+                kinds.append("online")
+            kind = rng.choice(kinds)
+            if kind == "offline":
+                node = rng.choice(sorted(online))
+                online.remove(node)
+                offline.append(node)
+                schedule.append((tick, NodeOffline(node)))
+            elif kind == "online":
+                node = rng.choice(sorted(offline))
+                offline.remove(node)
+                online.append(node)
+                schedule.append((tick, NodeOnline(node)))
+            elif kind == "capacity_loss":
+                node = rng.choice(sorted(nodes))
+                fraction = rng.uniform(0.05, 0.35)
+                schedule.append((tick, CapacityLoss(node, round(fraction, 3))))
+            elif kind == "capacity_restore":
+                node = rng.choice(sorted(nodes))
+                schedule.append((tick, CapacityRestore(node)))
+            elif kind == "attr":
+                attribute = rng.choice(list(attributes))
+                node = rng.choice(sorted(nodes))
+                if any(s in attribute.lower() for s in _BANDWIDTH_LIKE):
+                    factor = rng.uniform(0.3, 0.8)
+                else:
+                    factor = rng.uniform(1.25, 3.0)
+                schedule.append(
+                    (tick, AttrDegrade(attribute, node, round(factor, 3)))
+                )
+            else:
+                schedule.append((tick, MigrationFlaky(rng.randint(1, 3))))
+        return cls(schedule=tuple(schedule))
+
+
+class FaultClock:
+    """Replays a :class:`FaultPlan` against a live kernel + attribute stack.
+
+    Installs itself as the kernel's :attr:`migration_fault_hook` to model
+    transient migration failures.  Every fault application — successful
+    or refused — lands in the log; nothing is silent.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        kernel: KernelMemoryManager,
+        *,
+        memattrs: MemAttrs | None = None,
+        log: ResilienceLog | None = None,
+    ) -> None:
+        self.plan = plan
+        self.kernel = kernel
+        self.memattrs = memattrs
+        self.log = log if log is not None else ResilienceLog()
+        self.now = -1  # the first tick() advances to 0
+        self._flaky_remaining = 0
+        kernel.migration_fault_hook = self._migration_fault
+
+    def _migration_fault(self) -> bool:
+        if self._flaky_remaining > 0:
+            self._flaky_remaining -= 1
+            return True
+        return False
+
+    def tick(self) -> tuple[Fault, ...]:
+        """Advance one tick and apply every fault due at it."""
+        self.now += 1
+        self.log.now = self.now
+        due = self.plan.at(self.now)
+        if not OBS.enabled:
+            for fault in due:
+                self._apply(fault)
+            return due
+        with OBS.tracer.span("resilience.tick", tick=self.now, faults=len(due)):
+            OBS.metrics.counter("resilience.ticks").inc()
+            for fault in due:
+                self._apply(fault)
+        return due
+
+    def run(self) -> None:
+        """Tick through the whole plan."""
+        while self.now < self.plan.horizon:
+            self.tick()
+
+    def _apply(self, fault: Fault) -> None:
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "resilience.faults", kind=type(fault).__name__
+            ).inc()
+        if isinstance(fault, NodeOffline):
+            try:
+                reports = self.kernel.offline_node(fault.node)
+            except CapacityError as err:
+                self.log.record(
+                    EventKind.NODE_OFFLINE_FAILED,
+                    f"node{fault.node}",
+                    str(err),
+                )
+                return
+            except PolicyError as err:
+                self.log.record(
+                    EventKind.FAULT_SKIPPED, fault.describe(), str(err)
+                )
+                return
+            drained = sum(r.moved_pages for r in reports)
+            self.log.record(
+                EventKind.NODE_OFFLINE,
+                f"node{fault.node}",
+                f"drained {drained} pages in {len(reports)} migrations",
+            )
+        elif isinstance(fault, NodeOnline):
+            try:
+                self.kernel.online_node(fault.node)
+            except PolicyError as err:
+                self.log.record(
+                    EventKind.FAULT_SKIPPED, fault.describe(), str(err)
+                )
+                return
+            self.log.record(EventKind.NODE_ONLINE, f"node{fault.node}")
+        elif isinstance(fault, CapacityLoss):
+            total = self.kernel.nodes[fault.node].total_pages
+            took = self.kernel.cotenant_reserve(
+                fault.node, int(total * fault.fraction)
+            )
+            self.log.record(
+                EventKind.CAPACITY_LOSS,
+                f"node{fault.node}",
+                f"co-tenant took {took} pages",
+            )
+        elif isinstance(fault, CapacityRestore):
+            gave = self.kernel.cotenant_release(fault.node)
+            self.log.record(
+                EventKind.CAPACITY_RESTORED,
+                f"node{fault.node}",
+                f"co-tenant returned {gave} pages",
+            )
+        elif isinstance(fault, AttrDegrade):
+            if self.memattrs is None:
+                self.log.record(
+                    EventKind.FAULT_SKIPPED,
+                    fault.describe(),
+                    "no attribute registry attached",
+                )
+                return
+            try:
+                target = self.memattrs.topology.numanode_by_os_index(fault.node)
+                touched = self.memattrs.degrade_target(
+                    fault.attribute, target, fault.factor
+                )
+            except ReproError as err:
+                self.log.record(
+                    EventKind.FAULT_SKIPPED, fault.describe(), str(err)
+                )
+                return
+            if touched == 0:
+                self.log.record(
+                    EventKind.FAULT_SKIPPED,
+                    fault.describe(),
+                    "no stored values to degrade",
+                )
+                return
+            self.log.record(
+                EventKind.ATTRS_DEGRADED,
+                f"{fault.attribute}@node{fault.node}",
+                f"{touched} values x{fault.factor:.3f}",
+            )
+        elif isinstance(fault, MigrationFlaky):
+            self._flaky_remaining += fault.failures
+            self.log.record(
+                EventKind.MIGRATION_FLAKY_ARMED,
+                "kernel.migrate",
+                f"next {fault.failures} migrations fail transiently",
+            )
+        else:  # pragma: no cover - union is exhaustive
+            raise SpecError(f"unknown fault {fault!r}")

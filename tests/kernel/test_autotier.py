@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import ReproError
-from repro.kernel import AutoTierDaemon, TierConfig, bind_policy
+from repro.errors import ReproError, TransientMigrationError
+from repro.kernel import AutoTierDaemon, TierConfig, bind_policy, interleave_policy
 from repro.units import GB, MiB
 
 
@@ -126,4 +126,177 @@ class TestTiering:
             report = daemon.step()
         assert not report.promoted and not report.demoted
         assert report.bytes_moved == 0
+        knl_kernel.free(hot)
+
+
+class TestDemotionChurn:
+    """Regression: demotion must only move pages resident in the fast tier."""
+
+    def test_slow_resident_buffer_not_churned(self, knl_kernel):
+        # Cold buffer split across TWO slow nodes, zero pages in the fast
+        # tier.  The old daemon requested ``total_pages`` and let migrate
+        # pull from any node, shuffling pages slow→slow and burning the
+        # whole budget on a buffer already in the right tier.
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0, 1))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(2 * GB, interleave_policy(0, 1))
+        before = dict(cold.pages_by_node)
+        assert len(before) == 2
+        daemon.track("cold", cold)
+        daemon.observe({"cold": 0.0})
+        report = daemon.step()
+        assert "cold" not in report.demoted
+        assert report.bytes_moved == 0
+        assert dict(cold.pages_by_node) == before
+        knl_kernel.free(cold)
+
+    def test_partially_fast_buffer_demotes_only_fast_pages(self, knl_kernel):
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(2 * GB, interleave_policy(0, 4))
+        slow_before = cold.pages_by_node[0]
+        fast_before = cold.pages_by_node[4]
+        daemon.track("cold", cold)
+        daemon.observe({"cold": 0.0})
+        report = daemon.step()
+        assert "cold" in report.demoted
+        assert cold.pages_by_node.get(4, 0) == 0
+        assert cold.pages_by_node[0] == slow_before + fast_before
+        # Exactly the fast-resident pages moved — nothing slow→slow.
+        assert report.bytes_moved == fast_before * knl_kernel.page_size
+        knl_kernel.free(cold)
+
+    def test_promotion_ignores_fast_resident_pages(self, knl_kernel):
+        # A hot buffer already split across two fast nodes must not have
+        # its pages shuffled fast→fast in the name of promotion.
+        cfg = TierConfig(fast_nodes=(4, 5), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(2 * GB, interleave_policy(4, 5))
+        before = dict(hot.pages_by_node)
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 40 * GB})
+        report = daemon.step()
+        assert report.bytes_moved == 0
+        assert dict(hot.pages_by_node) == before
+        knl_kernel.free(hot)
+
+
+class TestEdgeCases:
+    def test_zero_budget_moves_nothing(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,), migration_budget_bytes=0
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        daemon.track("hot", hot)
+        daemon.track("cold", cold)
+        daemon.observe({"hot": 20 * GB, "cold": 0.0})
+        report = daemon.step()
+        assert report.bytes_moved == 0
+        assert not report.promoted and not report.demoted
+        assert hot.fraction_on(0) == pytest.approx(1.0)
+        assert cold.fraction_on(4) == pytest.approx(1.0)
+        knl_kernel.free(hot)
+        knl_kernel.free(cold)
+
+    def test_fast_tier_full_promotion_skipped(self, knl_kernel):
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        # An untracked squatter fills MCDRAM; the daemon may not demote it.
+        squatter = knl_kernel.allocate(
+            knl_kernel.free_bytes(4), bind_policy(4)
+        )
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert "hot" not in report.promoted
+        assert report.bytes_moved == 0
+        assert hot.fraction_on(0) == pytest.approx(1.0)
+        knl_kernel.free(squatter)
+        knl_kernel.free(hot)
+
+    def test_promotion_and_demotion_same_step(self, knl_kernel):
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("cold", cold)
+        daemon.track("hot", hot)
+        daemon.observe({"cold": 0.0, "hot": 20 * GB})
+        report = daemon.step()
+        assert "cold" in report.demoted and "hot" in report.promoted
+        assert cold.fraction_on(4) == 0.0
+        assert hot.fraction_on(4) == pytest.approx(1.0)
+        knl_kernel.free(cold)
+        knl_kernel.free(hot)
+
+    def test_untrack_mid_schedule(self, daemon, knl_kernel):
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        daemon.observe({"a": 20 * GB})
+        daemon.untrack("a")
+        report = daemon.step()
+        assert not report.promoted and report.bytes_moved == 0
+        assert a.fraction_on(0) == pytest.approx(1.0)
+        with pytest.raises(ReproError):
+            daemon.observe({"a": 1.0})
+        daemon.untrack("a")  # idempotent
+        knl_kernel.free(a)
+
+    def test_observe_is_atomic(self, daemon, knl_kernel):
+        # One bad entry must leave ALL hotness state untouched, including
+        # entries validated before the bad one was reached.
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        with pytest.raises(ReproError):
+            daemon.observe({"a": 20 * GB, "ghost": 1.0})
+        with pytest.raises(ReproError):
+            daemon.observe({"a": 20 * GB, "ghost": -1.0})
+        daemon.step()
+        assert daemon.hotness("a") == 0.0
+        knl_kernel.free(a)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ReproError):
+            TierConfig(
+                fast_nodes=(4,), slow_nodes=(0,), migration_budget_bytes=-1
+            )
+
+
+class TestResilience:
+    def test_offline_fast_tier_skips_promotion(self, knl_kernel):
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        knl_kernel.offline_node(4)
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert report.offline_tier_nodes == 1
+        assert not report.promoted
+        assert hot.fraction_on(0) == pytest.approx(1.0)
+        # The tier comes back; the daemon resumes promoting.
+        knl_kernel.online_node(4)
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert "hot" in report.promoted
+        knl_kernel.free(hot)
+
+    def test_transient_failure_counted_and_retried_next_step(self, knl_kernel):
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        failures = [True]  # fail exactly the first migration attempt
+        knl_kernel.migration_fault_hook = lambda: failures.pop() if failures else False
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert report.transient_failures == 1
+        assert not report.promoted
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert "hot" in report.promoted
+        assert report.transient_failures == 0
         knl_kernel.free(hot)

@@ -55,3 +55,32 @@ class TestCostModel:
     def test_bad_page_size_raises(self, xeon):
         with pytest.raises(MigrationError):
             estimate_migration(xeon, {0: 1}, 1, page_size=0)
+
+    def test_split_sources_price_like_one_source(self, xeon):
+        # Regression: destination write bandwidth must be evaluated on the
+        # TOTAL transferred bytes.  The old model priced each source chunk
+        # separately, so splitting a big NVDIMM-bound migration across two
+        # sources kept every chunk under the write-buffer falloff and made
+        # the same transfer look cheaper.
+        pages = (32 * GB) // 4096  # big enough to exhaust the write buffer
+        one = estimate_migration(xeon, {0: pages}, 2, page_size=4096)
+        two = estimate_migration(
+            xeon, {0: pages // 2, 1: pages // 2}, 2, page_size=4096
+        )
+        # Nodes 0 and 1 are identical DRAM: same read bandwidth, same total
+        # bytes — the split must not change the price.
+        assert two.estimated_seconds == pytest.approx(one.estimated_seconds)
+
+    def test_two_sources_cost_sum_of_chunks_at_total_bandwidth(self, xeon):
+        pages = (32 * GB) // 4096
+        nodes = {n.os_index: n for n in xeon.numa_nodes()}
+        dest = nodes[2]
+        write_bw = dest.tech.effective_write_bandwidth(pages * 4096)
+        expected = 0.0
+        for src, chunk in ((0, pages // 2), (1, pages // 2)):
+            rate = min(nodes[src].tech.peak_read_bandwidth, write_bw)
+            expected += chunk * 4096 / rate + chunk * PER_PAGE_KERNEL_OVERHEAD
+        r = estimate_migration(
+            xeon, {0: pages // 2, 1: pages // 2}, 2, page_size=4096
+        )
+        assert r.estimated_seconds == pytest.approx(expected)

@@ -182,6 +182,43 @@ class TestMigrate:
         with pytest.raises(SpecError):
             km.migrate(a, 1)
 
+    def test_from_nodes_restricts_sources(self, km):
+        a = km.allocate(2 * GB, interleave_policy(0, 1))
+        on_node1 = a.pages_by_node[1]
+        report = km.migrate(a, 4, from_nodes=(1,))
+        assert report.moved_pages == on_node1
+        assert report.from_nodes == (1,)
+        assert a.pages_by_node.get(1, 0) == 0
+        assert a.pages_by_node[0] > 0  # untouched: not in from_nodes
+        km.free(a)
+
+    def test_from_nodes_no_eligible_pages_moves_nothing(self, km):
+        a = km.allocate(1 * GB, bind_policy(0))
+        report = km.migrate(a, 4, from_nodes=(2, 3))
+        assert report.moved_pages == 0
+        assert a.nodes == (0,)
+        km.free(a)
+
+    def test_from_nodes_with_pages_cap(self, km):
+        a = km.allocate(2 * GB, interleave_policy(0, 1))
+        report = km.migrate(a, 4, pages=10, from_nodes=(0,))
+        assert report.moved_pages == 10
+        assert report.from_nodes == (0,)
+        km.free(a)
+
+    def test_from_nodes_unknown_node_rejected(self, km):
+        a = km.allocate(1 * GB, bind_policy(0))
+        with pytest.raises(PolicyError):
+            km.migrate(a, 4, from_nodes=(99,))
+        km.free(a)
+
+    def test_from_nodes_excludes_destination(self, km):
+        # Destination pages never count as sources even if listed.
+        a = km.allocate(1 * GB, bind_policy(0))
+        report = km.migrate(a, 0, from_nodes=(0,))
+        assert report.moved_pages == 0
+        km.free(a)
+
 
 class TestConservation:
     @settings(max_examples=30, deadline=None)

@@ -1,0 +1,1 @@
+"""Resilience-layer tests."""

@@ -1,0 +1,174 @@
+"""Fault-plan determinism and fault-clock application tests."""
+
+import pytest
+
+from repro.errors import SpecError, TransientMigrationError
+from repro.kernel import KernelMemoryManager, bind_policy
+from repro.resilience import (
+    AttrDegrade,
+    CapacityLoss,
+    CapacityRestore,
+    EventKind,
+    FaultClock,
+    FaultPlan,
+    MigrationFlaky,
+    NodeOffline,
+    NodeOnline,
+    ResilienceLog,
+)
+from repro.units import GB
+
+
+class TestFaultPlan:
+    def test_same_seed_bit_identical(self):
+        a = FaultPlan.random(42, nodes=(0, 1, 2, 3), ticks=32)
+        b = FaultPlan.random(42, nodes=(0, 1, 2, 3), ticks=32)
+        assert a == b
+        assert a.describe() == b.describe()
+
+    def test_different_seeds_differ(self):
+        plans = {
+            FaultPlan.random(s, nodes=(0, 1, 2, 3), ticks=32).describe()
+            for s in range(10)
+        }
+        assert len(plans) > 1
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            FaultPlan(schedule=((-1, NodeOffline(0)),))
+        with pytest.raises(SpecError):
+            FaultPlan(schedule=((3, NodeOffline(0)), (1, NodeOnline(0))))
+        with pytest.raises(SpecError):
+            FaultPlan.random(0, nodes=())
+        with pytest.raises(SpecError):
+            FaultPlan.random(0, nodes=(0,), ticks=0)
+
+    def test_at_and_horizon(self):
+        plan = FaultPlan(
+            schedule=((0, MigrationFlaky(1)), (0, NodeOffline(1)), (5, NodeOnline(1)))
+        )
+        assert len(plan.at(0)) == 2
+        assert plan.at(3) == ()
+        assert plan.horizon == 5
+        assert len(plan) == 3
+        assert FaultPlan(schedule=()).horizon == -1
+
+    def test_generator_never_strands_zero_nodes(self):
+        # The generator's own online/offline model must never schedule
+        # offlining the last node, and must online only nodes it offlined.
+        for seed in range(40):
+            plan = FaultPlan.random(seed, nodes=(0, 1), ticks=40)
+            online = {0, 1}
+            for _, fault in plan.schedule:
+                if isinstance(fault, NodeOffline):
+                    assert fault.node in online
+                    online.discard(fault.node)
+                    assert online
+                elif isinstance(fault, NodeOnline):
+                    assert fault.node not in online
+                    online.add(fault.node)
+
+
+class TestFaultClock:
+    def test_offline_fault_applies_and_logs(self, knl):
+        km = KernelMemoryManager(knl)
+        a = km.allocate(1 * GB, bind_policy(4))
+        log = ResilienceLog()
+        plan = FaultPlan(schedule=((0, NodeOffline(4)),))
+        clock = FaultClock(plan, km, log=log)
+        clock.tick()
+        assert not km.is_online(4)
+        assert a.pages_by_node.get(4, 0) == 0
+        (event,) = log.of_kind(EventKind.NODE_OFFLINE)
+        assert event.subject == "node4" and event.tick == 0
+
+    def test_online_without_offline_is_skipped_not_silent(self, knl):
+        km = KernelMemoryManager(knl)
+        log = ResilienceLog()
+        clock = FaultClock(
+            FaultPlan(schedule=((0, NodeOnline(3)),)), km, log=log
+        )
+        clock.tick()
+        assert len(log.of_kind(EventKind.FAULT_SKIPPED)) == 1
+
+    def test_run_ticks_to_horizon(self, knl):
+        km = KernelMemoryManager(knl)
+        log = ResilienceLog()
+        plan = FaultPlan(
+            schedule=((2, CapacityLoss(0, 0.1)), (4, CapacityRestore(0)))
+        )
+        clock = FaultClock(plan, km, log=log)
+        clock.run()
+        assert clock.now == 4
+        assert len(log.of_kind(EventKind.CAPACITY_LOSS)) == 1
+        assert len(log.of_kind(EventKind.CAPACITY_RESTORED)) == 1
+        assert km.cotenant_pages(0) == 0
+
+    def test_capacity_loss_steals_only_free_pages(self, knl):
+        km = KernelMemoryManager(knl)
+        free_before = km.nodes[4].free_pages
+        log = ResilienceLog()
+        clock = FaultClock(
+            FaultPlan(schedule=((0, CapacityLoss(4, 0.25)),)), km, log=log
+        )
+        clock.tick()
+        took = km.cotenant_pages(4)
+        assert 0 < took <= free_before
+        assert km.nodes[4].free_pages == free_before - took
+
+    def test_flaky_fault_arms_transient_failures(self, knl):
+        km = KernelMemoryManager(knl)
+        a = km.allocate(1 * GB, bind_policy(0))
+        log = ResilienceLog()
+        clock = FaultClock(
+            FaultPlan(schedule=((0, MigrationFlaky(2)),)), km, log=log
+        )
+        clock.tick()
+        for _ in range(2):
+            with pytest.raises(TransientMigrationError):
+                km.migrate(a, 4)
+        report = km.migrate(a, 4)  # third attempt goes through
+        assert report.moved_pages > 0
+        assert len(log.of_kind(EventKind.MIGRATION_FLAKY_ARMED)) == 1
+
+    def test_attr_degrade_without_registry_is_skipped(self, knl):
+        km = KernelMemoryManager(knl)
+        log = ResilienceLog()
+        clock = FaultClock(
+            FaultPlan(schedule=((0, AttrDegrade("Bandwidth", 0, 0.5)),)),
+            km,
+            log=log,
+        )
+        clock.tick()
+        assert len(log.of_kind(EventKind.FAULT_SKIPPED)) == 1
+
+    def test_attr_degrade_bumps_generation(self, xeon_setup):
+        setup = xeon_setup
+        log = ResilienceLog()
+        gen = setup.memattrs.generation
+        clock = FaultClock(
+            FaultPlan(schedule=((0, AttrDegrade("Bandwidth", 0, 0.5)),)),
+            setup.kernel,
+            memattrs=setup.memattrs,
+            log=log,
+        )
+        clock.tick()
+        assert setup.memattrs.generation > gen
+        (event,) = log.of_kind(EventKind.ATTRS_DEGRADED)
+        assert "Bandwidth@node0" == event.subject
+
+    def test_offline_refused_when_capacity_missing(self, knl):
+        km = KernelMemoryManager(knl)
+        a = km.allocate(2 * GB, bind_policy(4))
+        # Co-tenants absorb every free page everywhere else.
+        for node in km.node_ids():
+            if node != 4:
+                km.cotenant_reserve(node, km.nodes[node].free_pages)
+        log = ResilienceLog()
+        clock = FaultClock(
+            FaultPlan(schedule=((0, NodeOffline(4)),)), km, log=log
+        )
+        clock.tick()  # refusal is recorded, not raised
+        assert km.is_online(4)
+        assert a.pages_by_node[4] > 0
+        assert len(log.of_kind(EventKind.NODE_OFFLINE_FAILED)) == 1

@@ -1,0 +1,146 @@
+"""Node offline/online lifecycle: drains, atomicity, cache invalidation."""
+
+import pytest
+
+from repro.errors import CapacityError, MigrationError, PolicyError
+from repro.kernel import KernelMemoryManager, bind_policy, default_policy
+from repro.units import GB
+
+
+@pytest.fixture()
+def km(knl):
+    return KernelMemoryManager(knl)
+
+
+class TestOfflineDrain:
+    def test_drains_every_resident_page(self, km):
+        a = km.allocate(2 * GB, bind_policy(4))
+        b = km.allocate(1 * GB, bind_policy(4))
+        total_a, total_b = a.total_pages, b.total_pages
+        reports = km.offline_node(4)
+        assert sum(r.moved_pages for r in reports) == total_a + total_b
+        for alloc, total in ((a, total_a), (b, total_b)):
+            assert alloc.pages_by_node.get(4, 0) == 0
+            assert alloc.total_pages == total  # nothing lost
+        assert not km.is_online(4)
+        assert km.free_bytes(4) == 0
+        km.free(a)
+        km.free(b)
+
+    def test_drain_prefers_near_nodes(self, km):
+        # Zonelist order: MCDRAM node 4's nearest destination is its own
+        # cluster's DRAM (node 0).
+        a = km.allocate(1 * GB, bind_policy(4))
+        km.offline_node(4)
+        assert a.nodes == (0,)
+        km.free(a)
+
+    def test_offline_is_atomic_on_capacity_shortfall(self, km):
+        a = km.allocate(2 * GB, bind_policy(4))
+        before = dict(a.pages_by_node)
+        used_before = {n: s.used_pages for n, s in km.nodes.items()}
+        for node in km.node_ids():
+            if node != 4:
+                km.cotenant_reserve(node, km.nodes[node].free_pages)
+        with pytest.raises(CapacityError):
+            km.offline_node(4)
+        # Nothing moved, nothing half-drained, node still online.
+        assert km.is_online(4)
+        assert dict(a.pages_by_node) == before
+        for node, s in km.nodes.items():
+            if node != 4:
+                assert s.free_pages == 0
+        assert km.nodes[4].used_pages == used_before[4]
+        km.free(a)
+
+    def test_double_offline_rejected(self, km):
+        km.offline_node(4)
+        with pytest.raises(PolicyError):
+            km.offline_node(4)
+
+    def test_online_requires_offline(self, km):
+        with pytest.raises(PolicyError):
+            km.online_node(4)
+
+    def test_unknown_node_rejected(self, km):
+        with pytest.raises(PolicyError):
+            km.offline_node(99)
+
+
+class TestOfflineAllocation:
+    def test_allocation_skips_offline_node(self, km):
+        km.offline_node(0)
+        a = km.allocate(1 * GB, default_policy(), initiator_pu=0)
+        assert 0 not in a.nodes
+        km.free(a)
+
+    def test_bind_to_offline_node_fails(self, km):
+        km.offline_node(4)
+        with pytest.raises(CapacityError):
+            km.allocate(1 * GB, bind_policy(4))
+
+    def test_interleave_skips_offline_member(self, km):
+        km.offline_node(1)
+        from repro.kernel import interleave_policy
+
+        a = km.allocate(2 * GB, interleave_policy(0, 1))
+        assert a.nodes == (0,)
+        km.free(a)
+
+    def test_migrate_to_offline_node_rejected(self, km):
+        a = km.allocate(1 * GB, bind_policy(0))
+        km.offline_node(4)
+        with pytest.raises(MigrationError):
+            km.migrate(a, 4)
+        km.free(a)
+
+    def test_online_restores_allocation(self, km):
+        km.offline_node(4)
+        km.online_node(4)
+        a = km.allocate(1 * GB, bind_policy(4))
+        assert a.nodes == (4,)
+        km.free(a)
+
+    def test_online_node_ids_tracks_lifecycle(self, km):
+        assert km.online_node_ids() == km.node_ids()
+        km.offline_node(4)
+        assert 4 not in km.online_node_ids()
+        km.online_node(4)
+        assert km.online_node_ids() == km.node_ids()
+
+
+class TestTopologyInvalidation:
+    def test_listener_fires_on_lifecycle_events(self, km):
+        seen = []
+        km.add_topology_listener(lambda event, node: seen.append((event, node)))
+        km.offline_node(4)
+        km.online_node(4)
+        km.cotenant_reserve(0, 10)
+        km.cotenant_release(0)
+        assert seen == [
+            ("offline", 4),
+            ("online", 4),
+            ("capacity_loss", 0),
+            ("capacity_restored", 0),
+        ]
+
+    def test_offline_bumps_attribute_generation(self, xeon_setup):
+        setup = xeon_setup
+        gen = setup.memattrs.generation
+        setup.kernel.offline_node(3)
+        assert setup.memattrs.generation > gen
+
+    def test_allocator_reroutes_after_offline(self, xeon_setup):
+        setup = xeon_setup
+        _, ranked = setup.allocator.rank_for("Bandwidth", 0)
+        best = ranked[0].target.os_index
+        warm = setup.allocator.mem_alloc(1 * GB, "Bandwidth", 0, name="warm")
+        assert best in warm.nodes
+        setup.kernel.offline_node(best)
+        # The memoized ranking was invalidated by the topology event; the
+        # allocator must place on a live node, not the cached best.
+        buf = setup.allocator.mem_alloc(1 * GB, "Bandwidth", 0, name="moved")
+        assert best not in buf.nodes
+        assert all(setup.kernel.is_online(n) for n in buf.nodes)
+        setup.allocator.free(buf)
+        setup.allocator.free(warm)
