@@ -8,17 +8,23 @@ so calling it directly *is* the pre-PR baseline — this bench measures
 warm ``mem_alloc``/``free`` throughput three ways, interleaved,
 median-of-rounds:
 
-* ``impl``     — ``_mem_alloc_impl`` called directly (pre-PR hot path);
-* ``disabled`` — public ``mem_alloc`` with ``OBS.enabled`` false;
-* ``enabled``  — public ``mem_alloc`` with tracing + metrics recording.
+* ``impl``         — ``_mem_alloc_impl`` called directly (pre-PR hot path);
+* ``disabled``     — public ``mem_alloc`` with ``OBS.enabled`` false;
+* ``enabled``      — production telemetry: ``obs.enable(sample_every=N,
+  ring_capacity=C)`` — every N-th request fully traced, span store
+  bounded to the most recent C records;
+* ``enabled_full`` — ``obs.enable()`` recording every request (the
+  pre-sampling behavior, kept as the reference cost).
 
-Acceptance: the disabled path stays within 2% of the pre-PR baseline.
-Results land in ``benchmarks/results/BENCH_obs_overhead.json``.
+Acceptance: the disabled path stays within 2% of the pre-PR baseline and
+the sampled enabled path within 10%.  Results land in
+``benchmarks/results/BENCH_obs_overhead.json``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import statistics
 import time
@@ -28,11 +34,17 @@ from repro import obs
 
 RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
 
+# REPRO_BENCH_QUICK=1: shorter rounds for CI smoke runs.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
 ALLOC_SIZE = 1 << 20
-LOOPS = 600          # mem_alloc/free pairs per round
-ROUNDS = 11          # odd: clean median
+LOOPS = 200 if QUICK else 600    # mem_alloc/free pairs per round
+ROUNDS = 5 if QUICK else 11      # odd: clean median
 WARMUP = 100
+SAMPLE_EVERY = 64    # production sampling rate for the "enabled" variant
+RING_CAPACITY = 4096
 MAX_DISABLED_OVERHEAD_PCT = 2.0
+MAX_ENABLED_OVERHEAD_PCT = 10.0
 
 _results: dict[str, object] = {}
 
@@ -65,30 +77,40 @@ def _measure(setup) -> dict:
     allocator = setup.allocator
     _alloc_free_public(allocator, WARMUP)  # warm cache + page pools
 
-    impl, disabled, enabled = [], [], []
+    impl, disabled, enabled, enabled_full = [], [], [], []
     for _ in range(ROUNDS):
         # Interleave the variants inside every round so drift (thermal,
-        # scheduler) hits all three alike.
+        # scheduler) hits all four alike.
         obs.reset()
         impl.append(_alloc_free_impl(allocator, LOOPS))
         disabled.append(_alloc_free_public(allocator, LOOPS))
         obs.reset()
-        obs.enable()
+        obs.enable(sample_every=SAMPLE_EVERY, ring_capacity=RING_CAPACITY)
         enabled.append(_alloc_free_public(allocator, LOOPS))
+        obs.reset()
+        obs.enable()
+        enabled_full.append(_alloc_free_public(allocator, LOOPS))
         obs.reset()
 
     impl_aps = statistics.median(impl)
     disabled_aps = statistics.median(disabled)
     enabled_aps = statistics.median(enabled)
+    enabled_full_aps = statistics.median(enabled_full)
     return {
         "loops_per_round": LOOPS,
         "rounds": ROUNDS,
+        "sample_every": SAMPLE_EVERY,
+        "ring_capacity": RING_CAPACITY,
         "impl_aps": round(impl_aps),
         "disabled_aps": round(disabled_aps),
         "enabled_aps": round(enabled_aps),
+        "enabled_full_aps": round(enabled_full_aps),
         # Positive = slower than the pre-PR body.
         "disabled_overhead_pct": round((impl_aps / disabled_aps - 1) * 100, 2),
         "enabled_overhead_pct": round((impl_aps / enabled_aps - 1) * 100, 2),
+        "enabled_full_overhead_pct": round(
+            (impl_aps / enabled_full_aps - 1) * 100, 2
+        ),
     }
 
 
@@ -103,14 +125,21 @@ def test_disabled_path_within_2pct_of_pre_pr_baseline(record):
                 f"pre-PR impl : {result['impl_aps']:>9,} alloc/s",
                 f"obs disabled: {result['disabled_aps']:>9,} alloc/s "
                 f"({result['disabled_overhead_pct']:+.2f}%)",
-                f"obs enabled : {result['enabled_aps']:>9,} alloc/s "
-                f"({result['enabled_overhead_pct']:+.2f}%)",
+                f"obs sampled : {result['enabled_aps']:>9,} alloc/s "
+                f"({result['enabled_overhead_pct']:+.2f}%, "
+                f"1/{SAMPLE_EVERY} sampled, ring {RING_CAPACITY})",
+                f"obs full    : {result['enabled_full_aps']:>9,} alloc/s "
+                f"({result['enabled_full_overhead_pct']:+.2f}%)",
             ]
         ),
     )
     assert result["disabled_overhead_pct"] <= MAX_DISABLED_OVERHEAD_PCT, (
         f"disabled-path overhead {result['disabled_overhead_pct']}% exceeds "
         f"{MAX_DISABLED_OVERHEAD_PCT}% budget: {result}"
+    )
+    assert result["enabled_overhead_pct"] <= MAX_ENABLED_OVERHEAD_PCT, (
+        f"sampled enabled-path overhead {result['enabled_overhead_pct']}% "
+        f"exceeds {MAX_ENABLED_OVERHEAD_PCT}% budget: {result}"
     )
 
 

@@ -1,0 +1,159 @@
+"""Perf-regression gate over the archived benchmark JSONs.
+
+Compares freshly regenerated ``benchmarks/results/BENCH_*.json`` files
+against the committed baselines (``git show <ref>:<path>``) and exits
+nonzero when either gated number regressed by more than the tolerance
+(default 20%):
+
+* **warm allocation throughput** — ``alloc.cached_aps`` and
+  ``batch.cached_aps`` per preset in ``BENCH_alloc_throughput.json``
+  must stay within ``1 - tolerance`` of the baseline;
+* **enabled-obs overhead** — the slowdown *factor* of the sampled
+  enabled path (``impl_aps / enabled_aps``, machine-independent unlike
+  raw throughput) in ``BENCH_obs_overhead.json`` must not grow past
+  ``baseline * (1 + tolerance)``.
+
+Search timings are reported for context but do not gate here: their
+correctness half (optimum identity) gates inside the bench itself.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py [--ref HEAD] [--tolerance 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+ALLOC_JSON = "BENCH_alloc_throughput.json"
+OBS_JSON = "BENCH_obs_overhead.json"
+SEARCH_JSON = "BENCH_search_scaling.json"
+
+
+def load_fresh(name: str) -> dict | None:
+    path = RESULTS / name
+    if not path.exists():
+        print(f"SKIP {name}: no fresh results at {path}")
+        return None
+    return json.loads(path.read_text())
+
+
+def load_baseline(name: str, ref: str) -> dict | None:
+    rel = f"benchmarks/results/{name}"
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{rel}"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        print(f"SKIP {name}: no baseline at {ref}:{rel}")
+        return None
+    return json.loads(proc.stdout)
+
+
+def check_alloc(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    failures = []
+    floor = 1.0 - tolerance
+    for preset, base_preset in base.get("presets", {}).items():
+        fresh_preset = fresh.get("presets", {}).get(preset)
+        if fresh_preset is None:
+            failures.append(f"alloc[{preset}]: preset missing from fresh run")
+            continue
+        for kind in ("alloc", "batch"):
+            got = fresh_preset[kind]["cached_aps"]
+            want = base_preset[kind]["cached_aps"]
+            ratio = got / want if want else float("inf")
+            verdict = "ok" if ratio >= floor else "REGRESSED"
+            print(
+                f"{kind}[{preset}]: {got:,}/s vs baseline {want:,}/s "
+                f"({ratio:.2f}x) {verdict}"
+            )
+            if ratio < floor:
+                failures.append(
+                    f"{kind}[{preset}]: warm throughput {got:,}/s is "
+                    f"{(1 - ratio) * 100:.1f}% below baseline {want:,}/s "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    return failures
+
+
+def check_obs(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    failures = []
+    for preset, base_r in base.items():
+        fresh_r = fresh.get(preset)
+        if fresh_r is None:
+            failures.append(f"obs[{preset}]: preset missing from fresh run")
+            continue
+        # The slowdown factor of telemetry relative to the same machine's
+        # raw allocation body; comparable across hosts, unlike alloc/s.
+        got = fresh_r["impl_aps"] / fresh_r["enabled_aps"]
+        want = base_r["impl_aps"] / base_r["enabled_aps"]
+        ceiling = want * (1.0 + tolerance)
+        verdict = "ok" if got <= ceiling else "REGRESSED"
+        print(
+            f"obs[{preset}]: enabled slowdown factor {got:.3f} vs baseline "
+            f"{want:.3f} (ceiling {ceiling:.3f}) {verdict}"
+        )
+        if got > ceiling:
+            failures.append(
+                f"obs[{preset}]: enabled-path slowdown factor {got:.3f} "
+                f"exceeds baseline {want:.3f} by more than "
+                f"{tolerance * 100:.0f}%"
+            )
+    return failures
+
+
+def report_search(fresh: dict, base: dict) -> None:
+    for workload, fresh_r in fresh.items():
+        base_r = base.get(workload, {})
+        print(
+            f"search[{workload}]: speedup_parallel "
+            f"{fresh_r.get('speedup_parallel')} "
+            f"(baseline {base_r.get('speedup_parallel')}), "
+            f"dispatch {fresh_r.get('dispatch')!r} (informational)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ref", default="HEAD", help="git ref of the baseline")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    for name, check in ((ALLOC_JSON, check_alloc), (OBS_JSON, check_obs)):
+        fresh = load_fresh(name)
+        base = load_baseline(name, args.ref)
+        if fresh is None or base is None:
+            continue
+        failures.extend(check(fresh, base, args.tolerance))
+
+    fresh = load_fresh(SEARCH_JSON)
+    base = load_baseline(SEARCH_JSON, args.ref)
+    if fresh is not None and base is not None:
+        report_search(fresh, base)
+
+    if failures:
+        print("\nperf regression gate FAILED:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nperf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,7 @@ the paper proposes.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.api import MemAttrs, TargetValue
 from ..core.querycache import MISSING
@@ -57,6 +57,9 @@ class Buffer:
     target: TopoObject | None          # primary target (None if fully split)
     fallback_rank: int                 # 0 = got the best target
     initiator: tuple[int, ...]
+    # Allocation plan this buffer was placed by (recycling handle of the
+    # warm fast path); None for buffers placed outside the fast path.
+    _plan: object = field(default=None, repr=False, compare=False)
 
     @property
     def nodes(self) -> tuple[int, ...]:
@@ -78,6 +81,44 @@ class Buffer:
             f"{self.name}[{self.size}B] attr={self.requested_attribute}"
             f"->{self.used_attribute} on {where}{note}"
         )
+
+
+#: Upper bound on recycled buffers kept per allocation plan.  Large
+#: enough that a freed batch can be recycled wholesale, small enough
+#: that pools stay negligible next to the page bookkeeping itself.
+_POOL_MAX = 256
+
+
+class _AllocPlan:
+    """One memoized allocation plan: the resolved ranking of a
+    ``(attribute, initiator, scope)`` triple, flattened for the warm path.
+
+    A plan is valid only while ``generation`` matches the attribute
+    store's — attribute updates *and* topology events (offline/online,
+    co-tenant capacity shifts) bump the generation, so a stale plan can
+    never place onto a dead node or follow an outdated ranking.
+
+    ``entries`` holds the online ranked targets as
+    ``(node_state, os_index, target, bind_policy, original_rank)`` tuples:
+    everything the first-fit walk needs without touching the topology,
+    the policy constructor, or the query cache.  ``pool`` recycles
+    freed fast-path buffers (object + name + kernel allocation record)
+    so a warm alloc/free cycle is a handful of counter updates.
+    """
+
+    __slots__ = (
+        "generation",
+        "used_attr",
+        "entries",
+        "state",
+        "node",
+        "best_rank",
+        "best_node_orig",
+        "best_target_orig",
+        "nodeset",
+        "initiator_pus",
+        "pool",
+    )
 
 
 class HeterogeneousAllocator:
@@ -105,6 +146,14 @@ class HeterogeneousAllocator:
         self.tie_tolerance = tie_tolerance
         self.tie_attr = tie_attr
         self.buffers: dict[str, Buffer] = {}
+        # Warm-path plan cache: (attribute, initiator, scope) -> _AllocPlan.
+        # Entries self-invalidate via the generation check; the dict itself
+        # only grows with the number of distinct request triples.
+        self._plans: dict[tuple, _AllocPlan] = {}
+        # Hot-path aliases: one attribute load instead of two per call.
+        self._qc = memattrs.query_cache
+        self._kernel_live = kernel._live
+        self._page_size = kernel.page_size
         # Topology events (node offline/online, co-tenant capacity shifts)
         # must invalidate the memoized rankings exactly like attribute
         # updates do, or mem_alloc would keep placing onto a dead node.
@@ -214,30 +263,77 @@ class HeterogeneousAllocator:
         (strict binding): the request fails when it is full, like the
         whole-process-binding runs of Tables II/III.
         """
-        if not OBS.enabled:
-            return self._mem_alloc_impl(
-                size,
-                attribute,
-                initiator,
-                name=name,
-                allow_partial=allow_partial,
-                allow_fallback=allow_fallback,
-                scope=scope,
-            )
+        if OBS.enabled:
+            # Sampling gate: with obs.enable(sample_every=N) only every
+            # N-th request pays for span + metric recording; the rest run
+            # the same placement logic untraced.
+            skip = OBS.hot_countdown
+            if skip:
+                OBS.hot_countdown = skip - 1
+            else:
+                OBS.hot_countdown = OBS.sample_every - 1
+                return self._mem_alloc_traced(
+                    size, attribute, initiator, name,
+                    allow_partial, allow_fallback, scope,
+                )
+        # Warm fast path — recycle a pooled buffer of the valid plan for
+        # this request triple.  Twin of _fast_alloc (keep in lockstep):
+        # inlined here because a delegating call costs more than the
+        # entire recycle.
+        if name is None and allow_fallback and not allow_partial:
+            try:
+                plan = self._plans.get((attribute, initiator, scope))
+            except TypeError:
+                plan = None
+            if (
+                plan is not None
+                and plan.generation == self.memattrs._generation
+                and self._qc.enabled
+            ):
+                pool = plan.pool
+                if pool:
+                    buf = pool[-1]
+                    alloc = buf.allocation
+                    if alloc.size_bytes == size:
+                        state = plan.state
+                        pages = alloc.pages_by_node[plan.node]
+                        if (
+                            state.free_pages >= pages
+                            and self.buffers.setdefault(buf.name, buf) is buf
+                        ):
+                            del pool[-1]
+                            state.free_pages -= pages
+                            alloc.freed = False
+                            self._kernel_live[alloc.allocation_id] = alloc
+                            return buf
+                buf = self._plan_alloc(plan, size, attribute)
+                if buf is not None:
+                    return buf
+        return self._mem_alloc_impl(
+            size,
+            attribute,
+            initiator,
+            name=name,
+            allow_partial=allow_partial,
+            allow_fallback=allow_fallback,
+            scope=scope,
+        )
+
+    def _mem_alloc_traced(
+        self, size, attribute, initiator, name,
+        allow_partial, allow_fallback, scope,
+    ) -> Buffer:
+        """The sampled-in branch: record span + metrics around the same
+        placement route the untraced path takes."""
         metrics = OBS.metrics
         with OBS.tracer.span(
             "mem_alloc", attribute=attribute, size=size, scope=scope
         ) as span:
             metrics.counter("alloc.requests", attribute=attribute).inc()
             try:
-                buffer = self._mem_alloc_impl(
-                    size,
-                    attribute,
-                    initiator,
-                    name=name,
-                    allow_partial=allow_partial,
-                    allow_fallback=allow_fallback,
-                    scope=scope,
+                buffer = self._alloc_route(
+                    size, attribute, initiator, name,
+                    allow_partial, allow_fallback, scope,
                 )
             except CapacityError:
                 metrics.counter("alloc.capacity_errors", attribute=attribute).inc()
@@ -265,6 +361,124 @@ class HeterogeneousAllocator:
             )
             return buffer
 
+    def _alloc_route(
+        self, size, attribute, initiator, name,
+        allow_partial, allow_fallback, scope,
+    ) -> Buffer:
+        """Fast path when eligible, else the legacy body — the placement
+        decisions are identical to the untraced route in mem_alloc."""
+        if name is None and allow_fallback and not allow_partial:
+            buf = self._fast_alloc(size, attribute, initiator, scope)
+            if buf is not None:
+                return buf
+        return self._mem_alloc_impl(
+            size,
+            attribute,
+            initiator,
+            name=name,
+            allow_partial=allow_partial,
+            allow_fallback=allow_fallback,
+            scope=scope,
+        )
+
+    def _fast_alloc(self, size, attribute, initiator, scope) -> Buffer | None:
+        """Plan-cache fast allocation; None means "take the legacy path".
+
+        Twin of the inline block in mem_alloc — keep in lockstep.  The
+        only addition is kernel counter parity: a recycled commit never
+        reaches the kernel's instrumented allocate, so it emits the page
+        accounting counters itself.
+        """
+        try:
+            plan = self._plans.get((attribute, initiator, scope))
+        except TypeError:
+            return None
+        if (
+            plan is None
+            or plan.generation != self.memattrs._generation
+            or not self._qc.enabled
+        ):
+            return None
+        pool = plan.pool
+        if pool:
+            buf = pool[-1]
+            alloc = buf.allocation
+            if alloc.size_bytes == size:
+                state = plan.state
+                pages = alloc.pages_by_node[plan.node]
+                if (
+                    state.free_pages >= pages
+                    and self.buffers.setdefault(buf.name, buf) is buf
+                ):
+                    del pool[-1]
+                    state.free_pages -= pages
+                    alloc.freed = False
+                    self._kernel_live[alloc.allocation_id] = alloc
+                    if OBS.enabled:
+                        OBS.metrics.counter("kernel.allocations").inc()
+                        OBS.metrics.counter("kernel.pages_allocated").inc(pages)
+                    return buf
+        return self._plan_alloc(plan, size, attribute)
+
+    def _plan_alloc(self, plan: _AllocPlan, size, attribute) -> Buffer | None:
+        """First-fit over a valid plan's online entries, committing through
+        the kernel's no-walk fast commit.  None when nothing fits (the
+        legacy path then re-walks and raises the canonical error)."""
+        pages = -(-size // self._page_size)
+        for state, node, target, policy, rank in plan.entries:
+            if state.free_pages >= pages:
+                alloc = self.kernel.place_pages(node, pages, size, policy)
+                bufname = f"buf{next(_buffer_ids)}"
+                buffer = Buffer(
+                    name=bufname,
+                    size=size,
+                    requested_attribute=attribute,
+                    used_attribute=plan.used_attr,
+                    allocation=alloc,
+                    target=target,
+                    fallback_rank=rank,
+                    initiator=plan.initiator_pus,
+                )
+                if rank == plan.best_rank:
+                    buffer._plan = plan
+                self.buffers[bufname] = buffer
+                return buffer
+        return None
+
+    def _build_plan(self, used_attr, ranked, initiator_pus) -> _AllocPlan:
+        """Flatten one resolved ranking into a warm-path plan."""
+        nodes = self.kernel.nodes
+        offline = self.kernel._offline
+        entries = tuple(
+            (
+                nodes[tv.target.os_index],
+                tv.target.os_index,
+                tv.target,
+                bind_policy(tv.target.os_index),
+                rank,
+            )
+            for rank, tv in enumerate(ranked)
+            if tv.target.os_index not in offline
+        )
+        plan = _AllocPlan()
+        plan.generation = self.memattrs._generation
+        plan.used_attr = used_attr
+        plan.entries = entries
+        if entries:
+            plan.state = entries[0][0]
+            plan.node = entries[0][1]
+            plan.best_rank = entries[0][4]
+        else:
+            plan.state = None
+            plan.node = -1
+            plan.best_rank = -1
+        plan.best_node_orig = ranked[0].target.os_index
+        plan.best_target_orig = ranked[0].target
+        plan.nodeset = tuple(tv.target.os_index for tv in ranked)
+        plan.initiator_pus = initiator_pus
+        plan.pool = []
+        return plan
+
     def _mem_alloc_impl(
         self,
         size: int,
@@ -278,11 +492,23 @@ class HeterogeneousAllocator:
     ) -> Buffer:
         if size <= 0:
             raise AllocationError("allocation size must be positive")
+        auto_named = name is None
         name = name or f"buf{next(_buffer_ids)}"
         if name in self.buffers:
             raise AllocationError(f"buffer name {name!r} already in use")
         initiator_pus = self._initiator_pus(initiator)
         used_attr, ranked = self.rank_for(attribute, initiator, scope=scope)
+        # (Re)build the warm-path plan for this triple while the resolved
+        # ranking is in hand, so the next request takes the fast path.
+        plan = None
+        if self._qc.enabled:
+            try:
+                plan = self._plans.get((attribute, initiator, scope))
+                if plan is None or plan.generation != self.memattrs._generation:
+                    plan = self._build_plan(used_attr, ranked, initiator_pus)
+                    self._plans[(attribute, initiator, scope)] = plan
+            except TypeError:      # unhashable initiator: uncacheable
+                plan = None
         if not allow_fallback:
             ranked = ranked[:1]
 
@@ -326,6 +552,10 @@ class HeterogeneousAllocator:
                         fallback_rank=rank,
                         initiator=initiator_pus,
                     )
+                    if auto_named and plan is not None and node == plan.node:
+                        # Eligible for pool recycling when freed: unnamed,
+                        # whole-buffer, sitting on the plan's best target.
+                        buffer._plan = plan
                     self.buffers[name] = buffer
                     return buffer
 
@@ -379,9 +609,24 @@ class HeterogeneousAllocator:
         *,
         rollback_on_error: bool,
     ) -> tuple[Buffer, ...]:
+        reqs = requests if type(requests) is list else list(requests)
+        if reqs and not OBS.enabled and reqs[0].__class__ is AllocRequest:
+            # Batch fast paths.  Both bail to the sequential loop (None)
+            # whenever any request is not plan-eligible or capacity is
+            # tight enough that first-fit order matters — the loop is the
+            # semantic definition of a batch.  Mixed dict/tuple request
+            # shapes also fall through (normalization happens in the
+            # loop below).
+            fast = (
+                self._batch_partial_fast(reqs)
+                if reqs[0].allow_partial
+                else self._batch_fast(reqs)
+            )
+            if fast is not None:
+                return fast
         placed: list[Buffer] = []
         try:
-            for req in requests:
+            for req in reqs:
                 if isinstance(req, AllocRequest):
                     r = req
                 elif isinstance(req, dict):
@@ -406,11 +651,156 @@ class HeterogeneousAllocator:
             raise
         return tuple(placed)
 
+    def _batch_fast(self, reqs: list[AllocRequest]) -> tuple[Buffer, ...] | None:
+        """Whole-buffer batch commit: one fused fast-path pass per request.
+
+        Runs the warm fast path (pool recycle, else plan first-fit) over
+        the batch in request order — by construction the same placement
+        decisions as the sequential ``mem_alloc`` loop, minus the
+        per-request dispatch, telemetry-gate and capacity re-derivation
+        overhead.  Any ineligible request (named, partial, stale plan,
+        nothing fits) undoes the committed prefix exactly (fast free
+        restores counters and pools) and returns None, and the caller
+        replays through the sequential loop.
+        """
+        if not self._qc.enabled:
+            return None
+        gen = self.memattrs._generation
+        plans = self._plans
+        live = self._kernel_live
+        buffers = self.buffers
+        out: list[Buffer] = []
+        for r in reqs:
+            if (
+                r.__class__ is not AllocRequest
+                or r.name is not None
+                or r.allow_partial
+                or not r.allow_fallback
+            ):
+                break
+            try:
+                plan = plans.get((r.attribute, r.initiator, r.scope))
+            except TypeError:
+                break
+            if plan is None or plan.generation != gen:
+                break
+            size = r.size
+            pool = plan.pool
+            if pool:
+                buf = pool[-1]
+                alloc = buf.allocation
+                if alloc.size_bytes == size:
+                    state = plan.state
+                    pages = alloc.pages_by_node[plan.node]
+                    if (
+                        state.free_pages >= pages
+                        and buffers.setdefault(buf.name, buf) is buf
+                    ):
+                        del pool[-1]
+                        state.free_pages -= pages
+                        alloc.freed = False
+                        live[alloc.allocation_id] = alloc
+                        out.append(buf)
+                        continue
+            buf = self._plan_alloc(plan, size, r.attribute)
+            if buf is None:
+                break
+            out.append(buf)
+        else:
+            return tuple(out)
+        for buf in reversed(out):
+            self.free(buf)
+        return None
+
+    def _batch_partial_fast(
+        self, reqs: list[AllocRequest]
+    ) -> tuple[Buffer, ...] | None:
+        """Hybrid (spill) batch via the kernel's vectorized ordered fill.
+
+        Applies when the whole batch shares one plan-eligible
+        ``(attribute, initiator, scope)`` triple with ``allow_partial``
+        set and the ranked nodeset can hold the batch total — exactly the
+        regime where a sequence of ``allocate_ordered`` calls equals one
+        cumulative fill, which :meth:`KernelMemoryManager.
+        allocate_many_ordered` computes with numpy array ops.
+        """
+        r0 = reqs[0]
+        for r in reqs:
+            if (
+                r.__class__ is not AllocRequest
+                or r.name is not None
+                or not r.allow_partial
+                or not r.allow_fallback
+                or r.attribute != r0.attribute
+                or r.initiator != r0.initiator
+                or r.scope != r0.scope
+            ):
+                return None
+        if not self._qc.enabled:
+            return None
+        try:
+            plan = self._plans.get((r0.attribute, r0.initiator, r0.scope))
+        except TypeError:
+            return None
+        if plan is None or plan.generation != self.memattrs._generation:
+            return None
+        ps = self._page_size
+        total_pages = sum(-(-r.size // ps) for r in reqs)
+        free_total = int(self.kernel.free_pages_array(plan.nodeset).sum())
+        if total_pages > free_total:
+            return None
+        allocs = self.kernel.allocate_many_ordered(
+            [r.size for r in reqs], plan.nodeset
+        )
+        best = plan.best_node_orig
+        out: list[Buffer] = []
+        for r, alloc in zip(reqs, allocs):
+            frac = alloc.fraction_on(best)
+            bufname = f"buf{next(_buffer_ids)}"
+            buffer = Buffer(
+                name=bufname,
+                size=r.size,
+                requested_attribute=r.attribute,
+                used_attribute=plan.used_attr,
+                allocation=alloc,
+                target=plan.best_target_orig if frac > 0 else None,
+                fallback_rank=0 if frac >= 0.999 else 1,
+                initiator=plan.initiator_pus,
+            )
+            self.buffers[bufname] = buffer
+            out.append(buffer)
+        return tuple(out)
+
     def cache_stats(self) -> dict:
         """Hit/miss/invalidation counters of the shared query cache."""
         return self.memattrs.cache_stats()
 
     def free(self, buffer: Buffer | str) -> None:
+        # Fast path: a live fast-path buffer releases its pages straight
+        # to its plan's node counter and parks itself in the plan's pool
+        # for recycling.  Everything else (names, migrated/split buffers,
+        # double frees) takes the legacy route below.
+        if buffer.__class__ is Buffer:
+            plan = buffer._plan
+            if plan is not None:
+                alloc = buffer.allocation
+                pbn = alloc.pages_by_node
+                pages = pbn.get(plan.node)
+                if pages is not None and len(pbn) == 1 and not alloc.freed:
+                    got = self.buffers.pop(buffer.name, None)
+                    if got is buffer:
+                        del self._kernel_live[alloc.allocation_id]
+                        alloc.freed = True
+                        plan.state.free_pages += pages
+                        pool = plan.pool
+                        if len(pool) < _POOL_MAX:
+                            pool.append(buffer)
+                        return
+                    if got is not None:
+                        # A different live buffer owns this name (the
+                        # caller's handle is stale): restore and let the
+                        # legacy route raise its canonical error.
+                        self.buffers[buffer.name] = got
         buffer = self._resolve_buffer(buffer)
         self.kernel.free(buffer.allocation)
         del self.buffers[buffer.name]

@@ -40,6 +40,7 @@ from __future__ import annotations
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
+    CounterBatch,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -55,6 +56,7 @@ __all__ = [
     "enabled",
     "reset",
     "Counter",
+    "CounterBatch",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -74,30 +76,57 @@ class ObsState:
     attribute.  ``tracer`` and ``metrics`` are replaced wholesale by
     :meth:`reset`, so holding the :data:`OBS` object (not its members)
     is the supported pattern for instrumented code.
+
+    ``sample_every``/``hot_countdown`` implement the hot-path sampling
+    gate: instrumented hot sites (``mem_alloc``) record telemetry only on
+    every ``sample_every``-th request and run untraced in between —
+    ``hot_countdown`` is the per-site skip budget they decrement inline.
+    The default of 1 records everything (the historical behavior).
     """
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "sample_every", "hot_countdown")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracer = Tracer()
         self.metrics = MetricsRegistry()
+        self.sample_every = 1
+        self.hot_countdown = 0
 
     def reset(self, *, clock=None) -> None:
         """Fresh tracer + registry, guard off (test isolation)."""
         self.enabled = False
         self.tracer = Tracer(clock=clock)
         self.metrics = MetricsRegistry()
+        self.sample_every = 1
+        self.hot_countdown = 0
 
 
 #: The one switchboard every instrumented module imports.
 OBS = ObsState()
 
 
-def enable(*, clock=None) -> ObsState:
-    """Turn telemetry on (optionally with a deterministic clock)."""
-    if clock is not None:
-        OBS.tracer = Tracer(clock=clock)
+def enable(
+    *,
+    clock=None,
+    sample_every: int = 1,
+    ring_capacity: int | None = None,
+) -> ObsState:
+    """Turn telemetry on (optionally with a deterministic clock).
+
+    ``sample_every=N`` records only every N-th hot-path request (spans
+    *and* per-request metrics; cold paths stay fully recorded) — the
+    always-on production mode.  ``ring_capacity=C`` bounds the span store
+    to the most recent C spans (oldest evicted, counted in
+    ``tracer.dropped_spans``) so long runs cannot grow memory without
+    bound.  Defaults preserve the record-everything behavior.
+    """
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
+    if clock is not None or ring_capacity is not None:
+        OBS.tracer = Tracer(clock=clock, ring_capacity=ring_capacity)
+    OBS.sample_every = sample_every
+    OBS.hot_countdown = 0
     OBS.enabled = True
     return OBS
 

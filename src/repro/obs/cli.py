@@ -46,6 +46,22 @@ def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
         help="record metrics and dump them Prometheus-style "
         "('-' or no value: stdout)",
     )
+    group.add_argument(
+        "--obs-sample-every",
+        type=int,
+        metavar="N",
+        default=1,
+        help="record hot-path telemetry for only every N-th request "
+        "(default 1: record everything)",
+    )
+    group.add_argument(
+        "--obs-ring-capacity",
+        type=int,
+        metavar="C",
+        default=None,
+        help="bound the span store to the most recent C spans "
+        "(oldest evicted and counted; default: unbounded)",
+    )
 
 
 def start_obs(args: argparse.Namespace) -> bool:
@@ -54,7 +70,10 @@ def start_obs(args: argparse.Namespace) -> bool:
 
     if args.trace is None and args.metrics is None:
         return False
-    enable()
+    enable(
+        sample_every=getattr(args, "obs_sample_every", 1),
+        ring_capacity=getattr(args, "obs_ring_capacity", None),
+    )
     return True
 
 
@@ -65,8 +84,14 @@ def finish_obs(args: argparse.Namespace) -> None:
     if args.trace is not None:
         with open(args.trace, "w", encoding="utf-8") as fh:
             fh.write(to_jsonl(OBS.tracer))
+        dropped = ""
+        if OBS.tracer.dropped_spans:
+            dropped = f" ({OBS.tracer.dropped_spans} evicted by the ring)"
+        if OBS.tracer.sampled_out:
+            dropped += f" ({OBS.tracer.sampled_out} roots sampled out)"
         print(
-            f"trace: {len(OBS.tracer.finished())} spans -> {args.trace} "
+            f"trace: {len(OBS.tracer.finished())} spans -> {args.trace}"
+            f"{dropped} "
             f"(repro-trace {args.trace} --chrome out.json for chrome://tracing)"
         )
     if args.metrics is not None:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "Counter",
+    "CounterBatch",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -35,11 +36,20 @@ __all__ = [
 #: pass their own bounds).
 DEFAULT_BUCKETS: tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
 
-LabelKey = tuple[tuple[str, str], ...]
+LabelKey = tuple[tuple[str, object], ...]
 
 
 def _label_key(labels: dict[str, object]) -> LabelKey:
-    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+    # Lazy label formatting: values stay raw here (no per-call str()) and
+    # are stringified only at export time (as_dict / render_metrics).
+    # Kwargs keys are unique, so the sort never compares two values.
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def _labels_as_strs(labels: LabelKey) -> tuple[tuple[str, str], ...]:
+    return tuple((k, str(v)) for k, v in labels)
 
 
 @dataclass
@@ -148,8 +158,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     def instruments(self) -> tuple[object, ...]:
         """Every instrument, sorted by (name, labels) for stable output."""
+        # Labels keep raw (possibly mixed-type) values; sort on their
+        # string form so e.g. node=2 and node="split" series compare.
         return tuple(
-            self._instruments[k] for k in sorted(self._instruments)
+            self._instruments[k]
+            for k in sorted(
+                self._instruments,
+                key=lambda k: (k[0], _labels_as_strs(k[1])),
+            )
         )
 
     def value(self, name: str, **labels) -> float:
@@ -163,7 +179,9 @@ class MetricsRegistry:
         """Plain-data snapshot (JSON-safe), for archiving and tests."""
         out: dict[str, list] = {}
         for inst in self.instruments():
-            entry: dict[str, object] = {"labels": dict(inst.labels)}  # type: ignore[attr-defined]
+            entry: dict[str, object] = {
+                "labels": dict(_labels_as_strs(inst.labels))  # type: ignore[attr-defined]
+            }
             if isinstance(inst, Histogram):
                 entry.update(
                     kind="histogram",
@@ -180,12 +198,47 @@ class MetricsRegistry:
         return out
 
 
+class CounterBatch:
+    """Local accumulation of counter increments, applied in one flush.
+
+    Hot loops that would otherwise resolve and tick the same counters per
+    iteration accumulate into a plain dict (one hash per ``inc``) and
+    apply the sums in a single registry pass::
+
+        batch = CounterBatch(OBS.metrics)
+        for item in work:
+            batch.inc("search.leaves_priced")
+        batch.flush()
+
+    ``flush`` is idempotent (the accumulator empties); a batch may be
+    reused afterwards.  Not flushing loses the increments — use it where
+    there is a natural end-of-loop flush point.
+    """
+
+    __slots__ = ("_registry", "_acc")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self._acc: dict[tuple[str, LabelKey], float] = {}
+
+    def inc(self, name: str, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {name} cannot decrease (inc {amount})")
+        key = (name, _label_key(labels))
+        self._acc[key] = self._acc.get(key, 0.0) + amount
+
+    def flush(self) -> None:
+        acc, self._acc = self._acc, {}
+        for (name, labels), amount in acc.items():
+            self._registry._get(Counter, name, dict(labels)).inc(amount)
+
+
 def _prom_name(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
 def _prom_labels(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
-    pairs = tuple(labels) + extra
+    pairs = _labels_as_strs(labels) + extra
     if not pairs:
         return ""
     body = ",".join(f'{k}="{v}"' for k, v in pairs)

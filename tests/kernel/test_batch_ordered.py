@@ -1,0 +1,102 @@
+"""``allocate_many_ordered`` is ``allocate_ordered`` in a loop — exactly.
+
+The vectorized batch fill services every request as if the sequential
+primitive had been called once per size over the same node order.  For
+seeded random machines, random node orders and random size batches
+(drawn so a healthy fraction overflow), the suite asserts:
+
+* success: page maps, policies and post-call free counters are
+  bit-identical to the sequential replay;
+* overflow: both paths raise :class:`CapacityError`, and the batch is
+  all-or-nothing — no free counter moved, no allocation went live.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.kernel import KernelMemoryManager
+
+from tests.obs.test_differential import random_machine
+
+N_SEEDS = 60
+
+
+def _scenario(seed: int):
+    rng = random.Random(seed)
+    machine = random_machine(rng)
+    kernel = KernelMemoryManager(machine)
+    nodes = list(kernel.node_ids())
+    rng.shuffle(nodes)
+    order = tuple(nodes[: rng.randint(1, len(nodes))])
+    total_free = int(kernel.free_pages_array(order).sum())
+    page = kernel.page_size
+    n = rng.randint(1, 10)
+    # Aim the batch total between 20% and 140% of the available pages so
+    # both the straddling-fill and the overflow branches get exercised.
+    budget = max(n, int(total_free * rng.uniform(0.2, 1.4)))
+    sizes = []
+    for _ in range(n):
+        take = max(1, rng.randint(1, max(1, 2 * budget // n)))
+        sizes.append(take * page - rng.randrange(page))  # sub-page remainders
+    return machine, order, sizes
+
+
+@pytest.mark.parametrize("seed", range(N_SEEDS))
+def test_batch_matches_sequential_replay(seed):
+    machine, order, sizes = _scenario(seed)
+
+    seq = KernelMemoryManager(machine)
+    seq_allocs, seq_failed = [], False
+    try:
+        for size in sizes:
+            seq_allocs.append(seq.allocate_ordered(size, order))
+    except CapacityError:
+        seq_failed = True
+
+    batch = KernelMemoryManager(machine)
+    before = batch.free_pages_array().copy()
+    try:
+        batch_allocs = batch.allocate_many_ordered(sizes, order)
+        batch_failed = False
+    except CapacityError:
+        batch_failed = True
+
+    assert batch_failed == seq_failed
+    if batch_failed:
+        # All-or-nothing: the failed batch must not have moved a page.
+        assert (batch.free_pages_array() == before).all()
+        assert batch.live_allocations() == ()
+        return
+
+    assert len(batch_allocs) == len(seq_allocs)
+    for got, want in zip(batch_allocs, seq_allocs):
+        assert got.pages_by_node == want.pages_by_node
+        assert got.size_bytes == want.size_bytes
+        assert got.policy == want.policy
+    assert (batch.free_pages_array() == seq.free_pages_array()).all()
+
+
+def test_scenarios_cover_both_outcomes():
+    outcomes = set()
+    splits = 0
+    for seed in range(N_SEEDS):
+        machine, order, sizes = _scenario(seed)
+        kernel = KernelMemoryManager(machine)
+        try:
+            allocs = kernel.allocate_many_ordered(sizes, order)
+            outcomes.add("ok")
+            splits += sum(1 for a in allocs if len(a.pages_by_node) > 1)
+        except CapacityError:
+            outcomes.add("overflow")
+    assert outcomes == {"ok", "overflow"}
+    assert splits > 0, "no request ever straddled a node boundary"
+
+
+def test_empty_batch_is_a_noop():
+    machine, order, _ = _scenario(0)
+    kernel = KernelMemoryManager(machine)
+    before = kernel.free_pages_array().copy()
+    assert kernel.allocate_many_ordered([], order) == ()
+    assert (kernel.free_pages_array() == before).all()

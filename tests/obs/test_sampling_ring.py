@@ -1,0 +1,213 @@
+"""Ring-buffer and sampling invariants of the low-overhead tracer.
+
+Property suite for the sampled/bounded span store:
+
+* **ring accounting** — for random span trees and any capacity ``C``,
+  the store retains exactly ``min(total, C)`` records and counts exactly
+  ``max(0, total - C)`` evictions;
+* **well-nesting survives the wrap** — evicting whole records (never
+  truncating one) keeps every retained pair of finished spans pairwise
+  disjoint-or-nested;
+* **root sampling is all-or-nothing** — a 1/N decision taken once per
+  root tree records either the whole tree or none of it (children of a
+  sampled-out root can never orphan into the store), keeps the first
+  root, and balances its suppression depth even when bodies raise;
+* **CounterBatch** — locally accumulated increments flush to exactly the
+  per-``inc`` totals per labeled series, reject negative amounts, and
+  flush idempotently.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import CounterBatch, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class Ticker:
+    """Deterministic clock: every read advances one second."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def random_walk(tracer: Tracer, rng: random.Random, n_spans: int) -> int:
+    """Open/close ``n_spans`` spans in a random well-nested order.
+
+    Returns the number of *root* spans the walk opened.
+    """
+    stack = []
+    opened = roots = 0
+    while opened < n_spans or stack:
+        if opened < n_spans and (not stack or rng.random() < 0.55):
+            if not stack:
+                roots += 1
+            ctx = tracer.span(f"s{opened}", step=opened)
+            ctx.__enter__()
+            stack.append(ctx)
+            opened += 1
+        else:
+            stack.pop().__exit__(None, None, None)
+    return roots
+
+
+def assert_well_nested(records) -> None:
+    """Every pair of finished intervals is disjoint or nested."""
+    finished = [r for r in records if r.end is not None]
+    for i, a in enumerate(finished):
+        for b in finished[i + 1:]:
+            disjoint = a.end <= b.start or b.end <= a.start
+            nested = (a.start <= b.start and b.end <= a.end) or (
+                b.start <= a.start and a.end <= b.end
+            )
+            assert disjoint or nested, (
+                f"spans {a.name} [{a.start},{a.end}] and "
+                f"{b.name} [{b.start},{b.end}] partially overlap"
+            )
+
+
+class TestRingBuffer:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_drop_accounting_on_wrap(self, seed):
+        rng = random.Random(seed)
+        capacity = rng.randint(1, 24)
+        n_spans = rng.randint(0, 60)
+        tracer = Tracer(clock=Ticker(), ring_capacity=capacity)
+        random_walk(tracer, rng, n_spans)
+        assert len(tracer.records) == min(n_spans, capacity)
+        assert tracer.dropped_spans == max(0, n_spans - capacity)
+        assert tracer.open_spans == ()
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_retained_spans_stay_well_nested(self, seed):
+        rng = random.Random(1000 + seed)
+        tracer = Tracer(clock=Ticker(), ring_capacity=rng.randint(2, 16))
+        random_walk(tracer, rng, rng.randint(10, 50))
+        assert_well_nested(tracer.records)
+
+    def test_evicts_oldest_whole_records(self):
+        tracer = Tracer(clock=Ticker(), ring_capacity=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.records] == ["b", "c"]
+        assert tracer.dropped_spans == 1
+        # Evicted records are gone entirely — never a truncated tail.
+        assert all(r.end is not None for r in tracer.records)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_capacity=0)
+
+
+class TestRootSampling:
+    @pytest.mark.parametrize("sample_every", (2, 3, 7))
+    @pytest.mark.parametrize("n_roots", (1, 5, 20))
+    def test_keeps_every_nth_root_starting_with_the_first(
+        self, sample_every, n_roots
+    ):
+        tracer = Tracer(clock=Ticker(), sample_every=sample_every)
+        for i in range(n_roots):
+            with tracer.span(f"root{i}"):
+                with tracer.span("child"):
+                    pass
+        kept = math.ceil(n_roots / sample_every)
+        roots = [r for r in tracer.records if r.parent_id is None]
+        assert [r.name for r in roots] == [
+            f"root{i}" for i in range(0, n_roots, sample_every)
+        ]
+        assert len(roots) == kept
+        assert tracer.sampled_out == n_roots - kept
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_all_or_nothing_no_orphan_children(self, seed):
+        rng = random.Random(2000 + seed)
+        tracer = Tracer(clock=Ticker(), sample_every=rng.randint(2, 5))
+        roots = random_walk(tracer, rng, rng.randint(5, 40))
+        # Every recorded child's parent is itself recorded: a sampled-out
+        # root suppresses its whole tree.
+        ids = {r.span_id for r in tracer.records}
+        for r in tracer.records:
+            if r.parent_id is not None:
+                assert r.parent_id in ids
+        kept_roots = [r for r in tracer.records if r.parent_id is None]
+        assert len(kept_roots) + tracer.sampled_out == roots
+        assert tracer._suppress == 0
+        assert tracer.open_spans == ()
+        assert_well_nested(tracer.records)
+
+    def test_suppression_balances_across_exceptions(self):
+        tracer = Tracer(clock=Ticker(), sample_every=2)
+        with tracer.span("kept"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("dropped"):          # tick 1: sampled out
+                with tracer.span("dropped-child"):
+                    raise RuntimeError("boom")
+        assert tracer._suppress == 0
+        with tracer.span("kept-again"):           # tick 2: recorded
+            pass
+        assert [r.name for r in tracer.records] == ["kept", "kept-again"]
+        assert tracer.sampled_out == 1
+
+    def test_sampling_composes_with_the_ring(self):
+        tracer = Tracer(clock=Ticker(), sample_every=2, ring_capacity=3)
+        for i in range(10):
+            with tracer.span(f"root{i}"):
+                pass
+        # 5 roots recorded (ticks 0,2,4,6,8), ring keeps the last 3.
+        assert [r.name for r in tracer.records] == ["root4", "root6", "root8"]
+        assert tracer.sampled_out == 5
+        assert tracer.dropped_spans == 2
+
+    def test_sample_every_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestCounterBatch:
+    def test_flush_applies_exact_sums_per_series(self):
+        reg = MetricsRegistry()
+        batch = CounterBatch(reg)
+        rng = random.Random(7)
+        expect: dict = {}
+        for _ in range(200):
+            name = rng.choice(("a", "b"))
+            node = rng.choice((0, 1, None))
+            amount = rng.randint(1, 5)
+            labels = {} if node is None else {"node": node}
+            batch.inc(name, amount, **labels)
+            key = (name, node)
+            expect[key] = expect.get(key, 0) + amount
+        batch.flush()
+        for (name, node), total in expect.items():
+            labels = {} if node is None else {"node": node}
+            assert reg.value(name, **labels) == total
+
+    def test_negative_increment_rejected(self):
+        batch = CounterBatch(MetricsRegistry())
+        with pytest.raises(ValueError):
+            batch.inc("x", -1)
+
+    def test_flush_is_idempotent_and_batch_reusable(self):
+        reg = MetricsRegistry()
+        batch = CounterBatch(reg)
+        batch.inc("x", 3)
+        batch.flush()
+        batch.flush()                 # empty accumulator: no double count
+        assert reg.value("x") == 3
+        batch.inc("x", 2)             # reuse after flush
+        batch.flush()
+        assert reg.value("x") == 5
+
+    def test_unflushed_increments_stay_local(self):
+        reg = MetricsRegistry()
+        batch = CounterBatch(reg)
+        batch.inc("x")
+        assert reg.value("x") == 0.0

@@ -197,10 +197,11 @@ class TestDeterminism:
         )
         parallel = search_placements(
             xeon_engine, phases, sizes, (0, 2), default_node=0, pus=XEON_PUS,
-            workers=2,
+            workers=2, force_parallel=True,
         )
         assert parallel.candidates == serial.candidates
         assert parallel.stats.workers == 2
+        assert parallel.stats.dispatch == "parallel"
 
     def test_parallel_identical_to_serial_graph500(self, xeon_engine, g500_setup):
         phases, sizes = g500_setup
@@ -210,7 +211,7 @@ class TestDeterminism:
         )
         parallel = search_placements(
             xeon_engine, phases, sizes, (0, 1, 2, 3),
-            default_node=0, pus=XEON_PUS, workers=3,
+            default_node=0, pus=XEON_PUS, workers=3, force_parallel=True,
         )
         # Bit-identical seconds, same ordering, same assignments.
         assert parallel.candidates == serial.candidates
@@ -224,6 +225,7 @@ class TestDeterminism:
         parallel = search_placements(
             xeon_engine, phases, sizes, (0, 1, 2, 3),
             default_node=0, pus=XEON_PUS, top_k=5, workers=4,
+            force_parallel=True,
         )
         assert parallel.candidates == serial.candidates
 
@@ -239,6 +241,154 @@ class TestDeterminism:
         )
         # Not approx: the memoized totals reuse the identical floats.
         assert memoized.candidates == direct.candidates
+
+
+class TestDispatcher:
+    """The cost-model dispatcher behind ``workers=N``."""
+
+    def test_small_space_falls_back_to_serial(
+        self, xeon_engine, g500_setup, monkeypatch
+    ):
+        import repro.sensitivity.search as search_mod
+
+        monkeypatch.setattr(search_mod.os, "cpu_count", lambda: 8)
+        phases, sizes = g500_setup
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, top_k=4, workers=4,
+        )
+        assert result.stats.dispatch == "serial"
+        assert result.stats.workers == 1
+        assert result.stats.requested_workers == 4
+        assert "break-even" in result.stats.dispatch_reason
+        assert "dispatch: serial" in result.stats.report()
+
+    def test_single_cpu_falls_back_to_serial(
+        self, xeon_engine, g500_setup, monkeypatch
+    ):
+        import repro.sensitivity.search as search_mod
+
+        monkeypatch.setattr(search_mod.os, "cpu_count", lambda: 1)
+        phases, sizes = g500_setup
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, workers=4,
+        )
+        assert result.stats.dispatch == "serial"
+        assert "single usable CPU" in result.stats.dispatch_reason
+
+    def test_small_budget_skips_the_probe(
+        self, xeon_engine, g500_setup, monkeypatch
+    ):
+        import repro.sensitivity.search as search_mod
+
+        monkeypatch.setattr(search_mod.os, "cpu_count", lambda: 8)
+        phases, sizes = g500_setup
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, workers=4, max_candidates=8,
+        )
+        assert result.stats.dispatch == "serial"
+        assert "pricing budget" in result.stats.dispatch_reason
+
+    def test_probe_exhaustion_fans_out_identically(
+        self, xeon_engine, g500_setup, monkeypatch
+    ):
+        """A probe too small for the space dispatches parallel, and the
+        parallel results are identical to the plain serial walk."""
+        import repro.sensitivity.search as search_mod
+
+        phases, sizes = g500_setup
+        serial = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, top_k=4,
+        )
+        monkeypatch.setattr(search_mod.os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(search_mod, "_PARALLEL_BREAK_EVEN_LEAVES", 1)
+        dispatched = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, top_k=4, workers=2,
+        )
+        assert dispatched.stats.dispatch == "parallel"
+        assert dispatched.stats.workers == 2
+        assert dispatched.stats.probe_leaves >= 1
+        assert "probe exhausted" in dispatched.stats.dispatch_reason
+        assert dispatched.candidates == serial.candidates
+
+    def test_forced_parallel_skips_probe(self, xeon_engine, g500_setup):
+        phases, sizes = g500_setup
+        result = search_placements(
+            xeon_engine, phases, sizes, (0, 2),
+            default_node=0, pus=XEON_PUS, top_k=4, workers=2,
+            force_parallel=True,
+        )
+        assert result.stats.dispatch == "parallel"
+        assert result.stats.probe_leaves == 0
+        assert "forced" in result.stats.dispatch_reason
+
+
+class TestSharedBoundTable:
+    """Parent-built bound tables round-trip through shared memory."""
+
+    def _model(self, engine, phases, sizes, nodes):
+        from repro.sensitivity.search import _SharedBoundTable
+
+        critical = tuple(sorted({a.buffer for p in phases for a in p.accesses}))
+        prepared = tuple(engine.prepare_phase(p, pus=XEON_PUS) for p in phases)
+        model = _BoundModel(engine, prepared, critical, nodes, nodes[0])
+        return model, critical, _SharedBoundTable
+
+    def test_roundtrip_bounds_bit_identical(self, xeon_engine, g500_setup):
+        import itertools
+
+        phases, sizes = g500_setup
+        nodes = (0, 2)
+        model, critical, _SharedBoundTable = self._model(
+            xeon_engine, phases, sizes, nodes
+        )
+        shared = _SharedBoundTable(model)
+        try:
+            attached = _SharedBoundTable.attach(shared.meta)
+        finally:
+            shared.unlink()
+        assert attached.pricings == 0
+        for depth in range(len(critical) + 1):
+            for prefix in itertools.product(nodes, repeat=depth):
+                assert attached.bound_for(prefix) == model.bound_for(prefix)
+
+    def test_multi_phase_touches_survive(self, xeon_engine):
+        """A buffer touched in several phases keeps distinct entries."""
+        from repro.sensitivity.search import _SharedBoundTable
+
+        def phase(name, pattern, read):
+            return KernelPhase(
+                name=name,
+                threads=8,
+                accesses=(
+                    BufferAccess(
+                        buffer="x", pattern=pattern,
+                        bytes_read=read, working_set=64 * MiB,
+                    ),
+                ),
+            )
+
+        phases = (
+            phase("p0", PatternKind.STREAM, 64 * MiB),
+            phase("p1", PatternKind.RANDOM, 16 * MiB),
+        )
+        prepared = tuple(
+            xeon_engine.prepare_phase(p, pus=XEON_PUS) for p in phases
+        )
+        model = _BoundModel(xeon_engine, prepared, ("x",), (0, 2), 0)
+        assert len(model._touch[0]) == 2
+        shared = _SharedBoundTable(model)
+        try:
+            attached = _SharedBoundTable.attach(shared.meta)
+        finally:
+            shared.unlink()
+        assert attached._touch == model._touch
+        for prefix in ((), (0,), (2,)):
+            assert attached.bound_for(prefix) == model.bound_for(prefix)
 
 
 def _random_workload(rng: random.Random):
