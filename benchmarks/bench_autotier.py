@@ -9,17 +9,31 @@ slow-tier speed and the migrations themselves cost time.  This bench
 measures both effects on a hot-streaming workload.
 """
 
+import json
+import os
+import pathlib
+import time
+
 import pytest
 
 import repro
 from repro.kernel import AutoTierDaemon, TierConfig, bind_policy
+from repro.kernel.autotier import StepReport
 from repro.sim import BufferAccess, KernelPhase, PatternKind, Placement
-from repro.units import GB
+from repro.units import GB, MiB
+
+RESULTS_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_autotier.json"
+
+# REPRO_BENCH_QUICK=1 shrinks the loops for CI smoke runs: same
+# assertions, noisier numbers.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 KNL_PUS = tuple(range(64))
 HOT_BYTES = 3 * GB
 SWEEPS_PER_INTERVAL = 10
-INTERVALS = 8
+INTERVALS = 4 if QUICK else 8
+
+_results: dict[str, dict] = {}
 
 
 def _interval_phase() -> KernelPhase:
@@ -95,6 +109,13 @@ def test_declarative_vs_reactive(benchmark, record):
     declarative = _run_declarative()
     reactive, converged_at = benchmark(_run_reactive)
 
+    _results["convergence"] = {
+        "intervals": INTERVALS,
+        "declarative_seconds": round(declarative, 4),
+        "reactive_seconds": round(reactive, 4),
+        "converged_at": converged_at,
+        "overhead_pct": round((reactive / declarative - 1) * 100, 1),
+    }
     record(
         "autotier_vs_attributes",
         f"hot buffer: {HOT_BYTES / 1e9:.0f} GB, "
@@ -115,3 +136,112 @@ def test_declarative_vs_reactive(benchmark, record):
         _interval_phase(), Placement.single(hot=0), pus=KNL_PUS
     ).seconds
     assert reactive < never * 0.75
+
+
+def _timed(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_priced_step_cost(record):
+    """Price-guided step pricing: one batch call vs a scalar loop.
+
+    The daemon prices its whole candidate set (baseline + one variant per
+    candidate move) in a single ``price_placements_batch`` call; the
+    scalar reference prices the same placements one ``price_phase`` at a
+    time.  The guidance numbers are identical either way — only the step
+    cost differs."""
+    setup = repro.quick_setup("knl-snc4-flat")
+    engine, kernel = setup.engine, setup.kernel
+    n_bufs = 6 if QUICK else 12
+    rounds = 10 if QUICK else 40
+    cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+    daemon = AutoTierDaemon(kernel, cfg, engine=engine)
+    accesses = []
+    for i in range(n_bufs):
+        name = f"b{i}"
+        node = 4 if i % 2 else 0
+        daemon.track(name, kernel.allocate(256 * MiB, bind_policy(node)))
+        accesses.append(
+            BufferAccess(
+                buffer=name,
+                pattern=PatternKind.STREAM,
+                bytes_read=(8 * GB) if node == 0 else (16 * MiB),
+                working_set=256 * MiB,
+            )
+        )
+    phase = KernelPhase(name="tenants", threads=64, accesses=tuple(accesses))
+    daemon.set_phase(phase, pus=KNL_PUS)
+    # Make every buffer a candidate: slow residents hot, fast ones cold.
+    for i in range(n_bufs):
+        daemon._tracked[f"b{i}"].hotness = 0.0 if i % 2 else 5.0
+
+    fast, slow = (4,), (0,)
+    probe = StepReport()
+    daemon._price_guidance(fast, slow, probe)
+    assert probe.candidates_priced == n_bufs
+
+    batch_s = _timed(
+        lambda: [
+            daemon._price_guidance(fast, slow, StepReport())
+            for _ in range(rounds)
+        ]
+    )
+
+    # Scalar reference: same baseline + variant placements, priced one
+    # price_phase call each.
+    axis = tuple(sorted(n.os_index for n in setup.machine.numa_nodes()))
+
+    def base_fractions(name):
+        alloc = daemon._tracked[name].allocation
+        return {
+            n: alloc.fraction_on(n) for n in axis if alloc.fraction_on(n) > 0
+        }
+
+    variants = [
+        Placement({f"b{i}": base_fractions(f"b{i}") for i in range(n_bufs)})
+    ]
+    for i in range(n_bufs):
+        moved = {}
+        for j in range(n_bufs):
+            name = f"b{j}"
+            frac = base_fractions(name)
+            if j == i:
+                frac = {4: 1.0} if (j % 2 == 0) else {0: 1.0}
+            moved[name] = frac
+        variants.append(Placement(moved))
+
+    scalar_s = _timed(
+        lambda: [
+            engine.price_phase(phase, p, pus=KNL_PUS)
+            for _ in range(rounds)
+            for p in variants
+        ]
+    )
+
+    per_step_batch = batch_s / rounds
+    per_step_scalar = scalar_s / rounds
+    speedup = per_step_scalar / per_step_batch
+    _results["priced_step"] = {
+        "candidates": n_bufs,
+        "batch_step_us": round(per_step_batch * 1e6, 1),
+        "scalar_step_us": round(per_step_scalar * 1e6, 1),
+        "speedup": round(speedup, 2),
+    }
+    record(
+        "autotier_priced_step",
+        f"{n_bufs} candidates/step: batch {per_step_batch * 1e6:8.1f} us, "
+        f"scalar {per_step_scalar * 1e6:8.1f} us ({speedup:.1f}x)",
+    )
+    # The batch call must never lose to the scalar candidate loop.
+    assert speedup >= 1.0
+
+
+def test_write_json(results_dir):
+    assert _results, "autotier benches must run first"
+    RESULTS_JSON.write_text(json.dumps(_results, indent=2) + "\n")
+    print(f"archived {RESULTS_JSON}")

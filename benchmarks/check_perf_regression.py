@@ -13,6 +13,16 @@ nonzero when either gated number regressed by more than the tolerance
   raw throughput) in ``BENCH_obs_overhead.json`` must not grow past
   ``baseline * (1 + tolerance)``.
 
+The compiled-pricing baselines gate on speedup *factors* (batch vs
+scalar on the same host, machine-independent like the obs factor):
+
+* ``speedup_tensor`` / ``speedup_e2e`` per preset in
+  ``BENCH_pricing_batch.json``;
+* ``priced_step.speedup`` in ``BENCH_autotier.json``;
+* ``contention_step.price_concurrent.speedup`` and
+  ``contention_step.scenario_sweep.speedup`` in
+  ``BENCH_multitenant.json``.
+
 Search timings are reported for context but do not gate here: their
 correctness half (optimum identity) gates inside the bench itself.
 
@@ -35,6 +45,9 @@ RESULTS = REPO / "benchmarks" / "results"
 ALLOC_JSON = "BENCH_alloc_throughput.json"
 OBS_JSON = "BENCH_obs_overhead.json"
 SEARCH_JSON = "BENCH_search_scaling.json"
+PRICING_JSON = "BENCH_pricing_batch.json"
+AUTOTIER_JSON = "BENCH_autotier.json"
+MULTITENANT_JSON = "BENCH_multitenant.json"
 
 
 def load_fresh(name: str) -> dict | None:
@@ -111,6 +124,99 @@ def check_obs(fresh: dict, base: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def _check_speedup(
+    label: str, got: float, want: float, tolerance: float, failures: list[str]
+) -> None:
+    """Gate one batch-vs-scalar speedup factor against its baseline floor."""
+    floor = want * (1.0 - tolerance)
+    verdict = "ok" if got >= floor else "REGRESSED"
+    print(
+        f"{label}: speedup {got:.2f}x vs baseline {want:.2f}x "
+        f"(floor {floor:.2f}x) {verdict}"
+    )
+    if got < floor:
+        failures.append(
+            f"{label}: batch speedup {got:.2f}x fell more than "
+            f"{tolerance * 100:.0f}% below baseline {want:.2f}x"
+        )
+
+
+def check_pricing(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    for preset, base_r in base.get("presets", {}).items():
+        fresh_r = fresh.get("presets", {}).get(preset)
+        if fresh_r is None:
+            failures.append(f"pricing[{preset}]: preset missing from fresh run")
+            continue
+        if fresh_r.get("rows") != base_r.get("rows"):
+            # A REPRO_BENCH_QUICK run prices a smaller batch; its speedup
+            # factors are not comparable to the full-shape baseline.
+            print(
+                f"SKIP pricing[{preset}]: batch shape differs "
+                f"({fresh_r.get('rows')} vs baseline {base_r.get('rows')} rows)"
+            )
+            continue
+        for key in ("speedup_tensor", "speedup_e2e"):
+            _check_speedup(
+                f"pricing[{preset}].{key}",
+                fresh_r[key],
+                base_r[key],
+                tolerance,
+                failures,
+            )
+    return failures
+
+
+def check_autotier(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    base_step = base.get("priced_step")
+    fresh_step = fresh.get("priced_step")
+    if base_step is None:
+        return failures
+    if fresh_step is None:
+        return ["autotier: priced_step missing from fresh run"]
+    if fresh_step.get("candidates") != base_step.get("candidates"):
+        print(
+            f"SKIP autotier.priced_step: candidate count differs "
+            f"({fresh_step.get('candidates')} vs baseline "
+            f"{base_step.get('candidates')})"
+        )
+        return failures
+    _check_speedup(
+        "autotier.priced_step",
+        fresh_step["speedup"],
+        base_step["speedup"],
+        tolerance,
+        failures,
+    )
+    return failures
+
+
+def check_multitenant(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    failures: list[str] = []
+    base_step = base.get("contention_step")
+    fresh_step = fresh.get("contention_step")
+    if base_step is None:
+        return failures
+    if fresh_step is None:
+        return ["multitenant: contention_step missing from fresh run"]
+    if fresh_step.get("jobs") != base_step.get("jobs"):
+        print(
+            f"SKIP multitenant.contention_step: job count differs "
+            f"({fresh_step.get('jobs')} vs baseline {base_step.get('jobs')})"
+        )
+        return failures
+    for key in ("price_concurrent", "scenario_sweep"):
+        _check_speedup(
+            f"multitenant.contention_step.{key}",
+            fresh_step[key]["speedup"],
+            base_step[key]["speedup"],
+            tolerance,
+            failures,
+        )
+    return failures
+
+
 def report_search(fresh: dict, base: dict) -> None:
     for workload, fresh_r in fresh.items():
         base_r = base.get(workload, {})
@@ -134,7 +240,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     failures: list[str] = []
-    for name, check in ((ALLOC_JSON, check_alloc), (OBS_JSON, check_obs)):
+    gates = (
+        (ALLOC_JSON, check_alloc),
+        (OBS_JSON, check_obs),
+        (PRICING_JSON, check_pricing),
+        (AUTOTIER_JSON, check_autotier),
+        (MULTITENANT_JSON, check_multitenant),
+    )
+    for name, check in gates:
         fresh = load_fresh(name)
         base = load_baseline(name, args.ref)
         if fresh is None or base is None:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import ReproError, TransientMigrationError
 from ..obs import OBS
 from .migration import MigrationReport
@@ -42,6 +44,11 @@ class TierConfig:
     migration_budget_bytes: int = 4 << 30
     #: exponential decay applied to hotness each step (history smoothing).
     decay: float = 0.5
+    #: price-guided mode only: a demotion is vetoed when its predicted
+    #: phase time exceeds the current placement's by more than this
+    #: relative slack (freeing fast-tier room is worth a small hit, but
+    #: not a large one).
+    demotion_price_slack: float = 0.05
 
     def __post_init__(self) -> None:
         if not self.fast_nodes or not self.slow_nodes:
@@ -54,6 +61,8 @@ class TierConfig:
             raise ReproError("migration budget must be non-negative")
         if self.promotion_threshold <= self.demotion_threshold:
             raise ReproError("promotion threshold must exceed demotion threshold")
+        if self.demotion_price_slack < 0:
+            raise ReproError("demotion price slack must be non-negative")
 
 
 @dataclass
@@ -76,6 +85,11 @@ class StepReport:
     transient_failures: int = 0
     #: tier nodes found offline this step (that tier direction is skipped).
     offline_tier_nodes: int = 0
+    #: price-guided mode: moves skipped because the batch pricing predicts
+    #: no gain (promotions) or too large a hit (demotions).
+    price_vetoed: list[str] = field(default_factory=list)
+    #: placement variants priced this step (0 when price guidance is off).
+    candidates_priced: int = 0
 
     @property
     def migration_seconds(self) -> float:
@@ -83,9 +97,25 @@ class StepReport:
 
 
 class AutoTierDaemon:
-    """The reactive tiering loop."""
+    """The reactive tiering loop.
 
-    def __init__(self, kernel: KernelMemoryManager, config: TierConfig) -> None:
+    Passing ``engine=`` (a :class:`~repro.sim.engine.SimEngine`) and a
+    workload phase via :meth:`set_phase` turns on *price-guided* mode:
+    each step compiles the phase once and prices the current placement
+    plus every candidate promotion/demotion variant in a single
+    :meth:`~repro.sim.engine.SimEngine.price_placements_batch` call,
+    vetoing moves the model predicts to be useless or harmful.  Without
+    an engine (the default) behaviour is byte-identical to the plain
+    hotness heuristic.
+    """
+
+    def __init__(
+        self,
+        kernel: KernelMemoryManager,
+        config: TierConfig,
+        *,
+        engine=None,
+    ) -> None:
         unknown = (set(config.fast_nodes) | set(config.slow_nodes)) - set(
             kernel.node_ids()
         )
@@ -94,6 +124,24 @@ class AutoTierDaemon:
         self.kernel = kernel
         self.config = config
         self._tracked: dict[str, _Tracked] = {}
+        self._engine = engine
+        self._phase = None
+        self._pus: tuple[int, ...] | None = None
+        self._compiled = None
+
+    def set_phase(self, phase, *, pus: tuple[int, ...] | None = None) -> None:
+        """Declare the workload phase that price-guided steps simulate.
+
+        ``phase`` is a :class:`~repro.sim.access.KernelPhase` whose
+        buffer names match :meth:`track` names (a phase buffer that is
+        not tracked disables guidance until it is).  ``None`` switches
+        guidance off.
+        """
+        if phase is not None and self._engine is None:
+            raise ReproError("set_phase needs a daemon constructed with engine=")
+        self._phase = phase
+        self._pus = pus
+        self._compiled = None
 
     # ------------------------------------------------------------------
     def track(self, name: str, allocation: PageAllocation) -> None:
@@ -125,6 +173,106 @@ class AutoTierDaemon:
     def _fraction_fast(self, alloc: PageAllocation) -> float:
         return sum(alloc.fraction_on(n) for n in self.config.fast_nodes)
 
+    def _compiled_phase(self):
+        """Compile the guidance phase, refreshing on MemAttrs generation."""
+        engine = self._engine
+        generation = engine._sync_generation()
+        if self._compiled is None or self._compiled.generation != generation:
+            axis = tuple(sorted(self.kernel.node_ids()))
+            self._compiled = engine.compile_phase(
+                self._phase, axis, pus=self._pus
+            )
+        return self._compiled
+
+    def _price_guidance(
+        self,
+        fast: tuple[int, ...],
+        slow: tuple[int, ...],
+        report: StepReport,
+    ) -> tuple[set[str], set[str]]:
+        """Predict this step's candidate moves in one batch pricing.
+
+        Builds one fraction row per candidate — the current placement
+        with that buffer's fast-resident share pushed to the roomiest
+        slow node (demotions) or its non-fast share pulled to the
+        roomiest fast node (promotions) — plus the baseline row, and
+        prices them all in a single
+        :meth:`SimEngine.price_placements_batch` call.  Returns the
+        (demote, promote) veto sets.  Guidance quietly stands down when
+        the phase references untracked buffers or a tier is empty.
+        """
+        cfg = self.config
+        if self._engine is None or self._phase is None or not fast or not slow:
+            return set(), set()
+        demote_cands = [
+            name
+            for name, t in self._tracked.items()
+            if t.hotness < cfg.demotion_threshold
+            and any(t.allocation.pages_by_node.get(n, 0) for n in fast)
+        ]
+        promote_cands = [
+            name
+            for name, t in self._tracked.items()
+            if t.hotness >= cfg.promotion_threshold
+            and self._fraction_fast(t.allocation) < 0.999
+        ]
+        if not demote_cands and not promote_cands:
+            return set(), set()
+        compiled = self._compiled_phase()
+        tracked = self._tracked
+        if any(b not in tracked for b in compiled.buffers):
+            return set(), set()
+
+        axis = compiled.nodes
+        pos = compiled.node_pos
+        base = {
+            name: np.array([t.allocation.fraction_on(n) for n in axis])
+            for name, t in tracked.items()
+        }
+        n_rows = 1 + len(demote_cands) + len(promote_cands)
+        frac = np.zeros((n_rows, compiled.n_buffers, compiled.n_nodes))
+        for b, bname in enumerate(compiled.buffers):
+            frac[:, b, :] = base[bname]
+
+        fast_dest = max(fast, key=self.kernel.free_bytes)
+        slow_dest = max(slow, key=self.kernel.free_bytes)
+        fast_cols = [pos[n] for n in fast]
+        non_fast_cols = [
+            pos[n] for n in axis if n not in set(cfg.fast_nodes)
+        ]
+
+        def divert(row: int, name: str, cols: list[int], dest: int) -> None:
+            for b, bname in enumerate(compiled.buffers):
+                if bname != name:
+                    continue
+                moved = frac[row, b, cols].sum()
+                frac[row, b, cols] = 0.0
+                frac[row, b, pos[dest]] += moved
+
+        row = 1
+        for name in demote_cands:
+            divert(row, name, fast_cols, slow_dest)
+            row += 1
+        for name in promote_cands:
+            divert(row, name, non_fast_cols, fast_dest)
+            row += 1
+
+        secs = self._engine.price_placements_batch(compiled, frac).seconds
+        baseline = secs[0]
+        report.candidates_priced = n_rows - 1
+        row = 1
+        veto_demote: set[str] = set()
+        for name in demote_cands:
+            if secs[row] > baseline * (1.0 + cfg.demotion_price_slack):
+                veto_demote.add(name)
+            row += 1
+        veto_promote: set[str] = set()
+        for name in promote_cands:
+            if secs[row] >= baseline:
+                veto_promote.add(name)
+            row += 1
+        return veto_demote, veto_promote
+
     def hotness(self, name: str) -> float:
         return self._tracked[name].hotness
 
@@ -146,6 +294,14 @@ class AutoTierDaemon:
             if report.offline_tier_nodes:
                 metrics.counter("autotier.offline_tier_nodes").inc(
                     report.offline_tier_nodes
+                )
+            if report.candidates_priced:
+                metrics.counter("autotier.candidates_priced").inc(
+                    report.candidates_priced
+                )
+            if report.price_vetoed:
+                metrics.counter("autotier.price_vetoes").inc(
+                    len(report.price_vetoed)
                 )
             span.fields.update(
                 promoted=len(report.promoted),
@@ -172,6 +328,11 @@ class AutoTierDaemon:
             len(cfg.fast_nodes) - len(fast) + len(cfg.slow_nodes) - len(slow)
         )
 
+        # Price-guided mode: one batch pricing of every candidate move
+        # against the pre-step placement.  Vetoes are advisory per buffer;
+        # the hotness loops below still decide ordering and budget.
+        veto_demote, veto_promote = self._price_guidance(fast, slow, report)
+
         # Demote cold residents first: frees fast-tier room.  Only pages
         # actually resident in the fast tier move (``from_nodes=fast``) —
         # demoting a buffer that already lives in the slow tier would burn
@@ -185,6 +346,9 @@ class AutoTierDaemon:
                 t.allocation.pages_by_node.get(n, 0) for n in fast
             )
             if fast_resident == 0:
+                continue
+            if name in veto_demote:
+                report.price_vetoed.append(name)
                 continue
             dest = max(slow, key=self.kernel.free_bytes)
             pages = min(fast_resident, budget // self.kernel.page_size)
@@ -215,6 +379,9 @@ class AutoTierDaemon:
             if not fast or t.hotness < cfg.promotion_threshold or budget <= 0:
                 break
             if self._fraction_fast(t.allocation) >= 0.999:
+                continue
+            if name in veto_promote:
+                report.price_vetoed.append(name)
                 continue
             dest = max(fast, key=self.kernel.free_bytes)
             needed = sum(

@@ -18,12 +18,24 @@ The latency and cpu terms serialize within a thread; the phase time is
 ``max(bandwidth_time, latency_time + cpu_time)``.
 """
 
-from .access import PatternKind, BufferAccess, KernelPhase, Placement
+from .access import BufferAccess, KernelPhase, PatternKind, Placement
 from .caches import CacheModel, cache_filter
-from .memside import memside_filter, MemsideEffect
-from .engine import SimEngine, PhaseTiming, PreparedPhase, RunTiming
-from .contention import ConcurrentJob, ConcurrentOutcome, price_concurrent
-from .trace import synth_trace, classify_trace
+from .contention import (
+    ConcurrentJob,
+    ConcurrentOutcome,
+    price_concurrent,
+    price_concurrent_batch,
+)
+from .engine import (
+    BatchPhaseTiming,
+    CompiledPhase,
+    PhaseTiming,
+    PreparedPhase,
+    RunTiming,
+    SimEngine,
+)
+from .memside import MemsideEffect, memside_filter
+from .trace import classify_trace, synth_trace
 
 __all__ = [
     "PatternKind",
@@ -37,10 +49,13 @@ __all__ = [
     "SimEngine",
     "PhaseTiming",
     "PreparedPhase",
+    "CompiledPhase",
+    "BatchPhaseTiming",
     "RunTiming",
     "ConcurrentJob",
     "ConcurrentOutcome",
     "price_concurrent",
+    "price_concurrent_batch",
     "synth_trace",
     "classify_trace",
 ]

@@ -67,7 +67,9 @@ class CacheModel:
         return cls(llc_bytes=256 * 1024)
 
 
-def cache_filter(model: CacheModel, access: BufferAccess, cache_share: float) -> CacheFilterResult:
+def cache_filter(
+    model: CacheModel, access: BufferAccess, cache_share: float
+) -> CacheFilterResult:
     """Filter one buffer access through the CPU caches.
 
     ``cache_share`` is the fraction of the LLC this buffer gets (the

@@ -300,3 +300,115 @@ class TestResilience:
         assert "hot" in report.promoted
         assert report.transient_failures == 0
         knl_kernel.free(hot)
+
+
+class TestPriceGuidance:
+    """engine= + set_phase turns on batch-priced move vetoes."""
+
+    @staticmethod
+    def _engine(knl_kernel):
+        from repro.sim import SimEngine
+        return SimEngine(knl_kernel.machine)
+
+    @staticmethod
+    def _phase(**traffic):
+        from repro.sim import BufferAccess, KernelPhase, PatternKind
+        return KernelPhase(
+            name="guided",
+            threads=64,
+            accesses=tuple(
+                BufferAccess(
+                    buffer=name,
+                    pattern=PatternKind.STREAM,
+                    bytes_read=nbytes,
+                    working_set=1 * GB,
+                )
+                for name, nbytes in traffic.items()
+            ),
+        )
+
+    def test_set_phase_requires_engine(self, knl_kernel):
+        d = AutoTierDaemon(
+            knl_kernel, TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        )
+        with pytest.raises(ReproError):
+            d.set_phase(self._phase(a=1 * GB))
+
+    def test_plain_daemon_prices_nothing(self, daemon, knl_kernel):
+        a = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("a", a)
+        daemon.observe({"a": 8 * GB})
+        report = daemon.step()
+        assert report.candidates_priced == 0
+        assert report.price_vetoed == []
+
+    def test_demotion_vetoed_when_phase_disagrees(self, knl_kernel):
+        """Sampler-cold but phase-hot: the batch pricing predicts a big
+        hit from demotion, so the move is vetoed."""
+        engine = self._engine(knl_kernel)
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        d = AutoTierDaemon(knl_kernel, cfg, engine=engine)
+        busy = knl_kernel.allocate(1 * GB, bind_policy(4))
+        d.track("busy", busy)
+        d.set_phase(self._phase(busy=64 * GB))
+        d.observe({"busy": 1 * MiB})  # sampler saw almost nothing
+        report = d.step()
+        assert report.price_vetoed == ["busy"]
+        assert report.demoted == []
+        assert report.candidates_priced == 1
+
+    def test_useful_moves_not_vetoed(self, knl_kernel):
+        engine = self._engine(knl_kernel)
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        d = AutoTierDaemon(knl_kernel, cfg, engine=engine)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        d.track("hot", hot)
+        d.track("cold", cold)
+        d.set_phase(self._phase(hot=64 * GB, cold=16 * MiB))
+        d.observe({"hot": 8 * GB, "cold": 1 * MiB})
+        report = d.step()
+        assert report.promoted == ["hot"]
+        assert report.demoted == ["cold"]
+        assert report.price_vetoed == []
+        assert report.candidates_priced == 2
+
+    def test_untracked_phase_buffer_stands_down(self, knl_kernel):
+        engine = self._engine(knl_kernel)
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        d = AutoTierDaemon(knl_kernel, cfg, engine=engine)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        d.track("hot", hot)
+        d.set_phase(self._phase(hot=64 * GB, ghost=64 * GB))
+        d.observe({"hot": 8 * GB})
+        report = d.step()
+        # Guidance silently off: the plain heuristic still promotes.
+        assert report.promoted == ["hot"]
+        assert report.candidates_priced == 0
+
+    def test_recompiles_after_attr_generation_bump(self, knl):
+        from repro.core import MemAttrs
+        from repro.kernel import KernelMemoryManager
+        from repro.sim import SimEngine
+        from repro.topology import build_topology
+
+        topo = build_topology(knl)
+        attrs = MemAttrs(topo)
+        engine = SimEngine(knl, topo, attrs=attrs)
+        kern = KernelMemoryManager(knl)
+        cfg = TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        d = AutoTierDaemon(kern, cfg, engine=engine)
+        hot = kern.allocate(1 * GB, bind_policy(0))
+        d.track("hot", hot)
+        d.set_phase(self._phase(hot=64 * GB))
+        d.observe({"hot": 8 * GB})
+        assert d.step().promoted == ["hot"]
+        # Move the attribute generation: the next step must recompile
+        # rather than trip over the stale CompiledPhase.
+        node = topo.numanodes()[0]
+        attrs.set_value("Bandwidth", node, (0,), 1e9)
+        kern.migrate(hot, 0)  # push it back out of the fast tier
+        d.observe({"hot": 8 * GB})
+        report = d.step()
+        assert report.promoted == ["hot"]
+        assert report.candidates_priced == 1

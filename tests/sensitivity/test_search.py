@@ -517,3 +517,101 @@ class TestLargeSpace:
         assert priced_or_pruned == 2 ** 16
         times = [c.seconds for c in result.candidates]
         assert times == sorted(times)
+
+
+class TestBatchLeafPath:
+    """The collect-then-batch pricing path must be invisible in results:
+    identical candidates, seconds (bit for bit), and SearchStats."""
+
+    @staticmethod
+    def _signature(result):
+        s = result.stats
+        return (
+            [(c.assignment, c.seconds) for c in result.candidates],
+            s.leaves_priced, s.slice_pricings, s.bound_pricings,
+            s.capacity_pruned, s.bound_pruned, s.truncated,
+        )
+
+    def _run(self, engine, phases, sizes, **kw):
+        return search_placements(
+            engine, phases, sizes, (0, 2), default_node=0,
+            pus=XEON_PUS, **kw,
+        )
+
+    def test_batch_equals_lazy_g500(
+        self, xeon_engine, g500_setup, monkeypatch
+    ):
+        import repro.sensitivity.search as mod
+        phases, sizes = g500_setup
+        variants = {}
+        for label, flag, min_leaves in (
+            ("batch", True, 0),
+            ("scalar-fallback", True, 10 ** 9),
+            ("lazy", False, 0),
+        ):
+            monkeypatch.setattr(mod, "_BATCH_LEAF_PATH", flag)
+            monkeypatch.setattr(mod, "_BATCH_MIN_LEAVES", min_leaves)
+            variants[label] = self._signature(
+                self._run(xeon_engine, phases, sizes, prune=False, top_k=6)
+            )
+        assert variants["batch"] == variants["lazy"]
+        assert variants["scalar-fallback"] == variants["lazy"]
+
+    def test_batch_equals_lazy_randomized(self, xeon_engine, monkeypatch):
+        import repro.sensitivity.search as mod
+        rng = random.Random(2024)
+        for _ in range(8):
+            phases, sizes = _random_workload(rng)
+            budget = rng.choice((None, 5, 40))
+            top_k = rng.choice((None, 3))
+            sigs = []
+            for flag in (True, False):
+                monkeypatch.setattr(mod, "_BATCH_LEAF_PATH", flag)
+                monkeypatch.setattr(mod, "_BATCH_MIN_LEAVES", 0)
+                sigs.append(
+                    self._signature(
+                        self._run(
+                            xeon_engine, phases, sizes,
+                            prune=False, top_k=top_k, max_candidates=budget,
+                        )
+                    )
+                )
+            assert sigs[0] == sigs[1]
+
+    def test_memo_coherent_across_paths(self, xeon_engine, g500_setup):
+        """A space primed by the batch path reuses its memo on the lazy
+        path (and vice versa) — same keys, same floats."""
+        phases, sizes = g500_setup
+        engine = xeon_engine
+        space = _SearchSpace(
+            engine, phases, sizes, (0, 2),
+            tuple(sizes), tuple(sizes), 0, None, XEON_PUS, True,
+        )
+        batch_out, _ = space._run_batch(top_k=None, budget=None, prefixes=None)
+        memo_after_batch = dict(space.memo)
+        lazy = {
+            tuple(cmb): space.price_assignment(dict(zip(space.critical, cmb)))
+            for _, cmb in batch_out
+        }
+        assert space.memo == memo_after_batch  # everything was memoized
+        for seconds, cmb in batch_out:
+            assert lazy[tuple(cmb)] == seconds
+
+    def test_bound_tables_vectorized_equals_scalar(
+        self, xeon_engine, g500_setup
+    ):
+        phases, sizes = g500_setup
+        prepared = tuple(
+            xeon_engine.prepare_phase(p, pus=XEON_PUS) for p in phases
+        )
+        crit = tuple(sizes)
+        vec = _BoundModel(xeon_engine, prepared, crit, (0, 2), 0)
+        ref = _BoundModel(
+            xeon_engine, prepared, crit, (0, 2), 0, vectorized=False
+        )
+        assert vec.pricings == ref.pricings
+        assert vec._dec_lat == ref._dec_lat
+        assert vec._dec_bw == ref._dec_bw
+        assert vec._touch == ref._touch
+        assert vec._suffix_lat == ref._suffix_lat
+        assert vec._suffix_bw == ref._suffix_bw
