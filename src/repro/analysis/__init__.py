@@ -6,14 +6,25 @@ package is that hint compiler for the repo's own kernels:
 
 * :mod:`astpass` — taint-based AST interpretation of scalar kernels,
   classifying each array parameter as STREAM / STRIDED / RANDOM /
-  POINTER_CHASE with read/write direction;
+  POINTER_CHASE with read/write direction; helper calls are resolved
+  interprocedurally via :mod:`callgraph`;
+* :mod:`callgraph` — module-level call resolution: function discovery,
+  cycle/depth-guarded inlining, and per-function summaries;
+* :mod:`footprint` — the quantitative layer: symbolic per-buffer trip
+  counts (polynomials over kernel parameters), evaluated traffic
+  shares, and compilation of loop nests into simulator
+  :class:`~repro.sim.access.KernelPhase` objects;
 * :mod:`kernels` — the registry binding each bundled app's reference
-  kernel to the descriptors its traffic model declares;
+  kernel to the descriptors its traffic model declares, plus the
+  problem-scale bindings that make the footprints numeric;
+* :mod:`parity` — the differential gate: static shares vs. instrumented
+  scalar-kernel runs (``repro-analyze --verify-parity``);
 * :mod:`hints` — the output side: attribute annotations for
   ``mem_alloc``, synthetic phases for the placement search, and
   end-to-end hint-driven placements;
-* :mod:`lint` — ``repro-lint``: diffs inference against declaration and
-  validates placement plans without simulating.
+* :mod:`lint` — ``repro-lint``: diffs inference against declaration,
+  checks footprint quantities (F rules), and validates placement plans
+  without simulating.
 """
 
 from .astpass import (
@@ -21,6 +32,22 @@ from .astpass import (
     KernelAnalysis,
     analyze_function,
     analyze_source,
+)
+from .callgraph import (
+    CallGraph,
+    CallResolver,
+    FunctionSummary,
+    build_call_graph,
+)
+from .footprint import (
+    BufferFootprint,
+    KernelFootprint,
+    LoopNest,
+    SymExpr,
+    footprint_from_source,
+    footprint_of_function,
+    phases_from_footprint,
+    traffic_shares,
 )
 from .hints import (
     access_from_inferred,
@@ -33,10 +60,18 @@ from .lint import (
     LintIssue,
     LintReport,
     lint_app_kernels,
+    lint_kernel_footprints,
     lint_paths,
     lint_plan,
     lint_plan_file,
     rule_catalog,
+)
+from .parity import (
+    BufferParity,
+    ParityReport,
+    ParityResult,
+    parity_for_app,
+    run_parity,
 )
 
 __all__ = [
@@ -44,6 +79,18 @@ __all__ = [
     "KernelAnalysis",
     "analyze_function",
     "analyze_source",
+    "CallGraph",
+    "CallResolver",
+    "FunctionSummary",
+    "build_call_graph",
+    "BufferFootprint",
+    "KernelFootprint",
+    "LoopNest",
+    "SymExpr",
+    "footprint_from_source",
+    "footprint_of_function",
+    "phases_from_footprint",
+    "traffic_shares",
     "AppKernel",
     "app_kernels",
     "merge_params",
@@ -54,8 +101,14 @@ __all__ = [
     "LintIssue",
     "LintReport",
     "lint_app_kernels",
+    "lint_kernel_footprints",
     "lint_paths",
     "lint_plan",
     "lint_plan_file",
     "rule_catalog",
+    "BufferParity",
+    "ParityReport",
+    "ParityResult",
+    "parity_for_app",
+    "run_parity",
 ]

@@ -22,7 +22,11 @@ subscript                              classification
 S[i+1])``, i affine                    segments tile the array)
 ``targets[e]``, ``e in range(lo, hi)`` RANDOM (gather of segments at
 with data-dependent ``lo``/``hi``      data-dependent offsets)
-``a[f(i)]`` (call in the index)        unknown — recorded, not guessed
+``a[f(i)]``, ``f`` a module-local      resolved interprocedurally: the
+helper                                 callee is inline-analyzed with
+                                       the caller's argument taints
+``a[f(i)]``, ``f`` opaque (builtin,    unknown — recorded, not guessed
+method, imported)
 =====================================  ==============================
 
 Index **taints** drive the table: a variable is *const* (loop-invariant),
@@ -37,6 +41,14 @@ loop-carried dependences like ``node = table[node]`` classify correctly.
 Direction is tracked per site (loads read, stores write, augmented
 assignment does both), feeding the read/write-qualified attributes of
 :func:`repro.sensitivity.attribute_for_pattern`.
+
+Calls to helpers defined in the same module (or source snippet) are
+resolved through a :class:`repro.analysis.callgraph.CallResolver`:
+the callee is walked as a sub-pass whose parameter environment carries
+the caller's argument taints, buffer arguments stay tracked under the
+caller's names, and the callee's return taint flows back into the call
+expression.  Recursive cycles and helpers past the resolver's depth cap
+fall back to the old opaque handling.
 """
 
 from __future__ import annotations
@@ -48,6 +60,7 @@ from dataclasses import dataclass, field
 
 from ..errors import ReproError
 from ..sim.access import PatternKind
+from .callgraph import CallResolver, module_resolver
 
 __all__ = [
     "InferredAccess",
@@ -180,6 +193,17 @@ class _Evidence:
         self.writes += int(write)
         self.lines.add(line)
 
+    def absorb(self, other: _Evidence) -> None:
+        """Merge a callee sub-pass's evidence for the same buffer."""
+        for kind, count in other.kinds.items():
+            self.kinds[kind] = self.kinds.get(kind, 0) + count
+        self.reads += other.reads
+        self.writes += other.writes
+        self.scalar_reads += other.scalar_reads
+        self.scalar_writes += other.scalar_writes
+        self.lines |= other.lines
+        self.unknown_lines |= other.unknown_lines
+
     def finish(self) -> InferredAccess:
         pattern = None
         if self.kinds:
@@ -200,7 +224,13 @@ class _Evidence:
 class _KernelPass:
     """One function's walk: statement interpreter over taints."""
 
-    def __init__(self, fn: ast.FunctionDef, buffers: tuple[str, ...] | None) -> None:
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        buffers: tuple[str, ...] | None,
+        *,
+        resolver: CallResolver | None = None,
+    ) -> None:
         self.fn = fn
         params = tuple(a.arg for a in fn.args.args)
         self.tracked = tuple(buffers) if buffers is not None else params
@@ -208,6 +238,8 @@ class _KernelPass:
         self.evidence: dict[str, _Evidence] = {}
         self.loop_depth = 0
         self.recording = True
+        self.resolver = resolver
+        self.return_taint: _Taint | None = None
 
     # -- taint helpers -------------------------------------------------
     def _combine(self, left: _Taint, right: _Taint, op: ast.operator) -> _Taint:
@@ -256,15 +288,21 @@ class _KernelPass:
         if isinstance(node, ast.Call):
             func = node.func
             reductions = ("len", "min", "max", "int", "abs")
-            if isinstance(func, ast.Name) and func.id in reductions:
-                for arg in node.args:
-                    # len(a) etc. are loop-invariant reductions, not
-                    # element accesses — do not record a load.
-                    if not isinstance(arg, ast.Name):
-                        self._eval(arg)
-                return _CONST
+            if isinstance(func, ast.Name):
+                if func.id in reductions:
+                    for arg in node.args:
+                        # len(a) etc. are loop-invariant reductions, not
+                        # element accesses — do not record a load.
+                        if not isinstance(arg, ast.Name):
+                            self._eval(arg)
+                    return _CONST
+                resolved = self._eval_resolved_call(node, func.id)
+                if resolved is not None:
+                    return resolved
             for arg in node.args:
                 self._eval(arg)
+            for keyword in node.keywords:
+                self._eval(keyword.value)
             return _Taint("opaque")
         if isinstance(node, (ast.Tuple, ast.List)):
             for elt in node.elts:
@@ -320,6 +358,122 @@ class _KernelPass:
             return _Taint("data", name)
         return _OPAQUE
 
+    # -- interprocedural calls -----------------------------------------
+    def _make_subpass(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        buffer_map: dict[str, str],
+        env: dict[str, _Taint],
+        call: ast.Call,
+    ) -> _KernelPass:
+        """Build the sub-pass that walks a resolved callee.
+        ``buffer_map`` maps callee parameter names to the caller buffers
+        they alias.  Subclasses override this to thread extra state
+        (e.g. footprint multipliers) through call boundaries."""
+        sub = _KernelPass(fn, tuple(buffer_map), resolver=self.resolver)
+        sub.env.update(env)
+        sub.loop_depth = self.loop_depth
+        sub.recording = self.recording
+        return sub
+
+    def _eval_resolved_call(self, node: ast.Call, name: str) -> _Taint | None:
+        """Inline-analyze a call to a module-local helper.
+
+        Returns the callee's return taint translated back into the
+        caller's namespace, or ``None`` when the callee is unknown or
+        the call shape is unsupported — the caller then falls back to
+        the generic opaque path.  All shape validation happens *before*
+        any argument is evaluated, so the fallback never double-records
+        loads from the argument expressions.
+        """
+        resolver = self.resolver
+        if resolver is None:
+            return None
+        fn = resolver.resolve(name)
+        if fn is None or not resolver.can_enter(name):
+            return None
+        spec = fn.args
+        if (
+            spec.vararg is not None
+            or spec.kwarg is not None
+            or spec.posonlyargs
+            or spec.kwonlyargs
+        ):
+            return None
+        params = [a.arg for a in spec.args]
+        if len(node.args) > len(params):
+            return None
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return None
+        bound_names = set(params[: len(node.args)])
+        for keyword in node.keywords:
+            if (
+                keyword.arg is None
+                or keyword.arg not in params
+                or keyword.arg in bound_names
+            ):
+                return None
+            bound_names.add(keyword.arg)
+        required = params[: len(params) - len(spec.defaults)]
+        if any(param not in bound_names for param in required):
+            # The call is ill-formed (missing a required argument);
+            # don't pretend to analyze it.
+            return None
+        # Shape is supported: evaluate each argument exactly once
+        # (recording any loads inside the argument expressions) and
+        # bind parameters.  Unbound trailing parameters take their
+        # defaults, which are loop-invariant from the callee's view.
+        bound: dict[str, tuple[ast.expr, _Taint]] = {}
+        for param, arg in zip(params, node.args):
+            bound[param] = (arg, self._eval(arg))
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                bound[keyword.arg] = (keyword.value, self._eval(keyword.value))
+        # Caller buffers passed by name stay tracked inside the callee;
+        # their evidence flows back under the caller's buffer names.
+        buffer_map: dict[str, str] = {
+            param: arg.id
+            for param, (arg, _) in bound.items()
+            if isinstance(arg, ast.Name) and arg.id in self.tracked
+        }
+        reverse: dict[str, str] = {}
+        for param, buffer in buffer_map.items():
+            reverse.setdefault(buffer, param)
+        env: dict[str, _Taint] = {p: _CONST for p in params}
+        for param, (_, taint) in bound.items():
+            if taint.kind == "data" and taint.source is not None:
+                mapped = reverse.get(taint.source)
+                # Rename data sources into the callee's namespace; a
+                # source not passed along is mangled so it can never
+                # collide with a callee-local buffer name (which would
+                # fake a pointer chase).
+                renamed = (
+                    mapped if mapped is not None else f"<caller:{taint.source}>"
+                )
+                taint = _Taint("data", renamed)
+            env[param] = taint
+        sub = self._make_subpass(fn, buffer_map, env, node)
+        with resolver.entered(name):
+            sub._walk(fn.body)
+        for param, callee_evidence in sub.evidence.items():
+            buffer = buffer_map.get(param)
+            if buffer is None:
+                continue
+            mine = self.evidence.get(buffer)
+            if mine is None:
+                mine = self.evidence[buffer] = _Evidence(buffer)
+            mine.absorb(callee_evidence)
+        ret = sub.return_taint if sub.return_taint is not None else _CONST
+        if ret.kind == "data" and ret.source is not None:
+            if ret.source in buffer_map:
+                return _Taint("data", buffer_map[ret.source])
+            if ret.source.startswith("<caller:"):
+                return _Taint("data", ret.source[len("<caller:"):-1])
+            # Data loaded from a callee-local container: indirection
+            # with no caller-visible source.
+            return _OPAQUE
+        return ret
+
     # -- statements ----------------------------------------------------
     def _is_self_increment(self, target: str, value: ast.expr) -> bool:
         """``x = x + 1`` (or ``x = 1 + x``) with a constant int step."""
@@ -364,6 +518,11 @@ class _KernelPass:
             return
         self.env[name] = self._eval(value)
 
+    def _note_mutation(self, name: str) -> None:
+        """Hook: ``name`` was rebound through a path :meth:`_assign_name`
+        does not see (tuple unpacking, augmented assignment).  Subclasses
+        tracking symbolic values override this to invalidate them."""
+
     def _do_assign_target(self, target: ast.expr, value: ast.expr) -> None:
         """Handle one assignment target; the RHS is evaluated exactly once
         per statement (by the caller for non-Name targets, here for Names)."""
@@ -375,6 +534,7 @@ class _KernelPass:
             for elt in target.elts:
                 if isinstance(elt, ast.Name):
                     self.env[elt.id] = _OPAQUE
+                    self._note_mutation(elt.id)
                 elif isinstance(elt, ast.Subscript):
                     self._eval_subscript(elt, read=False, write=True)
 
@@ -430,6 +590,51 @@ class _KernelPass:
         finally:
             self.loop_depth -= 1
 
+    def _for_iter_taint(self, stmt: ast.For) -> _Taint:
+        """Taint of the loop target implied by the iterable."""
+        iter_node = stmt.iter
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+        ):
+            return self._range_target_taint(iter_node)
+        if isinstance(iter_node, ast.Name):
+            # for x in buf: a linear sweep loading elements of buf.
+            src = iter_node.id
+            if src in self.tracked:
+                self._record(src, "stream", iter_node.lineno, read=True, write=False)
+                return _Taint("data", src)
+            return self.env.get(src, _OPAQUE)
+        self._eval(iter_node)
+        return _OPAQUE
+
+    def _for_stmt(self, stmt: ast.For) -> None:
+        target_taint = self._for_iter_taint(stmt)
+        if isinstance(stmt.target, ast.Name):
+            self.env[stmt.target.id] = target_taint
+        self._walk_loop_body(stmt.body)
+        self._walk(stmt.orelse)
+
+    def _while_stmt(self, stmt: ast.While) -> None:
+        self._eval(stmt.test)
+        self._walk_loop_body(stmt.body)
+        self._walk(stmt.orelse)
+
+    def _if_stmt(self, stmt: ast.If) -> None:
+        self._eval(stmt.test)
+        self._walk(stmt.body)
+        self._walk(stmt.orelse)
+
+    def _return_stmt(self, stmt: ast.Return) -> None:
+        taint = self._eval(stmt.value) if stmt.value is not None else _CONST
+        # Multiple returns widen to the least predictable one.
+        if (
+            self.return_taint is None
+            or _COMBINE_RANK[taint.kind] > _COMBINE_RANK[self.return_taint.kind]
+        ):
+            self.return_taint = taint
+
     def _stmt(self, stmt: ast.stmt) -> None:
         if isinstance(stmt, ast.Assign):
             if any(not isinstance(t, ast.Name) for t in stmt.targets):
@@ -447,10 +652,12 @@ class _KernelPass:
                 ):
                     self._eval(stmt.value)
                     self.env[name] = _AFFINE
+                    self._note_mutation(name)
                 else:
                     self.env[name] = self._combine(
                         self.env.get(name, _CONST), self._eval(stmt.value), stmt.op
                     )
+                    self._note_mutation(name)
             elif isinstance(stmt.target, ast.Subscript):
                 self._eval(stmt.value)
                 self._eval_subscript(stmt.target, read=True, write=True)
@@ -462,41 +669,15 @@ class _KernelPass:
                     self._eval(stmt.value)
                     self._eval_subscript(stmt.target, read=False, write=True)
         elif isinstance(stmt, ast.For):
-            iter_node = stmt.iter
-            if (
-                isinstance(iter_node, ast.Call)
-                and isinstance(iter_node.func, ast.Name)
-                and iter_node.func.id == "range"
-            ):
-                target_taint = self._range_target_taint(iter_node)
-            elif isinstance(iter_node, ast.Name):
-                # for x in buf: a linear sweep loading elements of buf.
-                src = iter_node.id
-                if src in self.tracked:
-                    self._record(
-                        src, "stream", iter_node.lineno, read=True, write=False
-                    )
-                    target_taint = _Taint("data", src)
-                else:
-                    target_taint = self.env.get(src, _OPAQUE)
-            else:
-                self._eval(iter_node)
-                target_taint = _OPAQUE
-            if isinstance(stmt.target, ast.Name):
-                self.env[stmt.target.id] = target_taint
-            self._walk_loop_body(stmt.body)
-            self._walk(stmt.orelse)
+            self._for_stmt(stmt)
         elif isinstance(stmt, ast.While):
-            self._eval(stmt.test)
-            self._walk_loop_body(stmt.body)
-            self._walk(stmt.orelse)
+            self._while_stmt(stmt)
         elif isinstance(stmt, ast.If):
-            self._eval(stmt.test)
-            self._walk(stmt.body)
-            self._walk(stmt.orelse)
-        elif isinstance(stmt, (ast.Return, ast.Expr)):
-            if stmt.value is not None:
-                self._eval(stmt.value)
+            self._if_stmt(stmt)
+        elif isinstance(stmt, ast.Return):
+            self._return_stmt(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
         elif isinstance(stmt, (ast.With,)):
             self._walk(stmt.body)
         # pass / break / continue / imports: nothing to do
@@ -506,7 +687,13 @@ class _KernelPass:
             self._stmt(stmt)
 
     def run(self) -> KernelAnalysis:
-        self._walk(self.fn.body)
+        if self.resolver is not None:
+            # Guard the pass's own name so self-recursive kernels fall
+            # back to the opaque path instead of inlining forever.
+            with self.resolver.entered(self.fn.name):
+                self._walk(self.fn.body)
+        else:
+            self._walk(self.fn.body)
         analysis = KernelAnalysis(name=self.fn.name)
         for name in self.tracked:
             ev = self.evidence.get(name)
@@ -521,6 +708,7 @@ def analyze_source(
     kernel: str | None = None,
     buffers: tuple[str, ...] | None = None,
     filename: str = "<source>",
+    interprocedural: bool = True,
 ) -> KernelAnalysis | dict[str, KernelAnalysis]:
     """Analyze kernel function(s) in a source snippet.
 
@@ -528,7 +716,9 @@ def analyze_source(
     :class:`KernelAnalysis`; without it, every top-level function is
     analyzed and a ``{name: analysis}`` dict is returned.  ``buffers``
     restricts which names are tracked (default: the function's
-    parameters).
+    parameters).  With ``interprocedural`` (the default), calls between
+    the snippet's top-level functions are resolved and inline-analyzed;
+    pass ``False`` to force the old intraprocedural behavior.
     """
     try:
         tree = ast.parse(textwrap.dedent(source), filename=filename)
@@ -541,20 +731,31 @@ def analyze_source(
     }
     if not functions:
         raise ReproError(f"no function definitions in {filename}")
+    resolver = CallResolver(functions) if interprocedural else None
     if kernel is not None:
         if kernel not in functions:
             raise ReproError(
                 f"no kernel {kernel!r} in {filename} "
                 f"(found: {sorted(functions)})"
             )
-        return _KernelPass(functions[kernel], buffers).run()
+        return _KernelPass(functions[kernel], buffers, resolver=resolver).run()
     return {
-        name: _KernelPass(fn, buffers).run() for name, fn in functions.items()
+        name: _KernelPass(fn, buffers, resolver=resolver).run()
+        for name, fn in functions.items()
     }
 
 
-def analyze_function(func, *, buffers: tuple[str, ...] | None = None) -> KernelAnalysis:
-    """Analyze a live Python function (via its source)."""
+def analyze_function(
+    func,
+    *,
+    buffers: tuple[str, ...] | None = None,
+    interprocedural: bool = True,
+) -> KernelAnalysis:
+    """Analyze a live Python function (via its source).
+
+    With ``interprocedural`` (the default), calls to top-level helpers
+    of the function's own module are resolved and inline-analyzed.
+    """
     try:
         source = inspect.getsource(func)
     except (OSError, TypeError) as exc:
@@ -568,4 +769,5 @@ def analyze_function(func, *, buffers: tuple[str, ...] | None = None) -> KernelA
         node for node in tree.body
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
     )
-    return _KernelPass(fn, buffers).run()
+    resolver = module_resolver(func) if interprocedural else None
+    return _KernelPass(fn, buffers, resolver=resolver).run()

@@ -1,0 +1,238 @@
+"""Call-graph construction and resolution for interprocedural analysis.
+
+PR 3's taint pass gave up on any subscript whose index came out of a
+call — the documented ``a[f(i)]`` false negative.  This module supplies
+the missing half: a :class:`CallResolver` maps callee names to their
+``ast.FunctionDef`` so :mod:`repro.analysis.astpass` can inline-analyze
+module-local helpers at each call site (context-sensitively: the
+caller's argument taints seed the callee's environment, and the
+callee's buffer evidence flows back under the caller's buffer names).
+
+:func:`build_call_graph` additionally materializes the graph itself —
+who calls whom, plus a per-function :class:`FunctionSummary` (parameter
+access patterns and return-value taint) — for reports, tests, and the
+``repro-analyze`` CLI.
+
+Only *top-level* ``def``s of one module participate; methods, closures,
+builtins, and imported names stay opaque, as does any call deeper than
+:data:`MAX_INLINE_DEPTH` or on a recursive cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = [
+    "MAX_INLINE_DEPTH",
+    "CallGraph",
+    "CallResolver",
+    "FunctionSummary",
+    "build_call_graph",
+    "module_resolver",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Call chains deeper than this are treated as opaque rather than
+#: inlined — a backstop against pathological helper towers; real kernel
+#: helper nests are one or two levels.
+MAX_INLINE_DEPTH = 8
+
+
+def _collect_functions(tree: ast.Module) -> dict[str, FunctionNode]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class CallResolver:
+    """Name -> ``FunctionDef`` lookup with a recursion/depth guard.
+
+    The active-call stack makes cycle detection trivial: a name already
+    on the stack (direct or mutual recursion) cannot be re-entered, and
+    neither can anything once the stack hits ``max_depth``.  Unresolved
+    calls simply fall back to the pre-existing opaque handling — the
+    pass never guesses.
+    """
+
+    def __init__(
+        self,
+        functions: Mapping[str, FunctionNode],
+        *,
+        max_depth: int = MAX_INLINE_DEPTH,
+    ) -> None:
+        self.functions = dict(functions)
+        self.max_depth = max_depth
+        self._stack: list[str] = []
+
+    def resolve(self, name: str) -> FunctionNode | None:
+        return self.functions.get(name)
+
+    def can_enter(self, name: str) -> bool:
+        return name not in self._stack and len(self._stack) < self.max_depth
+
+    @contextmanager
+    def entered(self, name: str) -> Iterator[None]:
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @classmethod
+    def from_source(
+        cls, source: str, *, filename: str = "<source>"
+    ) -> CallResolver:
+        try:
+            tree = ast.parse(textwrap.dedent(source), filename=filename)
+        except SyntaxError as exc:
+            raise ReproError(f"cannot parse {filename}: {exc}") from exc
+        return cls(_collect_functions(tree))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Taint summary of one function, as seen from its signature."""
+
+    name: str
+    params: tuple[str, ...]
+    callees: tuple[str, ...]
+    #: Taint kind of the returned value ("const", "affine", "data", ...).
+    returns: str
+    #: Per-parameter inferred pattern ("stream", "random", ...) or
+    #: "unknown" for parameters with only unanalyzable sites.
+    patterns: Mapping[str, str]
+
+    def describe(self) -> str:
+        pats = ", ".join(f"{p}={k}" for p, k in sorted(self.patterns.items()))
+        return (
+            f"{self.name}({', '.join(self.params)}) -> {self.returns}"
+            + (f" [{pats}]" if pats else "")
+        )
+
+
+@dataclass
+class CallGraph:
+    """Top-level functions of one module and their local call edges."""
+
+    functions: dict[str, FunctionNode]
+    edges: dict[str, tuple[str, ...]]
+
+    def callees(self, name: str) -> tuple[str, ...]:
+        return self.edges.get(name, ())
+
+    def callers(self, name: str) -> tuple[str, ...]:
+        return tuple(
+            sorted(f for f, callees in self.edges.items() if name in callees)
+        )
+
+    def resolver(self) -> CallResolver:
+        return CallResolver(self.functions)
+
+    def summarize(self, name: str) -> FunctionSummary:
+        fn = self.functions.get(name)
+        if fn is None:
+            raise ReproError(
+                f"no function {name!r} in call graph "
+                f"(found: {sorted(self.functions)})"
+            )
+        from .astpass import _KernelPass
+
+        kernel_pass = _KernelPass(fn, None, resolver=self.resolver())
+        analysis = kernel_pass.run()
+        returns = (
+            kernel_pass.return_taint.kind
+            if kernel_pass.return_taint is not None
+            else "const"
+        )
+        patterns = {
+            buffer: (access.pattern.value if access.pattern else "unknown")
+            for buffer, access in analysis.accesses.items()
+        }
+        return FunctionSummary(
+            name=name,
+            params=tuple(a.arg for a in fn.args.args),
+            callees=self.callees(name),
+            returns=returns,
+            patterns=patterns,
+        )
+
+    def summaries(self) -> dict[str, FunctionSummary]:
+        return {name: self.summarize(name) for name in sorted(self.functions)}
+
+    def render(self) -> str:
+        lines = []
+        for name in sorted(self.functions):
+            callees = self.edges.get(name, ())
+            arrow = f" -> {', '.join(callees)}" if callees else ""
+            lines.append(f"{name}{arrow}")
+        return "\n".join(lines)
+
+
+def build_call_graph(
+    source: str | Mapping[str, FunctionNode],
+    *,
+    filename: str = "<source>",
+) -> CallGraph:
+    """Build the local call graph of a source snippet (or function map)."""
+    if isinstance(source, str):
+        try:
+            tree = ast.parse(textwrap.dedent(source), filename=filename)
+        except SyntaxError as exc:
+            raise ReproError(f"cannot parse {filename}: {exc}") from exc
+        functions = _collect_functions(tree)
+    else:
+        functions = dict(source)
+    edges: dict[str, tuple[str, ...]] = {}
+    for name, fn in functions.items():
+        called: list[str] = []
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in functions
+                and node.func.id not in called
+            ):
+                called.append(node.func.id)
+        edges[name] = tuple(called)
+    return CallGraph(functions=functions, edges=edges)
+
+
+#: One parsed-function table per module file; parsing is pure (no code
+#: runs) and module sources do not change within a process.
+_MODULE_CACHE: dict[str, dict[str, FunctionNode]] = {}
+
+
+def module_resolver(func: object) -> CallResolver | None:
+    """Resolver over the defining module of a live function.
+
+    Returns ``None`` (analysis stays intraprocedural) when the module
+    source is unavailable — builtins, C extensions, ``exec``'d code.
+    """
+    module = inspect.getmodule(func)
+    if module is None:
+        return None
+    path = getattr(module, "__file__", None)
+    if not isinstance(path, str):
+        return None
+    functions = _MODULE_CACHE.get(path)
+    if functions is None:
+        try:
+            tree = ast.parse(inspect.getsource(module), filename=path)
+        except (OSError, TypeError, SyntaxError):
+            functions = {}
+        else:
+            functions = _collect_functions(tree)
+        _MODULE_CACHE[path] = functions
+    if not functions:
+        return None
+    return CallResolver(functions)

@@ -1,0 +1,992 @@
+"""Symbolic footprint engine: from taints to *numbers*.
+
+The taint pass (:mod:`repro.analysis.astpass`) answers "what pattern?";
+this module answers "how much?".  It rides the same AST walk with a
+multiplier stack of symbolic loop trip counts, so every recorded access
+site contributes a :class:`SymExpr` — a polynomial over kernel
+parameters — to its buffer's per-nest bytes-moved and working-set
+estimate.  Binding the symbols (``{"n": 8192, "seg(offsets)": nnz}``)
+turns a :class:`KernelFootprint` into concrete traffic shares or a
+fully *derived* :class:`~repro.sim.access.KernelPhase` per top-level
+loop nest — no declared descriptors needed, which is exactly what the
+``repro-analyze`` parity harness checks against measurement.
+
+Symbol grammar (docs/ANALYSIS.md has the full table):
+
+========================  =============================================
+symbol                    meaning
+========================  =============================================
+``n`` (a parameter name)  the parameter's runtime value
+``len(buf)``              element count of a swept buffer
+``seg(S)``                total elements covered by a segment sweep
+                          ``range(S[i], S[i+1])`` — replaces the
+                          enclosing loop's factor (CSR: nnz; BFS:
+                          edges scanned)
+``sel@L<line>``           selectivity of the data-dependent branch at
+                          <line>; defaults to 1.0 (upper bound)
+``while@L<line>``         trip count of the ``while`` at <line>;
+                          defaults to 1.0
+``trips@L<line>``         unresolvable trip count; defaults to 1.0
+========================  =============================================
+
+The ``@``-symbols are *guard symbols*: they default so an unbound
+footprint still evaluates to a (possibly loose) upper bound, while
+plain symbols must be bound explicitly — refusing to guess sizes.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+from ..sim.access import BufferAccess, KernelPhase, PatternKind
+from .astpass import (
+    _COMBINE_RANK,
+    _KIND_RANK,
+    _KIND_TO_PATTERN,
+    KernelAnalysis,
+    _KernelPass,
+    _Taint,
+)
+from .callgraph import CallResolver, module_resolver
+
+__all__ = [
+    "BufferFootprint",
+    "KernelFootprint",
+    "LoopNest",
+    "SymExpr",
+    "footprint_from_source",
+    "footprint_of_function",
+    "phases_from_footprint",
+    "resolve_bindings",
+    "traffic_by_buffer",
+    "traffic_shares",
+]
+
+#: Prefixes of guard symbols — bindable, but safe to default to 1.0.
+GUARD_PREFIXES = ("sel@", "while@", "trips@")
+
+_EPS = 1e-12
+
+
+class SymExpr:
+    """A multivariate polynomial over named symbols, float coefficients.
+
+    Deliberately tiny (add/sub/mul, divide by constants, evaluate):
+    trip-count algebra needs nothing more, and staying self-contained
+    keeps the analyzer dependency-free.
+    """
+
+    __slots__ = ("terms",)
+
+    def __init__(
+        self, terms: Mapping[tuple[str, ...], float] | None = None
+    ) -> None:
+        clean: dict[tuple[str, ...], float] = {}
+        if terms:
+            for syms, coeff in terms.items():
+                key = tuple(sorted(syms))
+                clean[key] = clean.get(key, 0.0) + float(coeff)
+        self.terms: dict[tuple[str, ...], float] = {
+            k: v for k, v in clean.items() if abs(v) > _EPS
+        }
+
+    @classmethod
+    def const(cls, value: float) -> SymExpr:
+        return cls({(): float(value)})
+
+    @classmethod
+    def sym(cls, name: str) -> SymExpr:
+        return cls({(name,): 1.0})
+
+    @staticmethod
+    def _coerce(value: SymExpr | float | int) -> SymExpr:
+        if isinstance(value, SymExpr):
+            return value
+        return SymExpr.const(value)
+
+    def __add__(self, other: SymExpr | float | int) -> SymExpr:
+        other = self._coerce(other)
+        merged = dict(self.terms)
+        for key, coeff in other.terms.items():
+            merged[key] = merged.get(key, 0.0) + coeff
+        return SymExpr(merged)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: SymExpr | float | int) -> SymExpr:
+        return self + self._coerce(other) * -1.0
+
+    def __mul__(self, other: SymExpr | float | int) -> SymExpr:
+        if isinstance(other, (int, float)):
+            return SymExpr(
+                {key: coeff * other for key, coeff in self.terms.items()}
+            )
+        product: dict[tuple[str, ...], float] = {}
+        for left_syms, left_coeff in self.terms.items():
+            for right_syms, right_coeff in other.terms.items():
+                key = tuple(sorted(left_syms + right_syms))
+                product[key] = product.get(key, 0.0) + left_coeff * right_coeff
+        return SymExpr(product)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: SymExpr | float | int) -> SymExpr:
+        if isinstance(other, SymExpr):
+            if not other.is_const:
+                raise ReproError(f"cannot divide by non-constant {other}")
+            other = other.const_value
+        if abs(float(other)) < _EPS:
+            raise ReproError("division by zero in symbolic expression")
+        return self * (1.0 / float(other))
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def is_const(self) -> bool:
+        return all(key == () for key in self.terms)
+
+    @property
+    def const_value(self) -> float:
+        if not self.is_const:
+            raise ReproError(f"{self} is not a constant")
+        return self.terms.get((), 0.0)
+
+    def symbols(self) -> frozenset[str]:
+        return frozenset(s for key in self.terms for s in key)
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        missing = sorted(self.symbols() - set(bindings))
+        if missing:
+            raise ReproError(f"unbound footprint symbols: {missing}")
+        total = 0.0
+        for syms, coeff in self.terms.items():
+            value = coeff
+            for name in syms:
+                value *= float(bindings[name])
+            total += value
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float)):
+            return self.is_const and abs(self.const_value - other) < _EPS
+        if isinstance(other, SymExpr):
+            return self.terms == other.terms
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for syms in sorted(self.terms, key=lambda k: (len(k), k)):
+            coeff = self.terms[syms]
+            coeff_str = f"{coeff:g}"
+            if not syms:
+                parts.append(coeff_str)
+            elif abs(coeff - 1.0) < _EPS:
+                parts.append("*".join(syms))
+            else:
+                parts.append("*".join((coeff_str,) + syms))
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"SymExpr({self})"
+
+
+_ZERO = SymExpr()
+_ONE = SymExpr.const(1.0)
+
+
+# ----------------------------------------------------------------------
+# Accumulation state
+
+
+@dataclass
+class _Factor:
+    """One entry of the multiplier stack."""
+
+    expr: SymExpr
+    is_loop: bool
+    #: Segment sweeps (``range(S[i], S[i+1])``) cover the companion
+    #: arrays *in total* across the enclosing loop, so their factor
+    #: replaces the nearest enclosing loop factor instead of nesting
+    #: under it.
+    replaces_parent: bool = False
+
+
+class _BufferAcc:
+    """Per-(nest, buffer) symbolic accumulation."""
+
+    def __init__(self, buffer: str) -> None:
+        self.buffer = buffer
+        self.reads = _ZERO
+        self.writes = _ZERO
+        self.touched = _ZERO
+        self.whole = False
+        self.kinds: dict[str, int] = {}
+        self.unknown_sites = 0
+
+
+class _NestAcc:
+    def __init__(self, name: str, line: int) -> None:
+        self.name = name
+        self.line = line
+        self.buffers: dict[str, _BufferAcc] = {}
+
+    def buffer(self, name: str) -> _BufferAcc:
+        acc = self.buffers.get(name)
+        if acc is None:
+            acc = self.buffers[name] = _BufferAcc(name)
+        return acc
+
+
+class _FootprintState:
+    """Shared across the root pass and its interprocedural sub-passes."""
+
+    def __init__(self) -> None:
+        self.nests: list[_NestAcc] = []
+        self.current: _NestAcc | None = None
+        self._prelude: _NestAcc | None = None
+        self._line_counts: dict[int, int] = {}
+
+    def enter_nest(self, line: int) -> None:
+        count = self._line_counts.get(line, 0) + 1
+        self._line_counts[line] = count
+        name = f"L{line}" if count == 1 else f"L{line}#{count}"
+        nest = _NestAcc(name, line)
+        self.nests.append(nest)
+        self.current = nest
+
+    def exit_nest(self) -> None:
+        self.current = None
+
+    def active(self) -> _NestAcc:
+        if self.current is not None:
+            return self.current
+        if self._prelude is None:
+            self._prelude = _NestAcc("prelude", 0)
+            self.nests.insert(0, self._prelude)
+        return self._prelude
+
+
+# ----------------------------------------------------------------------
+# The pass
+
+
+class _FootprintPass(_KernelPass):
+    """Taint walk + symbolic multiplier stack.
+
+    The multiplier stack and nest state are *shared* with every
+    interprocedural sub-pass, so helper bodies accumulate into the
+    caller's nests at the caller's trip counts, with callee parameter
+    names renamed back to caller buffers.
+    """
+
+    def __init__(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        buffers: tuple[str, ...] | None,
+        *,
+        resolver: CallResolver | None = None,
+        state: _FootprintState | None = None,
+        factors: list[_Factor] | None = None,
+    ) -> None:
+        super().__init__(fn, buffers, resolver=resolver)
+        self.state = state if state is not None else _FootprintState()
+        self.factors = factors if factors is not None else []
+        self.rename: dict[str, str] = {}
+        self.symenv: dict[str, SymExpr] = {
+            a.arg: SymExpr.sym(a.arg) for a in fn.args.args
+        }
+
+    # -- symbolic evaluation -------------------------------------------
+    def _renamed(self, name: str) -> str:
+        return self.rename.get(name, name)
+
+    def _sym_eval(self, node: ast.expr) -> SymExpr | None:
+        """Pure symbolic value of an expression, or ``None``.  Never
+        records accesses — safe to call during factor computation."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ):
+                return SymExpr.const(node.value)
+            return None
+        if isinstance(node, ast.Name):
+            return self.symenv.get(node.id)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._sym_eval(node.operand)
+            if operand is None:
+                return None
+            if isinstance(node.op, ast.USub):
+                return operand * -1.0
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self._sym_eval(node.left)
+            right = self._sym_eval(node.right)
+            if left is None or right is None:
+                return None
+            if isinstance(node.op, ast.Add):
+                return left + right
+            if isinstance(node.op, ast.Sub):
+                return left - right
+            if isinstance(node.op, ast.Mult):
+                return left * right
+            if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+                if right.is_const and abs(right.const_value) > _EPS:
+                    return left / right
+                return None
+            return None
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "len"
+            and len(node.args) == 1
+            and not node.keywords
+            and isinstance(node.args[0], ast.Name)
+        ):
+            return SymExpr.sym(f"len({self._renamed(node.args[0].id)})")
+        return None
+
+    def _current_multiplier(self) -> SymExpr:
+        result = _ONE
+        skip_next_loop = False
+        for factor in reversed(self.factors):
+            if factor.is_loop and skip_next_loop:
+                # A segment sweep replaced this loop; a replaced segment
+                # sweep keeps replacing outward.
+                skip_next_loop = factor.replaces_parent
+                continue
+            result = result * factor.expr
+            if factor.replaces_parent:
+                skip_next_loop = True
+        return result
+
+    # -- factor computation --------------------------------------------
+    def _has_enclosing_loop(self) -> bool:
+        return any(f.is_loop for f in self.factors)
+
+    def _segment_source(self, lo: ast.expr, hi: ast.expr) -> str | None:
+        """Buffer swept segment-wise by ``range(lo, hi)``, if any."""
+        if (
+            isinstance(lo, ast.Subscript)
+            and isinstance(hi, ast.Subscript)
+            and isinstance(lo.value, ast.Name)
+            and isinstance(hi.value, ast.Name)
+            and lo.value.id == hi.value.id
+            and lo.value.id in self.tracked
+            and ast.unparse(hi.slice) == f"{ast.unparse(lo.slice)} + 1"
+        ):
+            return self._renamed(lo.value.id)
+        if isinstance(lo, ast.Name) and isinstance(hi, ast.Name):
+            lo_taint = self.env.get(lo.id)
+            hi_taint = self.env.get(hi.id)
+            if (
+                lo_taint is not None
+                and hi_taint is not None
+                and lo_taint.kind == "data"
+                and hi_taint.kind == "data"
+                and lo_taint.source == hi_taint.source
+                and lo_taint.source in self.tracked
+            ):
+                return self._renamed(lo_taint.source)
+        return None
+
+    def _range_factor(self, call: ast.Call, line: int) -> _Factor:
+        args = call.args
+        if len(args) >= 2:
+            source = self._segment_source(args[0], args[1])
+            if source is not None and self._has_enclosing_loop():
+                return _Factor(
+                    SymExpr.sym(f"seg({source})"),
+                    is_loop=True,
+                    replaces_parent=True,
+                )
+        step = 1.0
+        if len(args) == 3:
+            step_expr = self._sym_eval(args[2])
+            if (
+                step_expr is None
+                or not step_expr.is_const
+                or abs(step_expr.const_value) < _EPS
+            ):
+                return _Factor(SymExpr.sym(f"trips@L{line}"), is_loop=True)
+            step = abs(step_expr.const_value)
+        if len(args) == 1:
+            lo: SymExpr | None = _ZERO
+            hi = self._sym_eval(args[0])
+        elif len(args) >= 2:
+            lo = self._sym_eval(args[0])
+            hi = self._sym_eval(args[1])
+        else:
+            lo = hi = None
+        if lo is None or hi is None:
+            return _Factor(SymExpr.sym(f"trips@L{line}"), is_loop=True)
+        return _Factor((hi - lo) / step, is_loop=True)
+
+    # -- statement overrides -------------------------------------------
+    def _push(self, factor: _Factor) -> None:
+        self.factors.append(factor)
+
+    def _pop(self) -> None:
+        self.factors.pop()
+
+    def _for_stmt(self, stmt: ast.For) -> None:
+        iter_node = stmt.iter
+        is_range = (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+        )
+        entering_nest = self.loop_depth == 0
+        if entering_nest:
+            self.state.enter_nest(stmt.lineno)
+        try:
+            if isinstance(stmt.target, ast.Name):
+                # The loop variable takes a fresh value each iteration.
+                self.symenv.pop(stmt.target.id, None)
+            if is_range:
+                assert isinstance(iter_node, ast.Call)
+                factor = self._range_factor(iter_node, stmt.lineno)
+                # Range bounds are evaluated once per *enclosing*
+                # iteration: record their loads before pushing.
+                target_taint = self._for_iter_taint(stmt)
+                if isinstance(stmt.target, ast.Name):
+                    self.env[stmt.target.id] = target_taint
+                self._push(factor)
+                try:
+                    self._walk_loop_body(stmt.body)
+                finally:
+                    self._pop()
+            else:
+                if (
+                    isinstance(iter_node, ast.Name)
+                    and iter_node.id in self.tracked
+                ):
+                    expr = SymExpr.sym(f"len({self._renamed(iter_node.id)})")
+                else:
+                    expr = SymExpr.sym(f"trips@L{stmt.lineno}")
+                # The element loads of ``for x in buf`` happen once per
+                # iteration: push first so they get the inner multiplier.
+                self._push(_Factor(expr, is_loop=True))
+                try:
+                    target_taint = self._for_iter_taint(stmt)
+                    if isinstance(stmt.target, ast.Name):
+                        self.env[stmt.target.id] = target_taint
+                    self._walk_loop_body(stmt.body)
+                finally:
+                    self._pop()
+            self._walk(stmt.orelse)
+        finally:
+            if entering_nest:
+                self.state.exit_nest()
+
+    def _while_stmt(self, stmt: ast.While) -> None:
+        entering_nest = self.loop_depth == 0
+        if entering_nest:
+            self.state.enter_nest(stmt.lineno)
+        try:
+            self._push(
+                _Factor(SymExpr.sym(f"while@L{stmt.lineno}"), is_loop=True)
+            )
+            try:
+                # The test runs once per iteration — inside the factor.
+                self._eval(stmt.test)
+                self._walk_loop_body(stmt.body)
+            finally:
+                self._pop()
+            self._walk(stmt.orelse)
+        finally:
+            if entering_nest:
+                self.state.exit_nest()
+
+    def _test_taint(self, node: ast.expr) -> _Taint:
+        """Like :meth:`_eval` on a condition, but surfaces the *max*
+        operand taint instead of collapsing comparisons to const."""
+        if isinstance(node, ast.Compare):
+            taints = [self._eval(node.left)]
+            taints += [self._eval(comp) for comp in node.comparators]
+            return max(taints, key=lambda t: _COMBINE_RANK[t.kind])
+        if isinstance(node, ast.BoolOp):
+            taints = [self._test_taint(value) for value in node.values]
+            return max(taints, key=lambda t: _COMBINE_RANK[t.kind])
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            return self._test_taint(node.operand)
+        return self._eval(node)
+
+    def _if_stmt(self, stmt: ast.If) -> None:
+        taint = self._test_taint(stmt.test)
+        if taint.kind == "data":
+            # Data-dependent branch: its body runs for an unknown
+            # fraction of iterations.  sel@ defaults to 1.0 — an upper
+            # bound — and is bindable to the measured selectivity.
+            self._push(
+                _Factor(SymExpr.sym(f"sel@L{stmt.lineno}"), is_loop=False)
+            )
+            try:
+                self._walk(stmt.body)
+            finally:
+                self._pop()
+        else:
+            self._walk(stmt.body)
+        self._walk(stmt.orelse)
+
+    # -- value tracking overrides --------------------------------------
+    def _assign_name(self, name: str, value: ast.expr) -> None:
+        expr = self._sym_eval(value)
+        super()._assign_name(name, value)
+        if expr is not None:
+            self.symenv[name] = expr
+        else:
+            self.symenv.pop(name, None)
+
+    def _note_mutation(self, name: str) -> None:
+        self.symenv.pop(name, None)
+
+    # -- recording ------------------------------------------------------
+    def _record(
+        self, base: str, kind: str | None, line: int, *, read: bool, write: bool
+    ) -> None:
+        super()._record(base, kind, line, read=read, write=write)
+        if not self.recording or base not in self.tracked:
+            return
+        acc = self.state.active().buffer(self._renamed(base))
+        if kind is None:
+            acc.unknown_sites += 1
+            return
+        multiplier = self._current_multiplier()
+        if read:
+            acc.reads = acc.reads + multiplier
+        if write:
+            acc.writes = acc.writes + multiplier
+        if kind == "scalar":
+            # One element, touched repeatedly.
+            acc.touched = acc.touched + _ONE
+            return
+        acc.kinds[kind] = acc.kinds.get(kind, 0) + 1
+        if kind in ("random", "chase"):
+            acc.whole = True
+        else:
+            acc.touched = acc.touched + multiplier
+
+    # -- interprocedural plumbing --------------------------------------
+    def _make_subpass(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        buffer_map: dict[str, str],
+        env: dict[str, _Taint],
+        call: ast.Call,
+    ) -> _KernelPass:
+        sub = _FootprintPass(
+            fn,
+            tuple(buffer_map),
+            resolver=self.resolver,
+            state=self.state,
+            factors=self.factors,
+        )
+        sub.env.update(env)
+        sub.loop_depth = self.loop_depth
+        sub.recording = self.recording
+        sub.rename = {
+            param: self._renamed(buffer) for param, buffer in buffer_map.items()
+        }
+        # Seed the callee's symbolic environment from sym-evaluable
+        # caller arguments, so trip counts inside helpers resolve to
+        # caller-level symbols.
+        params = [a.arg for a in fn.args.args]
+        for param, arg in zip(params, call.args):
+            expr = self._sym_eval(arg)
+            if expr is not None:
+                sub.symenv[param] = expr
+        for keyword in call.keywords:
+            if keyword.arg in params:
+                expr = self._sym_eval(keyword.value)
+                if expr is not None:
+                    sub.symenv[keyword.arg] = expr
+        return sub
+
+
+# ----------------------------------------------------------------------
+# Results
+
+
+@dataclass
+class BufferFootprint:
+    """Symbolic traffic and working set of one buffer in one nest."""
+
+    buffer: str
+    pattern: PatternKind | None
+    reads: SymExpr        # element loads
+    writes: SymExpr       # element stores
+    touched: SymExpr      # distinct elements reached by contiguous sites
+    whole_buffer: bool    # random/chase sites may reach every element
+    unknown_sites: int = 0
+
+    @property
+    def traffic(self) -> SymExpr:
+        return self.reads + self.writes
+
+    def describe(self) -> str:
+        pattern = self.pattern.value if self.pattern else "unknown"
+        ws = "whole buffer" if self.whole_buffer else f"~{self.touched} elems"
+        note = f" ({self.unknown_sites} unknown site(s))" if self.unknown_sites else ""
+        return (
+            f"{self.buffer}: {pattern} reads={self.reads} "
+            f"writes={self.writes} ws={ws}{note}"
+        )
+
+
+@dataclass
+class LoopNest:
+    """One top-level loop nest — one candidate phase."""
+
+    name: str
+    line: int
+    buffers: dict[str, BufferFootprint] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [f"nest {self.name}:"]
+        for name in sorted(self.buffers):
+            lines.append(f"  {self.buffers[name].describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class KernelFootprint:
+    """Everything the symbolic pass derived for one kernel."""
+
+    kernel: str
+    nests: tuple[LoopNest, ...]
+    analysis: KernelAnalysis
+
+    def symbols(self) -> frozenset[str]:
+        out: set[str] = set()
+        for nest in self.nests:
+            for bf in nest.buffers.values():
+                out |= bf.reads.symbols()
+                out |= bf.writes.symbols()
+                out |= bf.touched.symbols()
+        return frozenset(out)
+
+    def guard_symbols(self) -> frozenset[str]:
+        return frozenset(
+            s for s in self.symbols() if s.startswith(GUARD_PREFIXES)
+        )
+
+    def footprints_of(self, buffer: str) -> tuple[BufferFootprint, ...]:
+        return tuple(
+            nest.buffers[buffer]
+            for nest in self.nests
+            if buffer in nest.buffers
+        )
+
+    def describe(self) -> str:
+        lines = [f"kernel {self.kernel}:"]
+        for nest in self.nests:
+            lines.append(textwrap.indent(nest.describe(), "  "))
+        free = sorted(self.symbols())
+        if free:
+            lines.append(f"  symbols: {', '.join(free)}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Evaluation helpers
+
+
+def resolve_bindings(
+    footprint: KernelFootprint,
+    bindings: Mapping[str, float] | None = None,
+    *,
+    buffer_sizes: Mapping[str, int] | None = None,
+    elem_bytes: int = 8,
+) -> dict[str, float]:
+    """Complete a binding map: guard symbols default to 1.0 and
+    ``len(buf)`` symbols resolve from ``buffer_sizes``; everything else
+    must come from ``bindings``.  Raises on unresolvable symbols."""
+    full: dict[str, float] = {s: 1.0 for s in footprint.guard_symbols()}
+    for symbol in footprint.symbols():
+        if symbol.startswith("len(") and symbol.endswith(")"):
+            name = symbol[4:-1]
+            if buffer_sizes and name in buffer_sizes:
+                full[symbol] = buffer_sizes[name] / elem_bytes
+    if bindings:
+        full.update({k: float(v) for k, v in bindings.items()})
+    missing = sorted(footprint.symbols() - set(full))
+    if missing:
+        raise ReproError(
+            f"kernel {footprint.kernel}: unbound footprint symbols {missing} "
+            "— pass them via bindings="
+        )
+    return full
+
+
+def _merge_names(
+    names: Mapping[str, str] | None, buffer: str
+) -> str | None:
+    """Map a kernel parameter to its logical buffer; ``None`` drops it."""
+    if names is None:
+        return buffer
+    return names.get(buffer)
+
+
+def traffic_by_buffer(
+    footprint: KernelFootprint,
+    bindings: Mapping[str, float] | None = None,
+    *,
+    param_buffers: Mapping[str, str] | None = None,
+    buffer_sizes: Mapping[str, int] | None = None,
+    elem_bytes: int = 8,
+) -> dict[str, tuple[float, float]]:
+    """Evaluated (read, write) element counts per logical buffer,
+    summed over nests and merged across aliased parameters."""
+    full = resolve_bindings(
+        footprint, bindings, buffer_sizes=buffer_sizes, elem_bytes=elem_bytes
+    )
+    out: dict[str, tuple[float, float]] = {}
+    for nest in footprint.nests:
+        for param, bf in nest.buffers.items():
+            logical = _merge_names(param_buffers, param)
+            if logical is None:
+                continue
+            reads = bf.reads.evaluate(full)
+            writes = bf.writes.evaluate(full)
+            prev = out.get(logical, (0.0, 0.0))
+            out[logical] = (prev[0] + reads, prev[1] + writes)
+    return out
+
+
+def traffic_shares(
+    footprint: KernelFootprint,
+    bindings: Mapping[str, float] | None = None,
+    *,
+    param_buffers: Mapping[str, str] | None = None,
+    buffer_sizes: Mapping[str, int] | None = None,
+    elem_bytes: int = 8,
+) -> dict[str, float]:
+    """Per-buffer share of total estimated traffic (uniform element
+    size, so element shares equal byte shares)."""
+    traffic = traffic_by_buffer(
+        footprint,
+        bindings,
+        param_buffers=param_buffers,
+        buffer_sizes=buffer_sizes,
+        elem_bytes=elem_bytes,
+    )
+    total = sum(r + w for r, w in traffic.values())
+    if total <= 0.0:
+        return {name: 0.0 for name in traffic}
+    return {name: (r + w) / total for name, (r, w) in traffic.items()}
+
+
+_PATTERN_GRANULARITY = {
+    PatternKind.RANDOM: 8,
+    PatternKind.POINTER_CHASE: 8,
+}
+
+_PATTERN_RANK = {
+    pattern: _KIND_RANK[kind] for kind, pattern in _KIND_TO_PATTERN.items()
+}
+
+
+@dataclass
+class _MergedBuffer:
+    """Aliased parameters merged into one logical buffer's numbers."""
+
+    pattern: PatternKind
+    reads: float = 0.0
+    writes: float = 0.0
+    touched: float = 0.0
+    whole: bool = False
+    rank: int = 0
+
+
+def phases_from_footprint(
+    footprint: KernelFootprint,
+    *,
+    bindings: Mapping[str, float] | None = None,
+    buffer_sizes: Mapping[str, int],
+    param_buffers: Mapping[str, str] | None = None,
+    threads: int = 1,
+    elem_bytes: int = 8,
+    name_prefix: str | None = None,
+) -> tuple[KernelPhase, ...]:
+    """Compile *derived* phases: one :class:`KernelPhase` per top-level
+    loop nest, every number coming from the symbolic footprint — no
+    declared descriptors involved.
+
+    ``buffer_sizes`` is keyed by logical buffer names (after
+    ``param_buffers`` renaming) and bounds the working-set estimates.
+    """
+    full = resolve_bindings(
+        footprint, bindings, buffer_sizes=buffer_sizes, elem_bytes=elem_bytes
+    )
+    prefix = name_prefix if name_prefix is not None else footprint.kernel
+    phases: list[KernelPhase] = []
+    for nest in footprint.nests:
+        merged: dict[str, _MergedBuffer] = {}
+        for param, bf in nest.buffers.items():
+            logical = _merge_names(param_buffers, param)
+            if logical is None or bf.pattern is None:
+                continue
+            reads = bf.reads.evaluate(full) * elem_bytes
+            writes = bf.writes.evaluate(full) * elem_bytes
+            if reads + writes <= 0.0:
+                continue
+            entry = merged.setdefault(logical, _MergedBuffer(bf.pattern))
+            entry.reads += reads
+            entry.writes += writes
+            entry.touched += bf.touched.evaluate(full) * elem_bytes
+            entry.whole = entry.whole or bf.whole_buffer
+            rank = _PATTERN_RANK[bf.pattern]
+            if rank > entry.rank:
+                entry.rank = rank
+                entry.pattern = bf.pattern
+        accesses = []
+        for logical in sorted(merged):
+            entry = merged[logical]
+            size = buffer_sizes.get(logical)
+            if entry.whole and size is not None:
+                working_set = size
+            else:
+                working_set = int(entry.touched)
+                if size is not None:
+                    working_set = min(working_set, size)
+            working_set = max(working_set, elem_bytes)
+            accesses.append(
+                BufferAccess(
+                    buffer=logical,
+                    pattern=entry.pattern,
+                    bytes_read=int(round(entry.reads)),
+                    bytes_written=int(round(entry.writes)),
+                    working_set=working_set,
+                    granularity=_PATTERN_GRANULARITY.get(entry.pattern, 64),
+                )
+            )
+        if accesses:
+            phases.append(
+                KernelPhase(
+                    name=f"{prefix}:{nest.name}",
+                    accesses=tuple(accesses),
+                    threads=threads,
+                )
+            )
+    return tuple(phases)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+
+def footprint_from_source(
+    source: str,
+    *,
+    kernel: str | None = None,
+    buffers: tuple[str, ...] | None = None,
+    filename: str = "<source>",
+    interprocedural: bool = True,
+) -> KernelFootprint:
+    """Symbolic footprint of one kernel in a source snippet.
+
+    ``kernel`` may be omitted when the snippet defines exactly one
+    function.
+    """
+    try:
+        tree = ast.parse(textwrap.dedent(source), filename=filename)
+    except SyntaxError as exc:
+        raise ReproError(f"cannot parse kernel source: {exc}") from exc
+    functions = {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    if kernel is None:
+        if len(functions) != 1:
+            raise ReproError(
+                f"{filename} defines {len(functions)} functions "
+                f"({sorted(functions)}); pass kernel= to pick one"
+            )
+        (kernel,) = functions
+    if kernel not in functions:
+        raise ReproError(
+            f"no kernel {kernel!r} in {filename} (found: {sorted(functions)})"
+        )
+    resolver = CallResolver(functions) if interprocedural else None
+    return _run_footprint(functions[kernel], buffers, resolver)
+
+
+def footprint_of_function(
+    func,
+    *,
+    buffers: tuple[str, ...] | None = None,
+    interprocedural: bool = True,
+) -> KernelFootprint:
+    """Symbolic footprint of a live Python function."""
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise ReproError(f"cannot fetch source of {func!r}: {exc}") from exc
+    tree = ast.parse(textwrap.dedent(source))
+    try:
+        ast.increment_lineno(tree, func.__code__.co_firstlineno - 1)
+    except AttributeError:
+        pass
+    fn = next(
+        node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    resolver = module_resolver(func) if interprocedural else None
+    return _run_footprint(fn, buffers, resolver)
+
+
+def _run_footprint(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    buffers: tuple[str, ...] | None,
+    resolver: CallResolver | None,
+) -> KernelFootprint:
+    fp_pass = _FootprintPass(fn, buffers, resolver=resolver)
+    analysis = fp_pass.run()
+    nests: list[LoopNest] = []
+    for nest_acc in fp_pass.state.nests:
+        buffers_out: dict[str, BufferFootprint] = {}
+        for name, acc in nest_acc.buffers.items():
+            if (
+                acc.reads.is_zero
+                and acc.writes.is_zero
+                and not acc.unknown_sites
+            ):
+                continue
+            pattern = None
+            if acc.kinds:
+                best = max(acc.kinds, key=lambda k: _KIND_RANK[k])
+                pattern = _KIND_TO_PATTERN[best]
+            buffers_out[name] = BufferFootprint(
+                buffer=name,
+                pattern=pattern,
+                reads=acc.reads,
+                writes=acc.writes,
+                touched=acc.touched,
+                whole_buffer=acc.whole,
+                unknown_sites=acc.unknown_sites,
+            )
+        if buffers_out:
+            nests.append(
+                LoopNest(
+                    name=nest_acc.name, line=nest_acc.line, buffers=buffers_out
+                )
+            )
+    return KernelFootprint(
+        kernel=fn.name, nests=tuple(nests), analysis=analysis
+    )

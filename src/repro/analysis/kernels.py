@@ -15,9 +15,13 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..sim.access import BufferAccess, PatternKind
 from .astpass import InferredAccess, KernelAnalysis, analyze_function
+
+if TYPE_CHECKING:
+    from .footprint import KernelFootprint
 
 __all__ = ["AppKernel", "app_kernels", "merge_params"]
 
@@ -85,12 +89,23 @@ def merge_params(
 
 @dataclass(frozen=True)
 class AppKernel:
-    """One app's kernel source + declared descriptors."""
+    """One app's kernel source + declared descriptors.
+
+    ``bindings`` (symbol -> value, at the declared descriptors' problem
+    scale) and ``buffer_sizes`` (logical buffer -> bytes) make the
+    kernel *quantitatively* checkable: the footprint-aware lint rules
+    evaluate the symbolic estimates against the declared traffic shares
+    and the platform capacities.  ``guard_rate`` binds any guard symbol
+    (``sel@``/``while@``/``trips@``) the footprint exposes.
+    """
 
     name: str
     func: Callable
     param_buffers: dict[str, str]
     declared: tuple[BufferAccess, ...]
+    bindings: dict[str, float] | None = None
+    buffer_sizes: dict[str, int] | None = None
+    guard_rate: float | None = None
 
     @property
     def module(self) -> str:
@@ -111,15 +126,79 @@ class AppKernel:
     def declared_by_buffer(self) -> dict[str, BufferAccess]:
         return {a.buffer: a for a in self.declared}
 
+    def footprint(self) -> "KernelFootprint":
+        """Symbolic footprint of the kernel source."""
+        from .footprint import footprint_of_function
+
+        return footprint_of_function(self.func)
+
+    def footprint_bindings(
+        self, footprint: "KernelFootprint"
+    ) -> dict[str, float]:
+        """Registry bindings completed with the app's guard rate."""
+        bindings = dict(self.bindings or {})
+        if self.guard_rate is not None:
+            for symbol in footprint.guard_symbols():
+                bindings.setdefault(symbol, self.guard_rate)
+        return bindings
+
+    def derived_shares(self) -> dict[str, float] | None:
+        """Static traffic shares at the declared problem scale, or
+        ``None`` when the registry carries no bindings."""
+        if self.bindings is None:
+            return None
+        from .footprint import traffic_shares
+
+        footprint = self.footprint()
+        return traffic_shares(
+            footprint,
+            self.footprint_bindings(footprint),
+            param_buffers=self.param_buffers,
+            buffer_sizes=self.buffer_sizes,
+        )
+
+    def declared_shares(self) -> dict[str, float]:
+        """Traffic shares the declared descriptors encode."""
+        total = sum(a.total_bytes for a in self.declared)
+        if total <= 0:
+            return {a.buffer: 0.0 for a in self.declared}
+        return {a.buffer: a.total_bytes / total for a in self.declared}
+
 
 def app_kernels() -> tuple[AppKernel, ...]:
-    """The bundled apps' kernels, source and declaration side by side."""
+    """The bundled apps' kernels, source and declaration side by side.
+
+    Each base kernel is paired with an *interprocedural variant* — the
+    same loop nest with the classifying access hidden behind a helper
+    call (``a[f(i)]``-style).  The variants carry the same declared
+    descriptors, so the lint diff passing on them proves the call
+    resolution end to end.
+    """
     # Imported lazily: apps pull in the allocator/engine stack, which the
     # analyzer itself does not need.
-    from ..apps.graph500 import Graph500Config, TrafficModel, bfs_kernel
-    from ..apps.pointer_chase_app import chase_accesses, chase_kernel
-    from ..apps.spmv_app import SyntheticMatrix, spmv_kernel, spmv_phases
-    from ..apps.stream_app import triad_accesses, triad_kernel
+    from ..apps.graph500 import (
+        Graph500Config,
+        TrafficModel,
+        bfs_kernel,
+        bfs_split_kernel,
+    )
+    from ..apps.pointer_chase_app import (
+        chase_accesses,
+        chase_helper_kernel,
+        chase_kernel,
+    )
+    from ..apps.spmv_app import (
+        SyntheticMatrix,
+        spmv_buffer_sizes,
+        spmv_gather_kernel,
+        spmv_kernel,
+        spmv_phases,
+    )
+    from ..apps.stream_app import (
+        triad_accesses,
+        triad_indexed_kernel,
+        triad_kernel,
+    )
 
     g500_model = TrafficModel.analytic(20)
     g500_cfg = Graph500Config(scale=20, nroots=1, threads=16)
@@ -127,35 +206,97 @@ def app_kernels() -> tuple[AppKernel, ...]:
     spmv_matrix = SyntheticMatrix(num_vertices=1 << 16, num_directed_edges=1 << 20)
     (spmv_phase,) = spmv_phases(spmv_matrix, threads=1)
 
+    triad_elems = 1 << 20          # 8 MiB buffers at 8 B/element
+    triad_bindings = {"n": float(triad_elems)}
+    triad_sizes = {"a": 8 << 20, "b": 8 << 20, "c": 8 << 20}
+    spmv_bindings = {
+        "n": float(spmv_matrix.num_vertices),
+        "seg(offsets)": float(spmv_matrix.num_directed_edges),
+    }
+    spmv_sizes = spmv_buffer_sizes(spmv_matrix)
+    chase_bindings = {"steps": float(1 << 10)}
+    chase_sizes = {"table": 1 << 20}
+    reached = g500_model.reached_vertices
+    scanned = g500_model.edges_scanned
+    g500_bindings = {
+        "frontier_len": float(reached),
+        "seg(offsets)": float(scanned),
+    }
+    g500_sizes = g500_model.buffer_sizes()
+    g500_params = {
+        "offsets": "csr_offsets",
+        "targets": "csr_targets",
+        "parent": "parent",
+        "frontier": "frontier",
+        "next_frontier": "frontier",
+    }
+    spmv_params = {"vals": "vals", "cols": "cols", "x": "x", "y": "y"}
+
     return (
         AppKernel(
             name="stream_triad",
             func=triad_kernel,
             param_buffers={"a": "a", "b": "b", "c": "c"},
             declared=triad_accesses(8 << 20),
+            bindings=triad_bindings,
+            buffer_sizes=triad_sizes,
+        ),
+        AppKernel(
+            name="stream_triad_indexed",
+            func=triad_indexed_kernel,
+            param_buffers={"a": "a", "b": "b", "c": "c"},
+            declared=triad_accesses(8 << 20),
+            bindings=triad_bindings,
+            buffer_sizes=triad_sizes,
         ),
         AppKernel(
             name="spmv",
             func=spmv_kernel,
-            param_buffers={"vals": "vals", "cols": "cols", "x": "x", "y": "y"},
+            param_buffers=spmv_params,
             declared=spmv_phase.accesses,
+            bindings=spmv_bindings,
+            buffer_sizes=spmv_sizes,
+        ),
+        AppKernel(
+            name="spmv_gather",
+            func=spmv_gather_kernel,
+            param_buffers=spmv_params,
+            declared=spmv_phase.accesses,
+            bindings=spmv_bindings,
+            buffer_sizes=spmv_sizes,
         ),
         AppKernel(
             name="pointer_chase",
             func=chase_kernel,
             param_buffers={"table": "table"},
             declared=chase_accesses(1 << 20, 1 << 10),
+            bindings=chase_bindings,
+            buffer_sizes=chase_sizes,
+        ),
+        AppKernel(
+            name="pointer_chase_helper",
+            func=chase_helper_kernel,
+            param_buffers={"table": "table"},
+            declared=chase_accesses(1 << 20, 1 << 10),
+            bindings=chase_bindings,
+            buffer_sizes=chase_sizes,
         ),
         AppKernel(
             name="graph500_bfs",
             func=bfs_kernel,
-            param_buffers={
-                "offsets": "csr_offsets",
-                "targets": "csr_targets",
-                "parent": "parent",
-                "frontier": "frontier",
-                "next_frontier": "frontier",
-            },
+            param_buffers=g500_params,
             declared=g500_phase.accesses,
+            bindings=g500_bindings,
+            buffer_sizes=g500_sizes,
+            guard_rate=reached / scanned,
+        ),
+        AppKernel(
+            name="graph500_bfs_split",
+            func=bfs_split_kernel,
+            param_buffers=g500_params,
+            declared=g500_phase.accesses,
+            bindings=g500_bindings,
+            buffer_sizes=g500_sizes,
+            guard_rate=reached / scanned,
         ),
     )

@@ -10,8 +10,14 @@ Three families of checks, none of which runs the simulator:
   assignment, attribute annotations, fallback overrides) against a
   platform: unknown names, capacity-infeasible assignments, broken
   fallback chains.
-* **Source rules (S…)** scan ``.py`` files for ``mem_alloc`` calls whose
+* **Source rules (S…)** scan ``.py`` files for ``mem_alloc`` calls —
+  and the request lists of ``mem_alloc_many`` batches — whose
   string-literal attribute is not registered on the target platform.
+* **Footprint rules (F…)** evaluate the symbolic footprint of each
+  registered kernel at its declared problem scale and cross-check the
+  quantities: estimated working sets against the platform's capacity,
+  and derived traffic shares against the shares the declared
+  descriptors encode.
 
 Each finding is a :class:`LintIssue` with a stable rule id, so CI can
 gate on errors while warnings document known false negatives.
@@ -28,16 +34,24 @@ from ..alloc.fallback import attribute_fallback_chain
 from ..errors import ReproError, UnknownAttributeError
 
 __all__ = [
+    "FOOTPRINT_TOLERANCE",
     "LintIssue",
     "LintReport",
     "RULES",
     "rule_catalog",
     "lint_app_kernels",
+    "lint_kernel_footprints",
     "lint_plan",
     "lint_plan_file",
     "lint_source",
     "lint_paths",
 ]
+
+#: F002 gate: derived traffic shares must land within 10% of declared.
+FOOTPRINT_TOLERANCE = 0.10
+
+#: Shares this close in absolute terms never gate (noise floor).
+_SHARE_FLOOR = 0.005
 
 #: rule id -> (severity, one-line description).
 RULES: dict[str, tuple[str, str]] = {
@@ -60,6 +74,21 @@ RULES: dict[str, tuple[str, str]] = {
         "warning",
         "unknown-pattern: the pass could not classify the buffer "
         "(documented false negative)",
+    ),
+    "A005": (
+        "warning",
+        "partial-classification: buffer classified, but some access "
+        "sites stayed unanalyzable (the pattern may be incomplete)",
+    ),
+    "F001": (
+        "error",
+        "capacity-infeasible-footprint: estimated working set at the "
+        "declared scale exceeds the platform's total capacity",
+    ),
+    "F002": (
+        "error",
+        "traffic-share-drift: derived traffic share differs from the "
+        "declared descriptor's share beyond tolerance",
     ),
     "P001": (
         "error",
@@ -120,17 +149,29 @@ class LintIssue:
 
 @dataclass
 class LintReport:
-    """Accumulated findings from one lint run."""
+    """Accumulated findings from one lint run.
+
+    ``stats`` carries quantitative side-channels of the run — most
+    importantly ``unknown_sites``, the number of access sites the
+    static pass could not analyze across all linted kernels, which
+    bounds how much the A-rule diff can be trusted.
+    """
 
     issues: list[LintIssue] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
 
     def add(self, rule: str, message: str, location: str = "") -> None:
         if rule not in RULES:
             raise ReproError(f"unknown lint rule {rule!r}")
         self.issues.append(LintIssue(rule=rule, message=message, location=location))
 
+    def bump(self, stat: str, amount: int = 1) -> None:
+        self.stats[stat] = self.stats.get(stat, 0) + amount
+
     def extend(self, other: "LintReport") -> None:
         self.issues.extend(other.issues)
+        for stat, amount in other.stats.items():
+            self.bump(stat, amount)
 
     @property
     def errors(self) -> list[LintIssue]:
@@ -146,13 +187,38 @@ class LintReport:
         return not self.errors
 
     def render(self) -> str:
+        suffix = ""
+        unknown = self.stats.get("unknown_sites", 0)
+        if unknown:
+            suffix = f" [{unknown} unanalyzable site(s)]"
         if not self.issues:
-            return "repro-lint: clean"
+            return f"repro-lint: clean{suffix}"
         lines = [str(issue) for issue in self.issues]
         lines.append(
-            f"repro-lint: {len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+            f"repro-lint: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s){suffix}"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "stats": dict(self.stats),
+            "issues": [
+                {
+                    "rule": i.rule,
+                    "severity": i.severity,
+                    "message": i.message,
+                    "location": i.location,
+                }
+                for i in self.issues
+            ],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
 
 
 # ----------------------------------------------------------------------
@@ -192,6 +258,7 @@ def lint_app_kernels(kernels=None) -> LintReport:
             )
         for buffer in sorted(set(inferred) & set(declared)):
             inf, dec = inferred[buffer], declared[buffer]
+            report.bump("unknown_sites", len(inf.unknown_lines))
             if inf.pattern is None:
                 report.add(
                     "A004",
@@ -201,6 +268,14 @@ def lint_app_kernels(kernels=None) -> LintReport:
                     where,
                 )
                 continue
+            if inf.unknown_lines:
+                report.add(
+                    "A005",
+                    f"buffer {buffer!r}: classified {inf.pattern.value}, but "
+                    f"{len(inf.unknown_lines)} site(s) at lines "
+                    f"{list(inf.unknown_lines)} stayed unanalyzable",
+                    where,
+                )
             if inf.pattern is not dec.pattern:
                 report.add(
                     "A001",
@@ -217,6 +292,84 @@ def lint_app_kernels(kernels=None) -> LintReport:
                     f"declared {dec_dir}",
                     where,
                 )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Footprint rules (F...): symbolic estimates vs declaration and platform
+
+
+def lint_kernel_footprints(
+    kernels=None,
+    *,
+    platform: str = "xeon-cascadelake-1lm",
+    tolerance: float = FOOTPRINT_TOLERANCE,
+    machine=None,
+) -> LintReport:
+    """Quantitatively cross-check each registered kernel's footprint.
+
+    For every kernel carrying registry ``bindings``, the symbolic
+    footprint is evaluated at the declared problem scale and two
+    invariants are gated:
+
+    * **F001** — the compiled phases' estimated working sets must fit
+      the platform's total memory capacity (an infeasible declaration
+      can never be placed);
+    * **F002** — the derived per-buffer traffic shares must land within
+      ``tolerance`` of the shares the declared descriptors encode
+      (beyond it, source and traffic model have drifted apart).
+    """
+    from .footprint import phases_from_footprint
+    from .kernels import app_kernels
+
+    report = LintReport()
+    if machine is None:
+        machine, _ = _platform_stack(platform)
+    total_capacity = sum(n.capacity for n in machine.numa_nodes())
+
+    for spec in kernels if kernels is not None else app_kernels():
+        where = f"{spec.name} ({Path(spec.source_file).name})"
+        if spec.bindings is None:
+            continue
+        footprint = spec.footprint()
+        derived = spec.derived_shares() or {}
+        declared = spec.declared_shares()
+        for buffer in sorted(declared):
+            declared_share = declared[buffer]
+            derived_share = derived.get(buffer, 0.0)
+            if abs(derived_share - declared_share) <= _SHARE_FLOOR:
+                continue
+            drift = (
+                abs(derived_share - declared_share) / declared_share
+                if declared_share > 0
+                else derived_share
+            )
+            if drift > tolerance:
+                report.add(
+                    "F002",
+                    f"buffer {buffer!r}: derived traffic share "
+                    f"{derived_share:.4f} vs declared {declared_share:.4f} "
+                    f"({drift:.1%} drift, tolerance {tolerance:.0%})",
+                    where,
+                )
+        if spec.buffer_sizes:
+            phases = phases_from_footprint(
+                footprint,
+                bindings=spec.footprint_bindings(footprint),
+                buffer_sizes=spec.buffer_sizes,
+                param_buffers=spec.param_buffers,
+                name_prefix=spec.name,
+            )
+            for phase in phases:
+                working_set = sum(a.working_set for a in phase.accesses)
+                if working_set > total_capacity:
+                    report.add(
+                        "F001",
+                        f"phase {phase.name!r}: estimated working set "
+                        f"{working_set / 1e9:.2f} GB exceeds {platform} "
+                        f"total capacity {total_capacity / 1e9:.2f} GB",
+                        where,
+                    )
     return report
 
 
@@ -362,19 +515,70 @@ def lint_plan_file(path: str | Path, *, platform: str | None = None) -> LintRepo
 # Source rules (S...): attribute literals at allocation sites
 
 _ALLOC_CALLS = {"mem_alloc"}
+_BATCH_ALLOC_CALLS = {"mem_alloc_many"}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _string_const(node: ast.expr | None):
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _batch_attribute_literals(call: ast.Call):
+    """Yield (lineno, name) from a ``mem_alloc_many`` request list.
+
+    Requests mirror :class:`~repro.alloc.allocator.AllocRequest`:
+    ``AllocRequest(...)`` constructor calls, dicts with an
+    ``"attribute"`` key, or (size, attribute, ...) tuples/lists.
+    """
+    requests = call.args[0] if call.args else None
+    if requests is None:
+        for kw in call.keywords:
+            if kw.arg == "requests":
+                requests = kw.value
+    if not isinstance(requests, (ast.List, ast.Tuple)):
+        return
+    for element in requests.elts:
+        if isinstance(element, ast.Call) and _call_name(element) == "AllocRequest":
+            candidates = [element.args[1]] if len(element.args) >= 2 else []
+            candidates.extend(
+                kw.value for kw in element.keywords if kw.arg == "attribute"
+            )
+        elif isinstance(element, ast.Dict):
+            candidates = [
+                value
+                for key, value in zip(element.keys, element.values)
+                if _string_const(key) == "attribute"
+            ]
+        elif isinstance(element, (ast.Tuple, ast.List)) and len(element.elts) >= 2:
+            candidates = [element.elts[1]]
+        else:
+            continue
+        for candidate in candidates:
+            name = _string_const(candidate)
+            if name is not None:
+                yield element.lineno, name
 
 
 def _attribute_literals(tree: ast.AST):
-    """Yield (lineno, name) for string-literal attributes at mem_alloc sites."""
+    """Yield (lineno, name) for string-literal attributes at allocation
+    sites: ``mem_alloc`` calls and ``mem_alloc_many`` request batches."""
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
-        func = node.func
-        func_name = (
-            func.attr if isinstance(func, ast.Attribute)
-            else func.id if isinstance(func, ast.Name)
-            else None
-        )
+        func_name = _call_name(node)
+        if func_name in _BATCH_ALLOC_CALLS:
+            yield from _batch_attribute_literals(node)
+            continue
         if func_name not in _ALLOC_CALLS:
             continue
         candidates = []
@@ -384,8 +588,9 @@ def _attribute_literals(tree: ast.AST):
             if kw.arg == "attribute":
                 candidates.append(kw.value)
         for arg in candidates:
-            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-                yield node.lineno, arg.value
+            name = _string_const(arg)
+            if name is not None:
+                yield node.lineno, name
 
 
 def lint_source(

@@ -1,0 +1,348 @@
+"""Static-vs-measured parity: the analyzer's continuous validation.
+
+Static placement hints go stale exactly when traffic estimates drift
+from reality, so the quantitative analyzer is only trustworthy while
+its numbers track measurement.  This harness closes that loop without
+hardware counters: it runs each app's *scalar reference kernel* under
+:mod:`repro.profiler.kerneltrace` instrumentation (exact element
+counts, by construction) and diffs the measured per-buffer traffic
+shares against the purely static shares the symbolic footprint engine
+derives from source.
+
+The binding values for the symbolic side come from *independent*
+implementations — e.g. BFS trip counts from the vectorized
+:func:`repro.apps.graph500.bfs.bfs` statistics, never from the
+instrumented run itself — so the comparison stays a real differential
+test.  ``repro-analyze --verify-parity`` gates CI on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.graph500.bfs import bfs, bfs_kernel
+from ..apps.graph500.csr import build_csr
+from ..apps.graph500.generator import kronecker_edges
+from ..apps.pointer_chase_app import chase_kernel
+from ..apps.spmv_app import spmv_kernel
+from ..apps.stream_app import triad_kernel
+from ..errors import ReproError
+from ..profiler.kerneltrace import CountingSequence, merge_counts, trace_kernel
+from .footprint import KernelFootprint, footprint_of_function, traffic_shares
+
+__all__ = [
+    "PARITY_APPS",
+    "BufferParity",
+    "ParityReport",
+    "ParityResult",
+    "parity_for_app",
+    "run_parity",
+]
+
+#: Default drift tolerance: static shares must land within 10% of the
+#: measured shares (the acceptance bar of the analyzer).
+DEFAULT_TOLERANCE = 0.10
+
+#: Shares below this are noise; absolute drift under it always passes.
+ABSOLUTE_FLOOR = 0.005
+
+#: Problem sizes — small enough that the pure-Python scalar kernels
+#: finish instantly, large enough that shares are not degenerate.
+TRIAD_N = 2048
+CHASE_STEPS = 4096
+SPMV_SCALE = 7
+BFS_SCALE = 7
+GRAPH_EDGEFACTOR = 8
+
+
+@dataclass(frozen=True)
+class BufferParity:
+    """One buffer's static share vs. measured share."""
+
+    buffer: str
+    static_share: float
+    measured_share: float
+
+    @property
+    def drift(self) -> float:
+        """Relative drift against measurement (absolute when the
+        measured share is zero)."""
+        if self.measured_share <= 0.0:
+            return self.static_share
+        return abs(self.static_share - self.measured_share) / self.measured_share
+
+    def within(self, tolerance: float) -> bool:
+        if abs(self.static_share - self.measured_share) <= ABSOLUTE_FLOOR:
+            return True
+        return self.drift <= tolerance
+
+
+@dataclass(frozen=True)
+class ParityResult:
+    """Parity verdict for one app."""
+
+    app: str
+    kernel: str
+    buffers: tuple[BufferParity, ...]
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        return all(b.within(self.tolerance) for b in self.buffers)
+
+    @property
+    def max_drift(self) -> float:
+        return max((b.drift for b in self.buffers), default=0.0)
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "DRIFT"
+        lines = [
+            f"{self.app} ({self.kernel}): {status} "
+            f"[max drift {self.max_drift:.1%}, tolerance {self.tolerance:.0%}]"
+        ]
+        for b in sorted(self.buffers, key=lambda b: -b.measured_share):
+            marker = "" if b.within(self.tolerance) else "  <-- drift"
+            lines.append(
+                f"  {b.buffer}: static={b.static_share:.4f} "
+                f"measured={b.measured_share:.4f} "
+                f"drift={b.drift:.1%}{marker}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "kernel": self.kernel,
+            "ok": self.ok,
+            "tolerance": self.tolerance,
+            "max_drift": self.max_drift,
+            "buffers": [
+                {
+                    "buffer": b.buffer,
+                    "static_share": b.static_share,
+                    "measured_share": b.measured_share,
+                    "drift": b.drift,
+                    "ok": b.within(self.tolerance),
+                }
+                for b in self.buffers
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ParityReport:
+    """All apps' verdicts; the CI gate checks :attr:`ok`."""
+
+    results: tuple[ParityResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def describe(self) -> str:
+        parts = [r.describe() for r in self.results]
+        verdict = "parity: ok" if self.ok else "parity: DRIFT DETECTED"
+        return "\n".join(parts + [verdict])
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "apps": [r.to_dict() for r in self.results]}
+
+
+def _compare(
+    app: str,
+    kernel: str,
+    static: dict[str, float],
+    measured: dict[str, float],
+    tolerance: float,
+) -> ParityResult:
+    names = sorted(set(static) | set(measured))
+    return ParityResult(
+        app=app,
+        kernel=kernel,
+        buffers=tuple(
+            BufferParity(
+                buffer=name,
+                static_share=static.get(name, 0.0),
+                measured_share=measured.get(name, 0.0),
+            )
+            for name in names
+        ),
+        tolerance=tolerance,
+    )
+
+
+def _bind_guards(
+    footprint: KernelFootprint, value: float
+) -> dict[str, float]:
+    return {symbol: value for symbol in footprint.guard_symbols()}
+
+
+# ----------------------------------------------------------------------
+# Per-app cases
+
+
+def _parity_triad(tolerance: float) -> ParityResult:
+    n = TRIAD_N
+    trace = trace_kernel(
+        triad_kernel,
+        buffers={
+            "a": [0.0] * n,
+            "b": [1.0] * n,
+            "c": [2.0] * n,
+        },
+        scalars={"scalar": 1.5, "n": n},
+    )
+    footprint = footprint_of_function(triad_kernel)
+    static = traffic_shares(footprint, {"n": n})
+    return _compare(
+        "stream_triad", "triad_kernel", static, trace.traffic_shares(), tolerance
+    )
+
+
+def _parity_spmv(tolerance: float) -> ParityResult:
+    graph = build_csr(
+        kronecker_edges(SPMV_SCALE, edgefactor=GRAPH_EDGEFACTOR, seed=7)
+    )
+    n = graph.num_vertices
+    nnz = graph.num_directed_edges
+    trace = trace_kernel(
+        spmv_kernel,
+        buffers={
+            "y": [0.0] * n,
+            "vals": [1.0] * nnz,
+            "cols": graph.targets.tolist(),
+            "x": [1.0] * n,
+            "offsets": graph.offsets.tolist(),
+        },
+        scalars={"n": n},
+    )
+    footprint = footprint_of_function(spmv_kernel)
+    static = traffic_shares(
+        footprint, {"n": n, "seg(offsets)": nnz}
+    )
+    return _compare(
+        "spmv", "spmv_kernel", static, trace.traffic_shares(), tolerance
+    )
+
+
+def _parity_chase(tolerance: float) -> ParityResult:
+    steps = CHASE_STEPS
+    # A single full-cycle permutation: every step lands somewhere new.
+    rng = np.random.default_rng(11)
+    order = rng.permutation(steps)
+    table = [0] * steps
+    for here, there in zip(order, np.roll(order, -1)):
+        table[int(here)] = int(there)
+    trace = trace_kernel(
+        chase_kernel,
+        buffers={"table": table},
+        scalars={"start": int(order[0]), "steps": steps},
+    )
+    footprint = footprint_of_function(chase_kernel)
+    static = traffic_shares(footprint, {"steps": steps})
+    return _compare(
+        "pointer_chase", "chase_kernel", static, trace.traffic_shares(), tolerance
+    )
+
+
+def _parity_bfs(tolerance: float) -> ParityResult:
+    graph = build_csr(
+        kronecker_edges(BFS_SCALE, edgefactor=GRAPH_EDGEFACTOR, seed=3)
+    )
+    n = graph.num_vertices
+    degrees = np.diff(graph.offsets)
+    root = int(np.argmax(degrees))
+
+    # Independent reference: the vectorized BFS provides the trip-count
+    # bindings (frontier total, edges scanned, branch selectivity).
+    ref = bfs(graph, root)
+    visited = ref.vertices_visited
+    scanned = ref.edges_scanned
+    if scanned <= 0:
+        raise ReproError("degenerate BFS graph: no edges scanned")
+
+    # Measured side: drive the scalar per-level kernel to completion.
+    offsets = CountingSequence(graph.offsets.tolist())
+    targets = CountingSequence(graph.targets.tolist())
+    parent = CountingSequence([-1] * n)
+    frontier = CountingSequence([0] * n)
+    next_frontier = CountingSequence([0] * n)
+    parent.raw[root] = root
+    frontier.raw[0] = root
+    frontier_len, level = 1, 0
+    while frontier_len:
+        frontier_len = bfs_kernel(
+            offsets, targets, parent, frontier, next_frontier, frontier_len, level
+        )
+        frontier, next_frontier = next_frontier, frontier
+        level += 1
+    scalar_visited = sum(1 for p in parent.raw if p != -1)
+    if scalar_visited != visited:
+        raise ReproError(
+            f"scalar/vectorized BFS disagree: {scalar_visited} != {visited}"
+        )
+    param_buffers = {
+        "offsets": "csr_offsets",
+        "targets": "csr_targets",
+        "parent": "parent",
+        "frontier": "frontier",
+        "next_frontier": "frontier",
+    }
+    counts = merge_counts(
+        {
+            "offsets": offsets,
+            "targets": targets,
+            "parent": parent,
+            "frontier": frontier,
+            "next_frontier": next_frontier,
+        },
+        param_buffers,
+    )
+    total = sum(c.total for c in counts)
+    measured = {c.buffer: c.total / total for c in counts}
+
+    footprint = footprint_of_function(bfs_kernel)
+    bindings: dict[str, float] = {
+        "frontier_len": float(sum(ref.frontier_sizes)),
+        "seg(offsets)": float(scanned),
+    }
+    bindings.update(_bind_guards(footprint, (visited - 1) / scanned))
+    static = traffic_shares(footprint, bindings, param_buffers=param_buffers)
+    return _compare("graph500_bfs", "bfs_kernel", static, measured, tolerance)
+
+
+_CASES = {
+    "stream_triad": _parity_triad,
+    "spmv": _parity_spmv,
+    "pointer_chase": _parity_chase,
+    "graph500_bfs": _parity_bfs,
+}
+
+PARITY_APPS = tuple(_CASES)
+
+
+def parity_for_app(
+    app: str, *, tolerance: float = DEFAULT_TOLERANCE
+) -> ParityResult:
+    case = _CASES.get(app)
+    if case is None:
+        raise ReproError(
+            f"unknown parity app {app!r} (known: {sorted(_CASES)})"
+        )
+    return case(tolerance)
+
+
+def run_parity(
+    apps: tuple[str, ...] | list[str] | None = None,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> ParityReport:
+    """Differentially check every (or the selected) bundled app."""
+    selected = tuple(apps) if apps else PARITY_APPS
+    return ParityReport(
+        results=tuple(
+            parity_for_app(app, tolerance=tolerance) for app in selected
+        )
+    )

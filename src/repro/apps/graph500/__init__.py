@@ -16,7 +16,7 @@ against small-scale real runs (see DESIGN.md substitutions).
 
 from .generator import kronecker_edges, graph_size_bytes
 from .csr import CSRGraph, build_csr
-from .bfs import bfs, bfs_hybrid, bfs_kernel, validate_bfs, BFSResult
+from .bfs import bfs, bfs_hybrid, bfs_kernel, bfs_split_kernel, validate_bfs, BFSResult
 from .driver import Graph500Config, Graph500Driver, TrafficModel, TEPSResult
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "bfs",
     "bfs_hybrid",
     "bfs_kernel",
+    "bfs_split_kernel",
     "validate_bfs",
     "BFSResult",
     "Graph500Config",

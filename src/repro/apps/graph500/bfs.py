@@ -17,7 +17,14 @@ import numpy as np
 from ...errors import ValidationError
 from .csr import CSRGraph
 
-__all__ = ["BFSResult", "bfs", "bfs_hybrid", "validate_bfs", "bfs_kernel"]
+__all__ = [
+    "BFSResult",
+    "bfs",
+    "bfs_hybrid",
+    "validate_bfs",
+    "bfs_kernel",
+    "bfs_split_kernel",
+]
 
 
 def bfs_kernel(offsets, targets, parent, frontier, next_frontier, frontier_len, level):
@@ -40,6 +47,41 @@ def bfs_kernel(offsets, targets, parent, frontier, next_frontier, frontier_len, 
             if parent[w] == -1:
                 parent[w] = v
                 next_frontier[out] = w
+                out += 1
+    return out
+
+
+def _visit(parent, next_frontier, w, v, out):
+    """Visited check + discovery, factored out of the edge loop.
+
+    Returns True when ``w`` was newly discovered (the caller advances
+    its output cursor — keeping the counter in the caller preserves its
+    affinity for the static pass).
+    """
+    if parent[w] == -1:
+        parent[w] = v
+        next_frontier[out] = w
+        return True
+    return False
+
+
+def bfs_split_kernel(
+    offsets, targets, parent, frontier, next_frontier, frontier_len, level
+):
+    """Top-down BFS level with the per-edge visit in a helper.
+
+    Same traffic as :func:`bfs_kernel`, but the random ``parent``
+    read/write and the ``next_frontier`` append only classify once the
+    interprocedural pass inlines :func:`_visit`.
+    """
+    out = 0
+    for fi in range(frontier_len):
+        v = frontier[fi]
+        start = offsets[v]
+        end = offsets[v + 1]
+        for e in range(start, end):
+            w = targets[e]
+            if _visit(parent, next_frontier, w, v, out):
                 out += 1
     return out
 

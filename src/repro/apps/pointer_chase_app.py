@@ -19,6 +19,7 @@ __all__ = [
     "PointerChaseResult",
     "PointerChaseApp",
     "chase_accesses",
+    "chase_helper_kernel",
     "chase_kernel",
 ]
 
@@ -32,6 +33,24 @@ def chase_kernel(table, start, steps):
     node = start
     for _ in range(steps):
         node = table[node]
+    return node
+
+
+def _next_node(table, node):
+    """One chase step, factored out."""
+    return table[node]
+
+
+def chase_helper_kernel(table, start, steps):
+    """Chase with the dependent load hidden behind a helper call.
+
+    The loop-carried ``node -> table[node]`` dependence only becomes
+    visible once the interprocedural pass inlines :func:`_next_node`;
+    it still classifies as POINTER_CHASE.
+    """
+    node = start
+    for _ in range(steps):
+        node = _next_node(table, node)
     return node
 
 

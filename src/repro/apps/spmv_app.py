@@ -32,6 +32,7 @@ __all__ = [
     "SyntheticMatrix",
     "spmv_phases",
     "spmv_buffer_sizes",
+    "spmv_gather_kernel",
     "spmv_kernel",
     "SPMV_BUFFERS",
 ]
@@ -68,6 +69,25 @@ def spmv_kernel(y, vals, cols, x, offsets, n):
         acc = 0.0
         for k in range(offsets[i], offsets[i + 1]):
             acc += vals[k] * x[cols[k]]
+        y[i] = acc
+
+
+def _gather(x, cols, k):
+    """One gathered source-vector load, factored out."""
+    return x[cols[k]]
+
+
+def spmv_gather_kernel(y, vals, cols, x, offsets, n):
+    """SpMV with the ``x[cols[k]]`` gather behind a helper call.
+
+    Intraprocedurally the gather is the documented false negative; the
+    interprocedural pass inlines :func:`_gather` and still classifies
+    ``cols`` as a stream and ``x`` as the random gather.
+    """
+    for i in range(n):
+        acc = 0.0
+        for k in range(offsets[i], offsets[i + 1]):
+            acc += vals[k] * _gather(x, cols, k)
         y[i] = acc
 
 

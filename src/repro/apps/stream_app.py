@@ -16,7 +16,13 @@ from ..errors import AllocationError, CapacityError
 from ..sim.access import BufferAccess, KernelPhase, PatternKind, Placement
 from ..sim.engine import SimEngine
 
-__all__ = ["StreamAppResult", "StreamApp", "triad_accesses", "triad_kernel"]
+__all__ = [
+    "StreamAppResult",
+    "StreamApp",
+    "triad_accesses",
+    "triad_indexed_kernel",
+    "triad_kernel",
+]
 
 _ARRAYS = ("a", "b", "c")
 
@@ -30,6 +36,22 @@ def triad_kernel(a, b, c, scalar, n):
     """
     for i in range(n):
         a[i] = b[i] + scalar * c[i]
+
+
+def _at(i, offset):
+    """Index helper: affine in ``i`` for a constant ``offset``."""
+    return i + offset
+
+
+def triad_indexed_kernel(a, b, c, scalar, n):
+    """Triad with every index routed through a helper call.
+
+    Intraprocedurally this is the ``a[f(i)]`` false negative; the
+    interprocedural pass resolves :func:`_at` and classifies the arrays
+    as streams all the same.
+    """
+    for i in range(n):
+        a[_at(i, 0)] = b[_at(i, 0)] + scalar * c[_at(i, 0)]
 
 
 def triad_accesses(

@@ -12,6 +12,12 @@ workload on any preset platform, exposing the search engine's knobs:
 ``--top-k`` (bounded best-k heap), ``--workers`` (process fan-out),
 ``--budget`` (pricing budget with truncation report), ``--no-prune``
 (disable branch-and-bound).
+
+``repro-analyze`` exposes the quantitative static analyzer: symbolic
+per-buffer footprints of the registered app kernels, evaluated traffic
+shares at the registry's problem scales (``--bind`` overrides any
+symbol), and the static-vs-measured parity gate
+(``--verify-parity``, exit 1 on drift) CI runs on every push.
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ __all__ = [
     "build_search_parser",
     "lint_main",
     "build_lint_parser",
+    "analyze_main",
+    "build_analyze_parser",
 ]
 
 
@@ -257,11 +265,28 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
     )
+    parser.add_argument(
+        "--no-footprints",
+        action="store_true",
+        help="skip the quantitative footprint rules (F...) when linting "
+        "the bundled app kernels",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (issues, severities, stats)",
+    )
     return parser
 
 
 def lint_main(argv: list[str] | None = None) -> int:
-    from .analysis.lint import LintReport, lint_app_kernels, lint_paths, rule_catalog
+    from .analysis.lint import (
+        LintReport,
+        lint_app_kernels,
+        lint_kernel_footprints,
+        lint_paths,
+        rule_catalog,
+    )
 
     args = build_lint_parser().parse_args(argv)
     if args.list_rules:
@@ -270,10 +295,195 @@ def lint_main(argv: list[str] | None = None) -> int:
     report = LintReport()
     if args.apps or not args.paths:
         report.extend(lint_app_kernels())
+        if not args.no_footprints:
+            report.extend(lint_kernel_footprints(platform=args.platform))
     if args.paths:
         report.extend(lint_paths(args.paths, platform=args.platform))
-    print(report.render())
+    print(report.to_json() if args.json else report.render())
     return 0 if report.ok else 1
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Quantitative static analysis of the bundled app "
+        "kernels: symbolic per-buffer footprints, traffic shares at the "
+        "registry scales, and the static-vs-measured parity gate",
+    )
+    parser.add_argument(
+        "--app",
+        action="append",
+        dest="apps",
+        metavar="NAME",
+        help="registered kernel to analyze (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--bind",
+        action="append",
+        default=[],
+        metavar="SYMBOL=VALUE",
+        help="bind a footprint symbol (e.g. n=4096 or 'seg(offsets)=1e6'); "
+        "overrides the registry value (repeatable)",
+    )
+    parser.add_argument(
+        "--verify-parity",
+        action="store_true",
+        help="differentially check static shares against instrumented "
+        "kernel runs; exit 1 on drift (the CI gate)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="relative drift tolerance for --verify-parity (default 0.10)",
+    )
+    parser.add_argument(
+        "--list-apps",
+        action="store_true",
+        help="list the registered kernels and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    return parser
+
+
+def _parse_bindings(pairs: list[str]) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs:
+        symbol, sep, value = pair.partition("=")
+        if not sep or not symbol:
+            raise ReproError(f"--bind expects SYMBOL=VALUE, got {pair!r}")
+        try:
+            out[symbol.strip()] = float(value)
+        except ValueError:
+            raise ReproError(
+                f"--bind {symbol.strip()!r}: {value!r} is not a number"
+            ) from None
+    return out
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    import json
+
+    from .analysis.footprint import traffic_shares
+    from .analysis.kernels import app_kernels
+
+    args = build_analyze_parser().parse_args(argv)
+
+    if args.verify_parity:
+        from .analysis.parity import DEFAULT_TOLERANCE, PARITY_APPS, run_parity
+
+        tolerance = (
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+        )
+        selected = tuple(args.apps) if args.apps else None
+        if selected and (unknown := set(selected) - set(PARITY_APPS)):
+            print(
+                f"error: unknown parity app(s) {sorted(unknown)} "
+                f"(known: {sorted(PARITY_APPS)})",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_parity(selected, tolerance=tolerance)
+        print(
+            json.dumps(report.to_dict(), indent=2)
+            if args.json
+            else report.describe()
+        )
+        return 0 if report.ok else 1
+
+    kernels = app_kernels()
+    if args.list_apps:
+        if args.json:
+            print(json.dumps([k.name for k in kernels]))
+        else:
+            for spec in kernels:
+                print(f"{spec.name}  ({spec.module})")
+        return 0
+    if args.apps:
+        known = {k.name for k in kernels}
+        if unknown := set(args.apps) - known:
+            print(
+                f"error: unknown app(s) {sorted(unknown)} "
+                f"(known: {sorted(known)})",
+                file=sys.stderr,
+            )
+            return 2
+        kernels = tuple(k for k in kernels if k.name in set(args.apps))
+    try:
+        overrides = _parse_bindings(args.bind)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    entries = []
+    for spec in kernels:
+        footprint = spec.footprint()
+        bindings = spec.footprint_bindings(footprint)
+        bindings.update(overrides)
+        try:
+            shares = traffic_shares(
+                footprint,
+                bindings,
+                param_buffers=spec.param_buffers,
+                buffer_sizes=spec.buffer_sizes,
+            )
+        except ReproError:
+            shares = None  # symbols left unbound: footprint stays symbolic
+        entries.append((spec, footprint, bindings, shares))
+
+    if args.json:
+        payload = [
+            {
+                "app": spec.name,
+                "kernel": footprint.kernel,
+                "symbols": sorted(footprint.symbols()),
+                "bindings": bindings,
+                "nests": [
+                    {
+                        "name": nest.name,
+                        "line": nest.line,
+                        "buffers": {
+                            param: {
+                                "pattern": bf.pattern.value
+                                if bf.pattern
+                                else None,
+                                "reads": str(bf.reads),
+                                "writes": str(bf.writes),
+                                "whole_buffer": bf.whole_buffer,
+                                "unknown_sites": bf.unknown_sites,
+                            }
+                            for param, bf in sorted(nest.buffers.items())
+                        },
+                    }
+                    for nest in footprint.nests
+                ],
+                "traffic_shares": shares,
+                "declared_shares": spec.declared_shares(),
+            }
+            for spec, footprint, bindings, shares in entries
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for spec, footprint, bindings, shares in entries:
+        print(f"== {spec.name} ==")
+        print(footprint.describe())
+        if shares is not None:
+            declared = spec.declared_shares()
+            rendered = "  ".join(
+                f"{buffer}={share:.4f}"
+                + (
+                    f" (declared {declared[buffer]:.4f})"
+                    if buffer in declared
+                    else ""
+                )
+                for buffer, share in sorted(shares.items())
+            )
+            print(f"  traffic shares: {rendered}")
+        print()
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

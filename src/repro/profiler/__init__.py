@@ -9,10 +9,21 @@ derives the observables the paper reads off the Intel VTune Profiler:
 * **per-object analysis** (:mod:`objects`) — buffers ranked by LLC miss
   count, with traffic, stall share and allocation-site attribution;
 * **text reports** (:mod:`report`) mirroring the layout of Table IV and
-  Fig. 7.
+  Fig. 7;
+* **kernel instrumentation** (:mod:`kerneltrace`) — exact per-buffer
+  element counts from running the scalar reference kernels against
+  counting sequence proxies (the measured side of the
+  ``repro-analyze --verify-parity`` gate).
 """
 
 from .counters import KIND_LABELS, kind_label
+from .kerneltrace import (
+    BufferCounts,
+    CountingSequence,
+    KernelTrace,
+    merge_counts,
+    trace_kernel,
+)
 from .memaccess import MemoryAccessSummary, analyze_run
 from .objects import MemoryObject, object_analysis
 from .report import (
@@ -24,6 +35,11 @@ from .report import (
 __all__ = [
     "KIND_LABELS",
     "kind_label",
+    "BufferCounts",
+    "CountingSequence",
+    "KernelTrace",
+    "merge_counts",
+    "trace_kernel",
     "MemoryAccessSummary",
     "analyze_run",
     "MemoryObject",

@@ -1,0 +1,167 @@
+"""Instrumented execution of scalar reference kernels.
+
+The rest of :mod:`repro.profiler` analyzes *simulated* timings; this
+module measures the one ground truth a pure-Python repo can produce —
+actual element access counts.  Wrapping every buffer argument in a
+:class:`CountingSequence` and running the real scalar kernel yields
+per-buffer load/store counts that are exact by construction, which is
+what the static analyzer's symbolic estimates are differentially
+checked against (``repro-analyze --verify-parity``).
+
+Harness bookkeeping (seeding inputs, swapping double buffers between
+BFS levels) goes through ``.raw`` so it never pollutes the counts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Callable, Iterator, Mapping, MutableSequence, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ReproError
+
+__all__ = ["BufferCounts", "CountingSequence", "KernelTrace", "trace_kernel"]
+
+
+class CountingSequence:
+    """A list proxy that counts element loads and stores.
+
+    ``seq[i]`` and ``seq[i] = v`` count; ``len(seq)`` does not (the
+    analyzer treats reductions as loop-invariant too); ``seq.raw`` is
+    the uncounted underlying storage for harness bookkeeping.
+    """
+
+    __slots__ = ("raw", "gets", "sets")
+
+    def __init__(self, data: MutableSequence[Any] | Sequence[Any]) -> None:
+        self.raw = data
+        self.gets = 0
+        self.sets = 0
+
+    def __getitem__(self, index: int) -> Any:
+        self.gets += 1
+        return self.raw[index]
+
+    def __setitem__(self, index: int, value: Any) -> None:
+        self.sets += 1
+        self.raw[index] = value  # type: ignore[index]
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __iter__(self) -> Iterator[Any]:
+        # ``for x in buf`` loads each element once.
+        for value in self.raw:
+            self.gets += 1
+            yield value
+
+
+@dataclass(frozen=True)
+class BufferCounts:
+    """Measured element traffic of one logical buffer."""
+
+    buffer: str
+    gets: int
+    sets: int
+
+    @property
+    def total(self) -> int:
+        return self.gets + self.sets
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """Result of one instrumented kernel execution."""
+
+    kernel: str
+    counts: tuple[BufferCounts, ...]
+    returned: Any = None
+
+    def by_buffer(self) -> dict[str, BufferCounts]:
+        return {c.buffer: c for c in self.counts}
+
+    def traffic_shares(self) -> dict[str, float]:
+        total = sum(c.total for c in self.counts)
+        if total <= 0:
+            return {c.buffer: 0.0 for c in self.counts}
+        return {c.buffer: c.total / total for c in self.counts}
+
+    def describe(self) -> str:
+        lines = [f"trace {self.kernel}:"]
+        shares = self.traffic_shares()
+        for c in sorted(self.counts, key=lambda c: -c.total):
+            lines.append(
+                f"  {c.buffer}: gets={c.gets} sets={c.sets} "
+                f"share={shares[c.buffer]:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def merge_counts(
+    wrapped: Mapping[str, CountingSequence],
+    param_buffers: Mapping[str, str] | None = None,
+) -> tuple[BufferCounts, ...]:
+    """Collapse per-parameter counters into logical buffer counts.
+
+    ``param_buffers`` maps parameter names to logical buffer names
+    (aliases merge — e.g. BFS's two frontier halves); parameters
+    missing from a provided mapping are dropped, mirroring how the
+    static side treats unplaced buffers.
+    """
+    merged: dict[str, list[int]] = {}
+    for param, seq in wrapped.items():
+        if param_buffers is None:
+            logical: str | None = param
+        else:
+            logical = param_buffers.get(param)
+        if logical is None:
+            continue
+        entry = merged.setdefault(logical, [0, 0])
+        entry[0] += seq.gets
+        entry[1] += seq.sets
+    return tuple(
+        BufferCounts(buffer=name, gets=gets, sets=sets)
+        for name, (gets, sets) in sorted(merged.items())
+    )
+
+
+def trace_kernel(
+    func: Callable[..., Any],
+    *,
+    buffers: Mapping[str, MutableSequence[Any] | Sequence[Any]],
+    scalars: Mapping[str, Any] | None = None,
+    param_buffers: Mapping[str, str] | None = None,
+) -> KernelTrace:
+    """Run ``func`` with every buffer argument instrumented.
+
+    Arguments are built positionally from the function signature:
+    each parameter must appear in ``buffers`` (wrapped and counted)
+    or ``scalars`` (passed through), or carry a default.
+    """
+    scalars = dict(scalars or {})
+    wrapped: dict[str, CountingSequence] = {}
+    args: list[Any] = []
+    try:
+        signature = inspect.signature(func)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"cannot inspect signature of {func!r}: {exc}") from exc
+    for name, param in signature.parameters.items():
+        if name in buffers:
+            wrapped[name] = CountingSequence(buffers[name])
+            args.append(wrapped[name])
+        elif name in scalars:
+            args.append(scalars[name])
+        elif param.default is not inspect.Parameter.empty:
+            args.append(param.default)
+        else:
+            raise ReproError(
+                f"trace_kernel: no value for parameter {name!r} of "
+                f"{getattr(func, '__name__', func)!r}"
+            )
+    returned = func(*args)
+    return KernelTrace(
+        kernel=getattr(func, "__name__", str(func)),
+        counts=merge_counts(wrapped, param_buffers),
+        returned=returned,
+    )

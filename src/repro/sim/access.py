@@ -62,6 +62,11 @@ class BufferAccess:
     #: accesses hit the CPU caches regardless of the total working set.
     hot_fraction: float = 0.0
 
+    @property
+    def total_bytes(self) -> float:
+        """Bytes moved in either direction."""
+        return self.bytes_read + self.bytes_written
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.hot_fraction < 1.0:
             raise SimulationError(
@@ -104,6 +109,13 @@ class KernelPhase:
             if a.buffer == buffer:
                 return a
         raise SimulationError(f"phase {self.name!r}: no buffer {buffer!r}")
+
+    def traffic_shares(self) -> dict[str, float]:
+        """Per-buffer fraction of the phase's total bytes moved."""
+        total = sum(a.total_bytes for a in self.accesses)
+        if total <= 0:
+            return {a.buffer: 0.0 for a in self.accesses}
+        return {a.buffer: a.total_bytes / total for a in self.accesses}
 
 
 def _validate_split(buffer: str, split: dict[int, float]) -> None:

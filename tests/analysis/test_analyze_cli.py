@@ -1,0 +1,99 @@
+"""``repro-analyze``: the quantitative analyzer's command-line surface."""
+
+import json
+
+import pytest
+
+from repro.cli import analyze_main
+
+
+class TestListAndSelect:
+    def test_list_apps(self, capsys):
+        assert analyze_main(["--list-apps"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "stream_triad",
+            "spmv_gather",
+            "pointer_chase_helper",
+            "graph500_bfs_split",
+        ):
+            assert name in out
+
+    def test_unknown_app_is_an_error(self, capsys):
+        assert analyze_main(["--app", "nope"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_single_app_text(self, capsys):
+        assert analyze_main(["--app", "spmv"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv_kernel" in out
+        assert "seg(offsets)" in out
+        assert "traffic shares" in out
+
+
+class TestBindings:
+    def test_bind_override(self, capsys):
+        assert analyze_main(["--app", "stream_triad", "--bind", "n=8"]) == 0
+        payload = capsys.readouterr().out
+        assert "0.3333" in payload
+
+    def test_malformed_bind(self, capsys):
+        assert analyze_main(["--bind", "n"]) == 2
+        assert "SYMBOL=VALUE" in capsys.readouterr().err
+
+    def test_non_numeric_bind(self, capsys):
+        assert analyze_main(["--bind", "n=lots"]) == 2
+        assert "not a number" in capsys.readouterr().err
+
+
+class TestJson:
+    def test_all_apps_json(self, capsys):
+        assert analyze_main(["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_app = {entry["app"]: entry for entry in payload}
+        assert len(by_app) == 8
+        spmv = by_app["spmv_gather"]
+        assert spmv["kernel"] == "spmv_gather_kernel"
+        assert "seg(offsets)" in spmv["symbols"]
+        (nest,) = spmv["nests"]
+        assert nest["buffers"]["x"]["pattern"] == "random"
+        assert nest["buffers"]["x"]["whole_buffer"] is True
+        assert spmv["traffic_shares"]["x"] == pytest.approx(
+            spmv["declared_shares"]["x"], rel=0.10
+        )
+
+    def test_shares_match_declared_on_every_app(self, capsys):
+        """The CLI view of the acceptance bar: static within 10% of the
+        declared shares on every registered kernel."""
+        assert analyze_main(["--json"]) == 0
+        for entry in json.loads(capsys.readouterr().out):
+            derived = entry["traffic_shares"]
+            declared = entry["declared_shares"]
+            assert derived is not None, entry["app"]
+            for buffer, share in declared.items():
+                assert derived[buffer] == pytest.approx(share, rel=0.10), (
+                    entry["app"],
+                    buffer,
+                )
+
+
+class TestParityGate:
+    def test_verify_parity_all(self, capsys):
+        assert analyze_main(["--verify-parity"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith("parity: ok")
+
+    def test_verify_parity_json(self, capsys):
+        assert analyze_main(["--verify-parity", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["apps"]) == 4
+
+    def test_verify_parity_subset(self, capsys):
+        assert analyze_main(["--verify-parity", "--app", "spmv"]) == 0
+        out = capsys.readouterr().out
+        assert "spmv" in out and "graph500" not in out
+
+    def test_verify_parity_unknown_app(self, capsys):
+        assert analyze_main(["--verify-parity", "--app", "huh"]) == 2
+        assert "unknown parity app" in capsys.readouterr().err

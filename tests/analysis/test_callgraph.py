@@ -1,0 +1,232 @@
+"""Interprocedural resolution: call graphs, inlining, and its guards."""
+
+import pytest
+
+from repro.analysis import analyze_source, build_call_graph
+from repro.analysis.callgraph import (
+    MAX_INLINE_DEPTH,
+    CallResolver,
+    module_resolver,
+)
+from repro.sim import PatternKind
+
+
+def infer(source, kernel=None, **kwargs):
+    out = analyze_source(source, kernel=kernel, **kwargs)
+    if isinstance(out, dict):
+        out = out[kernel] if kernel else next(iter(out.values()))
+    return out.accesses
+
+
+# ----------------------------------------------------------------------
+# Call-graph construction
+# ----------------------------------------------------------------------
+class TestBuildCallGraph:
+    SOURCE = (
+        "def helper(a, i):\n"
+        "    return a[i]\n"
+        "def outer(a, n):\n"
+        "    s = 0\n"
+        "    for i in range(n):\n"
+        "        s += helper(a, i)\n"
+        "    return s\n"
+        "def standalone(x):\n"
+        "    return x + 1\n"
+    )
+
+    def test_edges(self):
+        graph = build_call_graph(self.SOURCE)
+        assert graph.callees("outer") == ("helper",)
+        assert graph.callers("helper") == ("outer",)
+        assert graph.callees("standalone") == ()
+
+    def test_unknown_callees_are_dropped(self):
+        graph = build_call_graph("def f(x):\n    return len(x) + g(x)\n")
+        # Neither ``len`` (builtin) nor ``g`` (undefined) is a known node.
+        assert graph.callees("f") == ()
+
+    def test_summarize_returns_taint_kind(self):
+        graph = build_call_graph(self.SOURCE)
+        summary = graph.summarize("helper")
+        assert summary.returns == "data"
+        assert summary.params == ("a", "i")
+
+    def test_render_lists_all_functions(self):
+        rendered = build_call_graph(self.SOURCE).render()
+        for name in ("helper", "outer", "standalone"):
+            assert name in rendered
+
+
+# ----------------------------------------------------------------------
+# Resolver mechanics
+# ----------------------------------------------------------------------
+class TestCallResolver:
+    def test_cycle_guard(self):
+        resolver = CallResolver.from_source(
+            "def a(x):\n    return b(x)\ndef b(x):\n    return a(x)\n"
+        )
+        assert resolver.can_enter("a")
+        with resolver.entered("a"):
+            assert not resolver.can_enter("a")
+            assert resolver.can_enter("b")
+            with resolver.entered("b"):
+                assert not resolver.can_enter("a")
+        assert resolver.can_enter("a")
+
+    def test_depth_limit(self):
+        resolver = CallResolver({}, max_depth=2)
+        with resolver.entered("one"), resolver.entered("two"):
+            assert not resolver.can_enter("three")
+
+    def test_module_resolver_finds_siblings(self):
+        from repro.apps.spmv_app import spmv_gather_kernel
+
+        resolver = module_resolver(spmv_gather_kernel)
+        assert resolver is not None
+        assert resolver.resolve("_gather") is not None
+
+    def test_module_resolver_handles_sourceless_functions(self):
+        assert module_resolver(len) is None or module_resolver(len).resolve(
+            "len"
+        ) is None
+
+
+# ----------------------------------------------------------------------
+# Interprocedural classification (the tentpole behavior)
+# ----------------------------------------------------------------------
+class TestInterproceduralInference:
+    def test_gather_through_helper(self):
+        """``a[f(i)]`` — the documented false negative — classifies once
+        the helper is inlined."""
+        acc = infer(
+            "def pick(cols, k):\n"
+            "    return cols[k]\n"
+            "def kernel(a, cols, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[pick(cols, i)]\n"
+            "    return s\n",
+            kernel="kernel",
+        )
+        assert acc["cols"].pattern is PatternKind.STREAM
+        assert acc["a"].pattern is PatternKind.RANDOM
+        assert not acc["a"].unknown_lines
+
+    def test_chase_through_helper(self):
+        acc = infer(
+            "def step(t, i):\n"
+            "    return t[i]\n"
+            "def kernel(t, start, n):\n"
+            "    node = start\n"
+            "    for _ in range(n):\n"
+            "        node = step(t, node)\n"
+            "    return node\n",
+            kernel="kernel",
+        )
+        assert acc["t"].pattern is PatternKind.POINTER_CHASE
+
+    def test_write_helper(self):
+        acc = infer(
+            "def put(out, i, v):\n"
+            "    out[i] = v\n"
+            "def kernel(out, src, n):\n"
+            "    for i in range(n):\n"
+            "        put(out, i, src[i])\n",
+            kernel="kernel",
+        )
+        assert acc["out"].pattern is PatternKind.STREAM
+        assert acc["out"].direction == "write"
+        assert acc["src"].direction == "read"
+
+    def test_interprocedural_flag_off_restores_false_negative(self):
+        source = (
+            "def pick(cols, k):\n"
+            "    return cols[k]\n"
+            "def kernel(a, cols, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[pick(cols, i)]\n"
+            "    return s\n"
+        )
+        acc = infer(source, kernel="kernel", interprocedural=False)
+        assert acc["a"].pattern is None
+        assert acc["a"].unknown_lines
+
+    def test_recursive_call_falls_back(self):
+        """Self-recursion cannot inline; the site degrades to unknown
+        instead of diverging."""
+        acc = infer(
+            "def rec(a, i):\n"
+            "    return a[rec(a, i)]\n"
+            "def kernel(a, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[rec(a, i)]\n"
+            "    return s\n",
+            kernel="kernel",
+        )
+        assert acc["a"].unknown_lines
+
+    def test_deep_chain_within_limit(self):
+        layers = "def f0(a, i):\n    return a[i]\n"
+        for depth in range(1, MAX_INLINE_DEPTH - 1):
+            layers += (
+                f"def f{depth}(a, i):\n    return f{depth - 1}(a, i)\n"
+            )
+        top = MAX_INLINE_DEPTH - 2
+        layers += (
+            "def kernel(a, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            f"        s += f{top}(a, i)\n"
+            "    return s\n"
+        )
+        acc = infer(layers, kernel="kernel")
+        assert acc["a"].pattern is PatternKind.STREAM
+
+    def test_mismatched_arity_falls_back(self):
+        acc = infer(
+            "def pick(cols, k, extra):\n"
+            "    return cols[k]\n"
+            "def kernel(a, cols, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[pick(cols, i)]\n"
+            "    return s\n",
+            kernel="kernel",
+        )
+        assert acc["a"].unknown_lines
+
+    def test_keyword_arguments_bind(self):
+        acc = infer(
+            "def pick(cols, k):\n"
+            "    return cols[k]\n"
+            "def kernel(a, cols, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[pick(cols, k=i)]\n"
+            "    return s\n",
+            kernel="kernel",
+        )
+        assert acc["a"].pattern is PatternKind.RANDOM
+
+
+# ----------------------------------------------------------------------
+# The bundled variants (the registry proof)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "app,buffer,pattern",
+    [
+        ("stream_triad_indexed", "a", PatternKind.STREAM),
+        ("spmv_gather", "x", PatternKind.RANDOM),
+        ("pointer_chase_helper", "table", PatternKind.POINTER_CHASE),
+        ("graph500_bfs_split", "parent", PatternKind.RANDOM),
+    ],
+)
+def test_bundled_variant_classifies(app, buffer, pattern):
+    from repro.analysis import app_kernels
+
+    spec = {k.name: k for k in app_kernels()}[app]
+    inferred = spec.inferred()
+    assert inferred[buffer].pattern is pattern
+    assert not inferred[buffer].unknown_lines

@@ -1,0 +1,297 @@
+"""Symbolic footprints: trip-count algebra, derivation, phase compilation."""
+
+import pytest
+
+from repro.analysis import app_kernels, footprint_from_source, traffic_shares
+from repro.analysis.footprint import (
+    SymExpr,
+    phases_from_footprint,
+    resolve_bindings,
+    traffic_by_buffer,
+)
+from repro.errors import ReproError
+from repro.sim import PatternKind
+
+
+def footprint(source, kernel=None, **kwargs):
+    return footprint_from_source(source, kernel=kernel, **kwargs)
+
+
+TRIAD = (
+    "def k(a, b, c, s, n):\n"
+    "    for i in range(n):\n"
+    "        a[i] = b[i] + s * c[i]\n"
+)
+
+SPMV = (
+    "def k(y, vals, cols, x, offsets, n):\n"
+    "    for i in range(n):\n"
+    "        acc = 0.0\n"
+    "        for j in range(offsets[i], offsets[i + 1]):\n"
+    "            acc += vals[j] * x[cols[j]]\n"
+    "        y[i] = acc\n"
+)
+
+
+# ----------------------------------------------------------------------
+# SymExpr algebra
+# ----------------------------------------------------------------------
+class TestSymExpr:
+    def test_constant_identities(self):
+        n = SymExpr.sym("n")
+        assert (n + 0) == n
+        assert (n * 1) == n
+        assert (n * 0).is_zero
+        assert (n - n).is_zero
+
+    def test_polynomial_product(self):
+        n, m = SymExpr.sym("n"), SymExpr.sym("m")
+        expr = (n + 1) * m
+        assert expr.evaluate({"n": 3, "m": 5}) == 20.0
+
+    def test_division_by_constant(self):
+        n = SymExpr.sym("n")
+        assert (n / 2).evaluate({"n": 8}) == 4.0
+        with pytest.raises(ReproError):
+            n / n  # noqa: B018 — symbolic divisor must raise
+
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(ReproError, match="unbound"):
+            SymExpr.sym("n").evaluate({})
+
+    def test_str_is_sorted_and_stable(self):
+        expr = SymExpr.sym("b") + SymExpr.sym("a") + 2 * SymExpr.sym("b")
+        assert str(expr) == "a + 3*b"
+
+
+# ----------------------------------------------------------------------
+# Derivation from source
+# ----------------------------------------------------------------------
+class TestDerivation:
+    def test_triad_counts(self):
+        fp = footprint(TRIAD)
+        (nest,) = fp.nests
+        n = SymExpr.sym("n")
+        assert nest.buffers["a"].writes == n
+        assert nest.buffers["a"].reads.is_zero
+        assert nest.buffers["b"].reads == n
+        assert nest.buffers["c"].reads == n
+
+    def test_csr_segment_sweep(self):
+        """range(offsets[i], offsets[i+1]) sums to one full segment sweep,
+        replacing the outer row factor for the inner loads."""
+        fp = footprint(SPMV)
+        (nest,) = fp.nests
+        seg = SymExpr.sym("seg(offsets)")
+        n = SymExpr.sym("n")
+        assert nest.buffers["vals"].reads == seg
+        assert nest.buffers["cols"].reads == seg
+        assert nest.buffers["x"].reads == seg
+        assert nest.buffers["offsets"].reads == 2 * n
+        assert nest.buffers["y"].writes == n
+
+    def test_random_access_is_whole_buffer(self):
+        fp = footprint(SPMV)
+        (nest,) = fp.nests
+        assert nest.buffers["x"].whole_buffer
+        assert not nest.buffers["vals"].whole_buffer
+
+    def test_one_nest_per_top_level_loop(self):
+        fp = footprint(
+            "def k(a, b, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = 0\n"
+            "    for i in range(n):\n"
+            "        b[i] = a[i]\n"
+        )
+        assert len(fp.nests) == 2
+        first, second = fp.nests
+        assert "b" not in first.buffers
+        assert second.buffers["a"].reads == SymExpr.sym("n")
+
+    def test_while_and_guard_symbols(self):
+        fp = footprint(
+            "def k(a, n):\n"
+            "    i = 0\n"
+            "    while a[i] >= 0:\n"
+            "        i = a[i]\n"
+        )
+        symbols = fp.symbols()
+        assert any(s.startswith("while@") for s in symbols)
+        assert fp.guard_symbols() == frozenset(
+            s for s in symbols if s.startswith("while@")
+        )
+
+    def test_data_dependent_branch_guard(self):
+        fp = footprint(
+            "def k(a, out, n):\n"
+            "    for i in range(n):\n"
+            "        if a[i] > 0:\n"
+            "            out[i] = a[i]\n"
+        )
+        (nest,) = fp.nests
+        guards = [s for s in nest.buffers["out"].writes.symbols()
+                  if s.startswith("sel@")]
+        assert guards, "guarded write must carry a sel@ symbol"
+        # The unguarded read of ``a`` in the test runs every iteration.
+        assert nest.buffers["a"].reads.evaluate(
+            {"n": 10, guards[0]: 0.5}
+        ) >= 10.0
+
+    def test_interprocedural_footprint(self):
+        fp = footprint(
+            "def pick(cols, k):\n"
+            "    return cols[k]\n"
+            "def kernel(a, cols, n):\n"
+            "    s = 0\n"
+            "    for i in range(n):\n"
+            "        s += a[pick(cols, i)]\n"
+            "    return s\n",
+            kernel="kernel",
+        )
+        (nest,) = fp.nests
+        n = SymExpr.sym("n")
+        assert nest.buffers["cols"].reads == n
+        assert nest.buffers["a"].reads == n
+        assert nest.buffers["a"].whole_buffer
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+class TestEvaluation:
+    def test_resolve_bindings_defaults_guards(self):
+        fp = footprint(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        if a[i] > 0:\n"
+            "            a[i] = 0\n"
+        )
+        full = resolve_bindings(fp, {"n": 16})
+        for symbol in fp.guard_symbols():
+            assert full[symbol] == 1.0
+
+    def test_resolve_bindings_len_from_sizes(self):
+        fp = footprint(
+            "def k(a):\n"
+            "    for v in a:\n"
+            "        s = v\n"
+        )
+        full = resolve_bindings(fp, buffer_sizes={"a": 80}, elem_bytes=8)
+        assert full["len(a)"] == 10.0
+
+    def test_missing_binding_raises(self):
+        fp = footprint(TRIAD)
+        with pytest.raises(ReproError, match="unbound"):
+            traffic_by_buffer(fp, {})
+
+    def test_traffic_merges_aliased_params(self):
+        fp = footprint(
+            "def k(src, dst, n):\n"
+            "    for i in range(n):\n"
+            "        dst[i] = src[i]\n"
+        )
+        merged = traffic_by_buffer(
+            fp, {"n": 4}, param_buffers={"src": "buf", "dst": "buf"}
+        )
+        assert merged == {"buf": (4.0, 4.0)}
+
+    def test_shares_sum_to_one(self):
+        fp = footprint(SPMV)
+        shares = traffic_shares(fp, {"n": 100, "seg(offsets)": 1000})
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_params_absent_from_mapping_are_dropped(self):
+        fp = footprint(SPMV)
+        shares = traffic_shares(
+            fp,
+            {"n": 100, "seg(offsets)": 1000},
+            param_buffers={"vals": "vals", "cols": "cols", "x": "x", "y": "y"},
+        )
+        assert "offsets" not in shares
+
+
+# ----------------------------------------------------------------------
+# Phase compilation
+# ----------------------------------------------------------------------
+class TestPhaseCompilation:
+    def test_triad_phase(self):
+        fp = footprint(TRIAD)
+        sizes = {"a": 800, "b": 800, "c": 800}
+        (phase,) = phases_from_footprint(
+            fp, bindings={"n": 100}, buffer_sizes=sizes, name_prefix="triad"
+        )
+        assert phase.name.startswith("triad:")
+        by_buffer = {a.buffer: a for a in phase.accesses}
+        assert by_buffer["a"].bytes_written == 800.0
+        assert by_buffer["a"].bytes_read == 0.0
+        assert by_buffer["b"].pattern is PatternKind.STREAM
+        assert by_buffer["b"].working_set == 800
+
+    def test_random_buffer_gets_whole_working_set(self):
+        fp = footprint(SPMV)
+        sizes = {
+            "y": 800, "vals": 8000, "cols": 8000, "x": 800, "offsets": 808,
+        }
+        (phase,) = phases_from_footprint(
+            fp, bindings={"n": 100, "seg(offsets)": 1000}, buffer_sizes=sizes
+        )
+        x = phase.access("x")
+        assert x.pattern is PatternKind.RANDOM
+        assert x.working_set == 800          # whole buffer, not n reads
+        assert x.granularity == 8
+
+    def test_two_nests_make_two_phases(self):
+        fp = footprint(
+            "def k(a, n):\n"
+            "    for i in range(n):\n"
+            "        a[i] = 0\n"
+            "    for i in range(n):\n"
+            "        a[i] += 1\n"
+        )
+        phases = phases_from_footprint(
+            fp, bindings={"n": 10}, buffer_sizes={"a": 80}
+        )
+        assert len(phases) == 2
+        assert phases[0].access("a").bytes_written == 80.0
+        assert phases[1].access("a").bytes_read == 80.0
+
+    def test_registry_phases_compile(self):
+        for spec in app_kernels():
+            if spec.bindings is None or spec.buffer_sizes is None:
+                continue
+            fp = spec.footprint()
+            phases = phases_from_footprint(
+                fp,
+                bindings=spec.footprint_bindings(fp),
+                buffer_sizes=spec.buffer_sizes,
+                param_buffers=spec.param_buffers,
+                name_prefix=spec.name,
+            )
+            assert phases, spec.name
+            for phase in phases:
+                assert phase.threads == 1
+                for access in phase.accesses:
+                    assert access.working_set > 0
+
+
+# ----------------------------------------------------------------------
+# Registry-level quantitative checks (the acceptance bar)
+# ----------------------------------------------------------------------
+class TestRegistryShares:
+    @pytest.mark.parametrize(
+        "name", [k.name for k in app_kernels() if k.bindings is not None]
+    )
+    def test_derived_matches_declared(self, name):
+        spec = {k.name: k for k in app_kernels()}[name]
+        derived = spec.derived_shares()
+        declared = spec.declared_shares()
+        assert derived is not None
+        for buffer, declared_share in declared.items():
+            drift = abs(derived.get(buffer, 0.0) - declared_share)
+            if declared_share > 0:
+                drift /= declared_share
+            assert drift <= 0.10, (
+                f"{name}/{buffer}: derived {derived.get(buffer)} vs "
+                f"declared {declared_share}"
+            )

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.analysis import AppKernel, lint_app_kernels, lint_plan, lint_plan_file
+from repro.analysis import (
+    AppKernel,
+    app_kernels,
+    lint_app_kernels,
+    lint_kernel_footprints,
+    lint_plan,
+    lint_plan_file,
+)
 from repro.analysis.lint import lint_paths, lint_source, rule_catalog
 from repro.cli import lint_main
 from repro.core import MemAttrs
@@ -29,6 +36,12 @@ def mismatched_kernel(a, n):
 def partial_kernel(a, b, n):
     for i in range(n):
         a[i] = b[i]
+
+
+def hybrid_kernel(a, n):
+    """Classifiable stream write plus an unanalyzable builtin-call index."""
+    for i in range(n):
+        a[i] = a[hash(i) % n]
 
 
 def acc(name, pattern, *, read=True, write=False):
@@ -89,6 +102,85 @@ class TestKernelRules:
         report = lint_app_kernels([spec])
         assert "A002" in rules_of(report)
         assert report.ok  # warnings do not gate
+
+    def test_partial_classification_is_surfaced(self):
+        """A005 + the unknown_sites stat: classified pattern, but an
+        unanalyzable site remains."""
+        spec = AppKernel(
+            name="partial",
+            func=hybrid_kernel,
+            param_buffers={"a": "a"},
+            declared=(acc("a", PatternKind.STREAM, read=False, write=True),),
+        )
+        report = lint_app_kernels([spec])
+        assert "A005" in rules_of(report)
+        assert report.ok  # a warning, not an error
+        assert report.stats["unknown_sites"] >= 1
+        assert "unanalyzable site" in report.render()
+
+    def test_clean_apps_report_zero_unknown_sites(self):
+        report = lint_app_kernels()
+        assert report.stats.get("unknown_sites", 0) == 0
+
+
+# ----------------------------------------------------------------------
+# Footprint rules
+
+
+class TestFootprintRules:
+    def test_clean_on_bundled_apps(self):
+        """Acceptance: derived shares track the declared descriptors on
+        every registered kernel, including the interprocedural variants."""
+        report = lint_kernel_footprints()
+        assert report.ok, report.render()
+        assert not report.issues
+
+    def test_kernels_without_bindings_are_skipped(self):
+        spec = AppKernel(
+            name="unbound",
+            func=partial_kernel,
+            param_buffers={"a": "a", "b": "b"},
+            declared=(
+                acc("a", PatternKind.STREAM, read=False, write=True),
+                acc("b", PatternKind.STREAM),
+            ),
+        )
+        assert lint_kernel_footprints([spec]).ok
+
+    def test_share_drift_detected(self):
+        """F002: a skewed guard rate shifts the BFS write shares."""
+        import dataclasses
+
+        spec = {k.name: k for k in app_kernels()}["graph500_bfs"]
+        bad = dataclasses.replace(spec, guard_rate=0.05)
+        report = lint_kernel_footprints([bad])
+        assert "F002" in rules_of(report)
+        assert not report.ok
+
+    def test_capacity_infeasible_detected(self):
+        """F001: a declared scale whose working set cannot fit."""
+        import dataclasses
+
+        spec = {k.name: k for k in app_kernels()}["stream_triad"]
+        petabyte = 1 << 50
+        huge = dataclasses.replace(
+            spec,
+            bindings={"n": float(petabyte // 8)},
+            buffer_sizes={"a": petabyte, "b": petabyte, "c": petabyte},
+        )
+        report = lint_kernel_footprints([huge])
+        assert "F001" in rules_of(report)
+        assert not report.ok
+
+    def test_tolerance_is_adjustable(self):
+        import dataclasses
+
+        spec = {k.name: k for k in app_kernels()}["graph500_bfs"]
+        skewed = dataclasses.replace(spec, guard_rate=spec.guard_rate * 2)
+        tight = lint_kernel_footprints([skewed], tolerance=0.10)
+        loose = lint_kernel_footprints([skewed], tolerance=2.0)
+        assert not tight.ok
+        assert loose.ok
 
 
 # ----------------------------------------------------------------------
@@ -198,6 +290,39 @@ class TestSourceRules:
         report = lint_paths(["src/repro/apps", "examples"])
         assert report.ok, report.render()
 
+    def test_batch_alloc_requests_scanned(self, tmp_path):
+        """S001 reaches into mem_alloc_many request lists: AllocRequest
+        calls, dict requests, and bare tuples."""
+        bad = tmp_path / "batch.py"
+        bad.write_text(
+            "bufs = allocator.mem_alloc_many([\n"
+            "    AllocRequest(1024, 'Bandwidth', init),\n"
+            "    AllocRequest(2048, 'Wrongness', init, name='b'),\n"
+            "    AllocRequest(512, attribute='AlsoWrong', size=0),\n"
+            "    {'size': 64, 'attribute': 'StillWrong', 'initiator': init},\n"
+            "    (128, 'Latency', init),\n"
+            "    (256, 'TupleWrong', init),\n"
+            "])\n"
+        )
+        report = lint_source(bad)
+        assert rules_of(report).count("S001") == 4
+        messages = " ".join(i.message for i in report.issues)
+        for name in ("Wrongness", "AlsoWrong", "StillWrong", "TupleWrong"):
+            assert name in messages
+
+    def test_batch_requests_keyword(self, tmp_path):
+        src = tmp_path / "kw.py"
+        src.write_text(
+            "bufs = a.mem_alloc_many(\n"
+            "    requests=[AllocRequest(8, 'Bogus', 0)])\n"
+        )
+        assert rules_of(lint_source(src)) == ["S001"]
+
+    def test_batch_dynamic_requests_ignored(self, tmp_path):
+        src = tmp_path / "dyn.py"
+        src.write_text("bufs = a.mem_alloc_many(build_requests())\n")
+        assert lint_source(src).ok
+
 
 # ----------------------------------------------------------------------
 # CLI
@@ -219,3 +344,29 @@ class TestCli:
         bad.write_text("x = mem_alloc(8, 'Nope', 0)\n")
         assert lint_main([str(bad)]) == 1
         assert "S001" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = mem_alloc(8, 'Nope', 0)\n")
+        assert lint_main(["--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["errors"] == 1
+        (issue,) = payload["issues"]
+        assert issue["rule"] == "S001"
+        assert issue["severity"] == "error"
+
+    def test_json_clean_apps_carries_stats(self, capsys):
+        assert lint_main(["--apps", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["stats"]["unknown_sites"] == 0
+
+    def test_footprint_rules_in_catalog(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "F001" in out and "F002" in out and "A005" in out
+
+    def test_no_footprints_flag(self, capsys):
+        assert lint_main(["--apps", "--no-footprints"]) == 0
+        assert "clean" in capsys.readouterr().out

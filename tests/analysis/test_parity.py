@@ -1,0 +1,88 @@
+"""The static-vs-measured parity gate: differential, per-app, CI-facing."""
+
+import pytest
+
+from repro.analysis.parity import (
+    DEFAULT_TOLERANCE,
+    PARITY_APPS,
+    BufferParity,
+    parity_for_app,
+    run_parity,
+)
+from repro.errors import ReproError
+
+
+class TestBufferParity:
+    def test_drift_is_relative(self):
+        bp = BufferParity(buffer="b", static_share=0.55, measured_share=0.5)
+        assert bp.drift == pytest.approx(0.1)
+
+    def test_absolute_floor_forgives_tiny_shares(self):
+        bp = BufferParity(buffer="b", static_share=0.004, measured_share=0.001)
+        assert bp.drift == 3.0
+        assert bp.within(0.10)  # |0.003| < floor
+
+    def test_zero_measured_uses_static_as_drift(self):
+        bp = BufferParity(buffer="b", static_share=0.2, measured_share=0.0)
+        assert bp.drift == 0.2
+        assert not bp.within(0.10)
+
+
+class TestPerApp:
+    @pytest.mark.parametrize("app", PARITY_APPS)
+    def test_app_within_tolerance(self, app):
+        result = parity_for_app(app)
+        assert result.ok, result.describe()
+        # The acceptance bar is 10%; the implementation should do far
+        # better since bindings come from exact independent statistics.
+        assert result.max_drift <= DEFAULT_TOLERANCE
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(ReproError, match="unknown parity app"):
+            parity_for_app("nope")
+
+    def test_tiny_tolerance_still_passes(self):
+        """The static estimates are exact on Triad, not merely close."""
+        result = parity_for_app("stream_triad", tolerance=1e-9)
+        assert result.ok, result.describe()
+
+
+class TestReport:
+    def test_full_run(self):
+        report = run_parity()
+        assert report.ok, report.describe()
+        assert {r.app for r in report.results} == set(PARITY_APPS)
+        assert report.describe().endswith("parity: ok")
+
+    def test_selected_subset(self):
+        report = run_parity(["pointer_chase"])
+        assert [r.app for r in report.results] == ["pointer_chase"]
+
+    def test_to_dict_round_trips(self):
+        import json
+
+        report = run_parity(["stream_triad"])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        (app,) = payload["apps"]
+        assert app["app"] == "stream_triad"
+        assert all(b["ok"] for b in app["buffers"])
+
+    def test_drift_detected_verdict(self):
+        report = run_parity(["graph500_bfs"], tolerance=0.0)
+        # With zero tolerance only the absolute floor forgives; the BFS
+        # shares are exact, so even this passes — prove the negative
+        # verdict path with a manufactured drift instead.
+        assert report.ok
+        bad = BufferParity(buffer="b", static_share=0.9, measured_share=0.5)
+        from repro.analysis.parity import ParityReport, ParityResult
+
+        failing = ParityReport(
+            results=(
+                ParityResult(
+                    app="x", kernel="k", buffers=(bad,), tolerance=0.10
+                ),
+            )
+        )
+        assert not failing.ok
+        assert "DRIFT" in failing.describe()

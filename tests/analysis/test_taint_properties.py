@@ -1,0 +1,134 @@
+"""Property-based invariants of the taint lattice and its fixpoint.
+
+The static pass leans on three structural facts:
+
+* the combine operator (max by ``_COMBINE_RANK``) is a join — ordered,
+  commutative at the kind level, associative, idempotent — so evidence
+  never depends on operand order;
+* widening is monotone: adding statements or loop iterations can only
+  move a variable *up* the lattice, never down;
+* the double-walk loop fixpoint terminates and is deterministic for any
+  generated loop body (the lattice is finite, so re-walking converges).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_source
+from repro.analysis.astpass import _COMBINE_RANK, _Taint
+
+KINDS = sorted(_COMBINE_RANK)
+
+taints = st.builds(
+    _Taint,
+    kind=st.sampled_from(KINDS),
+    source=st.one_of(st.none(), st.sampled_from(["a", "b", "t"])),
+)
+
+
+def join(left: _Taint, right: _Taint) -> _Taint:
+    """The combine the pass applies to ``Add``/``Sub``/``IfExp``."""
+    return max(left, right, key=lambda t: _COMBINE_RANK[t.kind])
+
+
+# ----------------------------------------------------------------------
+# Lattice laws
+# ----------------------------------------------------------------------
+class TestJoinLaws:
+    @given(taints, taints)
+    def test_commutative_on_kinds(self, x, y):
+        assert join(x, y).kind == join(y, x).kind
+
+    @given(taints, taints, taints)
+    def test_associative_on_kinds(self, x, y, z):
+        assert join(join(x, y), z).kind == join(x, join(y, z)).kind
+
+    @given(taints)
+    def test_idempotent(self, x):
+        assert join(x, x) == x
+
+    @given(taints, taints)
+    def test_join_is_upper_bound(self, x, y):
+        joined = _COMBINE_RANK[join(x, y).kind]
+        assert joined >= _COMBINE_RANK[x.kind]
+        assert joined >= _COMBINE_RANK[y.kind]
+
+    @given(taints, taints, taints)
+    def test_monotone_under_widening(self, x, y, wider):
+        """Raising an operand never lowers the join."""
+        widened = join(x, wider)
+        assert (
+            _COMBINE_RANK[join(widened, y).kind]
+            >= _COMBINE_RANK[join(x, y).kind]
+        )
+
+
+# ----------------------------------------------------------------------
+# Fixpoint behavior on generated loop bodies
+# ----------------------------------------------------------------------
+_RHS = (
+    "i",
+    "x",
+    "x + 1",
+    "x + i",
+    "2 * i",
+    "a[i]",
+    "a[x]",
+    "b[x]",
+    "x * x",
+    "0",
+)
+
+statements = st.lists(
+    st.tuples(st.sampled_from(["x", "y"]), st.sampled_from(_RHS)),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_kernel(body):
+    lines = ["def k(a, b, n):", "    x = 0", "    y = 0"]
+    lines.append("    for i in range(n):")
+    for target, rhs in body:
+        lines.append(f"        {target} = {rhs}")
+    lines.append("        s = a[x] + b[y]")
+    return "\n".join(lines) + "\n"
+
+
+class TestFixpoint:
+    @settings(max_examples=60, deadline=None)
+    @given(statements)
+    def test_terminates_on_generated_loops(self, body):
+        """Any loop body from the grammar analyzes without divergence."""
+        source = build_kernel(body)
+        analysis = analyze_source(source, kernel="k")
+        assert set(analysis.accesses) <= {"a", "b", "n"}
+
+    @settings(max_examples=40, deadline=None)
+    @given(statements)
+    def test_deterministic(self, body):
+        """Two runs of the fixpoint agree exactly (no iteration-order or
+        widening-path dependence)."""
+        source = build_kernel(body)
+        first = analyze_source(source, kernel="k")
+        second = analyze_source(source, kernel="k")
+        for buffer, access in first.accesses.items():
+            other = second.accesses[buffer]
+            assert access.pattern is other.pattern
+            assert access.reads == other.reads
+            assert access.writes == other.writes
+            assert access.unknown_lines == other.unknown_lines
+
+    @settings(max_examples=40, deadline=None)
+    @given(statements)
+    def test_loop_carried_dependence_is_caught(self, body):
+        """Appending ``x = a[x]`` after any prefix forces the chase
+        classification — the fixpoint must propagate it regardless of
+        what came before."""
+        source = build_kernel(list(body) + [("x", "a[x]")])
+        analysis = analyze_source(source, kernel="k")
+        from repro.sim import PatternKind
+
+        assert analysis.accesses["a"].pattern in (
+            PatternKind.POINTER_CHASE,
+            PatternKind.RANDOM,
+        )

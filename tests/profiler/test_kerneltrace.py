@@ -1,0 +1,105 @@
+"""Kernel instrumentation: exact element counts from counting proxies."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.profiler import (
+    CountingSequence,
+    merge_counts,
+    trace_kernel,
+)
+
+
+class TestCountingSequence:
+    def test_counts_gets_and_sets(self):
+        seq = CountingSequence([1, 2, 3])
+        _ = seq[0]
+        _ = seq[2]
+        seq[1] = 9
+        assert seq.gets == 2
+        assert seq.sets == 1
+        assert seq.raw == [1, 9, 3]
+
+    def test_len_is_uncounted(self):
+        seq = CountingSequence([1, 2, 3])
+        assert len(seq) == 3
+        assert seq.gets == 0
+
+    def test_iteration_counts_elements(self):
+        seq = CountingSequence([1, 2, 3])
+        assert list(seq) == [1, 2, 3]
+        assert seq.gets == 3
+
+    def test_raw_bypasses_counting(self):
+        seq = CountingSequence([0] * 4)
+        seq.raw[2] = 7
+        assert seq.gets == 0 and seq.sets == 0
+        assert seq[2] == 7
+
+
+class TestTraceKernel:
+    def test_triad(self):
+        from repro.apps.stream_app import triad_kernel
+
+        n = 64
+        trace = trace_kernel(
+            triad_kernel,
+            buffers={"a": [0.0] * n, "b": [1.0] * n, "c": [2.0] * n},
+            scalars={"scalar": 2.0, "n": n},
+        )
+        counts = {c.buffer: c for c in trace.counts}
+        assert counts["a"].sets == n and counts["a"].gets == 0
+        assert counts["b"].gets == n
+        assert counts["c"].gets == n
+
+    def test_shares_sum_to_one(self):
+        from repro.apps.stream_app import triad_kernel
+
+        n = 16
+        trace = trace_kernel(
+            triad_kernel,
+            buffers={"a": [0.0] * n, "b": [1.0] * n, "c": [2.0] * n},
+            scalars={"scalar": 2.0, "n": n},
+        )
+        assert sum(trace.traffic_shares().values()) == pytest.approx(1.0)
+
+    def test_kernel_result_is_returned(self):
+        def k(a, n):
+            total = 0
+            for i in range(n):
+                total += a[i]
+            return total
+
+        trace = trace_kernel(k, buffers={"a": [1] * 5}, scalars={"n": 5})
+        assert trace.returned == 5
+
+    def test_defaults_are_honored(self):
+        def k(a, n=3):
+            for i in range(n):
+                a[i] = i
+
+        trace = trace_kernel(k, buffers={"a": [0] * 8})
+        assert {c.buffer: c.sets for c in trace.counts} == {"a": 3}
+
+    def test_missing_parameter_raises(self):
+        def k(a, n):
+            return a[n]
+
+        with pytest.raises(ReproError):
+            trace_kernel(k, buffers={"a": [1, 2]})
+
+    def test_merge_aliased_counts(self):
+        a, b = CountingSequence([1]), CountingSequence([2])
+        _ = a[0]
+        b[0] = 3
+        merged = merge_counts(
+            {"front": a, "back": b}, {"front": "queue", "back": "queue"}
+        )
+        (counts,) = merged
+        assert counts.buffer == "queue"
+        assert counts.gets == 1 and counts.sets == 1 and counts.total == 2
+
+    def test_merge_drops_unmapped(self):
+        a = CountingSequence([1])
+        _ = a[0]
+        assert merge_counts({"aux": a}, {}) == ()
