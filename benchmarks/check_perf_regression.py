@@ -48,6 +48,7 @@ SEARCH_JSON = "BENCH_search_scaling.json"
 PRICING_JSON = "BENCH_pricing_batch.json"
 AUTOTIER_JSON = "BENCH_autotier.json"
 MULTITENANT_JSON = "BENCH_multitenant.json"
+SERVE_JSON = "BENCH_serve.json"
 
 
 def load_fresh(name: str) -> dict | None:
@@ -206,6 +207,14 @@ def check_multitenant(fresh: dict, base: dict, tolerance: float) -> list[str]:
             f"({fresh_step.get('jobs')} vs baseline {base_step.get('jobs')})"
         )
         return failures
+    if fresh_step.get("rounds") != base_step.get("rounds"):
+        # A REPRO_BENCH_QUICK run times fewer rounds; its noisier speedup
+        # factors are not comparable to the full-shape baseline.
+        print(
+            f"SKIP multitenant.contention_step: timing rounds differ "
+            f"({fresh_step.get('rounds')} vs baseline {base_step.get('rounds')})"
+        )
+        return failures
     for key in ("price_concurrent", "scenario_sweep"):
         _check_speedup(
             f"multitenant.contention_step.{key}",
@@ -213,6 +222,45 @@ def check_multitenant(fresh: dict, base: dict, tolerance: float) -> list[str]:
             base_step[key]["speedup"],
             tolerance,
             failures,
+        )
+    return failures
+
+
+def check_serve(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    """Gate the serve daemon's sustained request throughput.
+
+    Shape-skips when the client fleet differs — a ``REPRO_BENCH_QUICK``
+    run drives a smaller fleet whose rps and latency are not comparable
+    to the full 2000-client baseline.
+    """
+    failures: list[str] = []
+    base_r = base.get("serve")
+    fresh_r = fresh.get("serve")
+    if base_r is None:
+        return failures
+    if fresh_r is None:
+        return ["serve: summary missing from fresh run"]
+    shape = ("clients", "ops_per_client")
+    if any(fresh_r.get(k) != base_r.get(k) for k in shape):
+        print(
+            f"SKIP serve: fleet shape differs "
+            f"({fresh_r.get('clients')}x{fresh_r.get('ops_per_client')} vs "
+            f"baseline {base_r.get('clients')}x{base_r.get('ops_per_client')})"
+        )
+        return failures
+    floor = 1.0 - tolerance
+    got, want = fresh_r["rps"], base_r["rps"]
+    ratio = got / want if want else float("inf")
+    verdict = "ok" if ratio >= floor else "REGRESSED"
+    print(
+        f"serve: {got:,} req/s vs baseline {want:,} req/s "
+        f"({ratio:.2f}x, p99 {fresh_r.get('p99_ms')} ms) {verdict}"
+    )
+    if ratio < floor:
+        failures.append(
+            f"serve: sustained throughput {got:,} req/s is "
+            f"{(1 - ratio) * 100:.1f}% below baseline {want:,} req/s "
+            f"(tolerance {tolerance * 100:.0f}%)"
         )
     return failures
 
@@ -246,6 +294,7 @@ def main(argv: list[str] | None = None) -> int:
         (PRICING_JSON, check_pricing),
         (AUTOTIER_JSON, check_autotier),
         (MULTITENANT_JSON, check_multitenant),
+        (SERVE_JSON, check_serve),
     )
     for name, check in gates:
         fresh = load_fresh(name)

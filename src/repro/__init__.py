@@ -16,6 +16,7 @@ The package layers, bottom to top:
 * :mod:`repro.sensitivity` — benchmarking / profiling / static methods.
 * :mod:`repro.apps` — Graph500, STREAM and pointer-chase workloads.
 * :mod:`repro.omp` — OpenMP memory spaces and allocators on top.
+* :mod:`repro.serve` — multi-tenant placement daemon (``repro-serve``).
 
 Quickstart::
 
@@ -44,6 +45,7 @@ from . import (
     profiler,
     resilience,
     sensitivity,
+    serve,
     sim,
     topology,
     units,
@@ -73,6 +75,7 @@ __all__ = [
     "profiler",
     "resilience",
     "sensitivity",
+    "serve",
     "sim",
     "topology",
     "units",

@@ -36,7 +36,12 @@ from .attrs import (
 )
 from .api import MemAttrs
 from .discovery import discover_from_sysfs, native_discovery
-from .querycache import CacheStats, QueryCache, render_cache_stats
+from .querycache import (
+    CacheStats,
+    QueryCache,
+    consistent_read,
+    render_cache_stats,
+)
 from .ranking import rank_targets
 from .custom import register_derived_attribute, stream_triad_attribute
 from .dynamic import (
@@ -67,6 +72,7 @@ __all__ = [
     "native_discovery",
     "CacheStats",
     "QueryCache",
+    "consistent_read",
     "render_cache_stats",
     "rank_targets",
     "register_derived_attribute",

@@ -27,8 +27,11 @@ to what the uncached code path would recompute.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TypeVar
 
+from ..errors import ReproError
 from ..obs import OBS
 
 __all__ = [
@@ -36,8 +39,39 @@ __all__ = [
     "CacheStats",
     "QueryCache",
     "TOPOLOGY_FAMILIES",
+    "consistent_read",
     "render_cache_stats",
 ]
+
+_T = TypeVar("_T")
+
+
+def consistent_read(
+    read: Callable[[], _T],
+    generation: Callable[[], int],
+    *,
+    max_retries: int = 8,
+) -> tuple[_T, int]:
+    """Seqlock-style read: retry ``read()`` until the generation is stable.
+
+    A multi-part query (ranking + per-target values + free capacity) is
+    only meaningful if the attribute store did not change *between* its
+    parts.  This samples ``generation()`` before and after ``read()`` and
+    retries on mismatch, returning ``(value, generation)`` — the
+    generation tag the ``repro.serve`` query verb stamps on responses so
+    clients can correlate answers with attribute epochs.  Raises
+    :class:`~repro.errors.ReproError` if the store keeps changing for
+    ``max_retries`` attempts (a writer livelock, not a cache bug).
+    """
+    for _ in range(max_retries):
+        before = generation()
+        value = read()
+        if generation() == before:
+            return value, before
+    raise ReproError(
+        f"attribute store generation kept changing across {max_retries} "
+        "read attempts"
+    )
 
 
 class _Missing:

@@ -125,3 +125,11 @@ class ProfilerError(ReproError):
 
 class ValidationError(ReproError):
     """An application-level validation (e.g. BFS tree check) failed."""
+
+
+class ServeError(ReproError):
+    """The ``repro-serve`` allocation daemon refused or failed a request."""
+
+
+class ProtocolError(ServeError):
+    """A ``repro-serve`` wire message could not be decoded or validated."""

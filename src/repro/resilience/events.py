@@ -38,6 +38,12 @@ class EventKind(enum.Enum):
     MIGRATION_RETRY = "migration-retry"
     MIGRATION_GAVE_UP = "migration-gave-up"
 
+    # Multi-tenant service decisions (``repro.serve``): a request turned
+    # away at the door — queue full or per-tenant quota exhausted — with
+    # zero state touched.  Typed so "rejected" is never "dropped".
+    ADMISSION_REJECTED = "admission-rejected"
+    QUOTA_EXCEEDED = "quota-exceeded"
+
 
 @dataclass(frozen=True)
 class ResilienceEvent:

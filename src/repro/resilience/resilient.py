@@ -67,8 +67,15 @@ class ResilientAllocator:
         allow_partial: bool = False,
         allow_fallback: bool = True,
         scope: str = "local",
+        subject: str | None = None,
     ) -> Buffer:
-        """``mem_alloc`` with every degradation recorded as a typed event."""
+        """``mem_alloc`` with every degradation recorded as a typed event.
+
+        ``subject`` overrides the event subject — callers that track
+        buffers by their own handles (the ``repro.serve`` daemon) pass a
+        stable handle so event logs stay comparable across replays even
+        though auto-minted buffer names are process-global.
+        """
         try:
             buffer = self.allocator.mem_alloc(
                 size,
@@ -82,20 +89,50 @@ class ResilientAllocator:
         except AllocationError as err:
             self.log.record(
                 EventKind.ALLOCATION_FAILED,
-                name or "<unnamed>",
+                subject or name or "<unnamed>",
                 f"{type(err).__name__}: {err}",
             )
             raise
+        self.record_degradation(
+            buffer,
+            attribute,
+            initiator,
+            scope=scope,
+            allow_partial=allow_partial,
+            subject=subject,
+        )
+        return buffer
+
+    def record_degradation(
+        self,
+        buffer: Buffer,
+        attribute: str,
+        initiator,
+        *,
+        scope: str = "local",
+        allow_partial: bool = False,
+        subject: str | None = None,
+    ) -> tuple[str, ...]:
+        """Audit one placed buffer against its request; log if degraded.
+
+        The batch paths (``mem_alloc_many`` commits in :mod:`repro.serve`)
+        place buffers without going through :meth:`mem_alloc`; they call
+        this afterwards, buffer by buffer in request order, so a batched
+        commit records exactly the events the sequential path would.
+        Returns the degradation reasons (empty tuple = placed as asked).
+        """
         reasons = self._degradation_reasons(
             buffer, attribute, initiator, scope, allow_partial
         )
         if reasons:
             self.log.record(
-                EventKind.PLACEMENT_DEGRADED, buffer.name, "; ".join(reasons)
+                EventKind.PLACEMENT_DEGRADED,
+                subject or buffer.name,
+                "; ".join(reasons),
             )
             if OBS.enabled:
                 OBS.metrics.counter("resilience.degraded_placements").inc()
-        return buffer
+        return tuple(reasons)
 
     def _degradation_reasons(
         self,
@@ -161,7 +198,13 @@ class ResilientAllocator:
         return tuple(placed)
 
     # ------------------------------------------------------------------
-    def migrate(self, buffer: Buffer | str, attribute: str) -> MigrationReport:
+    def migrate(
+        self,
+        buffer: Buffer | str,
+        attribute: str,
+        *,
+        subject: str | None = None,
+    ) -> MigrationReport:
         """Migrate with retry-with-backoff on transient kernel failures.
 
         Backoff doubles from :attr:`backoff_base_seconds` per retry and is
@@ -169,8 +212,9 @@ class ResilientAllocator:
         sleeping, keeping chaos runs deterministic and fast.  After
         ``max_migration_retries`` retries the last transient error
         propagates — with a ``MIGRATION_GAVE_UP`` event on the log.
+        ``subject`` overrides the event subject (see :meth:`mem_alloc`).
         """
-        name = buffer if isinstance(buffer, str) else buffer.name
+        name = subject or (buffer if isinstance(buffer, str) else buffer.name)
         delay = self.backoff_base_seconds
         attempt = 0
         while True:

@@ -1,0 +1,83 @@
+"""Placement-as-a-service: the ``repro-serve`` multi-tenant daemon.
+
+The paper's API answers "where should *this process* put *this
+buffer*?"; this package turns that into a shared service: many tenants,
+one kernel, placement decisions multiplexed over a newline-delimited
+JSON protocol (or the in-process :class:`ServeClient`).
+
+What the daemon adds on top of the allocator stack:
+
+* **Sessions and quotas** — per-tenant capacity quotas enforced by a
+  pure-bookkeeping :class:`QuotaLedger`, plus optional co-tenant
+  headroom reservations through the kernel's ``cotenant_reserve``.
+* **Admission control** — a bounded pending window; overflow requests
+  are rejected with typed events, never silently dropped or queued
+  unboundedly.
+* **Batching** — concurrently arrived allocations coalesce onto the
+  ``mem_alloc_many`` fast path; the pinned batch≡sequential equivalence
+  makes this invisible to semantics.
+* **Determinism** — a sequenced server commits in schedule order behind
+  a single writer, so concurrent replays are bit-identical to serial
+  ones (``repro-serve --selftest`` proves it; so does the 100-seed sweep
+  in ``tests/serve/test_differential.py``).
+"""
+
+from .batcher import AllocRun, Sequencer, Single, coalesce
+from .protocol import (
+    ERROR_CODES,
+    Request,
+    Response,
+    VERBS,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from .replay import (
+    RunOutcome,
+    event_signature,
+    response_signature,
+    run_concurrent,
+    run_serial,
+    seeded_schedule,
+    selftest,
+    state_signature,
+)
+from .server import (
+    ReproServeServer,
+    ServeClient,
+    ServeCore,
+    StreamServeClient,
+    StreamServer,
+)
+from .session import QuotaLedger, TenantSession
+
+__all__ = [
+    "AllocRun",
+    "ERROR_CODES",
+    "QuotaLedger",
+    "ReproServeServer",
+    "Request",
+    "Response",
+    "RunOutcome",
+    "Sequencer",
+    "ServeClient",
+    "ServeCore",
+    "Single",
+    "StreamServeClient",
+    "StreamServer",
+    "TenantSession",
+    "VERBS",
+    "coalesce",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "event_signature",
+    "response_signature",
+    "run_concurrent",
+    "run_serial",
+    "seeded_schedule",
+    "selftest",
+    "state_signature",
+]

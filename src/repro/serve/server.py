@@ -1,0 +1,1110 @@
+"""`repro-serve`: the multi-tenant allocation daemon.
+
+Two layers, deliberately separable:
+
+* :class:`ServeCore` — a **synchronous** state machine owning the
+  allocator stack (kernel + attributes + query cache), tenant sessions,
+  the quota ledger, and the typed event log.  Every kernel mutation goes
+  through it; it has no asyncio in it, so the serial replay used by the
+  differential suite *is* the production code path, not a lookalike.
+* :class:`ReproServeServer` — the asyncio transport: admission control
+  with a bounded pending window, an optional :class:`~.batcher.Sequencer`
+  for schedule-order commits, and a single commit task that drains
+  concurrently-arrived requests and coalesces runs of ``alloc`` verbs
+  onto the ``mem_alloc_many`` fast path.
+
+The determinism contract (pinned by ``tests/serve/test_differential.py``):
+with sequenced commits, any arrival interleaving of a request schedule
+produces final kernel page maps, free-page counters, responses, and
+typed-event logs bit-identical to the same schedule applied serially.
+The argument has two legs — the single writer applies mutations in
+``seq`` order, and ``mem_alloc_many`` is itself pinned bit-identical to
+its sequential replay, so batch *boundaries* (which depend on arrival
+timing) cannot change outcomes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from ..alloc.allocator import AllocRequest, Buffer, HeterogeneousAllocator
+from ..core.querycache import consistent_read
+from ..errors import ProtocolError, ReproError, ServeError
+from ..obs import OBS
+from ..resilience.events import EventKind, ResilienceLog
+from ..resilience.resilient import ResilientAllocator
+from .batcher import Sequencer
+from .protocol import (
+    VERBS,
+    Request,
+    Response,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from .session import QuotaLedger, TenantSession
+
+__all__ = [
+    "ReproServeServer",
+    "ServeClient",
+    "ServeCore",
+    "StreamServeClient",
+    "StreamServer",
+]
+
+#: Sentinel distinguishing "field absent" from an explicit ``None``.
+_UNSET = object()
+
+
+def _ok(request: Request, result: dict[str, Any]) -> Response:
+    return Response(
+        id=request.id,
+        verb=request.verb,
+        tenant=request.tenant,
+        ok=True,
+        seq=request.seq,
+        result=result,
+    )
+
+
+def _err(request: Request, code: str, message: str) -> Response:
+    return Response(
+        id=request.id,
+        verb=request.verb,
+        tenant=request.tenant,
+        ok=False,
+        seq=request.seq,
+        error=code,
+        message=message,
+    )
+
+
+@dataclass
+class _StagedAlloc:
+    """One alloc request pre-admitted into the pending batch commit."""
+
+    idx: int
+    request: Request
+    areq: AllocRequest
+    tenant: str
+    handle: str
+    pages: int
+    attribute: str
+    initiator: int
+    scope: str
+    allow_partial: bool
+    subject: str
+
+
+class ServeCore:
+    """Synchronous service state machine (sessions, quotas, kernel ops).
+
+    ``apply`` handles one request through the plain sequential path;
+    ``apply_run`` handles an ordered run, coalescing eligible ``alloc``
+    requests onto one ``mem_alloc_many`` commit with an exact sequential
+    fallback.  Both record the same typed events in the same order.
+    """
+
+    def __init__(
+        self,
+        allocator: HeterogeneousAllocator,
+        *,
+        log: ResilienceLog | None = None,
+        default_quota_bytes: int | None = None,
+    ) -> None:
+        self.allocator = allocator
+        self.kernel = allocator.kernel
+        self.memattrs = allocator.memattrs
+        self.log = log if log is not None else ResilienceLog()
+        self.rallocator = ResilientAllocator(allocator, log=self.log)
+        self.ledger = QuotaLedger()
+        self.sessions: dict[str, TenantSession] = {}
+        self.default_quota_bytes = default_quota_bytes
+        self.verb_counts: dict[str, int] = {}
+        self.admission_rejections = 0
+        self.quota_rejections = 0
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def pages_for(self, size_bytes: int) -> int:
+        """Pages an allocation of ``size_bytes`` will be charged."""
+        return -(-int(size_bytes) // self.kernel.page_size)
+
+    def _count(self, verb: str) -> None:
+        self.verb_counts[verb] = self.verb_counts.get(verb, 0) + 1
+        if OBS.enabled:
+            OBS.metrics.counter("serve.requests", verb=verb).inc()
+
+    def reject_admission(self, request: Request, reason: str) -> Response:
+        """Typed queue-full rejection: an event, a counter, zero state."""
+        self.admission_rejections += 1
+        self.log.record(
+            EventKind.ADMISSION_REJECTED,
+            f"{request.tenant}/{request.verb}",
+            reason,
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("serve.rejections", kind="admission").inc()
+        return _err(request, "admission-rejected", reason)
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def apply(self, request: Request) -> Response:
+        """Apply one request through the sequential reference path."""
+        self._count(request.verb)
+        return self._dispatch(request)
+
+    def apply_run(self, requests: list[Request]) -> list[Response]:
+        """Apply an ordered run, batching eligible allocs.
+
+        This is the commit stage's entry point: the run is whatever was
+        concurrently pending when the writer woke up, already in commit
+        order.  Outcomes are defined to equal ``apply`` per element.
+        """
+        if not OBS.enabled:
+            return self._run_staged(requests)
+        with OBS.tracer.span("serve.commit", requests=len(requests)):
+            OBS.metrics.counter("serve.commits").inc()
+            OBS.metrics.histogram("serve.commit_size").observe(len(requests))
+            return self._run_staged(requests)
+
+    def _run_staged(self, requests: list[Request]) -> list[Response]:
+        out: list[Response | None] = [None] * len(requests)
+        staged: list[_StagedAlloc] = []
+        for i, request in enumerate(requests):
+            # Counted here (iteration order == seq order) so a `stats`
+            # mid-run reads exactly the counts its serial twin would.
+            self._count(request.verb)
+            if request.verb == "alloc":
+                stage = self._stage_alloc(i, request, staged)
+                if stage is not None:
+                    staged.append(stage)
+                    continue
+            # Anything unstageable settles the pending batch first so its
+            # own checks (quota headroom, handle uniqueness) see exactly
+            # the state the sequential path would.
+            self._flush(staged, out)
+            out[i] = self._dispatch(request)
+        self._flush(staged, out)
+        return [r for r in out if r is not None]
+
+    def _stage_alloc(
+        self, idx: int, request: Request, staged: list[_StagedAlloc]
+    ) -> _StagedAlloc | None:
+        """Admit one alloc into the pending batch, or None to defer.
+
+        Staging tentatively charges the ledger so later requests in the
+        same run see post-success headroom; the charge is undone exactly
+        if the batch falls back.  ``None`` means "settle the batch and
+        route this request through the sequential path" — used for every
+        kind of pre-check failure so rejections are decided against
+        settled state.
+        """
+        spec = self._parse_alloc_payload(request)
+        if isinstance(spec, str):
+            return None
+        handle, size, attribute, initiator, allow_partial, allow_fallback, scope = spec
+        session = self.sessions.get(request.tenant)
+        if session is None:
+            return None
+        if handle in session.buffers or any(
+            s.tenant == request.tenant and s.handle == handle for s in staged
+        ):
+            return None
+        pages = self.pages_for(size)
+        if self.ledger.would_exceed(request.tenant, pages):
+            return None
+        self.ledger.charge(request.tenant, pages)
+        return _StagedAlloc(
+            idx=idx,
+            request=request,
+            areq=AllocRequest(
+                size=size,
+                attribute=attribute,
+                initiator=initiator,
+                allow_partial=allow_partial,
+                allow_fallback=allow_fallback,
+                scope=scope,
+            ),
+            tenant=request.tenant,
+            handle=handle,
+            pages=pages,
+            attribute=attribute,
+            initiator=initiator,
+            scope=scope,
+            allow_partial=allow_partial,
+            subject=f"{request.tenant}/{handle}",
+        )
+
+    def _flush(
+        self, staged: list[_StagedAlloc], out: list[Response | None]
+    ) -> None:
+        """Commit the pending batch; exact sequential fallback on error."""
+        if not staged:
+            return
+        try:
+            buffers = self.allocator.mem_alloc_many([s.areq for s in staged])
+        except ReproError:
+            # All-or-nothing rollback already restored kernel state; undo
+            # the tentative ledger charges and replay the run through the
+            # sequential path, which re-checks and re-charges per op.
+            for stage in staged:
+                self.ledger.release(stage.tenant, stage.pages)
+            for stage in staged:
+                out[stage.idx] = self._dispatch(stage.request)
+            staged.clear()
+            return
+        if OBS.enabled:
+            OBS.metrics.counter("serve.batched_allocs").inc(len(staged))
+        for stage, buffer in zip(staged, buffers):
+            session = self.sessions[stage.tenant]
+            session.buffers[stage.handle] = buffer
+            session.allocs += 1
+            reasons = self.rallocator.record_degradation(
+                buffer,
+                stage.attribute,
+                stage.initiator,
+                scope=stage.scope,
+                allow_partial=stage.allow_partial,
+                subject=stage.subject,
+            )
+            out[stage.idx] = _ok(
+                stage.request, self._alloc_result(stage.handle, buffer, reasons)
+            )
+        staged.clear()
+
+    # ------------------------------------------------------------------
+    # verb dispatch (sequential reference semantics)
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: Request) -> Response:
+        if request.verb not in VERBS:
+            return _err(request, "unknown-verb", f"unknown verb {request.verb!r}")
+        if request.verb == "open":
+            return self._open(request)
+        if request.verb == "stats":
+            return self._stats(request)
+        if request.tenant not in self.sessions:
+            return _err(
+                request, "no-session", f"tenant {request.tenant!r} has no session"
+            )
+        handler = {
+            "close": self._close,
+            "alloc": self._alloc,
+            "alloc_many": self._alloc_many,
+            "free": self._free,
+            "query": self._query,
+            "migrate": self._migrate,
+        }[request.verb]
+        return handler(request)
+
+    def _open(self, request: Request) -> Response:
+        tenant = request.tenant
+        if tenant in self.sessions:
+            return _err(
+                request, "session-exists", f"tenant {tenant!r} already has a session"
+            )
+        payload = request.payload
+        if "quota_bytes" in payload:
+            quota_bytes = payload["quota_bytes"]
+        else:
+            quota_bytes = self.default_quota_bytes
+        if quota_bytes is not None and (
+            not isinstance(quota_bytes, int) or quota_bytes < 0
+        ):
+            return _err(request, "bad-request", "quota_bytes must be >= 0 or null")
+        quota_pages = (
+            None if quota_bytes is None else quota_bytes // self.kernel.page_size
+        )
+        reserve_spec = payload.get("reserve", {})
+        if not isinstance(reserve_spec, dict):
+            return _err(request, "bad-request", "reserve must be {node: pages}")
+        holds: dict[int, int] = {}
+        try:
+            for node_key in sorted(reserve_spec, key=str):
+                node = int(node_key)
+                pages = reserve_spec[node_key]
+                if not isinstance(pages, int) or pages < 0:
+                    raise ServeError("reserve pages must be >= 0")
+                taken = self.kernel.cotenant_reserve(node, pages)
+                if taken:
+                    holds[node] = taken
+        except (ReproError, ValueError) as err:
+            # A rejected open leaves zero state: hand back partial holds.
+            for node, taken in holds.items():
+                self.kernel.cotenant_release(node, taken)
+            return _err(request, "bad-request", f"reserve failed: {err}")
+        self.ledger.open(tenant, quota_pages)
+        self.sessions[tenant] = TenantSession(
+            tenant=tenant, quota_pages=quota_pages, reserve_holds=holds
+        )
+        if OBS.enabled:
+            OBS.metrics.counter("serve.sessions_opened").inc()
+        return _ok(
+            request,
+            {
+                "quota_pages": quota_pages,
+                "reserved": {str(n): p for n, p in sorted(holds.items())},
+            },
+        )
+
+    def _close(self, request: Request) -> Response:
+        session = self.sessions[request.tenant]
+        freed = 0
+        for handle in list(session.buffers):
+            buffer = session.buffers.pop(handle)
+            self.rallocator.free(buffer)
+            self.ledger.release(request.tenant, self.pages_for(buffer.size))
+            freed += 1
+        released: dict[str, int] = {}
+        for node, pages in sorted(session.reserve_holds.items()):
+            released[str(node)] = self.kernel.cotenant_release(node, pages)
+        self.ledger.close(request.tenant)
+        del self.sessions[request.tenant]
+        if OBS.enabled:
+            OBS.metrics.counter("serve.sessions_closed").inc()
+        return _ok(request, {"freed": freed, "released": released})
+
+    def _parse_alloc_payload(
+        self, request: Request
+    ) -> tuple[str, int, str, int, bool, bool, str] | str:
+        """The validated alloc spec, or an error message string."""
+        payload = request.payload
+        handle = payload.get("handle")
+        if not isinstance(handle, str) or not handle:
+            return "alloc needs a non-empty string 'handle'"
+        size = payload.get("size")
+        if not isinstance(size, int) or isinstance(size, bool) or size <= 0:
+            return "alloc needs a positive integer 'size'"
+        attribute = payload.get("attribute")
+        if not isinstance(attribute, str) or not attribute:
+            return "alloc needs a string 'attribute'"
+        initiator = payload.get("initiator")
+        if not isinstance(initiator, int) or isinstance(initiator, bool):
+            return "alloc needs an integer 'initiator' PU index"
+        allow_partial = payload.get("allow_partial", False)
+        allow_fallback = payload.get("allow_fallback", True)
+        scope = payload.get("scope", "local")
+        if not isinstance(allow_partial, bool) or not isinstance(allow_fallback, bool):
+            return "'allow_partial'/'allow_fallback' must be booleans"
+        if not isinstance(scope, str):
+            return "'scope' must be a string"
+        return handle, size, attribute, initiator, allow_partial, allow_fallback, scope
+
+    def _alloc_result(
+        self, handle: str, buffer: Buffer, reasons: tuple[str, ...]
+    ) -> dict[str, Any]:
+        return {
+            "handle": handle,
+            "nodes": sorted(buffer.nodes),
+            "pages": {
+                str(n): p
+                for n, p in sorted(buffer.allocation.pages_by_node.items())
+            },
+            "used_attribute": buffer.used_attribute,
+            "fallback_rank": buffer.fallback_rank,
+            "degraded": bool(reasons),
+            "reasons": list(reasons),
+        }
+
+    def _alloc(self, request: Request) -> Response:
+        spec = self._parse_alloc_payload(request)
+        if isinstance(spec, str):
+            return _err(request, "bad-request", spec)
+        handle, size, attribute, initiator, allow_partial, allow_fallback, scope = spec
+        tenant = request.tenant
+        session = self.sessions[tenant]
+        if handle in session.buffers:
+            return _err(
+                request,
+                "handle-exists",
+                f"tenant {tenant!r} already holds handle {handle!r}",
+            )
+        pages = self.pages_for(size)
+        if self.ledger.would_exceed(tenant, pages):
+            self.quota_rejections += 1
+            remaining = self.ledger.remaining(tenant)
+            self.log.record(
+                EventKind.QUOTA_EXCEEDED,
+                f"{tenant}/{handle}",
+                f"{pages} pages requested, {remaining} remaining of quota",
+            )
+            if OBS.enabled:
+                OBS.metrics.counter("serve.rejections", kind="quota").inc()
+            return _err(
+                request,
+                "quota-exceeded",
+                f"{pages} pages requested, {remaining} remaining",
+            )
+        mark = len(self.log)
+        try:
+            buffer = self.rallocator.mem_alloc(
+                size,
+                attribute,
+                initiator,
+                allow_partial=allow_partial,
+                allow_fallback=allow_fallback,
+                scope=scope,
+                subject=f"{tenant}/{handle}",
+            )
+        except ReproError as err:
+            return _err(
+                request, "allocation-failed", f"{type(err).__name__}: {err}"
+            )
+        self.ledger.charge(tenant, pages)
+        session.buffers[handle] = buffer
+        session.allocs += 1
+        reasons = tuple(
+            reason
+            for event in self.log.events[mark:]
+            if event.kind is EventKind.PLACEMENT_DEGRADED
+            for reason in event.detail.split("; ")
+        )
+        return _ok(request, self._alloc_result(handle, buffer, reasons))
+
+    def _alloc_many(self, request: Request) -> Response:
+        specs = request.payload.get("requests")
+        if not isinstance(specs, list) or not specs:
+            return _err(
+                request, "bad-request", "alloc_many needs a non-empty 'requests' list"
+            )
+        children = [
+            Request(
+                verb="alloc",
+                tenant=request.tenant,
+                id=request.id,
+                seq=request.seq,
+                payload=spec if isinstance(spec, dict) else {},
+            )
+            for spec in specs
+        ]
+        results = self._run_staged(children)
+        return _ok(
+            request,
+            {
+                "results": [
+                    {
+                        "ok": r.ok,
+                        "error": r.error,
+                        "message": r.message,
+                        "result": r.result,
+                    }
+                    for r in results
+                ]
+            },
+        )
+
+    def _free(self, request: Request) -> Response:
+        handle = request.payload.get("handle")
+        session = self.sessions[request.tenant]
+        if not isinstance(handle, str) or handle not in session.buffers:
+            return _err(
+                request,
+                "unknown-handle",
+                f"tenant {request.tenant!r} holds no handle {handle!r}",
+            )
+        buffer = session.buffers.pop(handle)
+        self.rallocator.free(buffer)
+        self.ledger.release(request.tenant, self.pages_for(buffer.size))
+        session.frees += 1
+        return _ok(request, {"handle": handle})
+
+    def _query(self, request: Request) -> Response:
+        payload = request.payload
+        attribute = payload.get("attribute")
+        initiator = payload.get("initiator")
+        scope = payload.get("scope", "local")
+        if not isinstance(attribute, str) or not isinstance(initiator, int):
+            return _err(
+                request, "bad-request", "query needs 'attribute' and 'initiator'"
+            )
+
+        def read() -> tuple[str, list[dict[str, Any]]]:
+            used, ranked = self.allocator.rank_for(
+                attribute, initiator, scope=scope
+            )
+            targets = [
+                {
+                    "node": tv.target.os_index,
+                    "value": tv.value,
+                    "free_bytes": self.kernel.free_bytes(tv.target.os_index),
+                }
+                for tv in ranked
+            ]
+            return used, targets
+
+        try:
+            (used, targets), generation = consistent_read(
+                read, lambda: self.memattrs.generation
+            )
+        except ReproError as err:
+            return _err(request, "query-failed", f"{type(err).__name__}: {err}")
+        return _ok(
+            request,
+            {
+                "used_attribute": used,
+                "generation": generation,
+                "targets": targets,
+            },
+        )
+
+    def _migrate(self, request: Request) -> Response:
+        handle = request.payload.get("handle")
+        attribute = request.payload.get("attribute")
+        session = self.sessions[request.tenant]
+        if not isinstance(handle, str) or handle not in session.buffers:
+            return _err(
+                request,
+                "unknown-handle",
+                f"tenant {request.tenant!r} holds no handle {handle!r}",
+            )
+        if not isinstance(attribute, str) or not attribute:
+            return _err(request, "bad-request", "migrate needs a string 'attribute'")
+        buffer = session.buffers[handle]
+        mark = len(self.log)
+        try:
+            report = self.rallocator.migrate(
+                buffer, attribute, subject=f"{request.tenant}/{handle}"
+            )
+        except ReproError as err:
+            # Kernel messages cite the auto-minted buffer name, which is
+            # process-global and thus run-dependent; report the stable
+            # tenant/handle subject instead so replays stay comparable.
+            detail = str(err).replace(buffer.name, f"{request.tenant}/{handle}")
+            return _err(
+                request, "migration-failed", f"{type(err).__name__}: {detail}"
+            )
+        retries = sum(
+            1
+            for event in self.log.events[mark:]
+            if event.kind is EventKind.MIGRATION_RETRY
+        )
+        return _ok(
+            request,
+            {
+                "handle": handle,
+                "moved_pages": report.moved_pages,
+                "to_node": report.to_node,
+                "nodes": sorted(buffer.nodes),
+                "retries": retries,
+            },
+        )
+
+    def _stats(self, request: Request) -> Response:
+        event_counts = {
+            kind.value: count for kind, count in sorted(
+                self.log.counts().items(), key=lambda kv: kv[0].value
+            )
+        }
+        result: dict[str, Any] = {
+            "sessions": {
+                tenant: self.sessions[tenant].describe()
+                for tenant in sorted(self.sessions)
+            },
+            "ledger": self.ledger.snapshot(),
+            "verbs": dict(sorted(self.verb_counts.items())),
+            "rejections": {
+                "admission": self.admission_rejections,
+                "quota": self.quota_rejections,
+            },
+            "events": event_counts,
+            "kernel": {
+                "free_pages": [
+                    int(x) for x in self.kernel.free_pages_array()
+                ],
+                "cotenant_pages": {
+                    str(n): self.kernel.cotenant_pages(n)
+                    for n in self.kernel.node_ids()
+                },
+                "live_allocations": len(self.kernel.live_allocations()),
+            },
+            # Run-dependent diagnostics: cache hit counts vary with batch
+            # partitioning, so differential comparisons strip this key.
+            "diagnostics": {
+                "cache": self.allocator.cache_stats(),
+                "generation": self.memattrs.generation,
+            },
+        }
+        return _ok(request, result)
+
+
+class ReproServeServer:
+    """The asyncio transport around a :class:`ServeCore`.
+
+    One commit task owns every kernel mutation (the single-writer lock
+    discipline); ``submit`` is the only way in.  ``sequenced=True``
+    requires a dense global ``seq`` on every request and commits in that
+    order regardless of arrival; admission control is then disabled —
+    holding back seq *n* while rejecting seq *n+1* would deadlock the
+    schedule (documented in ``docs/SERVE.md``).
+    """
+
+    def __init__(
+        self,
+        allocator: HeterogeneousAllocator | None = None,
+        *,
+        platform: str = "xeon-cascadelake-1lm",
+        sequenced: bool = False,
+        max_pending: int = 1024,
+        default_quota_bytes: int | None = None,
+        log: ResilienceLog | None = None,
+    ) -> None:
+        if allocator is None:
+            from repro import quick_setup
+
+            allocator = quick_setup(platform).allocator
+        if max_pending <= 0:
+            raise ServeError("max_pending must be positive")
+        self.core = ServeCore(
+            allocator, log=log, default_quota_bytes=default_quota_bytes
+        )
+        self.sequenced = sequenced
+        self.max_pending = max_pending
+        self._queue: asyncio.Queue[object] | None = None
+        self._commit_task: asyncio.Task[None] | None = None
+        self._sequencer: Sequencer[tuple[Request, asyncio.Future[Response]]] | None = (
+            Sequencer() if sequenced else None
+        )
+        self._pending = 0
+        self._running = False
+        # Transport-level batching stats (run-dependent; not part of the
+        # deterministic stats verb).
+        self.commits = 0
+        self.committed_requests = 0
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> ReproServeServer:
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        if self._running:
+            raise ServeError("server already running")
+        self._queue = asyncio.Queue()
+        self._running = True
+        self._commit_task = asyncio.create_task(self._commit_loop())
+
+    async def stop(self) -> None:
+        if not self._running or self._queue is None:
+            return
+        self._running = False
+        self._queue.put_nowait(None)
+        if self._commit_task is not None:
+            await self._commit_task
+            self._commit_task = None
+        self._queue = None
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def transport_stats(self) -> dict[str, float]:
+        """Batching effectiveness (mean requests per commit wake-up)."""
+        return {
+            "commits": self.commits,
+            "committed_requests": self.committed_requests,
+            "mean_commit_size": (
+                self.committed_requests / self.commits if self.commits else 0.0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: Request) -> Response:
+        """Queue one request and await its response.
+
+        Unsequenced servers reject (typed, state untouched) when the
+        pending window is full — backpressure the client can see.
+        """
+        if not self._running or self._queue is None:
+            raise ServeError("server is not running")
+        if self.sequenced and request.seq is None:
+            return _err(
+                request, "bad-request", "sequenced server requires a 'seq'"
+            )
+        if not self.sequenced and self._pending >= self.max_pending:
+            return self.core.reject_admission(
+                request, f"queue full ({self._pending} pending)"
+            )
+        future: asyncio.Future[Response] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending += 1
+        self._queue.put_nowait(("req", request, future))
+        return await future
+
+    async def run_admin(self, fn: Callable[[], Any]) -> Any:
+        """Run ``fn()`` inside the commit task, serialized with commits.
+
+        The chaos harness injects fault-clock ticks this way so faults
+        interleave with allocations at commit granularity, exactly like
+        the serial reference.
+        """
+        if not self._running or self._queue is None:
+            raise ServeError("server is not running")
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(("admin", fn, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _commit_loop(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        run: list[tuple[Request, asyncio.Future[Response]]] = []
+        stopping = False
+
+        def flush_run() -> None:
+            if not run:
+                return
+            requests = [request for request, _ in run]
+            try:
+                responses = self.core.apply_run(requests)
+            except Exception as err:  # pragma: no cover - core bug guard
+                for _, future in run:
+                    if not future.done():
+                        future.set_exception(
+                            ServeError(f"commit failed: {err}")
+                        )
+                self._pending -= len(run)
+                run.clear()
+                return
+            self.commits += 1
+            self.committed_requests += len(run)
+            for (_, future), response in zip(run, responses):
+                self._pending -= 1
+                if not future.done():
+                    future.set_result(response)
+            run.clear()
+
+        while True:
+            item = await queue.get()
+            drained: list[object] = [item]
+            while True:
+                try:
+                    drained.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            for entry in drained:
+                if entry is None:
+                    stopping = True
+                    continue
+                tag = entry[0]  # type: ignore[index]
+                if tag == "admin":
+                    flush_run()
+                    _, fn, future = entry  # type: ignore[misc]
+                    try:
+                        result = fn()
+                    except Exception as err:
+                        if not future.done():
+                            future.set_exception(err)
+                    else:
+                        if not future.done():
+                            future.set_result(result)
+                    continue
+                _, request, future = entry  # type: ignore[misc]
+                if self._sequencer is not None:
+                    assert request.seq is not None
+                    run.extend(self._sequencer.push(request.seq, (request, future)))
+                else:
+                    run.append((request, future))
+            flush_run()
+            if stopping:
+                break
+        # Anything still held back (a sequenced schedule cut short) gets
+        # a typed shutdown response, never a hang.
+        if self._sequencer is not None:
+            for request, future in self._sequencer.drain():
+                self._pending -= 1
+                if not future.done():
+                    future.set_result(
+                        _err(request, "shutting-down", "server stopped")
+                    )
+
+
+class _VerbMethods:
+    """Convenience verb wrappers shared by both client flavors."""
+
+    async def request(
+        self,
+        verb: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        seq: int | None = None,
+    ) -> Response:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    async def open(
+        self,
+        *,
+        quota_bytes: object = _UNSET,
+        reserve: dict[str, int] | None = None,
+        seq: int | None = None,
+    ) -> Response:
+        payload: dict[str, Any] = {}
+        if quota_bytes is not _UNSET:
+            payload["quota_bytes"] = quota_bytes
+        if reserve:
+            payload["reserve"] = reserve
+        return await self.request("open", payload, seq=seq)
+
+    async def alloc(
+        self,
+        handle: str,
+        size: int,
+        attribute: str,
+        initiator: int,
+        *,
+        allow_partial: bool = False,
+        allow_fallback: bool = True,
+        scope: str = "local",
+        seq: int | None = None,
+    ) -> Response:
+        return await self.request(
+            "alloc",
+            {
+                "handle": handle,
+                "size": size,
+                "attribute": attribute,
+                "initiator": initiator,
+                "allow_partial": allow_partial,
+                "allow_fallback": allow_fallback,
+                "scope": scope,
+            },
+            seq=seq,
+        )
+
+    async def alloc_many(
+        self, specs: list[dict[str, Any]], *, seq: int | None = None
+    ) -> Response:
+        return await self.request("alloc_many", {"requests": specs}, seq=seq)
+
+    async def free(self, handle: str, *, seq: int | None = None) -> Response:
+        return await self.request("free", {"handle": handle}, seq=seq)
+
+    async def query(
+        self,
+        attribute: str,
+        initiator: int,
+        *,
+        scope: str = "local",
+        seq: int | None = None,
+    ) -> Response:
+        return await self.request(
+            "query",
+            {"attribute": attribute, "initiator": initiator, "scope": scope},
+            seq=seq,
+        )
+
+    async def migrate(
+        self, handle: str, attribute: str, *, seq: int | None = None
+    ) -> Response:
+        return await self.request(
+            "migrate", {"handle": handle, "attribute": attribute}, seq=seq
+        )
+
+    async def stats(self, *, seq: int | None = None) -> Response:
+        return await self.request("stats", seq=seq)
+
+    async def close(self, *, seq: int | None = None) -> Response:
+        return await self.request("close", seq=seq)
+
+
+class ServeClient(_VerbMethods):
+    """In-process client: zero serialization, same admission/commit path.
+
+    The test and bench harnesses use this to drive thousands of
+    simulated tenants without socket overhead dominating the numbers.
+    """
+
+    def __init__(self, server: ReproServeServer, tenant: str) -> None:
+        self.server = server
+        self.tenant = tenant
+        self._ids = itertools.count(1)
+
+    async def request(
+        self,
+        verb: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        seq: int | None = None,
+    ) -> Response:
+        return await self.server.submit(
+            Request(
+                verb=verb,
+                tenant=self.tenant,
+                id=next(self._ids),
+                seq=seq,
+                payload=payload or {},
+            )
+        )
+
+
+class StreamServer:
+    """NDJSON-over-asyncio-streams front end for out-of-process clients.
+
+    Requests on one connection are answered as they complete (clients
+    match by ``id``), so a slow migration does not head-of-line-block a
+    quick query from the same tenant.
+    """
+
+    def __init__(
+        self,
+        server: ReproServeServer,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._asyncio_server: asyncio.Server | None = None
+
+    async def start(self) -> tuple[str, int]:
+        self._asyncio_server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sock = self._asyncio_server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task[None]] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                except ProtocolError as err:
+                    response = Response(
+                        id=-1,
+                        verb="?",
+                        tenant="?",
+                        ok=False,
+                        error="bad-request",
+                        message=str(err),
+                    )
+                    async with write_lock:
+                        writer.write(encode_response(response))
+                        await writer.drain()
+                    continue
+                task = asyncio.create_task(
+                    self._serve_one(request, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _serve_one(
+        self,
+        request: Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self.server.submit(request)
+        async with write_lock:
+            writer.write(encode_response(response))
+            await writer.drain()
+
+
+class StreamServeClient(_VerbMethods):
+    """Socket client speaking the NDJSON protocol, matching by ``id``."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        tenant: str,
+    ) -> None:
+        self.tenant = tenant
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._waiting: dict[int, asyncio.Future[Response]] = {}
+        self._pump_task = asyncio.create_task(self._pump())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, tenant: str
+    ) -> StreamServeClient:
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, tenant)
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = decode_response(line)
+                future = self._waiting.pop(response.id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+            pass
+        for future in self._waiting.values():
+            if not future.done():
+                future.set_exception(ServeError("connection closed"))
+        self._waiting.clear()
+
+    async def request(
+        self,
+        verb: str,
+        payload: dict[str, Any] | None = None,
+        *,
+        seq: int | None = None,
+    ) -> Response:
+        request_id = next(self._ids)
+        request = Request(
+            verb=verb,
+            tenant=self.tenant,
+            id=request_id,
+            seq=seq,
+            payload=payload or {},
+        )
+        future: asyncio.Future[Response] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._waiting[request_id] = future
+        self._writer.write(encode_request(request))
+        await self._writer.drain()
+        return await future
+
+    async def aclose(self) -> None:
+        self._pump_task.cancel()
+        try:
+            await self._pump_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass

@@ -1,0 +1,70 @@
+"""``repro-serve`` CLI: the selftest gate and its report formats."""
+
+import json
+
+import pytest
+
+from repro.serve.cli import build_serve_parser, serve_main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.platform == "xeon-cascadelake-1lm"
+        assert not args.selftest
+        assert args.max_pending == 1024
+        assert args.quota_bytes is None
+
+    def test_selftest_knobs(self):
+        args = build_serve_parser().parse_args(
+            ["--selftest", "--seed", "9", "--tenants", "3", "--requests", "50"]
+        )
+        assert args.selftest
+        assert (args.seed, args.tenants, args.requests) == (9, 3, 50)
+
+
+class TestSelftestGate:
+    def test_selftest_passes_and_prints_checks(self, capsys):
+        rc = serve_main(["--selftest", "--requests", "40"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bit-identical" in out
+        assert "interleave1_state" in out
+        assert "FAIL" not in out
+
+    def test_selftest_json_report(self, capsys):
+        rc = serve_main(["--selftest", "--requests", "40", "--json", "--seed", "5"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["seed"] == 5
+        assert all(report["checks"].values())
+        assert report["mean_commit_size"] > 0
+
+    def test_divergence_exits_nonzero(self, capsys, monkeypatch):
+        """The gate must actually gate: force a mismatch and expect 1."""
+        import repro.serve.cli as cli_mod
+
+        def broken_selftest(**kwargs):
+            return {
+                "ok": False,
+                "checks": {"interleave1_state": False},
+                "requests": 1,
+                "tenants": 1,
+                "seed": 0,
+                "mean_commit_size": 1.0,
+            }
+
+        monkeypatch.setattr("repro.serve.replay.selftest", broken_selftest)
+        rc = cli_mod.serve_main(["--selftest"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err
+
+
+@pytest.mark.parametrize("flag", ["--help"])
+def test_help_mentions_the_contract(flag, capsys):
+    with pytest.raises(SystemExit) as exc:
+        serve_main([flag])
+    assert exc.value.code == 0
+    assert "selftest" in capsys.readouterr().out

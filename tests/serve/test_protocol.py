@@ -1,0 +1,113 @@
+"""Wire-format invariants: NDJSON framing, typed decode errors."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve import (
+    ERROR_CODES,
+    Request,
+    Response,
+    VERBS,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+
+
+class TestRequestRoundtrip:
+    def test_full_roundtrip(self):
+        req = Request(
+            verb="alloc",
+            tenant="t0",
+            id=7,
+            seq=42,
+            payload={"handle": "h1", "size": 4096},
+        )
+        assert decode_request(encode_request(req)) == req
+
+    def test_defaults_roundtrip(self):
+        req = Request(verb="stats", tenant="x")
+        back = decode_request(encode_request(req))
+        assert back.id == 0
+        assert back.seq is None
+        assert back.payload == {}
+
+    def test_one_line_per_request(self):
+        line = encode_request(Request(verb="free", tenant="t", payload={"a": 1}))
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_encoding_is_canonical(self):
+        """Sorted keys, no whitespace — byte-stable across runs."""
+        req = Request(verb="open", tenant="t", payload={"b": 2, "a": 1})
+        assert encode_request(req) == encode_request(req)
+        body = json.loads(encode_request(req))
+        assert body["payload"] == {"a": 1, "b": 2}
+
+    def test_accepts_str_input(self):
+        req = Request(verb="query", tenant="t9")
+        assert decode_request(encode_request(req).decode()) == req
+
+
+class TestResponseRoundtrip:
+    def test_ok_roundtrip(self):
+        resp = Response(
+            id=3, verb="alloc", tenant="t", ok=True, seq=5, result={"handle": "h"}
+        )
+        assert decode_response(encode_response(resp)) == resp
+
+    def test_error_roundtrip(self):
+        resp = Response(
+            id=4,
+            verb="alloc",
+            tenant="t",
+            ok=False,
+            error="quota-exceeded",
+            message="10 pages requested, 2 remaining",
+        )
+        back = decode_response(encode_response(resp))
+        assert back == resp
+        assert back.error in ERROR_CODES
+
+
+class TestDecodeErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json\n",
+            b"[1,2,3]\n",
+            b'"just a string"\n',
+            b'{"tenant":"t"}\n',
+            b'{"verb":"alloc"}\n',
+            b'{"verb":"","tenant":"t"}\n',
+            b'{"verb":"alloc","tenant":""}\n',
+            b'{"verb":"alloc","tenant":"t","id":"x"}\n',
+            b'{"verb":"alloc","tenant":"t","seq":"x"}\n',
+            b'{"verb":"alloc","tenant":"t","payload":[1]}\n',
+        ],
+    )
+    def test_structural_problems_raise_protocol_error(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_unknown_verb_is_semantic_not_structural(self):
+        """The server answers unknown verbs with a typed response; the
+        codec must not drop the connection for them."""
+        req = decode_request(b'{"verb":"frobnicate","tenant":"t"}\n')
+        assert req.verb == "frobnicate"
+        assert req.verb not in VERBS
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"nope\n", b"{}\n", b'{"id":1,"verb":"x","tenant":"t"}\n'],
+    )
+    def test_bad_response_lines(self, line):
+        with pytest.raises(ProtocolError):
+            decode_response(line)
+
+    def test_protocol_error_is_typed(self):
+        assert issubclass(ProtocolError, ServeError)
+        assert issubclass(ServeError, ReproError)

@@ -1,0 +1,414 @@
+"""Integration tests of the daemon: sessions, quotas, admission, streams.
+
+Each test builds a fresh kernel over a shared topology/attribute stack
+(attributes are immutable here, so sharing is safe and fast) and drives
+the server through the in-process client — the same submit/commit path
+the socket front end uses.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import quick_setup
+from repro.alloc import HeterogeneousAllocator
+from repro.errors import ServeError
+from repro.kernel import KernelMemoryManager
+from repro.resilience import EventKind
+from repro.serve import (
+    ReproServeServer,
+    Request,
+    ServeClient,
+    StreamServeClient,
+    StreamServer,
+)
+from repro.units import MiB
+
+PLATFORM = "xeon-cascadelake-1lm"
+
+
+@pytest.fixture(scope="module")
+def base():
+    return quick_setup(PLATFORM)
+
+
+@pytest.fixture
+def allocator(base):
+    kernel = KernelMemoryManager(base.machine)
+    return HeterogeneousAllocator(base.memattrs, kernel)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSessionLifecycle:
+    def test_open_alloc_free_close(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "acme")
+                opened = await client.open(quota_bytes=64 * MiB)
+                assert opened.ok
+                assert opened.result["quota_pages"] == 64 * MiB // 4096
+
+                placed = await client.alloc("h0", 8 * MiB, "Bandwidth", 0)
+                assert placed.ok
+                assert placed.result["handle"] == "h0"
+                assert sum(placed.result["pages"].values()) == 8 * MiB // 4096
+
+                freed = await client.free("h0")
+                assert freed.ok
+
+                closed = await client.close()
+                assert closed.ok
+                assert closed.result["freed"] == 0
+            assert not server.core.sessions
+            assert not server.core.ledger.tracks("acme")
+
+        run(scenario())
+
+    def test_close_frees_leftover_buffers(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                free0 = [int(x) for x in allocator.kernel.free_pages_array()]
+                client = ServeClient(server, "t")
+                await client.open()
+                for i in range(3):
+                    assert (await client.alloc(f"h{i}", 4 * MiB, "Capacity", 0)).ok
+                closed = await client.close()
+                assert closed.result["freed"] == 3
+                assert [
+                    int(x) for x in allocator.kernel.free_pages_array()
+                ] == free0
+
+        run(scenario())
+
+    def test_session_errors_are_typed(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                assert (await client.alloc("h", MiB, "Capacity", 0)).error == (
+                    "no-session"
+                )
+                await client.open()
+                assert (await client.open()).error == "session-exists"
+                assert (await client.free("ghost")).error == "unknown-handle"
+                assert (await client.migrate("ghost", "Latency")).error == (
+                    "unknown-handle"
+                )
+                await client.alloc("h", MiB, "Capacity", 0)
+                dup = await client.alloc("h", MiB, "Capacity", 0)
+                assert dup.error == "handle-exists"
+                unknown = await client.request("frobnicate")
+                assert unknown.error == "unknown-verb"
+                bad = await client.request("alloc", {"handle": "x"})
+                assert bad.error == "bad-request"
+
+        run(scenario())
+
+
+class TestQuotas:
+    def test_quota_enforced_with_typed_event_and_untouched_state(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                await client.open(quota_bytes=8 * MiB)
+                assert (await client.alloc("ok", 4 * MiB, "Capacity", 0)).ok
+
+                before_pages = [int(x) for x in allocator.kernel.free_pages_array()]
+                before_ledger = server.core.ledger.snapshot()
+                denied = await client.alloc("big", 6 * MiB, "Capacity", 0)
+                assert not denied.ok
+                assert denied.error == "quota-exceeded"
+                assert [
+                    int(x) for x in allocator.kernel.free_pages_array()
+                ] == before_pages
+                assert server.core.ledger.snapshot() == before_ledger
+                events = server.core.log.of_kind(EventKind.QUOTA_EXCEEDED)
+                assert len(events) == 1
+                assert events[0].subject == "t/big"
+
+                # Freeing restores headroom.
+                await client.free("ok")
+                assert (await client.alloc("big", 6 * MiB, "Capacity", 0)).ok
+
+        run(scenario())
+
+    def test_quota_spans_batched_allocs(self, allocator):
+        """Tentative batch charges enforce the quota exactly like the
+        sequential path: 3 pending 4 MiB allocs against a 10 MiB quota
+        admit two and reject the third."""
+
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                await client.open(quota_bytes=10 * MiB)
+                many = await client.alloc_many(
+                    [
+                        {
+                            "handle": f"h{i}",
+                            "size": 4 * MiB,
+                            "attribute": "Capacity",
+                            "initiator": 0,
+                        }
+                        for i in range(3)
+                    ]
+                )
+                assert many.ok
+                outcomes = many.result["results"]
+                assert [r["ok"] for r in outcomes] == [True, True, False]
+                assert outcomes[2]["error"] == "quota-exceeded"
+                assert server.core.ledger.usage("t") == 8 * MiB // 4096
+
+        run(scenario())
+
+
+class TestReservations:
+    def test_reservation_shields_capacity_from_cotenants(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                nodes = list(allocator.kernel.node_ids())
+                hog = ServeClient(server, "hog")
+                victim = ServeClient(server, "victim")
+                # Reserve every free page on every node.
+                opened = await hog.open(
+                    reserve={str(n): 10**9 for n in nodes}
+                )
+                assert opened.ok
+                assert sum(
+                    int(v) for v in opened.result["reserved"].values()
+                ) == sum(server.core.sessions["hog"].reserve_holds.values())
+
+                await victim.open()
+                starved = await victim.alloc("h", 4 * MiB, "Capacity", 0)
+                assert not starved.ok
+                assert starved.error == "allocation-failed"
+
+                # Closing the hog hands the pages back.
+                assert (await hog.close()).ok
+                assert (await victim.alloc("h", 4 * MiB, "Capacity", 0)).ok
+
+        run(scenario())
+
+    def test_rejected_open_releases_partial_reservation(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                nodes = list(allocator.kernel.node_ids())
+                before = [int(x) for x in allocator.kernel.free_pages_array()]
+                bad = await client.open(
+                    reserve={str(nodes[0]): 64, "not-a-node": 1}
+                )
+                assert not bad.ok
+                assert bad.error == "bad-request"
+                assert [
+                    int(x) for x in allocator.kernel.free_pages_array()
+                ] == before
+                assert not server.core.ledger.tracks("t")
+
+        run(scenario())
+
+
+class TestAdmissionControl:
+    def test_overflow_rejected_typed_and_stateless(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator, max_pending=2) as server:
+                client = ServeClient(server, "t")
+                assert (await client.open()).ok
+                n = 8
+                tasks = [
+                    asyncio.ensure_future(
+                        client.alloc(f"h{i}", MiB, "Capacity", 0)
+                    )
+                    for i in range(n)
+                ]
+                responses = await asyncio.gather(*tasks)
+                accepted = [r for r in responses if r.ok]
+                rejected = [r for r in responses if not r.ok]
+                assert len(accepted) + len(rejected) == n
+                assert rejected, "flood never tripped admission control"
+                assert {r.error for r in rejected} == {"admission-rejected"}
+                events = server.core.log.of_kind(EventKind.ADMISSION_REJECTED)
+                assert len(events) == len(rejected)
+                # Only accepted allocations touched any state.
+                assert server.core.ledger.usage("t") == len(accepted) * (
+                    MiB // 4096
+                )
+                assert len(server.core.sessions["t"].buffers) == len(accepted)
+
+        run(scenario())
+
+    def test_sequenced_server_skips_admission_control(self, allocator):
+        async def scenario():
+            async with ReproServeServer(
+                allocator, sequenced=True, max_pending=1
+            ) as server:
+                client = ServeClient(server, "t")
+                assert (await client.open(seq=0)).ok
+                tasks = [
+                    asyncio.ensure_future(
+                        client.alloc(f"h{i}", MiB, "Capacity", 0, seq=1 + i)
+                    )
+                    for i in range(6)
+                ]
+                responses = await asyncio.gather(*tasks)
+                assert all(r.ok for r in responses)
+
+        run(scenario())
+
+
+class TestVerbs:
+    def test_query_is_consistent_and_non_mutating(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                await client.open()
+                before = [int(x) for x in allocator.kernel.free_pages_array()]
+                reply = await client.query("Bandwidth", 0)
+                assert reply.ok
+                assert reply.result["generation"] == server.core.memattrs.generation
+                assert reply.result["targets"], "ranking came back empty"
+                top = reply.result["targets"][0]
+                assert set(top) == {"node", "value", "free_bytes"}
+                assert [
+                    int(x) for x in allocator.kernel.free_pages_array()
+                ] == before
+
+        run(scenario())
+
+    def test_migrate_moves_pages(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                await client.open()
+                placed = await client.alloc("h", 8 * MiB, "Capacity", 0)
+                assert placed.ok
+                best_latency = (await client.query("Latency", 0)).result[
+                    "targets"
+                ][0]["node"]
+                moved = await client.migrate("h", "Latency")
+                assert moved.ok
+                assert moved.result["to_node"] == best_latency
+                assert moved.result["nodes"] == [best_latency]
+
+        run(scenario())
+
+    def test_stats_reports_sessions_ledger_and_kernel(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                client = ServeClient(server, "t")
+                await client.open(quota_bytes=64 * MiB)
+                await client.alloc("h", 4 * MiB, "Bandwidth", 0)
+                stats = await client.stats()
+                assert stats.ok
+                result = stats.result
+                assert result["sessions"]["t"]["buffers"] == 1
+                assert result["ledger"]["t"]["used_pages"] == 4 * MiB // 4096
+                assert result["verbs"]["alloc"] == 1
+                assert result["kernel"]["live_allocations"] == 1
+                assert "cache" in result["diagnostics"]
+
+        run(scenario())
+
+    def test_sequenced_server_requires_seq(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator, sequenced=True) as server:
+                client = ServeClient(server, "t")
+                reply = await client.open()  # no seq
+                assert reply.error == "bad-request"
+
+        run(scenario())
+
+    def test_shutdown_answers_held_requests(self, allocator):
+        async def scenario():
+            server = ReproServeServer(allocator, sequenced=True)
+            await server.start()
+            client = ServeClient(server, "t")
+            # seq 1 can never commit: seq 0 is never submitted.
+            held = asyncio.ensure_future(client.open(seq=1))
+            await asyncio.sleep(0)
+            await asyncio.sleep(0)
+            await server.stop()
+            reply = await held
+            assert not reply.ok
+            assert reply.error == "shutting-down"
+            with pytest.raises(ServeError):
+                await client.stats()
+
+        run(scenario())
+
+
+class TestStreamTransport:
+    def test_ndjson_roundtrip_over_tcp(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                stream = StreamServer(server)
+                host, port = await stream.start()
+                client = await StreamServeClient.connect(host, port, "remote")
+                try:
+                    assert (await client.open(quota_bytes=32 * MiB)).ok
+                    placed = await client.alloc("h0", 4 * MiB, "Bandwidth", 0)
+                    assert placed.ok
+                    assert placed.result["handle"] == "h0"
+                    stats = await client.stats()
+                    assert stats.result["sessions"]["remote"]["buffers"] == 1
+                    assert (await client.close()).ok
+                finally:
+                    await client.aclose()
+                    await stream.stop()
+
+        run(scenario())
+
+    def test_malformed_line_gets_typed_error_not_disconnect(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                stream = StreamServer(server)
+                host, port = await stream.start()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(b"this is not json\n")
+                    await writer.drain()
+                    from repro.serve import decode_response
+
+                    reply = decode_response(await reader.readline())
+                    assert not reply.ok
+                    assert reply.error == "bad-request"
+                    # The connection survives: a valid request still works.
+                    writer.write(
+                        b'{"verb":"open","tenant":"t","id":1}\n'
+                    )
+                    await writer.drain()
+                    reply = decode_response(await reader.readline())
+                    assert reply.ok
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                    await stream.stop()
+
+        run(scenario())
+
+    def test_interleaved_tenants_share_one_kernel(self, allocator):
+        async def scenario():
+            async with ReproServeServer(allocator) as server:
+                stream = StreamServer(server)
+                host, port = await stream.start()
+                a = await StreamServeClient.connect(host, port, "a")
+                b = await StreamServeClient.connect(host, port, "b")
+                try:
+                    await asyncio.gather(a.open(), b.open())
+                    replies = await asyncio.gather(
+                        *(
+                            c.alloc(f"h{i}", MiB, "Capacity", 0)
+                            for c in (a, b)
+                            for i in range(4)
+                        )
+                    )
+                    assert all(r.ok for r in replies)
+                    stats = await a.stats()
+                    assert stats.result["kernel"]["live_allocations"] == 8
+                finally:
+                    await a.aclose()
+                    await b.aclose()
+                    await stream.stop()
+
+        run(scenario())
