@@ -23,6 +23,12 @@ scalar on the same host, machine-independent like the obs factor):
   ``contention_step.scenario_sweep.speedup`` in
   ``BENCH_multitenant.json``.
 
+The online-guidance baseline gates on another modeled-time factor:
+
+* ``win_vs_static`` per workload in ``BENCH_guidance.json`` — the
+  end-to-end win of sampled guidance over static hints at the headline
+  sampling period (shape-skipped for ``REPRO_BENCH_QUICK`` runs).
+
 Search timings are reported for context but do not gate here: their
 correctness half (optimum identity) gates inside the bench itself.
 
@@ -49,6 +55,7 @@ PRICING_JSON = "BENCH_pricing_batch.json"
 AUTOTIER_JSON = "BENCH_autotier.json"
 MULTITENANT_JSON = "BENCH_multitenant.json"
 SERVE_JSON = "BENCH_serve.json"
+GUIDANCE_JSON = "BENCH_guidance.json"
 
 
 def load_fresh(name: str) -> dict | None:
@@ -265,6 +272,45 @@ def check_serve(fresh: dict, base: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_guidance(fresh: dict, base: dict, tolerance: float) -> list[str]:
+    """Gate the online-guidance win over static hints.
+
+    ``win_vs_static`` (static seconds / online seconds at the headline
+    period) is a modeled-time factor, so it is machine-independent and
+    comparable across hosts.  Shape-skips when interval count, seed
+    count or quick flag differ — a ``REPRO_BENCH_QUICK`` run prices a
+    shorter schedule whose margin is not comparable to the full-shape
+    baseline.
+    """
+    failures: list[str] = []
+    base_shape = base.get("shape", {})
+    fresh_shape = fresh.get("shape", {})
+    shape = ("intervals", "seeds", "quick")
+    if any(fresh_shape.get(k) != base_shape.get(k) for k in shape):
+        print(
+            f"SKIP guidance: run shape differs "
+            f"({ {k: fresh_shape.get(k) for k in shape} } vs baseline "
+            f"{ {k: base_shape.get(k) for k in shape} })"
+        )
+        return failures
+    for workload in ("rotating_triad", "phased_graph500"):
+        base_r = base.get(workload)
+        fresh_r = fresh.get(workload)
+        if base_r is None:
+            continue
+        if fresh_r is None:
+            failures.append(f"guidance[{workload}]: missing from fresh run")
+            continue
+        _check_speedup(
+            f"guidance[{workload}].win_vs_static",
+            fresh_r["win_vs_static"],
+            base_r["win_vs_static"],
+            tolerance,
+            failures,
+        )
+    return failures
+
+
 def report_search(fresh: dict, base: dict) -> None:
     for workload, fresh_r in fresh.items():
         base_r = base.get(workload, {})
@@ -295,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
         (AUTOTIER_JSON, check_autotier),
         (MULTITENANT_JSON, check_multitenant),
         (SERVE_JSON, check_serve),
+        (GUIDANCE_JSON, check_guidance),
     )
     for name, check in gates:
         fresh = load_fresh(name)

@@ -9,9 +9,18 @@
   used by examples and sensitivity tests.
 * :mod:`repro.apps.spmv_app` — sparse matrix-vector multiply, the
   mixed-sensitivity kernel exercising per-buffer criteria.
+* :mod:`repro.apps.phased` — phase-changing schedules (rotating Triad,
+  two-phase Graph500) where static hints go stale and the online
+  guidance loop earns its keep.
 """
 
 from . import graph500
+from .phased import (
+    PhasedWorkload,
+    WorkloadInterval,
+    phased_graph500,
+    rotating_triad,
+)
 from .stream_app import StreamApp, StreamAppResult, triad_accesses, triad_kernel
 from .pointer_chase_app import (
     PointerChaseApp,
@@ -30,6 +39,10 @@ from .spmv_app import (
 
 __all__ = [
     "graph500",
+    "PhasedWorkload",
+    "WorkloadInterval",
+    "phased_graph500",
+    "rotating_triad",
     "StreamApp",
     "StreamAppResult",
     "triad_accesses",

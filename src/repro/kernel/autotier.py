@@ -274,7 +274,41 @@ class AutoTierDaemon:
         return veto_demote, veto_promote
 
     def hotness(self, name: str) -> float:
-        return self._tracked[name].hotness
+        try:
+            return self._tracked[name].hotness
+        except KeyError:
+            raise ReproError(f"unknown buffer {name!r}") from None
+
+    def tracked_allocations(self) -> dict[str, PageAllocation]:
+        """The live allocation record per tracked buffer (read-only view)."""
+        return {name: t.allocation for name, t in self._tracked.items()}
+
+    def projected_hotness(self) -> dict[str, float]:
+        """What each buffer's hotness *will be* after the next interval close.
+
+        Applies the decay formula to the pending (un-stepped) access
+        volumes without mutating any state — drivers like
+        :class:`~repro.profiler.guidance.GuidanceLoop` use it to decide
+        whether the coming :meth:`step` would migrate anything at all.
+        """
+        cfg = self.config
+        return {
+            name: cfg.decay * t.hotness
+            + (1 - cfg.decay)
+            * (t.bytes_this_interval / max(t.allocation.size_bytes, 1))
+            for name, t in self._tracked.items()
+        }
+
+    def close_interval(self) -> None:
+        """Fold the pending interval into hotness *without* migrating.
+
+        The re-placement half of :meth:`step` is skipped entirely; decay
+        and the pending-byte fold are identical to what a step would do.
+        Drivers call this on intervals where the hotness ranking already
+        matches tier residency, so converged workloads pay no candidate
+        enumeration or pricing.
+        """
+        self._decay_interval()
 
     def step(self) -> StepReport:
         """Close one interval: update hotness, demote cold, promote hot."""
@@ -310,13 +344,17 @@ class AutoTierDaemon:
             )
             return report
 
-    def _step_impl(self) -> StepReport:
+    def _decay_interval(self) -> None:
         cfg = self.config
-        report = StepReport()
         for t in self._tracked.values():
             density = t.bytes_this_interval / max(t.allocation.size_bytes, 1)
             t.hotness = cfg.decay * t.hotness + (1 - cfg.decay) * density
             t.bytes_this_interval = 0.0
+
+    def _step_impl(self) -> StepReport:
+        cfg = self.config
+        report = StepReport()
+        self._decay_interval()
 
         budget = cfg.migration_budget_bytes
         # Tier nodes can vanish mid-run (hot-unplug, co-tenant eviction):
@@ -370,6 +408,9 @@ class AutoTierDaemon:
         # Promote the hottest candidates while room and budget remain.
         # Symmetrically, only pages *outside* the fast tier move — pulling
         # pages from one fast node into another is churn, not promotion.
+        # A promotion *spills* across fast nodes (roomiest first): a buffer
+        # larger than any single fast node's headroom still promotes fully
+        # instead of silently stalling on the one roomiest destination.
         non_fast = tuple(
             n for n in self.kernel.node_ids() if n not in cfg.fast_nodes
         )
@@ -378,33 +419,46 @@ class AutoTierDaemon:
         ):
             if not fast or t.hotness < cfg.promotion_threshold or budget <= 0:
                 break
+            if budget // self.kernel.page_size == 0:
+                # Remaining budget cannot move even one page; no later
+                # (colder) buffer can do better, mirroring the demotion
+                # loop's break.
+                break
             if self._fraction_fast(t.allocation) >= 0.999:
                 continue
             if name in veto_promote:
                 report.price_vetoed.append(name)
                 continue
-            dest = max(fast, key=self.kernel.free_bytes)
             needed = sum(
                 t.allocation.pages_by_node.get(n, 0) for n in non_fast
             )
-            pages = min(
-                needed,
-                budget // self.kernel.page_size,
-                self.kernel.free_bytes(dest) // self.kernel.page_size,
-            )
-            if pages == 0:
-                continue
-            try:
-                migration = self.kernel.migrate(
-                    t.allocation, dest, pages=pages, from_nodes=non_fast
+            for dest in sorted(
+                fast, key=lambda n: (-self.kernel.free_bytes(n), n)
+            ):
+                budget_pages = budget // self.kernel.page_size
+                if needed == 0 or budget_pages == 0:
+                    break
+                pages = min(
+                    needed,
+                    budget_pages,
+                    self.kernel.free_bytes(dest) // self.kernel.page_size,
                 )
-            except TransientMigrationError:
-                report.transient_failures += 1
-                continue
-            if migration.moved_pages:
-                report.promoted.append(name)
-                report.migrations.append(migration)
-                report.bytes_moved += migration.bytes_moved
-                budget -= migration.bytes_moved
+                if pages == 0:
+                    # This fast node is full — the next one may have room.
+                    continue
+                try:
+                    migration = self.kernel.migrate(
+                        t.allocation, dest, pages=pages, from_nodes=non_fast
+                    )
+                except TransientMigrationError:
+                    report.transient_failures += 1
+                    break
+                if migration.moved_pages:
+                    if name not in report.promoted:
+                        report.promoted.append(name)
+                    report.migrations.append(migration)
+                    report.bytes_moved += migration.bytes_moved
+                    budget -= migration.bytes_moved
+                    needed -= migration.moved_pages
 
         return report

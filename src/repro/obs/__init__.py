@@ -5,7 +5,8 @@ what the memory subsystem is doing.  This package is the runtime
 telemetry layer: a :class:`~repro.obs.tracer.Tracer` of nested wall-time
 spans and a :class:`~repro.obs.metrics.MetricsRegistry` of counters,
 gauges and histograms, threaded through the allocator, the query cache,
-the pricing engine, the placement search and the kernel layer.
+the pricing engine, the placement search, the kernel layer, and the
+online guidance loop (``pebs.*`` / ``guidance.*`` counters).
 
 **The cardinal rule: observation never perturbs the system.**  Every
 instrumentation site is behind the process-global :data:`OBS` guard::

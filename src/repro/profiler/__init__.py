@@ -13,10 +13,17 @@ derives the observables the paper reads off the Intel VTune Profiler:
 * **kernel instrumentation** (:mod:`kerneltrace`) — exact per-buffer
   element counts from running the scalar reference kernels against
   counting sequence proxies (the measured side of the
-  ``repro-analyze --verify-parity`` gate).
+  ``repro-analyze --verify-parity`` gate);
+* **online sampling** (:mod:`pebs`) — a deterministic simulated
+  PEBS-style sampler turning true access volumes into sampled, noisy,
+  biased estimates with a modeled overhead cost;
+* **online guidance** (:mod:`guidance`) — the loop that feeds those
+  estimates into :class:`~repro.kernel.autotier.AutoTierDaemon` and
+  re-places buffers when estimated hotness diverges from residency.
 """
 
 from .counters import KIND_LABELS, kind_label
+from .guidance import GuidanceLoop, GuidanceRunReport, IntervalReport
 from .kerneltrace import (
     BufferCounts,
     CountingSequence,
@@ -25,6 +32,7 @@ from .kerneltrace import (
     trace_kernel,
 )
 from .memaccess import MemoryAccessSummary, analyze_run
+from .pebs import PebsConfig, PebsSampler, SampleEstimate
 from .objects import MemoryObject, object_analysis
 from .report import (
     render_bandwidth_timeline,
@@ -42,6 +50,12 @@ __all__ = [
     "trace_kernel",
     "MemoryAccessSummary",
     "analyze_run",
+    "PebsConfig",
+    "PebsSampler",
+    "SampleEstimate",
+    "GuidanceLoop",
+    "GuidanceRunReport",
+    "IntervalReport",
     "MemoryObject",
     "object_analysis",
     "render_summary_table",

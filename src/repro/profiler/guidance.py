@@ -1,0 +1,261 @@
+"""Online guidance loop: sampled hotness driving auto-tier re-placement.
+
+This is the runtime half of ROADMAP item 2.  The
+:class:`~repro.kernel.autotier.AutoTierDaemon` is a mechanism — it
+promotes/demotes whatever its ``observe()`` feed says is hot/cold.  Until
+now every caller fed it *ground truth* access volumes, which no real
+system has.  :class:`GuidanceLoop` closes the loop the way an online
+system would:
+
+1. each workload interval is priced at the *current* placement (the app
+   runs, placements pay off or hurt);
+2. the interval's true traffic is pushed through a
+   :class:`~repro.profiler.pebs.PebsSampler` — the daemon sees only the
+   sampled, noisy, biased estimates (pass ``sampler=None`` for the
+   ground-truth-fed ablation);
+3. the **re-placement policy**: the loop projects post-interval hotness
+   (:meth:`AutoTierDaemon.projected_hotness`) and compares the ranking
+   against fast-tier residency.  Only when they *diverge* — a projected-hot
+   buffer not resident, or a projected-cold buffer squatting — does it run
+   a migrating :meth:`AutoTierDaemon.step`; otherwise it folds the interval
+   with :meth:`AutoTierDaemon.close_interval` and touches nothing.
+4. sampling overhead (modeled seconds) and migration time are charged to
+   the run alongside the priced phase time, so the
+   overhead-vs-accuracy frontier is visible end to end.
+
+Determinism: the loop adds no randomness of its own — with a seeded
+sampler, the whole run (estimates, divergence decisions, migrations,
+final page maps) is a pure function of ``(seed, period, workload)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProfilerError
+from ..kernel.autotier import AutoTierDaemon, StepReport
+from ..obs import OBS
+from ..sim.access import Placement
+from .pebs import PebsSampler, SampleEstimate
+
+__all__ = ["GuidanceLoop", "IntervalReport", "GuidanceRunReport"]
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """What one guidance interval saw, decided and paid."""
+
+    index: int
+    #: priced seconds of the workload phase at the interval-start placement
+    #: (0.0 when the loop runs without an engine).
+    phase_seconds: float
+    #: estimated seconds the interval's migrations cost.
+    migration_seconds: float
+    #: modeled sampling overhead (0.0 for a ground-truth-fed loop).
+    overhead_seconds: float
+    #: the sampler's view of the interval (None when ground-truth-fed).
+    estimate: SampleEstimate | None
+    #: relative L1 error of the estimates vs truth (0.0 for ground truth).
+    estimate_error: float
+    #: whether projected hotness diverged from tier residency.
+    diverged: bool
+    #: the daemon step report (None when the interval was stable).
+    step: StepReport | None
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase_seconds + self.migration_seconds + self.overhead_seconds
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.step.bytes_moved if self.step is not None else 0
+
+
+@dataclass
+class GuidanceRunReport:
+    """Aggregate outcome of driving a whole phased workload."""
+
+    intervals: list[IntervalReport] = field(default_factory=list)
+
+    @property
+    def phase_seconds(self) -> float:
+        return sum(r.phase_seconds for r in self.intervals)
+
+    @property
+    def migration_seconds(self) -> float:
+        return sum(r.migration_seconds for r in self.intervals)
+
+    @property
+    def overhead_seconds(self) -> float:
+        return sum(r.overhead_seconds for r in self.intervals)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.intervals)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(r.bytes_moved for r in self.intervals)
+
+    @property
+    def replacements(self) -> int:
+        """Intervals on which the loop ran a migrating step."""
+        return sum(1 for r in self.intervals if r.step is not None)
+
+    @property
+    def mean_estimate_error(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return sum(r.estimate_error for r in self.intervals) / len(self.intervals)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.intervals)} intervals: "
+            f"{self.total_seconds:.3f}s total "
+            f"(phases {self.phase_seconds:.3f}s, "
+            f"migration {self.migration_seconds:.3f}s, "
+            f"sampling {self.overhead_seconds:.3f}s), "
+            f"{self.replacements} re-placements, "
+            f"{self.bytes_moved / 1e9:.2f} GB moved, "
+            f"estimate error {self.mean_estimate_error * 100:.1f}%"
+        )
+
+
+class GuidanceLoop:
+    """Drive an :class:`AutoTierDaemon` from sampled access estimates.
+
+    Parameters
+    ----------
+    daemon:
+        The tiering daemon; every workload buffer must be ``track``-ed on
+        it before the loop runs.
+    sampler:
+        The observation channel.  ``None`` feeds ground-truth volumes
+        (the oracle ablation the benchmark compares against).
+    engine, pus:
+        Optional :class:`~repro.sim.engine.SimEngine` (plus the PU set to
+        run on) for pricing each interval at its current placement.
+        Without an engine the loop still samples, decides and migrates —
+        useful for determinism tests — but reports 0.0 phase seconds.
+    """
+
+    def __init__(
+        self,
+        daemon: AutoTierDaemon,
+        *,
+        sampler: PebsSampler | None = None,
+        engine=None,
+        pus: tuple[int, ...] | None = None,
+    ) -> None:
+        self.daemon = daemon
+        self.sampler = sampler
+        self.engine = engine
+        self.pus = pus
+
+    # ------------------------------------------------------------------
+    def placement(self) -> Placement:
+        """The current placement of every tracked buffer."""
+        return Placement.from_allocations(self.daemon.tracked_allocations())
+
+    def _diverged(self) -> bool:
+        """Does projected hotness disagree with fast-tier residency?
+
+        True when a projected-hot buffer is not (fully) fast-resident or a
+        projected-cold buffer still holds fast pages — exactly the cases
+        where a step would attempt a migration.
+        """
+        cfg = self.daemon.config
+        projected = self.daemon.projected_hotness()
+        allocations = self.daemon.tracked_allocations()
+        for name, hot in projected.items():
+            alloc = allocations[name]
+            fast_fraction = sum(
+                alloc.fraction_on(n) for n in cfg.fast_nodes
+            )
+            if hot >= cfg.promotion_threshold and fast_fraction < 0.999:
+                return True
+            if hot < cfg.demotion_threshold and fast_fraction > 1e-9:
+                return True
+        return False
+
+    def run_interval(self, interval, index: int = 0) -> IntervalReport:
+        """Run one workload interval through the observe→decide→move loop.
+
+        ``interval`` is anything with a ``phase`` (a
+        :class:`~repro.sim.access.KernelPhase`) and a ``volumes`` mapping
+        of true per-buffer bytes — e.g.
+        :class:`~repro.apps.phased.WorkloadInterval`.
+        """
+        if not OBS.enabled:
+            return self._run_interval_impl(interval, index)
+        with OBS.tracer.span("guidance.interval", index=index) as span:
+            report = self._run_interval_impl(interval, index)
+            metrics = OBS.metrics
+            metrics.counter("guidance.intervals").inc()
+            if report.step is not None:
+                metrics.counter("guidance.replacements").inc()
+            else:
+                metrics.counter("guidance.stable_intervals").inc()
+            span.fields.update(
+                diverged=report.diverged,
+                bytes_moved=report.bytes_moved,
+            )
+            return report
+
+    def _run_interval_impl(self, interval, index: int) -> IntervalReport:
+        true_volumes = dict(interval.volumes)
+        tracked = self.daemon.tracked_allocations()
+        missing = sorted(set(true_volumes) - set(tracked))
+        if missing:
+            raise ProfilerError(
+                f"workload buffers not tracked on the daemon: {missing}"
+            )
+
+        phase_seconds = 0.0
+        if self.engine is not None:
+            phase_seconds = self.engine.price_phase(
+                interval.phase, self.placement(), pus=self.pus
+            ).seconds
+
+        estimate: SampleEstimate | None = None
+        error = 0.0
+        overhead = 0.0
+        if self.sampler is not None:
+            estimate = self.sampler.sample(true_volumes)
+            observed = estimate.estimated_bytes
+            error = estimate.error_vs(true_volumes)
+            overhead = estimate.overhead_seconds
+        else:
+            observed = true_volumes
+
+        self.daemon.observe(observed)
+        diverged = self._diverged()
+        step: StepReport | None = None
+        if diverged:
+            step = self.daemon.step()
+        else:
+            self.daemon.close_interval()
+
+        return IntervalReport(
+            index=index,
+            phase_seconds=phase_seconds,
+            migration_seconds=(
+                step.migration_seconds if step is not None else 0.0
+            ),
+            overhead_seconds=overhead,
+            estimate=estimate,
+            estimate_error=error,
+            diverged=diverged,
+            step=step,
+        )
+
+    def run(self, workload) -> GuidanceRunReport:
+        """Run every interval of a phased workload in order.
+
+        ``workload`` is anything iterable over interval objects — e.g.
+        :class:`~repro.apps.phased.PhasedWorkload`.
+        """
+        report = GuidanceRunReport()
+        for index, interval in enumerate(workload):
+            report.intervals.append(self.run_interval(interval, index))
+        return report

@@ -1,0 +1,211 @@
+"""Simulated PEBS-style access sampling (beyond the paper, ROADMAP item 2).
+
+The paper stops at *offline* profiling: exact traffic counts feed static
+placement hints.  Real online guidance — "Online Application Guidance for
+Heterogeneous Memory Systems" (arxiv 2110.02150) — has no exact counts;
+it sees the memory stream through a PMU sampler (Intel PEBS) that records
+roughly one in every *sampling period* accesses, pays a per-sample
+interrupt/readout cost, and mis-attributes a fraction of samples.  The
+PEBS-at-scale study (arxiv 2011.13432) maps the resulting trade-off:
+shrink the period and estimates sharpen while overhead grows (and the
+sampling buffer starts throttling); grow it and the sampler is nearly
+free but blind to all but the hottest objects.
+
+:class:`PebsSampler` reproduces that observation channel over our
+simulator's ground truth.  Feed it a workload interval's *true* per-buffer
+access volumes and it returns :class:`SampleEstimate`: sampled, noisy,
+biased per-buffer byte estimates plus the modeled sampling overhead in
+seconds.  The model, per interval:
+
+1. **sampling noise** — each buffer's accesses (``bytes / granularity``)
+   are thinned with a seeded binomial draw at rate ``1/period``; the
+   estimate is ``samples * period * granularity``.  Relative error decays
+   as ``1/sqrt(samples)``, exactly the frontier the PEBS paper charts.
+2. **attribution skid (bias)** — a fixed fraction of each buffer's
+   samples lands on the next buffer in name order, modeling PEBS skid /
+   imprecise linear-address attribution.  This error does *not* average
+   out with more samples.
+3. **buffer throttling (bias)** — at most ``throttle_capacity`` samples
+   survive an interval; beyond that the kernel drops the overflow
+   proportionally (counted in ``dropped_samples``), so very small periods
+   *underestimate* traffic on top of costing the most.
+4. **overhead** — ``kept_samples * per_sample_seconds`` plus a fixed
+   per-interval readout cost, the time a real run would lose to PMU
+   interrupts.
+
+**Determinism contract:** a sampler is seeded at construction
+(``numpy.random.PCG64``), buffers are drawn in sorted-name order, and all
+bias arithmetic is integer — the same seed, period and observation
+sequence produce bit-identical estimates (and therefore bit-identical
+downstream migrations).  ``tests/profiler/test_pebs.py`` and the
+``bench_guidance`` 100-seed differential pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ProfilerError
+from ..obs import OBS
+
+__all__ = ["PebsConfig", "PebsSampler", "SampleEstimate"]
+
+
+@dataclass(frozen=True)
+class PebsConfig:
+    """Sampler knobs — the period/accuracy/overhead trade-off surface."""
+
+    #: accesses between samples; 1 samples everything (exact but ruinous).
+    period: int = 4096
+    #: RNG seed; the whole observation channel is a pure function of it.
+    seed: int = 0
+    #: bytes one sample stands for (cache-line granularity by default).
+    granularity: int = 64
+    #: fraction of each buffer's samples mis-attributed to the next buffer
+    #: in sorted-name order (PEBS skid; persistent bias).
+    skid_fraction: float = 0.01
+    #: modeled cost of one retained sample (PMU interrupt + readout).
+    per_sample_seconds: float = 1e-6
+    #: fixed per-interval cost (buffer drain, bookkeeping).
+    per_interval_seconds: float = 50e-6
+    #: max samples retained per interval before throttling drops the rest.
+    throttle_capacity: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ProfilerError("sampling period must be >= 1")
+        if self.granularity <= 0:
+            raise ProfilerError("granularity must be positive")
+        if not 0.0 <= self.skid_fraction < 1.0:
+            raise ProfilerError("skid_fraction must be in [0, 1)")
+        if self.per_sample_seconds < 0 or self.per_interval_seconds < 0:
+            raise ProfilerError("overhead costs must be non-negative")
+        if self.throttle_capacity < 1:
+            raise ProfilerError("throttle_capacity must be >= 1")
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """One interval's sampled view of the workload's memory traffic."""
+
+    #: the period the estimates were taken at.
+    period: int
+    #: per-buffer estimated bytes (``kept samples * period * granularity``).
+    estimated_bytes: dict[str, float]
+    #: per-buffer retained sample counts (after skid and throttling).
+    samples: dict[str, int]
+    #: samples drawn before throttling.
+    raw_samples: int
+    #: samples lost to buffer throttling this interval.
+    dropped_samples: int
+    #: samples mis-attributed by skid this interval.
+    skid_samples: int
+    #: modeled sampling cost for this interval, in seconds.
+    overhead_seconds: float
+
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def error_vs(self, true_bytes: dict[str, float]) -> float:
+        """Relative L1 hotness-estimate error against ground truth.
+
+        ``sum_b |est_b - true_b| / sum_b true_b`` over the union of
+        buffers; 0.0 when the interval moved no bytes.
+        """
+        names = sorted(set(self.estimated_bytes) | set(true_bytes))
+        total = sum(true_bytes.get(n, 0.0) for n in names)
+        if total <= 0:
+            return 0.0
+        err = sum(
+            abs(self.estimated_bytes.get(n, 0.0) - true_bytes.get(n, 0.0))
+            for n in names
+        )
+        return err / total
+
+
+class PebsSampler:
+    """Deterministic simulated PEBS sampler over true access volumes.
+
+    One sampler models one monitored process: construct it with a
+    :class:`PebsConfig` and call :meth:`sample` once per workload
+    interval.  Draw order is part of the determinism contract — the
+    sampler consumes its RNG stream in sorted-buffer-name order, so the
+    same sequence of ``sample()`` calls replays bit-identically for the
+    same seed.
+    """
+
+    def __init__(self, config: PebsConfig | None = None, **kwargs) -> None:
+        self.config = config or PebsConfig(**kwargs)
+        if config is not None and kwargs:
+            raise ProfilerError("pass either a PebsConfig or knobs, not both")
+        self._rng = np.random.Generator(np.random.PCG64(self.config.seed))
+        self.intervals_sampled = 0
+
+    def sample(self, true_bytes: dict[str, float]) -> SampleEstimate:
+        """Sample one interval's true per-buffer access volumes."""
+        cfg = self.config
+        names = sorted(true_bytes)
+        for name in names:
+            if true_bytes[name] < 0:
+                raise ProfilerError(f"{name}: negative access volume")
+
+        accesses = np.array(
+            [int(true_bytes[n] // cfg.granularity) for n in names],
+            dtype=np.int64,
+        )
+        if cfg.period == 1:
+            drawn = accesses.copy()
+        else:
+            drawn = self._rng.binomial(accesses, 1.0 / cfg.period)
+        raw_total = int(drawn.sum())
+
+        # Attribution skid: an integer share of each buffer's samples is
+        # credited to the next buffer in name order (cyclic).  Integer
+        # floor keeps the arithmetic exact and replayable.
+        skid_total = 0
+        kept = drawn.astype(np.int64).copy()
+        if cfg.skid_fraction > 0.0 and len(names) > 1:
+            skidded = (drawn * cfg.skid_fraction).astype(np.int64)
+            kept -= skidded
+            kept += np.roll(skidded, 1)
+            skid_total = int(skidded.sum())
+
+        # Throttling: the sampling buffer retains at most
+        # ``throttle_capacity`` samples per interval; overflow is dropped
+        # proportionally (integer floor — deterministic, and the estimate
+        # bias is downward, matching observed PEBS behavior under load).
+        dropped = 0
+        if raw_total > cfg.throttle_capacity:
+            kept = (kept * cfg.throttle_capacity) // raw_total
+            dropped = raw_total - int(kept.sum())
+
+        scale = float(cfg.period * cfg.granularity)
+        estimates = {n: float(kept[i]) * scale for i, n in enumerate(names)}
+        samples = {n: int(kept[i]) for i, n in enumerate(names)}
+        kept_total = int(kept.sum())
+        overhead = (
+            kept_total * cfg.per_sample_seconds + cfg.per_interval_seconds
+        )
+        self.intervals_sampled += 1
+
+        if OBS.enabled:
+            metrics = OBS.metrics
+            metrics.counter("pebs.intervals").inc()
+            metrics.counter("pebs.samples").inc(kept_total)
+            if dropped:
+                metrics.counter("pebs.dropped_samples").inc(dropped)
+            if skid_total:
+                metrics.counter("pebs.skid_samples").inc(skid_total)
+
+        return SampleEstimate(
+            period=cfg.period,
+            estimated_bytes=estimates,
+            samples=samples,
+            raw_samples=raw_total,
+            dropped_samples=dropped,
+            skid_samples=skid_total,
+            overhead_seconds=overhead,
+        )

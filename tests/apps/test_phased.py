@@ -1,0 +1,129 @@
+"""Phase-changing workload schedules."""
+
+import pytest
+
+from repro.apps import (
+    PhasedWorkload,
+    WorkloadInterval,
+    phased_graph500,
+    rotating_triad,
+)
+from repro.errors import SimulationError
+from repro.sim import BufferAccess, KernelPhase, PatternKind
+from repro.units import GB, MiB
+
+
+class TestPhasedWorkload:
+    def _interval(self, buffer="a", nbytes=1.0 * GB):
+        return WorkloadInterval(
+            phase=KernelPhase(
+                name="p",
+                threads=1,
+                accesses=(
+                    BufferAccess(
+                        buffer=buffer,
+                        pattern=PatternKind.STREAM,
+                        bytes_read=nbytes,
+                        working_set=1 * GB,
+                    ),
+                ),
+            )
+        )
+
+    def test_volumes_mirror_declared_traffic(self):
+        interval = self._interval(nbytes=3.0 * GB)
+        assert interval.volumes == {"a": 3.0 * GB}
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(SimulationError, match="no intervals"):
+            PhasedWorkload(name="w", buffer_bytes={"a": GB}, intervals=())
+
+    def test_undeclared_buffer_rejected(self):
+        with pytest.raises(SimulationError, match="undeclared"):
+            PhasedWorkload(
+                name="w",
+                buffer_bytes={"other": GB},
+                intervals=(self._interval(buffer="a"),),
+            )
+
+    def test_iteration_and_len(self):
+        workload = PhasedWorkload(
+            name="w",
+            buffer_bytes={"a": GB},
+            intervals=(self._interval(), self._interval()),
+        )
+        assert len(workload) == 2
+        assert [iv.volumes for iv in workload] == [{"a": 1.0 * GB}] * 2
+        assert workload.buffers == ("a",)
+
+    def test_hot_buffers_threshold_is_own_size(self):
+        workload = PhasedWorkload(
+            name="w",
+            buffer_bytes={"a": GB},
+            intervals=(
+                self._interval(nbytes=2.0 * GB),   # 2 sweeps: hot
+                self._interval(nbytes=0.5 * GB),   # half a sweep: cold
+            ),
+        )
+        assert workload.hot_buffers(0) == ("a",)
+        assert workload.hot_buffers(1) == ()
+
+
+class TestRotatingTriad:
+    def test_rotation_schedule(self):
+        workload = rotating_triad(
+            buffers=3, intervals=9, rotate_every=3, hot_sweeps=8
+        )
+        assert len(workload) == 9
+        assert workload.buffers == ("t0", "t1", "t2")
+        for i in range(9):
+            assert workload.hot_buffers(i) == (f"t{i // 3}",)
+
+    def test_rotation_wraps_around(self):
+        workload = rotating_triad(buffers=2, intervals=8, rotate_every=2)
+        assert workload.hot_buffers(0) == ("t0",)
+        assert workload.hot_buffers(2) == ("t1",)
+        assert workload.hot_buffers(4) == ("t0",)
+
+    def test_cold_buffers_still_touched(self):
+        workload = rotating_triad(buffers=2, cold_bytes=16 * MiB)
+        volumes = workload.intervals[0].volumes
+        assert volumes["t1"] == 16 * MiB  # a trickle, not silence
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            rotating_triad(buffers=1)
+        with pytest.raises(SimulationError):
+            rotating_triad(rotate_every=0)
+        with pytest.raises(SimulationError):
+            rotating_triad(intervals=0)
+
+
+class TestPhasedGraph500:
+    def test_direction_alternation(self):
+        workload = phased_graph500(intervals=8, rotate_every=4)
+        assert workload.buffers == ("adj", "dist", "frontier")
+        for i in range(4):
+            assert workload.hot_buffers(i) == ("adj",)
+        for i in range(4, 8):
+            assert workload.hot_buffers(i) == ("dist", "frontier")
+
+    def test_phase_names_carry_direction(self):
+        workload = phased_graph500(intervals=8, rotate_every=4)
+        assert "top-down" in workload.intervals[0].phase.name
+        assert "bottom-up" in workload.intervals[4].phase.name
+
+    def test_hot_sets_exceed_mcdram_together(self):
+        # The premise of the bench: the two hot sets cannot co-reside in
+        # a ~4 GB fast tier, so the right placement flips per direction.
+        workload = phased_graph500()
+        sizes = workload.buffer_bytes
+        assert sizes["adj"] <= 4 * GB
+        assert sizes["frontier"] + sizes["dist"] <= 4 * GB
+        assert sum(sizes.values()) > 4 * GB
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            phased_graph500(rotate_every=0)
+        with pytest.raises(SimulationError):
+            phased_graph500(intervals=0)

@@ -1,10 +1,18 @@
 """Auto-tiering daemon tests."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ReproError, TransientMigrationError
-from repro.kernel import AutoTierDaemon, TierConfig, bind_policy, interleave_policy
-from repro.units import GB, MiB
+from repro.hw import get_platform
+from repro.kernel import (
+    AutoTierDaemon,
+    KernelMemoryManager,
+    TierConfig,
+    bind_policy,
+    interleave_policy,
+)
+from repro.units import GB, KiB, MiB
 
 
 @pytest.fixture()
@@ -38,6 +46,12 @@ class TestTracking:
     def test_observe_unknown_buffer_rejected(self, daemon):
         with pytest.raises(ReproError):
             daemon.observe({"ghost": 1.0})
+
+    def test_untracked_hotness_typed_error(self, daemon):
+        # Regression: used to escape as a bare KeyError, which callers
+        # catching ReproError (the documented contract) never saw.
+        with pytest.raises(ReproError, match="ghost"):
+            daemon.hotness("ghost")
 
     def test_double_track_rejected(self, daemon, knl_kernel):
         a = knl_kernel.allocate(1 * GB, bind_policy(0))
@@ -412,3 +426,143 @@ class TestPriceGuidance:
         report = d.step()
         assert report.promoted == ["hot"]
         assert report.candidates_priced == 1
+
+
+class TestPromotionSpill:
+    """Regression: promotion must spill across fast nodes, not stall on one.
+
+    The old loop picked the single roomiest fast node and gave up when the
+    buffer outgrew its headroom — a hot buffer larger than any one MCDRAM
+    node never promoted fully even with the whole tier half empty.
+    """
+
+    def test_spills_across_two_fast_nodes(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4, 5), slow_nodes=(0,),
+            migration_budget_bytes=16 * GB,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        # Larger than either MCDRAM node's ~3.97 GB free, smaller than both.
+        hot = knl_kernel.allocate(6 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 60 * GB})
+        report = daemon.step()
+        assert report.promoted == ["hot"]  # one entry despite two moves
+        assert hot.pages_by_node.get(4, 0) > 0
+        assert hot.pages_by_node.get(5, 0) > 0
+        assert hot.pages_by_node.get(0, 0) == 0
+        assert hot.fraction_on(4) + hot.fraction_on(5) == pytest.approx(1.0)
+        assert report.bytes_moved == hot.total_pages * knl_kernel.page_size
+        knl_kernel.free(hot)
+
+    def test_spill_respects_budget(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4, 5), slow_nodes=(0,),
+            migration_budget_bytes=5 * GB,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(6 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 60 * GB})
+        report = daemon.step()
+        # Budget caps the move mid-spill; the rest promotes next step.
+        assert 0 < report.bytes_moved <= 5 * GB + knl_kernel.page_size
+        assert hot.pages_by_node.get(0, 0) > 0
+        daemon.observe({"hot": 60 * GB})
+        daemon.step()
+        assert hot.pages_by_node.get(0, 0) == 0
+        knl_kernel.free(hot)
+
+
+class TestBudgetBoundaries:
+    """Budget smaller than one page: both loops must stop, not spin."""
+
+    def test_subpage_budget_blocks_demotion(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,),
+            migration_budget_bytes=knl_kernel.page_size - 1,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        daemon.track("cold", cold)
+        daemon.observe({"cold": 0.0})
+        report = daemon.step()
+        assert not report.demoted and report.bytes_moved == 0
+        assert cold.fraction_on(4) == pytest.approx(1.0)
+        knl_kernel.free(cold)
+
+    def test_subpage_budget_blocks_promotion(self, knl_kernel):
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,),
+            migration_budget_bytes=knl_kernel.page_size - 1,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("hot", hot)
+        daemon.observe({"hot": 20 * GB})
+        report = daemon.step()
+        assert not report.promoted and report.bytes_moved == 0
+        assert hot.fraction_on(0) == pytest.approx(1.0)
+        knl_kernel.free(hot)
+
+    def test_demotion_consumes_budget_to_subpage(self, knl_kernel):
+        # Demotion spends all but a sub-page sliver; the promotion loop
+        # must break cleanly instead of attempting a zero-page migrate.
+        cfg = TierConfig(
+            fast_nodes=(4,), slow_nodes=(0,),
+            migration_budget_bytes=1 * GB + 2 * KiB,
+        )
+        daemon = AutoTierDaemon(knl_kernel, cfg)
+        cold = knl_kernel.allocate(1 * GB, bind_policy(4))
+        hot = knl_kernel.allocate(1 * GB, bind_policy(0))
+        daemon.track("cold", cold)
+        daemon.track("hot", hot)
+        daemon.observe({"cold": 0.0, "hot": 20 * GB})
+        report = daemon.step()
+        assert report.demoted == ["cold"]
+        assert not report.promoted
+        assert report.bytes_moved == cold.total_pages * knl_kernel.page_size
+        assert hot.fraction_on(0) == pytest.approx(1.0)
+        knl_kernel.free(cold)
+        knl_kernel.free(hot)
+
+
+class TestObserveAtomicityProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        good=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+            min_size=0,
+            max_size=3,
+        ),
+        bad_kind=st.sampled_from(["unknown", "negative"]),
+        prior=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    )
+    def test_failed_observe_changes_nothing(self, good, bad_kind, prior):
+        """All-or-nothing: any invalid entry leaves hotness AND the pending
+        interval volumes exactly as they were — for every tracked buffer,
+        wherever the bad entry lands in the dict."""
+        km = KernelMemoryManager(get_platform("knl-snc4-flat"))
+        daemon = AutoTierDaemon(
+            km, TierConfig(fast_nodes=(4,), slow_nodes=(0,))
+        )
+        for name in ("a", "b", "c"):
+            daemon.track(name, km.allocate(64 * MiB, bind_policy(0)))
+        daemon.observe({"a": prior})  # pending, un-stepped state
+        before = {
+            name: (t.hotness, t.bytes_this_interval)
+            for name, t in daemon._tracked.items()
+        }
+        bad = dict(good)
+        if bad_kind == "unknown":
+            bad["ghost"] = 1.0
+        else:
+            bad["b"] = -1.0
+        with pytest.raises(ReproError):
+            daemon.observe(bad)
+        after = {
+            name: (t.hotness, t.bytes_this_interval)
+            for name, t in daemon._tracked.items()
+        }
+        assert after == before

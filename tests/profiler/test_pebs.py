@@ -1,0 +1,192 @@
+"""Simulated PEBS sampler: noise model, bias accounting, determinism."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ProfilerError
+from repro.profiler import PebsConfig, PebsSampler
+from repro.units import GB, MiB
+
+VOLUMES = {"a": 8.0 * GB, "b": 2.0 * GB, "c": 16.0 * MiB}
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        PebsConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"period": 0},
+            {"granularity": 0},
+            {"skid_fraction": -0.1},
+            {"skid_fraction": 1.0},
+            {"per_sample_seconds": -1e-9},
+            {"per_interval_seconds": -1e-9},
+            {"throttle_capacity": 0},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ProfilerError):
+            PebsConfig(**kwargs)
+
+    def test_config_and_knobs_mutually_exclusive(self):
+        with pytest.raises(ProfilerError):
+            PebsSampler(PebsConfig(), period=512)
+
+    def test_negative_volume_rejected(self):
+        with pytest.raises(ProfilerError):
+            PebsSampler().sample({"a": -1.0})
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        runs = []
+        for _ in range(2):
+            sampler = PebsSampler(period=4096, seed=7)
+            runs.append([sampler.sample(VOLUMES) for _ in range(5)])
+        for first, second in zip(*runs):
+            assert first == second  # frozen dataclass: full field equality
+
+    def test_different_seeds_differ(self):
+        a = PebsSampler(period=4096, seed=1).sample(VOLUMES)
+        b = PebsSampler(period=4096, seed=2).sample(VOLUMES)
+        assert a.estimated_bytes != b.estimated_bytes
+
+    def test_draw_order_is_name_sorted_not_dict_ordered(self):
+        shuffled = {"c": VOLUMES["c"], "a": VOLUMES["a"], "b": VOLUMES["b"]}
+        a = PebsSampler(period=4096, seed=7).sample(VOLUMES)
+        b = PebsSampler(period=4096, seed=7).sample(shuffled)
+        assert a == b
+
+
+class TestNoiseModel:
+    def test_period_one_is_exact_modulo_skid(self):
+        sampler = PebsSampler(
+            period=1, skid_fraction=0.0, throttle_capacity=10**12
+        )
+        estimate = sampler.sample(VOLUMES)
+        for name, true in VOLUMES.items():
+            # Exact up to granularity truncation of the true volume.
+            assert estimate.estimated_bytes[name] == pytest.approx(
+                true, abs=sampler.config.granularity
+            )
+        assert estimate.error_vs(VOLUMES) < 1e-6
+
+    def test_error_grows_with_period(self):
+        # Skid and throttling off so pure sampling noise is visible: skid
+        # floors the error at its bias (~skid_fraction) however small the
+        # period, and tiny periods overflow the default capacity, which
+        # *adds* error — both covered separately in TestBias.
+        errors = {
+            period: PebsSampler(
+                period=period,
+                seed=3,
+                skid_fraction=0.0,
+                throttle_capacity=10**12,
+            )
+            .sample(VOLUMES)
+            .error_vs(VOLUMES)
+            for period in (64, 65536, 16 * 2**20)
+        }
+        assert errors[64] < errors[65536] < errors[16 * 2**20]
+
+    def test_estimates_scale_with_samples(self):
+        estimate = PebsSampler(period=4096, seed=0).sample(VOLUMES)
+        cfg = PebsConfig()
+        for name, count in estimate.samples.items():
+            assert estimate.estimated_bytes[name] == count * 4096 * cfg.granularity
+
+    def test_zero_volume_zero_samples(self):
+        estimate = PebsSampler(period=4096).sample({"a": 0.0})
+        assert estimate.estimated_bytes == {"a": 0.0}
+        assert estimate.raw_samples == 0
+        # Fixed per-interval cost still applies.
+        assert estimate.overhead_seconds == pytest.approx(
+            PebsConfig().per_interval_seconds
+        )
+
+
+class TestBias:
+    def test_skid_moves_samples_to_next_buffer(self):
+        # Deterministic setup: period 1, two buffers, 10% skid.
+        sampler = PebsSampler(
+            period=1, skid_fraction=0.1, throttle_capacity=10**12
+        )
+        volumes = {"a": 64.0 * 1000, "b": 0.0}
+        estimate = sampler.sample(volumes)
+        assert estimate.samples["a"] == 900
+        assert estimate.samples["b"] == 100  # a's skid lands on b
+        assert estimate.skid_samples == 100
+        assert estimate.total_samples == 1000  # skid conserves samples
+
+    def test_skid_disabled_for_single_buffer(self):
+        estimate = PebsSampler(period=1, skid_fraction=0.5).sample(
+            {"only": 64.0 * 100}
+        )
+        assert estimate.skid_samples == 0
+        assert estimate.samples["only"] == 100
+
+    def test_throttling_drops_and_underestimates(self):
+        sampler = PebsSampler(
+            period=1, skid_fraction=0.0, throttle_capacity=1000
+        )
+        volumes = {"a": 64.0 * 10_000}
+        estimate = sampler.sample(volumes)
+        assert estimate.raw_samples == 10_000
+        assert estimate.dropped_samples == 9_000
+        assert estimate.total_samples == 1000
+        # Downward bias: the throttled estimate undershoots truth.
+        assert estimate.estimated_bytes["a"] < volumes["a"]
+
+    def test_unthrottled_interval_drops_nothing(self):
+        estimate = PebsSampler(period=4096, seed=0).sample(VOLUMES)
+        assert estimate.dropped_samples == 0
+        assert estimate.raw_samples >= estimate.total_samples
+
+
+class TestOverhead:
+    def test_overhead_decreases_with_period(self):
+        overheads = {
+            period: PebsSampler(period=period, seed=0)
+            .sample(VOLUMES)
+            .overhead_seconds
+            for period in (512, 32768)
+        }
+        assert overheads[512] > overheads[32768]
+
+    def test_overhead_formula(self):
+        cfg = PebsConfig(period=4096, seed=0)
+        estimate = PebsSampler(cfg).sample(VOLUMES)
+        assert estimate.overhead_seconds == pytest.approx(
+            estimate.total_samples * cfg.per_sample_seconds
+            + cfg.per_interval_seconds
+        )
+
+
+class TestErrorMetric:
+    def test_empty_truth_is_zero_error(self):
+        estimate = PebsSampler(period=4096).sample({})
+        assert estimate.error_vs({}) == 0.0
+
+    def test_error_includes_union_of_buffers(self):
+        estimate = PebsSampler(period=1, skid_fraction=0.0).sample(
+            {"a": 64.0 * 100}
+        )
+        # A buffer the sampler never saw counts toward the error.
+        err = estimate.error_vs({"a": 64.0 * 100, "missing": 64.0 * 100})
+        assert err == pytest.approx(0.5)
+
+
+class TestObs:
+    def test_counters_emitted_when_enabled(self, fresh_obs):
+        obs.enable()
+        sampler = PebsSampler(
+            period=1, skid_fraction=0.1, throttle_capacity=500
+        )
+        sampler.sample({"a": 64.0 * 1000, "b": 0.0})
+        metrics = obs.OBS.metrics
+        assert metrics.value("pebs.intervals") == 1
+        assert metrics.value("pebs.samples") == 500
+        assert metrics.value("pebs.dropped_samples") == 500
+        assert metrics.value("pebs.skid_samples") == 100
